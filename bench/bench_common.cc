@@ -1,0 +1,98 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+namespace bento::bench {
+
+double ScaleFromEnv() {
+  const char* env = std::getenv("BENTO_SCALE");
+  if (env != nullptr) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 0.001;  // 1/1000 of the paper's dataset sizes by default
+}
+
+std::string DataDirFromEnv() {
+  const char* env = std::getenv("BENTO_DATA_DIR");
+  return env != nullptr ? env : "./bench_data";
+}
+
+run::Runner MakeRunner() { return run::Runner(DataDirFromEnv(), ScaleFromEnv()); }
+
+std::vector<std::string> AllEngines() { return frame::EngineIds(); }
+
+void PrintHeader(const std::string& experiment, const std::string& what) {
+  std::printf("=============================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+  std::printf("dataset scale: %g of paper size (set BENTO_SCALE to change)\n",
+              ScaleFromEnv());
+  std::printf("runtimes are simulated-machine virtual time; compare shapes,\n");
+  std::printf("not absolute values (see DESIGN.md)\n");
+  std::printf("=============================================================\n");
+}
+
+std::string OutcomeCell(const Status& status, double seconds) {
+  if (status.ok()) return run::FormatSeconds(seconds);
+  if (status.IsOutOfMemory()) return "OoM";
+  if (status.IsNotImplemented()) return "n/s";
+  return "err";
+}
+
+void PrintSpeedupTable(run::Runner* runner, const std::string& dataset) {
+  auto pipeline = run::PipelineFor(dataset).ValueOrDie();
+
+  struct EngineRun {
+    std::string id;
+    Status status;
+    std::vector<run::OpTiming> ops;
+  };
+  std::vector<EngineRun> runs;
+  for (const std::string& id : AllEngines()) {
+    run::RunConfig config;
+    config.engine_id = id;
+    config.mode = run::RunMode::kFunctionCore;
+    auto report = runner->Run(config, pipeline, dataset);
+    EngineRun er;
+    er.id = id;
+    if (report.ok()) {
+      er.status = report.ValueOrDie().status;
+      er.ops = report.ValueOrDie().ops;
+    } else {
+      er.status = report.status();
+    }
+    runs.push_back(std::move(er));
+  }
+
+  const EngineRun& pandas = runs.front();  // EngineIds() lists pandas first
+  std::vector<std::string> header = {"preparator", "pandas(abs)"};
+  for (size_t e = 1; e < runs.size(); ++e) header.push_back(runs[e].id);
+  run::TextTable table(header);
+
+  for (size_t o = 0; o < pipeline.steps.size(); ++o) {
+    const std::string op_name =
+        frame::OpKindName(pipeline.steps[o].op.kind);
+    std::vector<std::string> cells = {op_name};
+    const bool pandas_has = o < pandas.ops.size();
+    const double pandas_t = pandas_has ? pandas.ops[o].seconds : -1.0;
+    cells.push_back(pandas_has ? run::FormatSeconds(pandas_t)
+                               : OutcomeCell(pandas.status, -1));
+    for (size_t e = 1; e < runs.size(); ++e) {
+      if (o < runs[e].ops.size()) {
+        if (pandas_has && pandas_t > 0 && runs[e].ops[o].seconds > 0) {
+          cells.push_back(
+              run::FormatSpeedup(pandas_t / runs[e].ops[o].seconds));
+        } else {
+          cells.push_back(run::FormatSeconds(runs[e].ops[o].seconds));
+        }
+      } else {
+        cells.push_back(OutcomeCell(runs[e].status, -1));
+      }
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::printf("--- %s (speedup over Pandas; >1x is faster) ---\n%s\n",
+              dataset.c_str(), table.ToString().c_str());
+}
+
+}  // namespace bento::bench

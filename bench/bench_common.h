@@ -1,0 +1,41 @@
+#ifndef BENTO_BENCH_BENCH_COMMON_H_
+#define BENTO_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bento/pipeline.h"
+#include "bento/report.h"
+#include "bento/runner.h"
+
+namespace bento::bench {
+
+/// Dataset scale factor relative to the paper's sizes. Override with
+/// BENTO_SCALE (e.g. BENTO_SCALE=0.01 for a 10x bigger run, =1.0 for the
+/// full-size datasets when the machine allows).
+double ScaleFromEnv();
+
+/// Where generated CSV/BCF inputs are cached. Override with BENTO_DATA_DIR.
+std::string DataDirFromEnv();
+
+/// A ready Runner honoring the environment overrides.
+run::Runner MakeRunner();
+
+/// The engine ids in the paper's presentation order.
+std::vector<std::string> AllEngines();
+
+/// Banner every bench binary prints: experiment id + scale disclaimer.
+void PrintHeader(const std::string& experiment, const std::string& what);
+
+/// "OoM", "unsupported" or formatted seconds for a report outcome.
+std::string OutcomeCell(const Status& status, double seconds);
+
+/// Runs the dataset's pipeline in function-core mode for every engine and
+/// prints per-preparator speedups over Pandas (the Fig. 2/3 series).
+/// Engines that fail a preparator print OoM/err for it.
+void PrintSpeedupTable(run::Runner* runner, const std::string& dataset);
+
+}  // namespace bento::bench
+
+#endif  // BENTO_BENCH_BENCH_COMMON_H_

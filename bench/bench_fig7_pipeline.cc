@@ -1,0 +1,60 @@
+// Regenerates the paper's Figure 7: runtime of the entire data-preparation
+// pipeline per engine per dataset, with the lazy-vs-eager deltas for the
+// engines supporting lazy evaluation (SparkPD, SparkSQL, Polars).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bento;
+  bench::PrintHeader("Figure 7",
+                     "entire pipeline runtime + lazy vs eager deltas");
+  run::Runner runner = bench::MakeRunner();
+
+  for (const char* dataset : {"athlete", "loan", "patrol", "taxi"}) {
+    auto pipeline = run::PipelineFor(dataset).ValueOrDie();
+    run::TextTable table({"engine", "pipeline", "eager-mode", "lazy gain"});
+
+    auto run_one = [&](const std::string& id, Status* status_out) {
+      run::RunConfig config;
+      config.engine_id = id;
+      config.mode = run::RunMode::kPipelineFull;
+      auto report = runner.Run(config, pipeline, dataset);
+      if (!report.ok()) {
+        *status_out = report.status();
+        return -1.0;
+      }
+      *status_out = report.ValueOrDie().status;
+      return status_out->ok() ? report.ValueOrDie().total_seconds : -1.0;
+    };
+
+    for (const std::string& id : bench::AllEngines()) {
+      Status status;
+      double lazy_seconds = run_one(id, &status);
+      std::string lazy_cell = bench::OutcomeCell(status, lazy_seconds);
+
+      // The paper compares the lazy engines against themselves in forced
+      // (eager) mode; other engines have no second column.
+      std::string eager_cell = "-";
+      std::string gain_cell = "-";
+      if (id == "polars" || id == "spark_sql" || id == "spark_pd") {
+        Status eager_status;
+        double eager_seconds = run_one(id + "_eager", &eager_status);
+        eager_cell = bench::OutcomeCell(eager_status, eager_seconds);
+        if (status.ok() && eager_status.ok() && lazy_seconds > 0) {
+          double gain = (eager_seconds - lazy_seconds) / lazy_seconds * 100.0;
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%+.0f%%", gain);
+          gain_cell = buf;
+        }
+      }
+      table.AddRow({id, lazy_cell, eager_cell, gain_cell});
+    }
+    std::printf("--- %s ---\n%s\n", dataset, table.ToString().c_str());
+  }
+  std::printf(
+      "paper shape: CuDF leads overall; SparkSQL leads on taxi; lazy gains\n"
+      "grow with dataset size (Polars +126%% on patrol) while SparkSQL's plan\n"
+      "overhead mutes its gains on small inputs.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Google-benchmark microbenchmarks of the shared compute kernels — the
+// per-op cost drivers behind the figure-level results (ablation material:
+// metadata vs scan null probes, columnar vs object strings, serial vs
+// partitioned group-by).
+#include <benchmark/benchmark.h>
+
+#include "columnar/builder.h"
+#include "kernels/groupby.h"
+#include "kernels/null_ops.h"
+#include "kernels/sort.h"
+#include "kernels/string_ops.h"
+#include "util/random.h"
+
+namespace bento {
+namespace {
+
+col::TablePtr BenchTable(int64_t rows) {
+  Rng rng(1234);
+  col::Int64Builder keys;
+  col::Float64Builder values;
+  col::StringBuilder strings;
+  for (int64_t i = 0; i < rows; ++i) {
+    keys.Append(rng.UniformInt(0, 1000));
+    values.AppendMaybe(rng.UniformDouble(0, 100), !rng.Bernoulli(0.1));
+    strings.Append(rng.AsciiString(8, 40));
+  }
+  std::vector<col::Field> fields = {{"k", col::TypeId::kInt64},
+                                    {"v", col::TypeId::kFloat64},
+                                    {"s", col::TypeId::kString}};
+  return col::Table::Make(
+             std::make_shared<col::Schema>(std::move(fields)),
+             {keys.Finish().ValueOrDie(), values.Finish().ValueOrDie(),
+              strings.Finish().ValueOrDie()})
+      .ValueOrDie();
+}
+
+void BM_IsNullMetadata(benchmark::State& state) {
+  auto t = BenchTable(state.range(0));
+  for (auto _ : state) {
+    auto counts = kern::NullCounts(t, kern::NullProbe::kMetadata);
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IsNullMetadata)->Arg(10000)->Arg(100000);
+
+void BM_IsNullScan(benchmark::State& state) {
+  auto t = BenchTable(state.range(0));
+  for (auto _ : state) {
+    auto counts = kern::NullCounts(t, kern::NullProbe::kScan);
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IsNullScan)->Arg(10000)->Arg(100000);
+
+void BM_ContainsColumnar(benchmark::State& state) {
+  auto t = BenchTable(state.range(0));
+  auto s = t->GetColumn("s").ValueOrDie();
+  for (auto _ : state) {
+    auto mask = kern::Contains(s, "ab", true, kern::StringEngine::kColumnar);
+    benchmark::DoNotOptimize(mask);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ContainsColumnar)->Arg(100000);
+
+void BM_ContainsRowObjects(benchmark::State& state) {
+  auto t = BenchTable(state.range(0));
+  auto s = t->GetColumn("s").ValueOrDie();
+  for (auto _ : state) {
+    auto mask = kern::Contains(s, "ab", true, kern::StringEngine::kRowObjects);
+    benchmark::DoNotOptimize(mask);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ContainsRowObjects)->Arg(100000);
+
+void BM_SortSerial(benchmark::State& state) {
+  auto t = BenchTable(state.range(0));
+  for (auto _ : state) {
+    auto sorted = kern::SortTable(t, {{"k", true}});
+    benchmark::DoNotOptimize(sorted);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortSerial)->Arg(50000);
+
+void BM_GroupBySerial(benchmark::State& state) {
+  auto t = BenchTable(state.range(0));
+  std::vector<kern::AggSpec> aggs = {{"v", kern::AggKind::kMean, "m"}};
+  for (auto _ : state) {
+    auto grouped = kern::GroupBy(t, {"k"}, aggs);
+    benchmark::DoNotOptimize(grouped);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupBySerial)->Arg(50000);
+
+void BM_GroupByPartitioned(benchmark::State& state) {
+  auto t = BenchTable(state.range(0));
+  std::vector<kern::AggSpec> aggs = {{"v", kern::AggKind::kMean, "m"}};
+  sim::ParallelOptions opts;
+  opts.max_workers = 8;
+  for (auto _ : state) {
+    auto grouped = kern::GroupByPartitioned(t, {"k"}, aggs, opts);
+    benchmark::DoNotOptimize(grouped);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByPartitioned)->Arg(50000);
+
+}  // namespace
+}  // namespace bento
+
+BENCHMARK_MAIN();

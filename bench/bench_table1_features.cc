@@ -1,0 +1,26 @@
+// Regenerates the paper's Table I: the feature matrix of the compared
+// dataframe libraries, printed from each engine model's EngineInfo.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "frame/engine.h"
+
+int main() {
+  using namespace bento;
+  bench::PrintHeader("Table I", "features of the compared dataframe libraries");
+
+  run::TextTable table({"", "MT", "GPU", "ResOpt", "Lazy", "Cluster",
+                        "Native language", "License", "Version"});
+  auto mark = [](bool b) { return b ? std::string("yes") : std::string("-"); };
+  for (const std::string& id : bench::AllEngines()) {
+    auto engine = frame::CreateEngine(id).ValueOrDie();
+    const frame::EngineInfo& info = engine->info();
+    table.AddRow({info.paper_name, mark(info.multithreading),
+                  mark(info.gpu_acceleration),
+                  mark(info.resource_optimization), mark(info.lazy_evaluation),
+                  mark(info.cluster_deploy), info.native_language, info.license,
+                  info.modeled_version});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Regenerates the paper's Table II: per-preparator Pandas-API compatibility
+// of every library (++ full / + renamed / o emulated by the Bento authors).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "frame/capabilities.h"
+
+int main() {
+  using namespace bento;
+  bench::PrintHeader("Table II",
+                     "compatibility of dataframe libraries with Pandas API");
+
+  std::vector<std::string> header = {"stage", "preparator", "Pandas API"};
+  for (const std::string& id : frame::CapabilityEngineOrder()) {
+    header.push_back(id);
+  }
+  run::TextTable table(header);
+  for (const frame::CapabilityRow& row : frame::CapabilityMatrix()) {
+    std::vector<std::string> cells = {frame::StageName(row.stage),
+                                      row.preparator, row.pandas_api};
+    for (frame::Support s : row.support) {
+      cells.push_back(frame::SupportMark(s));
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("legend: ++ matches Pandas interface, + renamed interface,\n");
+  std::printf("        o  missing from the API (emulated by the framework)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// The paper's scalability headline, reproduced in one file: under a memory
+// budget that the eager Pandas model cannot survive, the SparkSQL model's
+// streaming execution (partial aggregation, external sort, spilled runs)
+// finishes the same pipeline.
+//
+//   $ ./build/examples/out_of_core
+#include <cstdio>
+
+#include "bento/pipeline.h"
+#include "bento/report.h"
+#include "bento/runner.h"
+#include "sim/machine.h"
+
+using namespace bento;
+
+int main() {
+  // A generated taxi sample and a machine whose RAM budget is only ~2.5x the
+  // raw CSV — room for one working copy, not for eager intermediates.
+  run::Runner runner("./example_data", 0.001);
+  auto csv = runner.EnsureCsv("taxi").ValueOrDie();
+  FILE* f = std::fopen(csv.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const uint64_t csv_bytes = static_cast<uint64_t>(std::ftell(f));
+  std::fclose(f);
+
+  auto pipeline = run::PipelineFor("taxi").ValueOrDie();
+  // NB: Runner scales machine RAM by the dataset scale; pre-divide so the
+  // budget lands exactly where we want it.
+  sim::MachineSpec tight{"tight-box", 8,
+                         static_cast<uint64_t>(csv_bytes * 2.5 / 0.001),
+                         std::nullopt};
+
+  std::printf("taxi sample: %.1f MiB CSV; machine budget: %.1f MiB\n\n",
+              csv_bytes / 1048576.0, csv_bytes * 2.5 / 1048576.0);
+
+  for (const char* id : {"pandas", "modin_ray", "polars", "spark_sql"}) {
+    run::RunConfig config;
+    config.engine_id = id;
+    config.machine = tight;
+    config.mode = run::RunMode::kPipelineFull;
+    auto report = runner.Run(config, pipeline, "taxi");
+    if (!report.ok()) {
+      std::printf("%-10s error: %s\n", id, report.status().ToString().c_str());
+      continue;
+    }
+    const run::RunReport& r = report.ValueOrDie();
+    if (r.status.ok()) {
+      std::printf("%-10s completed in %s (peak host memory %.1f MiB)\n", id,
+                  run::FormatSeconds(r.total_seconds).c_str(),
+                  r.peak_host_bytes / 1048576.0);
+    } else if (r.status.IsOutOfMemory()) {
+      std::printf("%-10s OUT OF MEMORY (peak reached %.1f MiB)\n", id,
+                  r.peak_host_bytes / 1048576.0);
+    } else {
+      std::printf("%-10s failed: %s\n", id, r.status.ToString().c_str());
+    }
+  }
+
+  std::printf(
+      "\nwhy: the SparkSQL model streams chunks through the whole plan and\n"
+      "uses partial aggregation / external sort at pipeline breakers, so its\n"
+      "peak memory is O(chunk + output) instead of O(k copies of the data).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a dataframe, run preparators through an engine, and
+// inspect the results — the smallest end-to-end tour of the public API.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "columnar/builder.h"
+#include "frame/engine.h"
+
+using namespace bento;
+
+int main() {
+  // 1. Build a small table with the columnar builders.
+  col::Int64Builder ids;
+  col::Float64Builder scores;
+  col::StringBuilder names;
+  const char* people[] = {"Ada", "Grace", "Edsger", "Barbara", "Donald"};
+  for (int i = 0; i < 5; ++i) {
+    ids.Append(i + 1);
+    if (i == 2) {
+      scores.AppendNull();  // a missing value to clean up later
+    } else {
+      scores.Append(3.5 + i);
+    }
+    names.Append(people[i]);
+  }
+  auto schema = std::make_shared<col::Schema>(std::vector<col::Field>{
+      {"id", col::TypeId::kInt64},
+      {"score", col::TypeId::kFloat64},
+      {"name", col::TypeId::kString}});
+  auto table = col::Table::Make(schema, {ids.Finish().ValueOrDie(),
+                                         scores.Finish().ValueOrDie(),
+                                         names.Finish().ValueOrDie()})
+                   .ValueOrDie();
+  std::printf("input:\n%s\n", table->ToString().c_str());
+
+  // 2. Pick an engine (any id from frame::EngineIds() works identically).
+  auto engine = frame::CreateEngine("polars").ValueOrDie();
+  auto frame = engine->FromTable(table).ValueOrDie();
+
+  // 3. Run preparators. Actions inspect; transforms return a new frame.
+  auto isna = frame->RunAction(frame::Op::IsNa()).ValueOrDie();
+  std::printf("null counts per column:");
+  for (int64_t c : isna.counts) std::printf(" %lld", (long long)c);
+  std::printf("\n\n");
+
+  frame = frame->Apply(frame::Op::FillNaMean("score")).ValueOrDie();
+  frame = frame->Apply(frame::Op::ApplyExpr("score2", "score * 2")).ValueOrDie();
+  frame = frame->Apply(frame::Op::Query("score2 > 9")).ValueOrDie();
+  frame = frame->Apply(
+              frame::Op::SortValues({kern::SortKey{"score", false}}))
+              .ValueOrDie();
+
+  // 4. Collect forces lazy plans and returns the materialized table.
+  auto result = frame->Collect().ValueOrDie();
+  std::printf("result:\n%s\n", result->ToString().c_str());
+  return 0;
+}

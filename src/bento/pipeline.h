@@ -1,0 +1,48 @@
+#ifndef BENTO_BENTO_PIPELINE_H_
+#define BENTO_BENTO_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "frame/capabilities.h"
+#include "frame/op.h"
+#include "util/json.h"
+
+namespace bento::run {
+
+/// \brief One pipeline entry: a preparator assigned to a stage. Steps with
+/// carry=false compute their result but do not replace the working frame
+/// (group-by / pivot exploration in the Kaggle notebooks assign to a side
+/// variable); actions never carry.
+struct PipelineStep {
+  frame::Stage stage;
+  frame::Op op;
+  bool carry = true;
+};
+
+/// \brief A full data-preparation pipeline for one dataset.
+struct Pipeline {
+  std::string dataset;
+  std::vector<PipelineStep> steps;
+
+  std::vector<PipelineStep> StageSteps(frame::Stage stage) const;
+};
+
+/// \brief The reconstructed Kaggle pipeline for `dataset` (athlete, loan,
+/// patrol, taxi). The preparator inventory follows the paper's Table II and
+/// the per-stage composition its Section IV describes (e.g. dedup dominates
+/// DC on athlete/loan; EDA is dominated by isna/outlier/srchptn/sort).
+Result<Pipeline> PipelineFor(const std::string& dataset);
+
+/// \brief Named row functions usable from JSON pipeline specs (`applyrow`
+/// cannot serialize a closure; specs reference these by name).
+Result<kern::RowFn> LookupRowFn(const std::string& name);
+
+/// \brief Bento's JSON pipeline format:
+/// {"dataset": "athlete", "steps": [{"stage": "EDA", "op": "isna", ...}]}
+Result<Pipeline> PipelineFromJson(const JsonValue& spec);
+JsonValue PipelineToJson(const Pipeline& pipeline);
+
+}  // namespace bento::run
+
+#endif  // BENTO_BENTO_PIPELINE_H_

@@ -1,0 +1,72 @@
+#include "bento/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bento::run {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit = [&](const std::vector<std::string>& row, std::string* out) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out->append(cell);
+      out->append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!out->empty() && out->back() == ' ') out->pop_back();
+    out->push_back('\n');
+  };
+
+  std::string out;
+  emit(header_, &out);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) emit(row, &out);
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  if (seconds < 0) return "n/a";
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else if (seconds < 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fs", seconds);
+  }
+  return buf;
+}
+
+std::string FormatSpeedup(double speedup) {
+  char buf[32];
+  if (speedup >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fx", speedup);
+  } else if (speedup >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fx", speedup);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fx", speedup);
+  }
+  return buf;
+}
+
+}  // namespace bento::run

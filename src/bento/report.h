@@ -1,0 +1,32 @@
+#ifndef BENTO_BENTO_REPORT_H_
+#define BENTO_BENTO_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace bento::run {
+
+/// \brief Plain-text aligned table used by the benchmark binaries to print
+/// the paper's tables and figure series.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief "12.3ms" / "4.56s" style duration, or "OoM"/"n/a" markers.
+std::string FormatSeconds(double seconds);
+
+/// \brief Speedup "12.5x" / "0.08x" formatting.
+std::string FormatSpeedup(double speedup);
+
+}  // namespace bento::run
+
+#endif  // BENTO_BENTO_REPORT_H_

@@ -1,0 +1,219 @@
+#include "bento/runner.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "datagen/datasets.h"
+#include "io/bcf.h"
+#include "io/csv.h"
+
+namespace bento::run {
+
+using frame::Op;
+using frame::OpKind;
+using frame::Stage;
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string SampleTag(double sample) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d", static_cast<int>(sample * 1000));
+  return buf;
+}
+
+}  // namespace
+
+Runner::Runner(std::string data_dir, double scale, uint64_t seed)
+    : data_dir_(std::move(data_dir)), scale_(scale), seed_(seed) {
+  ::mkdir(data_dir_.c_str(), 0755);
+}
+
+Result<std::string> Runner::EnsureCsv(const std::string& dataset,
+                                      double sample) {
+  std::string path =
+      data_dir_ + "/" + dataset + "_" + SampleTag(sample) + ".csv";
+  if (FileExists(path)) return path;
+  BENTO_ASSIGN_OR_RETURN(auto table,
+                         gen::GenerateDataset(dataset, scale_ * sample, seed_));
+  BENTO_RETURN_NOT_OK(io::WriteCsv(table, path));
+  return path;
+}
+
+Result<std::string> Runner::EnsureBcf(const std::string& dataset,
+                                      double sample) {
+  std::string path =
+      data_dir_ + "/" + dataset + "_" + SampleTag(sample) + ".bcf";
+  if (FileExists(path)) return path;
+  BENTO_ASSIGN_OR_RETURN(auto table,
+                         gen::GenerateDataset(dataset, scale_ * sample, seed_));
+  BENTO_RETURN_NOT_OK(io::WriteBcf(table, path));
+  return path;
+}
+
+sim::MachineSpec Runner::EffectiveMachine(const RunConfig& config) const {
+  // RAM (and VRAM) budgets shrink with the dataset scale so that the
+  // memory-pressure crossovers of Table V appear at the same sample
+  // fractions they do at full size.
+  sim::MachineSpec machine = config.machine.Scaled(scale_);
+  if (config.engine_id == "cudf" && !machine.gpu.has_value()) {
+    sim::GpuSpec gpu;  // the paper's T4: 16 GB device memory
+    gpu.vram_bytes = static_cast<uint64_t>(
+        static_cast<double>(gpu.vram_bytes) * scale_);
+    machine.gpu = gpu;
+  }
+  return machine;
+}
+
+Result<col::TablePtr> Runner::MaterializeAux(const std::string& name) {
+  if (name == "regions") return gen::GenerateRegionsTable(seed_);
+  return Status::KeyError("unknown auxiliary table '", name, "'");
+}
+
+Result<RunReport> Runner::Run(const RunConfig& config, const Pipeline& pipeline,
+                              const std::string& dataset, double sample) {
+  RunReport report;
+  BENTO_ASSIGN_OR_RETURN(auto engine, frame::CreateEngine(config.engine_id));
+
+  std::string source_path;
+  if (config.use_bcf_source) {
+    BENTO_ASSIGN_OR_RETURN(source_path, EnsureBcf(dataset, sample));
+  } else {
+    BENTO_ASSIGN_OR_RETURN(source_path, EnsureCsv(dataset, sample));
+  }
+
+  sim::Session session(EffectiveMachine(config));
+  session.set_isolated_measurement(config.mode == RunMode::kFunctionCore);
+
+  // --- I/O stage: ingest ---
+  frame::DataFrame::Ptr frame;
+  {
+    sim::VirtualTimer timer;
+    auto read = config.use_bcf_source ? engine->ReadBcf(source_path)
+                                      : engine->ReadCsv(source_path, {});
+    if (!read.ok()) {
+      report.status = read.status();
+      return report;
+    }
+    frame = read.MoveValueUnsafe();
+    if (config.mode != RunMode::kPipelineFull) {
+      // The paper treats I/O as its own stage: in function-core and
+      // per-stage modes the frame is materialized here, so lazy engines'
+      // scans are charged to I/O, not to the first forced preparator.
+      // Full-pipeline mode leaves the scan lazy (whole-plan streaming).
+      Status st = frame->Collect().status();
+      if (!st.ok()) {
+        report.status = st;
+        report.read_seconds = timer.Elapsed();
+        return report;
+      }
+    }
+    report.read_seconds = timer.Elapsed();
+  }
+  report.stage_seconds[Stage::kIO] = report.read_seconds;
+
+  // Full-pipeline mode with a lazy engine: intermediate actions and
+  // side results build lazy objects that are never forced (the paper's
+  // lazy-evaluation benefit — unnecessary materializations are skipped);
+  // only the final chain executes.
+  const bool lazy_full = config.mode == RunMode::kPipelineFull &&
+                         engine->info().lazy_evaluation;
+
+  // --- pipeline stages ---
+  Stage current_stage = Stage::kEDA;
+  sim::VirtualTimer stage_timer;
+  bool stage_open = false;
+
+  auto close_stage = [&](Stage stage) -> Status {
+    if (!stage_open) return Status::OK();
+    if (config.mode == RunMode::kPipelineStage) {
+      // Force pending lazy work at the stage boundary.
+      BENTO_RETURN_NOT_OK(frame->Collect().status());
+    }
+    report.stage_seconds[stage] += stage_timer.Elapsed();
+    stage_open = false;
+    return Status::OK();
+  };
+
+  Status failure;
+  for (const PipelineStep& step : pipeline.steps) {
+    if (stage_open && step.stage != current_stage) {
+      failure = close_stage(current_stage);
+      if (!failure.ok()) break;
+    }
+    if (!stage_open) {
+      current_stage = step.stage;
+      stage_timer = sim::VirtualTimer();
+      stage_open = true;
+    }
+
+    // Resolve named merge right-hand sides through the aux registry.
+    Op op = step.op;
+    if (op.kind == OpKind::kMerge && op.other == nullptr) {
+      auto aux = MaterializeAux(op.text);
+      if (!aux.ok()) {
+        failure = aux.status();
+        break;
+      }
+      auto right = engine->FromTable(aux.MoveValueUnsafe());
+      if (!right.ok()) {
+        failure = right.status();
+        break;
+      }
+      op.other = right.MoveValueUnsafe();
+    }
+
+    sim::VirtualTimer op_timer;
+    Status op_status;
+    if (frame::IsAction(op.kind)) {
+      // Lazy full-pipeline runs only *declare* exploratory actions.
+      if (!lazy_full) op_status = frame->RunAction(op).status();
+    } else {
+      auto applied = frame->Apply(op);
+      if (applied.ok()) {
+        frame::DataFrame::Ptr result = applied.MoveValueUnsafe();
+        if (config.mode == RunMode::kFunctionCore ||
+            (!step.carry && !lazy_full)) {
+          // Function-core forces every preparator; side outputs (carry ==
+          // false) are notebook actions and force immediately too — except
+          // under lazy full-pipeline semantics, where they stay unevaluated.
+          op_status = result->Collect().status();
+        }
+        if (op_status.ok() && step.carry) frame = std::move(result);
+      } else {
+        op_status = applied.status();
+      }
+    }
+    if (config.mode == RunMode::kFunctionCore) {
+      report.ops.push_back(OpTiming{frame::OpKindName(op.kind), step.stage,
+                                    op_timer.Elapsed()});
+    }
+    if (!op_status.ok()) {
+      failure = op_status;
+      break;
+    }
+  }
+
+  if (failure.ok() && stage_open) failure = close_stage(current_stage);
+  if (failure.ok()) {
+    // Full-pipeline mode materializes once, at the very end.
+    sim::VirtualTimer final_timer;
+    failure = frame->Collect().status();
+    report.stage_seconds[current_stage] += final_timer.Elapsed();
+  }
+
+  report.status = failure;
+  report.total_seconds = report.read_seconds;
+  for (const auto& [stage, seconds] : report.stage_seconds) {
+    if (stage != Stage::kIO) report.total_seconds += seconds;
+  }
+  report.peak_host_bytes = session.host_pool()->peak_bytes();
+  return report;
+}
+
+}  // namespace bento::run

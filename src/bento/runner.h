@@ -1,0 +1,79 @@
+#ifndef BENTO_BENTO_RUNNER_H_
+#define BENTO_BENTO_RUNNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bento/pipeline.h"
+#include "frame/engine.h"
+#include "sim/machine.h"
+
+namespace bento::run {
+
+/// \brief The three measurement settings of the paper (Section III-C).
+enum class RunMode {
+  kFunctionCore,   ///< force execution after every preparator
+  kPipelineStage,  ///< force at stage boundaries (lazy optimizes per stage)
+  kPipelineFull,   ///< force once at the end of the pipeline
+};
+
+struct RunConfig {
+  std::string engine_id;
+  sim::MachineSpec machine = sim::MachineSpec::EvaluationHost();
+  RunMode mode = RunMode::kPipelineStage;
+  /// Measure read from BCF instead of CSV (Fig. 5's Parquet series).
+  bool use_bcf_source = false;
+};
+
+struct OpTiming {
+  std::string op;
+  frame::Stage stage;
+  double seconds = 0.0;
+};
+
+struct RunReport {
+  Status status;  ///< first failure (OoM on undersized machines, ...)
+  double read_seconds = 0.0;
+  std::map<frame::Stage, double> stage_seconds;
+  double total_seconds = 0.0;   ///< read + all stages
+  std::vector<OpTiming> ops;    ///< per-preparator (function-core mode)
+  uint64_t peak_host_bytes = 0;
+};
+
+/// \brief Generates datasets on demand, caches them as CSV/BCF files, and
+/// executes pipelines under simulated machines.
+class Runner {
+ public:
+  /// Files are cached under `data_dir` (created if missing).
+  explicit Runner(std::string data_dir, double scale, uint64_t seed = 42);
+
+  double scale() const { return scale_; }
+
+  /// Path of the dataset's CSV at this runner's scale; generated on first
+  /// use. `sample` further subsamples rows (Fig. 8 / Table V sweeps).
+  Result<std::string> EnsureCsv(const std::string& dataset,
+                                double sample = 1.0);
+  Result<std::string> EnsureBcf(const std::string& dataset,
+                                double sample = 1.0);
+
+  /// Runs `pipeline` on `dataset` under `config`. Machine RAM budgets are
+  /// scaled by this runner's dataset scale so OoM crossovers land at the
+  /// same sample fractions as at full size.
+  Result<RunReport> Run(const RunConfig& config, const Pipeline& pipeline,
+                        const std::string& dataset, double sample = 1.0);
+
+  /// The machine spec actually used: RAM scaled, GPU attached for cudf.
+  sim::MachineSpec EffectiveMachine(const RunConfig& config) const;
+
+ private:
+  Result<col::TablePtr> MaterializeAux(const std::string& name);
+
+  std::string data_dir_;
+  double scale_;
+  uint64_t seed_;
+};
+
+}  // namespace bento::run
+
+#endif  // BENTO_BENTO_RUNNER_H_

@@ -1,0 +1,121 @@
+#ifndef BENTO_COLUMNAR_ARRAY_H_
+#define BENTO_COLUMNAR_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "columnar/bitmap.h"
+#include "columnar/buffer.h"
+#include "columnar/datatype.h"
+#include "columnar/scalar.h"
+#include "util/result.h"
+
+namespace bento::col {
+
+class Array;
+using ArrayPtr = std::shared_ptr<Array>;
+
+/// Shared dictionary of a categorical column.
+using Dictionary = std::shared_ptr<const std::vector<std::string>>;
+
+/// \brief An immutable column of values with an optional validity bitmap.
+///
+/// Physical layouts:
+///  - kInt64 / kTimestamp: int64 data buffer
+///  - kFloat64:            double data buffer
+///  - kBool:               one uint8 per value
+///  - kString:             int64 offsets buffer (length+1) + chars buffer
+///  - kCategorical:        int32 codes buffer + shared dictionary
+///
+/// The null count is cached after first computation; engines that model
+/// Arrow-backed libraries (Pandas2/Polars/CuDF) use the O(1) metadata path
+/// while the Pandas-model engine recomputes by scanning — reproducing the
+/// paper's isna gap.
+class Array {
+ public:
+  static constexpr int64_t kUnknownNullCount = -1;
+
+  static Result<ArrayPtr> MakeFixed(TypeId type, int64_t length, BufferPtr data,
+                                    BufferPtr validity,
+                                    int64_t null_count = kUnknownNullCount);
+  static Result<ArrayPtr> MakeString(int64_t length, BufferPtr offsets,
+                                     BufferPtr chars, BufferPtr validity,
+                                     int64_t null_count = kUnknownNullCount);
+  static Result<ArrayPtr> MakeCategorical(int64_t length, BufferPtr codes,
+                                          Dictionary dictionary,
+                                          BufferPtr validity,
+                                          int64_t null_count = kUnknownNullCount);
+
+  /// All-null array of the given type and length.
+  static Result<ArrayPtr> MakeAllNull(TypeId type, int64_t length);
+
+  TypeId type() const { return type_; }
+  int64_t length() const { return length_; }
+
+  /// O(1) if cached; otherwise popcounts the bitmap and caches.
+  int64_t null_count() const;
+  /// Returns kUnknownNullCount when not yet computed (no scan performed).
+  int64_t cached_null_count() const { return null_count_; }
+  bool MayHaveNulls() const { return validity_ != nullptr && null_count() > 0; }
+
+  const uint8_t* validity_bits() const {
+    return validity_ != nullptr ? validity_->data() : nullptr;
+  }
+  const BufferPtr& validity_buffer() const { return validity_; }
+  const BufferPtr& data_buffer() const { return data_; }
+  const BufferPtr& offsets_buffer() const { return offsets_; }
+
+  bool IsValid(int64_t i) const {
+    return validity_ == nullptr || BitIsSet(validity_->data(), i);
+  }
+  bool IsNull(int64_t i) const { return !IsValid(i); }
+
+  const int64_t* int64_data() const { return data_->data_as<int64_t>(); }
+  const double* float64_data() const { return data_->data_as<double>(); }
+  const uint8_t* bool_data() const { return data_->data(); }
+  const int32_t* codes_data() const { return data_->data_as<int32_t>(); }
+  const int64_t* offsets_data() const { return offsets_->data_as<int64_t>(); }
+  const char* chars_data() const {
+    return reinterpret_cast<const char*>(data_->data());
+  }
+
+  const Dictionary& dictionary() const { return dictionary_; }
+
+  /// Valid only for kString. Undefined for null slots.
+  std::string_view GetView(int64_t i) const {
+    const int64_t* off = offsets_data();
+    return std::string_view(chars_data() + off[i],
+                            static_cast<size_t>(off[i + 1] - off[i]));
+  }
+
+  /// Human-readable scalar at `i` ("null" for nulls) for printing.
+  std::string ValueToString(int64_t i) const;
+
+  /// Boxed value at `i` (categorical boxes the dictionary string).
+  Scalar GetScalar(int64_t i) const;
+
+  /// Zero-copy view of rows [offset, offset+length); the validity bitmap is
+  /// re-packed (copied) when offset is not byte-aligned.
+  Result<ArrayPtr> Slice(int64_t offset, int64_t length) const;
+
+  /// Total tracked bytes of this array's buffers (for transfer models).
+  uint64_t ByteSize() const;
+
+ private:
+  Array() = default;
+
+  TypeId type_ = TypeId::kInt64;
+  int64_t length_ = 0;
+  mutable int64_t null_count_ = kUnknownNullCount;
+  BufferPtr data_;
+  BufferPtr offsets_;   // strings only
+  BufferPtr validity_;  // nullptr = all valid
+  Dictionary dictionary_;
+};
+
+}  // namespace bento::col
+
+#endif  // BENTO_COLUMNAR_ARRAY_H_

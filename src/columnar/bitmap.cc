@@ -1,0 +1,54 @@
+#include "columnar/bitmap.h"
+
+#include <bit>
+#include <cstring>
+
+namespace bento::col {
+
+int64_t CountSetBits(const uint8_t* bitmap, int64_t length) {
+  if (bitmap == nullptr) return length;
+  int64_t count = 0;
+  int64_t full_bytes = length >> 3;
+  // Word-at-a-time popcount over the aligned middle.
+  int64_t i = 0;
+  for (; i + 8 <= full_bytes; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, bitmap + i, 8);
+    count += std::popcount(word);
+  }
+  for (; i < full_bytes; ++i) {
+    count += std::popcount(static_cast<unsigned>(bitmap[i]));
+  }
+  for (int64_t bit = full_bytes << 3; bit < length; ++bit) {
+    count += BitIsSet(bitmap, bit) ? 1 : 0;
+  }
+  return count;
+}
+
+Result<BufferPtr> AllocateBitmap(int64_t bits, bool value) {
+  BENTO_ASSIGN_OR_RETURN(auto buf,
+                         Buffer::Allocate(static_cast<uint64_t>(BitmapBytes(bits))));
+  if (value && bits > 0) {
+    std::memset(buf->mutable_data(), 0xFF, static_cast<size_t>(buf->size()));
+    // Clear the trailing padding bits so CountSetBits stays exact when
+    // callers scan whole bytes.
+    for (int64_t i = bits; i < BitmapBytes(bits) * 8; ++i) {
+      ClearBit(buf->mutable_data(), i);
+    }
+  }
+  return buf;
+}
+
+Result<BufferPtr> BitmapAnd(const uint8_t* a, const uint8_t* b, int64_t bits) {
+  BENTO_ASSIGN_OR_RETURN(auto out, AllocateBitmap(bits, true));
+  uint8_t* dst = out->mutable_data();
+  const int64_t nbytes = BitmapBytes(bits);
+  for (int64_t i = 0; i < nbytes; ++i) {
+    uint8_t av = a != nullptr ? a[i] : 0xFF;
+    uint8_t bv = b != nullptr ? b[i] : 0xFF;
+    dst[i] = static_cast<uint8_t>(dst[i] & av & bv);
+  }
+  return out;
+}
+
+}  // namespace bento::col

@@ -1,0 +1,50 @@
+#include "columnar/buffer.h"
+
+#include <cstdlib>
+
+namespace bento::col {
+
+Buffer::~Buffer() {
+  if (owned_) {
+    std::free(data_);
+    if (pool_ != nullptr) pool_->Release(size_);
+  }
+}
+
+Result<std::shared_ptr<Buffer>> Buffer::Allocate(uint64_t size) {
+  sim::MemoryPool* pool = sim::MemoryPool::Current();
+  BENTO_RETURN_NOT_OK(pool->Reserve(size));
+  uint8_t* data = nullptr;
+  if (size > 0) {
+    data = static_cast<uint8_t*>(std::calloc(1, size));
+    if (data == nullptr) {
+      pool->Release(size);
+      return Status::OutOfMemory("host allocation of ", size, " bytes failed");
+    }
+  }
+  return std::shared_ptr<Buffer>(new Buffer(data, size, /*owned=*/true, pool));
+}
+
+std::shared_ptr<Buffer> Buffer::Wrap(const void* data, uint64_t size) {
+  return std::shared_ptr<Buffer>(
+      new Buffer(const_cast<uint8_t*>(static_cast<const uint8_t*>(data)), size,
+                 /*owned=*/false, nullptr));
+}
+
+std::shared_ptr<Buffer> Buffer::Slice(const std::shared_ptr<Buffer>& parent,
+                                      uint64_t offset, uint64_t size) {
+  auto view = std::shared_ptr<Buffer>(
+      new Buffer(const_cast<uint8_t*>(parent->data()) + offset, size,
+                 /*owned=*/false, nullptr));
+  view->parent_ = parent;
+  return view;
+}
+
+Result<std::shared_ptr<Buffer>> Buffer::CopyOf(const void* data,
+                                               uint64_t size) {
+  BENTO_ASSIGN_OR_RETURN(auto buf, Allocate(size));
+  if (size > 0) std::memcpy(buf->mutable_data(), data, size);
+  return buf;
+}
+
+}  // namespace bento::col

@@ -1,0 +1,71 @@
+#ifndef BENTO_COLUMNAR_BUFFER_H_
+#define BENTO_COLUMNAR_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "sim/memory.h"
+#include "util/result.h"
+
+namespace bento::col {
+
+/// \brief A contiguous, pool-tracked byte allocation.
+///
+/// Every buffer charges its capacity against the sim::MemoryPool that was
+/// current at allocation time and releases it on destruction, which is how
+/// engine memory behaviour (materialization peaks, OoM, spill benefits)
+/// becomes observable to the machine simulator.
+class Buffer {
+ public:
+  ~Buffer();
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  /// Allocates `size` zero-initialized bytes from the current pool.
+  static Result<std::shared_ptr<Buffer>> Allocate(uint64_t size);
+
+  /// Wraps external memory the buffer does not own (e.g. an mmap'ed file
+  /// region for the Vaex/DataTable engines); nothing is charged or freed.
+  static std::shared_ptr<Buffer> Wrap(const void* data, uint64_t size);
+
+  /// Copies `size` bytes into a newly allocated buffer.
+  static Result<std::shared_ptr<Buffer>> CopyOf(const void* data,
+                                                uint64_t size);
+
+  /// Zero-copy view of `parent`'s bytes [offset, offset+size); keeps
+  /// `parent` alive for the lifetime of the view.
+  static std::shared_ptr<Buffer> Slice(const std::shared_ptr<Buffer>& parent,
+                                       uint64_t offset, uint64_t size);
+
+  uint8_t* mutable_data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  uint64_t size() const { return size_; }
+  bool owns_memory() const { return owned_; }
+
+  template <typename T>
+  T* mutable_data_as() {
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* data_as() const {
+    return reinterpret_cast<const T*>(data_);
+  }
+
+ private:
+  Buffer(uint8_t* data, uint64_t size, bool owned, sim::MemoryPool* pool)
+      : data_(data), size_(size), owned_(owned), pool_(pool) {}
+
+  uint8_t* data_;
+  uint64_t size_;
+  bool owned_;
+  sim::MemoryPool* pool_;  // nullptr for wrapped buffers
+  std::shared_ptr<Buffer> parent_;  // keep-alive for sliced views
+};
+
+using BufferPtr = std::shared_ptr<Buffer>;
+
+}  // namespace bento::col
+
+#endif  // BENTO_COLUMNAR_BUFFER_H_

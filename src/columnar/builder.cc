@@ -1,0 +1,59 @@
+#include "columnar/builder.h"
+
+namespace bento::col {
+
+Result<ArrayPtr> StringBuilder::Finish() {
+  const int64_t n = length();
+  BENTO_ASSIGN_OR_RETURN(
+      auto offsets,
+      Buffer::CopyOf(offsets_.data(), offsets_.size() * sizeof(int64_t)));
+  BENTO_ASSIGN_OR_RETURN(auto chars,
+                         Buffer::CopyOf(chars_.data(), chars_.size()));
+  BufferPtr validity;
+  if (null_count_ > 0) {
+    BENTO_ASSIGN_OR_RETURN(validity, AllocateBitmap(n, false));
+    uint8_t* bits = validity->mutable_data();
+    for (int64_t i = 0; i < n; ++i) {
+      if (validity_[static_cast<size_t>(i)]) SetBit(bits, i);
+    }
+  }
+  auto result = Array::MakeString(n, std::move(offsets), std::move(chars),
+                                  std::move(validity), null_count_);
+  chars_.clear();
+  offsets_.assign(1, 0);
+  validity_.clear();
+  null_count_ = 0;
+  return result;
+}
+
+Result<ArrayPtr> CategoricalBuilder::Finish(Dictionary dictionary) {
+  const int64_t n = length();
+  const int32_t dict_size =
+      dictionary != nullptr ? static_cast<int32_t>(dictionary->size()) : 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (validity_[static_cast<size_t>(i)] &&
+        (codes_[static_cast<size_t>(i)] < 0 ||
+         codes_[static_cast<size_t>(i)] >= dict_size)) {
+      return Status::Invalid("categorical code ", codes_[static_cast<size_t>(i)],
+                             " outside dictionary of size ", dict_size);
+    }
+  }
+  BENTO_ASSIGN_OR_RETURN(
+      auto codes, Buffer::CopyOf(codes_.data(), codes_.size() * sizeof(int32_t)));
+  BufferPtr validity;
+  if (null_count_ > 0) {
+    BENTO_ASSIGN_OR_RETURN(validity, AllocateBitmap(n, false));
+    uint8_t* bits = validity->mutable_data();
+    for (int64_t i = 0; i < n; ++i) {
+      if (validity_[static_cast<size_t>(i)]) SetBit(bits, i);
+    }
+  }
+  auto result = Array::MakeCategorical(n, std::move(codes), std::move(dictionary),
+                                       std::move(validity), null_count_);
+  codes_.clear();
+  validity_.clear();
+  null_count_ = 0;
+  return result;
+}
+
+}  // namespace bento::col

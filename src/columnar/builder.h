@@ -1,0 +1,151 @@
+#ifndef BENTO_COLUMNAR_BUILDER_H_
+#define BENTO_COLUMNAR_BUILDER_H_
+
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "columnar/array.h"
+
+namespace bento::col {
+
+/// \brief Growable staging area for one column; Finish() produces an
+/// immutable Array backed by pool-tracked buffers.
+///
+/// Builders stage into std::vector (untracked scratch) and charge the pool
+/// once at Finish(); the dominant allocations in engine code paths are the
+/// finished arrays, which is what the memory model needs to observe.
+template <typename T, TypeId kType>
+class FixedBuilder {
+ public:
+  void Reserve(int64_t n) {
+    values_.reserve(static_cast<size_t>(n));
+    validity_.reserve(static_cast<size_t>(n));
+  }
+
+  void Append(T value) {
+    values_.push_back(value);
+    validity_.push_back(1);
+  }
+
+  void AppendNull() {
+    values_.push_back(T{});
+    validity_.push_back(0);
+    ++null_count_;
+  }
+
+  void AppendMaybe(T value, bool valid) {
+    if (valid) {
+      Append(value);
+    } else {
+      AppendNull();
+    }
+  }
+
+  int64_t length() const { return static_cast<int64_t>(values_.size()); }
+  int64_t null_count() const { return null_count_; }
+
+  Result<ArrayPtr> Finish() {
+    const int64_t n = length();
+    BENTO_ASSIGN_OR_RETURN(auto data,
+                           Buffer::CopyOf(values_.data(), n * sizeof(T)));
+    BufferPtr validity;
+    if (null_count_ > 0) {
+      BENTO_ASSIGN_OR_RETURN(validity, AllocateBitmap(n, false));
+      uint8_t* bits = validity->mutable_data();
+      for (int64_t i = 0; i < n; ++i) {
+        if (validity_[static_cast<size_t>(i)]) SetBit(bits, i);
+      }
+    }
+    auto result = Array::MakeFixed(kType, n, std::move(data),
+                                   std::move(validity), null_count_);
+    values_.clear();
+    validity_.clear();
+    null_count_ = 0;
+    return result;
+  }
+
+ private:
+  std::vector<T> values_;
+  std::vector<uint8_t> validity_;
+  int64_t null_count_ = 0;
+};
+
+using Int64Builder = FixedBuilder<int64_t, TypeId::kInt64>;
+using Float64Builder = FixedBuilder<double, TypeId::kFloat64>;
+using TimestampBuilder = FixedBuilder<int64_t, TypeId::kTimestamp>;
+
+class BoolBuilder : public FixedBuilder<uint8_t, TypeId::kBool> {
+ public:
+  void Append(bool v) { FixedBuilder::Append(v ? 1 : 0); }
+  void AppendMaybe(bool v, bool valid) {
+    FixedBuilder::AppendMaybe(v ? 1 : 0, valid);
+  }
+};
+
+class StringBuilder {
+ public:
+  void Reserve(int64_t n) {
+    offsets_.reserve(static_cast<size_t>(n) + 1);
+    validity_.reserve(static_cast<size_t>(n));
+  }
+
+  void Append(std::string_view value) {
+    chars_.append(value);
+    offsets_.push_back(static_cast<int64_t>(chars_.size()));
+    validity_.push_back(1);
+  }
+
+  void AppendNull() {
+    offsets_.push_back(static_cast<int64_t>(chars_.size()));
+    validity_.push_back(0);
+    ++null_count_;
+  }
+
+  void AppendMaybe(std::string_view value, bool valid) {
+    if (valid) {
+      Append(value);
+    } else {
+      AppendNull();
+    }
+  }
+
+  int64_t length() const { return static_cast<int64_t>(validity_.size()); }
+  int64_t null_count() const { return null_count_; }
+
+  Result<ArrayPtr> Finish();
+
+ private:
+  std::string chars_;
+  std::vector<int64_t> offsets_ = {0};
+  std::vector<uint8_t> validity_;
+  int64_t null_count_ = 0;
+};
+
+class CategoricalBuilder {
+ public:
+  /// Appends a code into `dictionary` (codes are validated at Finish).
+  void Append(int32_t code) {
+    codes_.push_back(code);
+    validity_.push_back(1);
+  }
+  void AppendNull() {
+    codes_.push_back(-1);
+    validity_.push_back(0);
+    ++null_count_;
+  }
+
+  int64_t length() const { return static_cast<int64_t>(codes_.size()); }
+
+  Result<ArrayPtr> Finish(Dictionary dictionary);
+
+ private:
+  std::vector<int32_t> codes_;
+  std::vector<uint8_t> validity_;
+  int64_t null_count_ = 0;
+};
+
+}  // namespace bento::col
+
+#endif  // BENTO_COLUMNAR_BUILDER_H_

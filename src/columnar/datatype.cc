@@ -1,0 +1,39 @@
+#include "columnar/datatype.h"
+
+namespace bento::col {
+
+const char* TypeName(TypeId id) {
+  switch (id) {
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kFloat64:
+      return "float64";
+    case TypeId::kBool:
+      return "bool";
+    case TypeId::kString:
+      return "string";
+    case TypeId::kTimestamp:
+      return "timestamp";
+    case TypeId::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+int ByteWidth(TypeId id) {
+  switch (id) {
+    case TypeId::kInt64:
+    case TypeId::kFloat64:
+    case TypeId::kTimestamp:
+      return 8;
+    case TypeId::kBool:
+      return 1;
+    case TypeId::kCategorical:
+      return 4;
+    case TypeId::kString:
+      return 8;  // offset entry width
+  }
+  return 8;
+}
+
+}  // namespace bento::col

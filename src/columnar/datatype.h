@@ -1,0 +1,38 @@
+#ifndef BENTO_COLUMNAR_DATATYPE_H_
+#define BENTO_COLUMNAR_DATATYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bento::col {
+
+/// \brief Physical/logical column types supported by the dataframe layer.
+///
+/// Timestamps are stored as int64 microseconds since the Unix epoch;
+/// kCategorical is a dictionary-encoded string column (int32 codes into a
+/// per-column dictionary), produced by the `cat.codes` preparator.
+enum class TypeId : uint8_t {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kBool = 2,
+  kString = 3,
+  kTimestamp = 4,
+  kCategorical = 5,
+};
+
+/// \brief Stable lower-case name ("int64", "float64", ...).
+const char* TypeName(TypeId id);
+
+/// \brief Fixed byte width of a value slot; strings report the offset-entry
+/// width (8) since their payload is variable.
+int ByteWidth(TypeId id);
+
+inline bool IsNumeric(TypeId id) {
+  return id == TypeId::kInt64 || id == TypeId::kFloat64;
+}
+
+inline bool IsFixedWidth(TypeId id) { return id != TypeId::kString; }
+
+}  // namespace bento::col
+
+#endif  // BENTO_COLUMNAR_DATATYPE_H_

@@ -1,0 +1,49 @@
+#include "columnar/scalar.h"
+
+#include "util/string_util.h"
+
+namespace bento::col {
+
+std::string Scalar::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kDouble:
+      return FormatDouble(double_);
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kString:
+      return string_;
+    case Kind::kTimestamp:
+      return std::to_string(int_) + "us";
+  }
+  return "?";
+}
+
+bool Scalar::operator==(const Scalar& other) const {
+  if (kind_ != other.kind_) {
+    // Numeric kinds compare by value across int/double.
+    if (is_numeric() && other.is_numeric()) {
+      return AsDouble().ValueOrDie() == other.AsDouble().ValueOrDie();
+    }
+    return false;
+  }
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kInt:
+    case Kind::kTimestamp:
+      return int_ == other.int_;
+    case Kind::kDouble:
+      return double_ == other.double_;
+    case Kind::kBool:
+      return bool_ == other.bool_;
+    case Kind::kString:
+      return string_ == other.string_;
+  }
+  return false;
+}
+
+}  // namespace bento::col

@@ -1,0 +1,106 @@
+#ifndef BENTO_COLUMNAR_SCALAR_H_
+#define BENTO_COLUMNAR_SCALAR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "columnar/datatype.h"
+#include "util/result.h"
+
+namespace bento::col {
+
+/// \brief A single (possibly null) value crossing kernel boundaries:
+/// fill values, replace targets, literals in expressions, aggregate results.
+class Scalar {
+ public:
+  enum class Kind { kNull, kInt, kDouble, kBool, kString, kTimestamp };
+
+  Scalar() : kind_(Kind::kNull) {}
+
+  static Scalar Null() { return Scalar(); }
+  static Scalar Int(int64_t v) {
+    Scalar s;
+    s.kind_ = Kind::kInt;
+    s.int_ = v;
+    return s;
+  }
+  static Scalar Double(double v) {
+    Scalar s;
+    s.kind_ = Kind::kDouble;
+    s.double_ = v;
+    return s;
+  }
+  static Scalar Bool(bool v) {
+    Scalar s;
+    s.kind_ = Kind::kBool;
+    s.bool_ = v;
+    return s;
+  }
+  static Scalar Str(std::string v) {
+    Scalar s;
+    s.kind_ = Kind::kString;
+    s.string_ = std::move(v);
+    return s;
+  }
+  static Scalar Timestamp(int64_t micros) {
+    Scalar s;
+    s.kind_ = Kind::kTimestamp;
+    s.int_ = micros;
+    return s;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_numeric() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  bool bool_value() const { return bool_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Numeric widening view; fails for non-numeric kinds.
+  Result<double> AsDouble() const {
+    switch (kind_) {
+      case Kind::kInt:
+      case Kind::kTimestamp:
+        return static_cast<double>(int_);
+      case Kind::kDouble:
+        return double_;
+      case Kind::kBool:
+        return bool_ ? 1.0 : 0.0;
+      default:
+        return Status::TypeError("scalar is not numeric");
+    }
+  }
+
+  Result<int64_t> AsInt() const {
+    switch (kind_) {
+      case Kind::kInt:
+      case Kind::kTimestamp:
+        return int_;
+      case Kind::kDouble:
+        return static_cast<int64_t>(double_);
+      case Kind::kBool:
+        return static_cast<int64_t>(bool_);
+      default:
+        return Status::TypeError("scalar is not numeric");
+    }
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Scalar& other) const;
+
+ private:
+  Kind kind_;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  bool bool_ = false;
+  std::string string_;
+};
+
+}  // namespace bento::col
+
+#endif  // BENTO_COLUMNAR_SCALAR_H_

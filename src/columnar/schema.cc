@@ -1,0 +1,40 @@
+#include "columnar/schema.h"
+
+namespace bento::col {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<Field> Schema::GetField(const std::string& name) const {
+  int i = IndexOf(name);
+  if (i < 0) return Status::KeyError("no column named '", name, "'");
+  return fields_[static_cast<size_t>(i)];
+}
+
+std::vector<std::string> Schema::names() const {
+  std::vector<std::string> out;
+  out.reserve(fields_.size());
+  for (const Field& f : fields_) out.push_back(f.name);
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += TypeName(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace bento::col

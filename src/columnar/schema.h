@@ -1,0 +1,53 @@
+#ifndef BENTO_COLUMNAR_SCHEMA_H_
+#define BENTO_COLUMNAR_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "columnar/datatype.h"
+#include "util/result.h"
+
+namespace bento::col {
+
+/// \brief A named, typed column descriptor.
+struct Field {
+  std::string name;
+  TypeId type;
+
+  bool operator==(const Field& other) const = default;
+};
+
+/// \brief Ordered column descriptors with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of `name`, or -1.
+  int IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const { return IndexOf(name) >= 0; }
+
+  Result<Field> GetField(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+using SchemaPtr = std::shared_ptr<Schema>;
+
+}  // namespace bento::col
+
+#endif  // BENTO_COLUMNAR_SCHEMA_H_

@@ -1,0 +1,279 @@
+#include "columnar/table.h"
+
+#include <unordered_map>
+
+#include "columnar/builder.h"
+
+namespace bento::col {
+
+Result<TablePtr> Table::Make(SchemaPtr schema, std::vector<ArrayPtr> columns) {
+  if (schema == nullptr) return Status::Invalid("null schema");
+  if (static_cast<size_t>(schema->num_fields()) != columns.size()) {
+    return Status::Invalid("schema has ", schema->num_fields(),
+                           " fields but ", columns.size(), " columns given");
+  }
+  int64_t rows = columns.empty() ? 0 : columns[0]->length();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == nullptr) return Status::Invalid("null column at ", i);
+    if (columns[i]->length() != rows) {
+      return Status::Invalid("column ", schema->field(static_cast<int>(i)).name,
+                             " has length ", columns[i]->length(),
+                             ", expected ", rows);
+    }
+    if (columns[i]->type() != schema->field(static_cast<int>(i)).type) {
+      return Status::TypeError(
+          "column ", schema->field(static_cast<int>(i)).name, " has type ",
+          TypeName(columns[i]->type()), ", schema says ",
+          TypeName(schema->field(static_cast<int>(i)).type));
+    }
+  }
+  return TablePtr(new Table(std::move(schema), std::move(columns), rows));
+}
+
+Result<TablePtr> Table::MakeEmpty(SchemaPtr schema) {
+  std::vector<ArrayPtr> columns;
+  for (const Field& f : schema->fields()) {
+    BENTO_ASSIGN_OR_RETURN(auto a, Array::MakeAllNull(f.type, 0));
+    columns.push_back(std::move(a));
+  }
+  return Make(std::move(schema), std::move(columns));
+}
+
+Result<ArrayPtr> Table::GetColumn(const std::string& name) const {
+  int i = schema_->IndexOf(name);
+  if (i < 0) return Status::KeyError("no column named '", name, "'");
+  return columns_[static_cast<size_t>(i)];
+}
+
+Result<TablePtr> Table::SetColumn(const std::string& name,
+                                  ArrayPtr column) const {
+  if (column->length() != num_rows_ && num_columns() > 0) {
+    return Status::Invalid("replacement column length ", column->length(),
+                           " != table rows ", num_rows_);
+  }
+  std::vector<Field> fields = schema_->fields();
+  std::vector<ArrayPtr> columns = columns_;
+  int i = schema_->IndexOf(name);
+  if (i >= 0) {
+    fields[static_cast<size_t>(i)].type = column->type();
+    columns[static_cast<size_t>(i)] = std::move(column);
+  } else {
+    fields.push_back(Field{name, column->type()});
+    columns.push_back(std::move(column));
+  }
+  return Make(std::make_shared<Schema>(std::move(fields)), std::move(columns));
+}
+
+Result<TablePtr> Table::DropColumns(const std::vector<std::string>& names) const {
+  std::vector<bool> drop(columns_.size(), false);
+  for (const std::string& name : names) {
+    int i = schema_->IndexOf(name);
+    if (i < 0) return Status::KeyError("no column named '", name, "'");
+    drop[static_cast<size_t>(i)] = true;
+  }
+  std::vector<Field> fields;
+  std::vector<ArrayPtr> columns;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!drop[i]) {
+      fields.push_back(schema_->field(static_cast<int>(i)));
+      columns.push_back(columns_[i]);
+    }
+  }
+  return Make(std::make_shared<Schema>(std::move(fields)), std::move(columns));
+}
+
+Result<TablePtr> Table::SelectColumns(
+    const std::vector<std::string>& names) const {
+  std::vector<Field> fields;
+  std::vector<ArrayPtr> columns;
+  for (const std::string& name : names) {
+    int i = schema_->IndexOf(name);
+    if (i < 0) return Status::KeyError("no column named '", name, "'");
+    fields.push_back(schema_->field(i));
+    columns.push_back(columns_[static_cast<size_t>(i)]);
+  }
+  return Make(std::make_shared<Schema>(std::move(fields)), std::move(columns));
+}
+
+Result<TablePtr> Table::RenameColumns(
+    const std::vector<std::pair<std::string, std::string>>& renames) const {
+  std::vector<Field> fields = schema_->fields();
+  for (const auto& [old_name, new_name] : renames) {
+    int i = schema_->IndexOf(old_name);
+    if (i < 0) return Status::KeyError("no column named '", old_name, "'");
+    fields[static_cast<size_t>(i)].name = new_name;
+  }
+  return Make(std::make_shared<Schema>(std::move(fields)), columns_);
+}
+
+Result<TablePtr> Table::Slice(int64_t offset, int64_t length) const {
+  std::vector<ArrayPtr> columns;
+  columns.reserve(columns_.size());
+  for (const ArrayPtr& c : columns_) {
+    BENTO_ASSIGN_OR_RETURN(auto sliced, c->Slice(offset, length));
+    columns.push_back(std::move(sliced));
+  }
+  return Make(schema_, std::move(columns));
+}
+
+uint64_t Table::ByteSize() const {
+  uint64_t total = 0;
+  for (const ArrayPtr& c : columns_) total += c->ByteSize();
+  return total;
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  std::string out = schema_->ToString();
+  out += "\n";
+  int64_t shown = std::min(max_rows, num_rows_);
+  for (int64_t r = 0; r < shown; ++r) {
+    for (int c = 0; c < num_columns(); ++c) {
+      if (c > 0) out += " | ";
+      out += columns_[static_cast<size_t>(c)]->ValueToString(r);
+    }
+    out += "\n";
+  }
+  if (shown < num_rows_) {
+    out += "... (" + std::to_string(num_rows_) + " rows total)\n";
+  }
+  return out;
+}
+
+namespace {
+
+Result<ArrayPtr> ConcatArrays(const std::vector<ArrayPtr>& arrays, TypeId type) {
+  switch (type) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      FixedBuilder<int64_t, TypeId::kInt64> b;
+      for (const auto& a : arrays) {
+        for (int64_t i = 0; i < a->length(); ++i) {
+          b.AppendMaybe(a->int64_data()[i], a->IsValid(i));
+        }
+      }
+      BENTO_ASSIGN_OR_RETURN(auto out, b.Finish());
+      if (type == TypeId::kTimestamp) {
+        return Array::MakeFixed(type, out->length(), out->data_buffer(),
+                                out->validity_buffer(), out->cached_null_count());
+      }
+      return out;
+    }
+    case TypeId::kFloat64: {
+      Float64Builder b;
+      for (const auto& a : arrays) {
+        for (int64_t i = 0; i < a->length(); ++i) {
+          b.AppendMaybe(a->float64_data()[i], a->IsValid(i));
+        }
+      }
+      return b.Finish();
+    }
+    case TypeId::kBool: {
+      BoolBuilder b;
+      for (const auto& a : arrays) {
+        for (int64_t i = 0; i < a->length(); ++i) {
+          b.AppendMaybe(a->bool_data()[i] != 0, a->IsValid(i));
+        }
+      }
+      return b.Finish();
+    }
+    case TypeId::kString: {
+      StringBuilder b;
+      for (const auto& a : arrays) {
+        for (int64_t i = 0; i < a->length(); ++i) {
+          b.AppendMaybe(a->IsValid(i) ? a->GetView(i) : std::string_view(),
+                        a->IsValid(i));
+        }
+      }
+      return b.Finish();
+    }
+    case TypeId::kCategorical: {
+      // Merge dictionaries by value.
+      auto merged = std::make_shared<std::vector<std::string>>();
+      std::unordered_map<std::string, int32_t> lookup;
+      CategoricalBuilder b;
+      for (const auto& a : arrays) {
+        const auto& dict = a->dictionary();
+        std::vector<int32_t> remap(dict != nullptr ? dict->size() : 0, -1);
+        if (dict != nullptr) {
+          for (size_t k = 0; k < dict->size(); ++k) {
+            auto [it, inserted] = lookup.emplace(
+                (*dict)[k], static_cast<int32_t>(merged->size()));
+            if (inserted) merged->push_back((*dict)[k]);
+            remap[k] = it->second;
+          }
+        }
+        for (int64_t i = 0; i < a->length(); ++i) {
+          if (a->IsValid(i)) {
+            b.Append(remap[static_cast<size_t>(a->codes_data()[i])]);
+          } else {
+            b.AppendNull();
+          }
+        }
+      }
+      return b.Finish(std::move(merged));
+    }
+  }
+  return Status::Invalid("unknown type in concat");
+}
+
+}  // namespace
+
+Result<TablePtr> ConcatTables(const std::vector<TablePtr>& tables) {
+  if (tables.empty()) return Status::Invalid("cannot concat zero tables");
+  const SchemaPtr& schema = tables[0]->schema();
+  for (const auto& t : tables) {
+    if (!(*t->schema() == *schema)) {
+      return Status::Invalid("schema mismatch in ConcatTables");
+    }
+  }
+  if (tables.size() == 1) return tables[0];
+  std::vector<ArrayPtr> out_columns;
+  for (int c = 0; c < schema->num_fields(); ++c) {
+    std::vector<ArrayPtr> parts;
+    parts.reserve(tables.size());
+    for (const auto& t : tables) parts.push_back(t->column(c));
+    BENTO_ASSIGN_OR_RETURN(
+        auto merged, ConcatArrays(parts, schema->field(c).type));
+    out_columns.push_back(std::move(merged));
+  }
+  return Table::Make(schema, std::move(out_columns));
+}
+
+Result<TablePtr> ConcatTablesReleasing(std::vector<TablePtr>* tables) {
+  if (tables->empty()) return Status::Invalid("cannot concat zero tables");
+  const SchemaPtr schema = (*tables)[0]->schema();
+  for (const auto& t : *tables) {
+    if (!(*t->schema() == *schema)) {
+      return Status::Invalid("schema mismatch in ConcatTables");
+    }
+  }
+  if (tables->size() == 1) {
+    TablePtr only = std::move((*tables)[0]);
+    tables->clear();
+    return only;
+  }
+
+  // Re-shape into per-column array lists, dropping the table handles so
+  // each column's buffers can be released individually once merged.
+  const int n_cols = schema->num_fields();
+  std::vector<std::vector<ArrayPtr>> by_column(static_cast<size_t>(n_cols));
+  for (auto& t : *tables) {
+    for (int c = 0; c < n_cols; ++c) {
+      by_column[static_cast<size_t>(c)].push_back(t->column(c));
+    }
+    t.reset();
+  }
+  tables->clear();
+
+  std::vector<ArrayPtr> out_columns;
+  for (int c = 0; c < n_cols; ++c) {
+    BENTO_ASSIGN_OR_RETURN(
+        auto merged,
+        ConcatArrays(by_column[static_cast<size_t>(c)], schema->field(c).type));
+    out_columns.push_back(std::move(merged));
+    by_column[static_cast<size_t>(c)].clear();  // free the consumed sources
+  }
+  return Table::Make(schema, std::move(out_columns));
+}
+
+}  // namespace bento::col

@@ -1,0 +1,80 @@
+#ifndef BENTO_COLUMNAR_TABLE_H_
+#define BENTO_COLUMNAR_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/array.h"
+#include "columnar/schema.h"
+
+namespace bento::col {
+
+class Table;
+using TablePtr = std::shared_ptr<Table>;
+
+/// \brief An immutable collection of equal-length columns with a schema.
+///
+/// The single unit of data exchanged between kernels and engines; streaming
+/// engines process sequences of Table batches.
+class Table {
+ public:
+  static Result<TablePtr> Make(SchemaPtr schema, std::vector<ArrayPtr> columns);
+
+  /// Empty table with the given schema (0 rows).
+  static Result<TablePtr> MakeEmpty(SchemaPtr schema);
+
+  const SchemaPtr& schema() const { return schema_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const { return num_rows_; }
+
+  const ArrayPtr& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<ArrayPtr>& columns() const { return columns_; }
+
+  Result<ArrayPtr> GetColumn(const std::string& name) const;
+
+  /// New table with column `name` replaced (or appended when absent).
+  Result<TablePtr> SetColumn(const std::string& name, ArrayPtr column) const;
+
+  /// New table without the listed columns; unknown names are a KeyError.
+  Result<TablePtr> DropColumns(const std::vector<std::string>& names) const;
+
+  /// New table with only the listed columns, in the listed order.
+  Result<TablePtr> SelectColumns(const std::vector<std::string>& names) const;
+
+  /// New table with columns renamed according to (old, new) pairs.
+  Result<TablePtr> RenameColumns(
+      const std::vector<std::pair<std::string, std::string>>& renames) const;
+
+  /// Zero-copy row slice.
+  Result<TablePtr> Slice(int64_t offset, int64_t length) const;
+
+  /// Sum of tracked bytes of all columns.
+  uint64_t ByteSize() const;
+
+  /// Pretty-prints up to `max_rows` rows (for examples and debugging).
+  std::string ToString(int64_t max_rows = 10) const;
+
+ private:
+  Table(SchemaPtr schema, std::vector<ArrayPtr> columns, int64_t num_rows)
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
+
+  SchemaPtr schema_;
+  std::vector<ArrayPtr> columns_;
+  int64_t num_rows_;
+};
+
+/// \brief Concatenates row-wise; all tables must share the schema.
+Result<TablePtr> ConcatTables(const std::vector<TablePtr>& tables);
+
+/// \brief Memory-bounded concatenation: consumes `tables`, releasing each
+/// source column's buffers as soon as it has been merged, so peak memory is
+/// one full copy plus one column instead of two full copies. `tables` is
+/// cleared. Used by the streaming engines' final materialization.
+Result<TablePtr> ConcatTablesReleasing(std::vector<TablePtr>* tables);
+
+}  // namespace bento::col
+
+#endif  // BENTO_COLUMNAR_TABLE_H_

@@ -1,0 +1,488 @@
+#include "datagen/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "columnar/builder.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace bento::gen {
+
+namespace {
+
+using col::ArrayPtr;
+using col::Field;
+using col::TablePtr;
+using col::TypeId;
+
+constexpr const char* kMonths[] = {"01", "02", "03", "04", "05", "06",
+                                   "07", "08", "09", "10", "11", "12"};
+
+std::string RandomDate(Rng* rng, int year_lo, int year_hi) {
+  int year = static_cast<int>(rng->UniformInt(year_lo, year_hi));
+  const char* month = kMonths[rng->Uniform(12)];
+  int day = static_cast<int>(rng->UniformInt(1, 28));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%s-%02d", year, month, day);
+  return buf;
+}
+
+std::string RandomDateTime(Rng* rng, int year_lo, int year_hi) {
+  std::string date = RandomDate(rng, year_lo, year_hi);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), " %02d:%02d:%02d",
+                static_cast<int>(rng->Uniform(24)),
+                static_cast<int>(rng->Uniform(60)),
+                static_cast<int>(rng->Uniform(60)));
+  return date + buf;
+}
+
+/// Picks from a fixed vocabulary with Zipf skew (realistic categoricals).
+std::string PickCategory(Rng* rng, const std::vector<std::string>& vocab,
+                         double skew = 0.8) {
+  return vocab[rng->Zipf(vocab.size(), skew)];
+}
+
+std::vector<std::string> MakeVocab(Rng* rng, int n, int len_lo, int len_hi) {
+  std::vector<std::string> vocab;
+  vocab.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) vocab.push_back(rng->AsciiString(len_lo, len_hi));
+  return vocab;
+}
+
+/// The NOC country-code vocabulary, derived from the seed independently of
+/// other draws so the athlete table and the regions lookup always agree.
+std::vector<std::string> NocVocab(uint64_t seed) {
+  Rng rng(seed ^ 0x4E4F43ULL);  // "NOC"
+  return MakeVocab(&rng, 230, 3, 3);
+}
+
+struct Builder {
+  std::vector<Field> fields;
+  std::vector<ArrayPtr> columns;
+
+  Status Add(std::string name, Result<ArrayPtr> column) {
+    BENTO_ASSIGN_OR_RETURN(auto c, std::move(column));
+    fields.push_back(Field{std::move(name), c->type()});
+    columns.push_back(std::move(c));
+    return Status::OK();
+  }
+
+  Result<TablePtr> Finish() {
+    return col::Table::Make(std::make_shared<col::Schema>(std::move(fields)),
+                            std::move(columns));
+  }
+};
+
+Result<ArrayPtr> NumericColumn(Rng* rng, int64_t rows, double mean,
+                               double stddev, double null_p) {
+  col::Float64Builder b;
+  b.Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    if (null_p > 0 && rng->Bernoulli(null_p)) {
+      b.AppendNull();
+    } else {
+      // Two-decimal values, like the money/rate/measurement columns of the
+      // source datasets; also keeps CSV bytes-per-row realistic.
+      b.Append(std::round(rng->Normal(mean, stddev) * 100.0) / 100.0);
+    }
+  }
+  return b.Finish();
+}
+
+Result<ArrayPtr> IntColumn(Rng* rng, int64_t rows, int64_t lo, int64_t hi,
+                           double null_p = 0.0) {
+  col::Int64Builder b;
+  b.Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    if (null_p > 0 && rng->Bernoulli(null_p)) {
+      b.AppendNull();
+    } else {
+      b.Append(rng->UniformInt(lo, hi));
+    }
+  }
+  return b.Finish();
+}
+
+Result<ArrayPtr> CategoryColumn(Rng* rng, int64_t rows,
+                                const std::vector<std::string>& vocab,
+                                double null_p, double skew = 0.8) {
+  col::StringBuilder b;
+  b.Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    if (null_p > 0 && rng->Bernoulli(null_p)) {
+      b.AppendNull();
+    } else {
+      b.Append(PickCategory(rng, vocab, skew));
+    }
+  }
+  return b.Finish();
+}
+
+/// Free-text with realistically skewed lengths: most values are short,
+/// a `long_p` tail stretches to `len_hi` (matching the published length
+/// *ranges* without inflating the average bytes per row).
+Result<ArrayPtr> FreeTextColumn(Rng* rng, int64_t rows, int len_lo, int len_hi,
+                                double null_p, double long_p = 0.03) {
+  const int short_hi = std::min(len_hi, len_lo + 48);
+  col::StringBuilder b;
+  b.Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    if (null_p > 0 && rng->Bernoulli(null_p)) {
+      b.AppendNull();
+    } else if (len_hi > short_hi && rng->Bernoulli(long_p)) {
+      b.Append(rng->AsciiString(short_hi, len_hi));
+    } else {
+      b.Append(rng->AsciiString(len_lo, short_hi));
+    }
+  }
+  return b.Finish();
+}
+
+Result<ArrayPtr> BoolColumn(Rng* rng, int64_t rows, double true_p,
+                            double null_p = 0.0) {
+  col::BoolBuilder b;
+  b.Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    if (null_p > 0 && rng->Bernoulli(null_p)) {
+      b.AppendNull();
+    } else {
+      b.Append(rng->Bernoulli(true_p));
+    }
+  }
+  return b.Finish();
+}
+
+Result<ArrayPtr> DateColumn(Rng* rng, int64_t rows, int ylo, int yhi,
+                            bool with_time, double null_p = 0.0) {
+  col::StringBuilder b;
+  b.Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    if (null_p > 0 && rng->Bernoulli(null_p)) {
+      b.AppendNull();
+    } else {
+      b.Append(with_time ? RandomDateTime(rng, ylo, yhi)
+                         : RandomDate(rng, ylo, yhi));
+    }
+  }
+  return b.Finish();
+}
+
+int64_t ScaledRows(const DatasetProfile& p, double scale) {
+  int64_t rows = static_cast<int64_t>(std::llround(
+      static_cast<double>(p.base_rows) * scale));
+  return std::max<int64_t>(rows, 16);
+}
+
+// ---------------------------------------------------------------------------
+// Athlete: 120 years of Olympic results. 15 columns, 0.2M rows, mixed
+// numeric/string, 9% nulls concentrated in age/height/weight/medal.
+// ---------------------------------------------------------------------------
+Result<TablePtr> GenerateAthlete(const DatasetProfile& p, double scale,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  const int64_t rows = ScaledRows(p, scale);
+
+  auto names = MakeVocab(&rng, 2000, 8, 30);
+  auto nocs = NocVocab(seed);
+  const std::vector<std::string> teams = {
+      "United States", "Soviet Union", "Germany",  "Italy",  "France",
+      "Great Britain", "China",        "Norway",   "Sweden", "Canada",
+      "Australia",     "Japan",        "Hungary"};
+  const std::vector<std::string> seasons = {"Summer", "Winter"};
+  auto cities = MakeVocab(&rng, 50, 4, 16);
+  auto sports = MakeVocab(&rng, 60, 4, 24);
+  auto events = MakeVocab(&rng, 700, 10, 108);
+  const std::vector<std::string> medals = {"Gold", "Silver", "Bronze"};
+
+  Builder t;
+  BENTO_RETURN_NOT_OK(t.Add("id", IntColumn(&rng, rows, 1, 135000)));
+  BENTO_RETURN_NOT_OK(t.Add("name", CategoryColumn(&rng, rows, names, 0.0)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("sex", CategoryColumn(&rng, rows, {"M", "F"}, 0.0, 0.3)));
+  BENTO_RETURN_NOT_OK(t.Add("age", NumericColumn(&rng, rows, 25.5, 6.0, 0.03)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("height", NumericColumn(&rng, rows, 175.0, 10.0, 0.22)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("weight", NumericColumn(&rng, rows, 70.7, 14.0, 0.23)));
+  BENTO_RETURN_NOT_OK(t.Add("team", CategoryColumn(&rng, rows, teams, 0.0)));
+  BENTO_RETURN_NOT_OK(t.Add("noc", CategoryColumn(&rng, rows, nocs, 0.0, 0.6)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("games", FreeTextColumn(&rng, rows, 11, 18, 0.0)));
+  BENTO_RETURN_NOT_OK(t.Add("year", IntColumn(&rng, rows, 1896, 2016)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("season", CategoryColumn(&rng, rows, seasons, 0.0, 0.3)));
+  BENTO_RETURN_NOT_OK(t.Add("city", CategoryColumn(&rng, rows, cities, 0.0)));
+  BENTO_RETURN_NOT_OK(t.Add("sport", CategoryColumn(&rng, rows, sports, 0.0)));
+  BENTO_RETURN_NOT_OK(t.Add("event", CategoryColumn(&rng, rows, events, 0.0)));
+  // ~85% of athletes win nothing: the medal column is mostly null.
+  BENTO_RETURN_NOT_OK(
+      t.Add("medal", CategoryColumn(&rng, rows, medals, 0.85, 0.2)));
+  return t.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Loan: LendingClub applications. 151 columns (113 numeric, 38 string),
+// 2M rows, 31% nulls, free text up to ~4k characters.
+// ---------------------------------------------------------------------------
+Result<TablePtr> GenerateLoan(const DatasetProfile& p, double scale,
+                              uint64_t seed) {
+  Rng rng(seed);
+  const int64_t rows = ScaledRows(p, scale);
+
+  Builder t;
+  // Named columns the pipeline touches.
+  BENTO_RETURN_NOT_OK(
+      t.Add("loan_amnt", NumericColumn(&rng, rows, 15000.0, 8500.0, 0.0)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("int_rate", NumericColumn(&rng, rows, 13.1, 4.5, 0.02)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("annual_inc", NumericColumn(&rng, rows, 77000.0, 64000.0, 0.05)));
+  BENTO_RETURN_NOT_OK(t.Add("dti", NumericColumn(&rng, rows, 18.0, 8.0, 0.12)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "grade",
+      CategoryColumn(&rng, rows, {"A", "B", "C", "D", "E", "F", "G"}, 0.0, 0.5)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "sub_grade", CategoryColumn(&rng, rows, MakeVocab(&rng, 35, 2, 2), 0.0)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "term",
+      CategoryColumn(&rng, rows, {" 36 months", " 60 months"}, 0.0, 0.3)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "emp_title", CategoryColumn(&rng, rows, MakeVocab(&rng, 5000, 3, 40),
+                                  0.07)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "emp_length",
+      CategoryColumn(&rng, rows,
+                     {"< 1 year", "1 year", "2 years", "3 years", "5 years",
+                      "10+ years"},
+                     0.06, 0.4)));
+  BENTO_RETURN_NOT_OK(t.Add("issue_d", DateColumn(&rng, rows, 2007, 2018,
+                                                  /*with_time=*/false)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "purpose",
+      CategoryColumn(&rng, rows,
+                     {"debt_consolidation", "credit_card", "home_improvement",
+                      "major_purchase", "medical", "car", "vacation", "other"},
+                     0.0, 0.7)));
+  // The long free-text description column (string lengths up to ~3988).
+  BENTO_RETURN_NOT_OK(t.Add("desc", FreeTextColumn(&rng, rows, 1, 3988, 0.72)));
+
+  // Filler columns to reach the 113/38 split; heavy nulls (the LendingClub
+  // dump is extremely sparse in its derived columns).
+  const int named_numeric = 4;
+  const int named_string = 8;
+  for (int c = 0; c < p.numeric_columns - named_numeric; ++c) {
+    // Alternate between moderately and extremely sparse numeric columns to
+    // land the 31% overall null share.
+    const double null_p = (c % 4 == 0) ? 0.70 : 0.20;
+    BENTO_RETURN_NOT_OK(t.Add("num_" + std::to_string(c),
+                              NumericColumn(&rng, rows, 100.0, 40.0, null_p)));
+  }
+  auto filler_vocab = MakeVocab(&rng, 64, 2, 24);
+  for (int c = 0; c < p.string_columns - named_string; ++c) {
+    BENTO_RETURN_NOT_OK(
+        t.Add("str_" + std::to_string(c),
+              CategoryColumn(&rng, rows, filler_vocab, 0.28)));
+  }
+  return t.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Patrol: Stanford open policing traffic stops. 34 columns dominated by
+// strings (27 str / 5 num / 2 bool), 27M rows, 22% nulls.
+// ---------------------------------------------------------------------------
+Result<TablePtr> GeneratePatrol(const DatasetProfile& p, double scale,
+                                uint64_t seed) {
+  Rng rng(seed);
+  const int64_t rows = ScaledRows(p, scale);
+
+  Builder t;
+  BENTO_RETURN_NOT_OK(t.Add("stop_date", DateColumn(&rng, rows, 2005, 2016,
+                                                    /*with_time=*/false)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "stop_time", FreeTextColumn(&rng, rows, 5, 5, 0.05)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "county_name", CategoryColumn(&rng, rows, MakeVocab(&rng, 58, 4, 24),
+                                    0.55)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "driver_gender", CategoryColumn(&rng, rows, {"M", "F"}, 0.12, 0.3)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("driver_age", NumericColumn(&rng, rows, 36.0, 13.0, 0.13)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "driver_race",
+      CategoryColumn(&rng, rows,
+                     {"White", "Hispanic", "Black", "Asian", "Other"}, 0.1,
+                     0.6)));
+  // Long raw-violation text: the expensive-to-filter large_utf8 column.
+  BENTO_RETURN_NOT_OK(
+      t.Add("violation_raw", FreeTextColumn(&rng, rows, 12, 2293, 0.08)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "violation",
+      CategoryColumn(&rng, rows,
+                     {"Speeding", "Moving violation", "Equipment",
+                      "License/Registration", "DUI", "Seat belt", "Other"},
+                     0.08, 0.7)));
+  BENTO_RETURN_NOT_OK(t.Add("search_conducted", BoolColumn(&rng, rows, 0.04)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "search_type", CategoryColumn(&rng, rows,
+                                    {"Incident to Arrest", "Probable Cause",
+                                     "Inventory", "Protective Frisk"},
+                                    0.96)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "stop_outcome",
+      CategoryColumn(&rng, rows,
+                     {"Citation", "Warning", "Arrest", "No action"}, 0.08,
+                     0.6)));
+  BENTO_RETURN_NOT_OK(t.Add("is_arrested", BoolColumn(&rng, rows, 0.03, 0.08)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "stop_duration",
+      CategoryColumn(&rng, rows, {"0-15 Min", "16-30 Min", "30+ Min"}, 0.08,
+                     0.4)));
+  BENTO_RETURN_NOT_OK(t.Add("fine", NumericColumn(&rng, rows, 120.0, 80.0,
+                                                  0.4)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("officer_id", IntColumn(&rng, rows, 1000, 99999)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("lat", NumericColumn(&rng, rows, 36.7, 2.0, 0.3)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("lon", NumericColumn(&rng, rows, -119.4, 2.0, 0.3)));
+
+  // Filler string columns (high-null categorical annotations) to reach 27
+  // string columns.
+  const int named_string = 10;
+  auto filler_vocab = MakeVocab(&rng, 40, 2, 32);
+  for (int c = 0; c < p.string_columns - named_string; ++c) {
+    BENTO_RETURN_NOT_OK(t.Add("ann_" + std::to_string(c),
+                              CategoryColumn(&rng, rows, filler_vocab, 0.24)));
+  }
+  return t.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Taxi: NYC taxi trips 2015. 18 columns, dense numerics, zero nulls,
+// short strings (datetimes of length 19).
+// ---------------------------------------------------------------------------
+Result<TablePtr> GenerateTaxi(const DatasetProfile& p, double scale,
+                              uint64_t seed) {
+  Rng rng(seed);
+  const int64_t rows = ScaledRows(p, scale);
+
+  Builder t;
+  BENTO_RETURN_NOT_OK(t.Add("vendor_id", IntColumn(&rng, rows, 1, 2)));
+  BENTO_RETURN_NOT_OK(t.Add("pickup_datetime",
+                            DateColumn(&rng, rows, 2015, 2015, true)));
+  BENTO_RETURN_NOT_OK(t.Add("dropoff_datetime",
+                            DateColumn(&rng, rows, 2015, 2015, true)));
+  BENTO_RETURN_NOT_OK(t.Add("passenger_count", IntColumn(&rng, rows, 1, 6)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("pickup_longitude", NumericColumn(&rng, rows, -73.97, 0.05, 0.0)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("pickup_latitude", NumericColumn(&rng, rows, 40.75, 0.04, 0.0)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("dropoff_longitude", NumericColumn(&rng, rows, -73.97, 0.06, 0.0)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("dropoff_latitude", NumericColumn(&rng, rows, 40.75, 0.05, 0.0)));
+  BENTO_RETURN_NOT_OK(t.Add(
+      "store_and_fwd_flag", CategoryColumn(&rng, rows, {"N", "Y"}, 0.0, 1.2)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("trip_distance", NumericColumn(&rng, rows, 3.0, 2.2, 0.0)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("fare_amount", NumericColumn(&rng, rows, 12.5, 6.0, 0.0)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("tip_amount", NumericColumn(&rng, rows, 1.8, 1.4, 0.0)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("tolls_amount", NumericColumn(&rng, rows, 0.3, 0.9, 0.0)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("total_amount", NumericColumn(&rng, rows, 15.2, 7.0, 0.0)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("trip_duration", NumericColumn(&rng, rows, 950.0, 500.0, 0.0)));
+  BENTO_RETURN_NOT_OK(t.Add("rate_code", IntColumn(&rng, rows, 1, 6)));
+  BENTO_RETURN_NOT_OK(t.Add("payment_type", IntColumn(&rng, rows, 1, 4)));
+  BENTO_RETURN_NOT_OK(
+      t.Add("extra", NumericColumn(&rng, rows, 0.3, 0.4, 0.0)));
+  return t.Finish();
+}
+
+}  // namespace
+
+const std::vector<DatasetProfile>& DatasetProfiles() {
+  static const std::vector<DatasetProfile>* profiles =
+      new std::vector<DatasetProfile>{
+          {"athlete", 200000, 15, 5, 10, 0, 0.09, 1, 108, 0.03},
+          {"loan", 2000000, 151, 113, 38, 0, 0.31, 1, 3988, 1.6},
+          {"patrol", 27000000, 34, 5, 27, 2, 0.22, 1, 2293, 6.7},
+          {"taxi", 77000000, 18, 15, 3, 0, 0.0, 1, 19, 10.9},
+      };
+  return *profiles;
+}
+
+Result<DatasetProfile> GetProfile(const std::string& name) {
+  for (const DatasetProfile& p : DatasetProfiles()) {
+    if (p.name == name) return p;
+  }
+  return Status::KeyError("unknown dataset '", name, "'");
+}
+
+Result<col::TablePtr> GenerateDataset(const std::string& name, double scale,
+                                      uint64_t seed) {
+  BENTO_ASSIGN_OR_RETURN(DatasetProfile profile, GetProfile(name));
+  if (name == "athlete") return GenerateAthlete(profile, scale, seed);
+  if (name == "loan") return GenerateLoan(profile, scale, seed);
+  if (name == "patrol") return GeneratePatrol(profile, scale, seed);
+  if (name == "taxi") return GenerateTaxi(profile, scale, seed);
+  return Status::KeyError("unknown dataset '", name, "'");
+}
+
+Result<col::TablePtr> GenerateRegionsTable(uint64_t seed) {
+  Rng rng(seed);
+  auto nocs = NocVocab(seed);
+  col::StringBuilder noc_col;
+  col::StringBuilder region_col;
+  for (const std::string& noc : nocs) {
+    noc_col.Append(noc);
+    region_col.Append(rng.AsciiString(4, 20));
+  }
+  Builder t;
+  BENTO_RETURN_NOT_OK(t.Add("noc", noc_col.Finish()));
+  BENTO_RETURN_NOT_OK(t.Add("region", region_col.Finish()));
+  return t.Finish();
+}
+
+MeasuredProfile MeasureProfile(const col::TablePtr& table) {
+  MeasuredProfile m;
+  m.rows = table->num_rows();
+  m.columns = table->num_columns();
+  m.str_len_min = INT64_MAX;
+  int64_t null_cells = 0;
+  for (const auto& c : table->columns()) {
+    switch (c->type()) {
+      case TypeId::kInt64:
+      case TypeId::kFloat64:
+      case TypeId::kTimestamp:
+        ++m.numeric;
+        break;
+      case TypeId::kBool:
+        ++m.bools;
+        break;
+      default:
+        ++m.strings;
+    }
+    null_cells += c->null_count();
+    if (c->type() == TypeId::kString) {
+      for (int64_t i = 0; i < c->length(); ++i) {
+        if (c->IsNull(i)) continue;
+        int64_t len = static_cast<int64_t>(c->GetView(i).size());
+        m.str_len_min = std::min(m.str_len_min, len);
+        m.str_len_max = std::max(m.str_len_max, len);
+      }
+    }
+  }
+  if (m.str_len_min == INT64_MAX) m.str_len_min = 0;
+  const double cells =
+      static_cast<double>(m.rows) * static_cast<double>(m.columns);
+  m.null_fraction = cells > 0 ? static_cast<double>(null_cells) / cells : 0.0;
+  return m;
+}
+
+}  // namespace bento::gen

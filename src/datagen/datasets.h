@@ -1,0 +1,59 @@
+#ifndef BENTO_DATAGEN_DATASETS_H_
+#define BENTO_DATAGEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/table.h"
+
+namespace bento::gen {
+
+/// \brief Statistical profile of one evaluation dataset (paper Table III).
+struct DatasetProfile {
+  std::string name;
+  int64_t base_rows;      ///< full-size row count from the paper
+  int num_columns;        ///< total column count
+  int numeric_columns;
+  int string_columns;
+  int bool_columns;
+  double null_fraction;   ///< overall share of null cells
+  int str_len_min;
+  int str_len_max;
+  double csv_gb;          ///< full-size CSV size from the paper
+};
+
+/// \brief Profiles of the four datasets: athlete, loan, patrol, taxi.
+const std::vector<DatasetProfile>& DatasetProfiles();
+
+Result<DatasetProfile> GetProfile(const std::string& name);
+
+/// \brief Generates a synthetic table reproducing `name`'s profile at
+/// `scale` of its full row count (scale 1.0 = the paper's size). Columns
+/// carry the semantics the pipelines need (dates as strings, categorical
+/// codes, heavy-null columns, etc.). Deterministic in `seed`.
+Result<col::TablePtr> GenerateDataset(const std::string& name, double scale,
+                                      uint64_t seed = 42);
+
+/// \brief The NOC->region lookup the Athlete pipeline merges against
+/// (the Kaggle notebook's second input file).
+Result<col::TablePtr> GenerateRegionsTable(uint64_t seed = 42);
+
+/// \brief Measured profile of a generated table (for the Table III bench):
+/// rows, columns, type mix, observed null fraction, string length range.
+struct MeasuredProfile {
+  int64_t rows = 0;
+  int columns = 0;
+  int numeric = 0;
+  int strings = 0;
+  int bools = 0;
+  double null_fraction = 0.0;
+  int64_t str_len_min = 0;
+  int64_t str_len_max = 0;
+};
+
+MeasuredProfile MeasureProfile(const col::TablePtr& table);
+
+}  // namespace bento::gen
+
+#endif  // BENTO_DATAGEN_DATASETS_H_

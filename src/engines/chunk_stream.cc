@@ -1,0 +1,38 @@
+#include "engines/chunk_stream.h"
+
+namespace bento::eng {
+
+Result<col::TablePtr> TableChunkStream::Next() {
+  if (position_ >= table_->num_rows()) {
+    // Emit one empty chunk for empty tables so schemas propagate.
+    if (table_->num_rows() == 0 && position_ == 0) {
+      position_ = 1;
+      return table_;
+    }
+    return col::TablePtr(nullptr);
+  }
+  const int64_t n = std::min(chunk_rows_, table_->num_rows() - position_);
+  BENTO_ASSIGN_OR_RETURN(auto chunk, table_->Slice(position_, n));
+  position_ += n;
+  return chunk;
+}
+
+Result<std::unique_ptr<CsvChunkStream>> CsvChunkStream::Open(
+    const std::string& path, const io::CsvReadOptions& options) {
+  BENTO_ASSIGN_OR_RETURN(auto reader, io::CsvChunkReader::Open(path, options));
+  return std::unique_ptr<CsvChunkStream>(new CsvChunkStream(std::move(reader)));
+}
+
+Result<std::unique_ptr<BcfChunkStream>> BcfChunkStream::Open(
+    const std::string& path, std::vector<std::string> projection) {
+  BENTO_ASSIGN_OR_RETURN(auto reader, io::BcfReader::Open(path));
+  return std::unique_ptr<BcfChunkStream>(
+      new BcfChunkStream(std::move(reader), std::move(projection)));
+}
+
+Result<col::TablePtr> BcfChunkStream::Next() {
+  if (group_ >= reader_->num_row_groups()) return col::TablePtr(nullptr);
+  return reader_->ReadRowGroup(group_++, projection_);
+}
+
+}  // namespace bento::eng

@@ -1,0 +1,111 @@
+#ifndef BENTO_ENGINES_CHUNK_STREAM_H_
+#define BENTO_ENGINES_CHUNK_STREAM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/table.h"
+#include "io/bcf.h"
+#include "io/csv.h"
+
+namespace bento::eng {
+
+/// \brief Pull-based stream of table batches: the execution backbone of the
+/// streaming engines (Polars lazy streaming, Vaex chunked evaluation, the
+/// Spark whole-stage pipeline).
+class ChunkStream {
+ public:
+  virtual ~ChunkStream() = default;
+
+  /// Next batch, or nullptr at end of stream.
+  virtual Result<col::TablePtr> Next() = 0;
+};
+
+/// \brief Slices an in-memory table into fixed-size batches (zero-copy).
+class TableChunkStream : public ChunkStream {
+ public:
+  TableChunkStream(col::TablePtr table, int64_t chunk_rows)
+      : table_(std::move(table)),
+        chunk_rows_(chunk_rows > 0 ? chunk_rows : 64 * 1024) {}
+
+  Result<col::TablePtr> Next() override;
+
+ private:
+  col::TablePtr table_;
+  int64_t chunk_rows_;
+  int64_t position_ = 0;
+};
+
+/// \brief Streams batches from a CSV file.
+class CsvChunkStream : public ChunkStream {
+ public:
+  static Result<std::unique_ptr<CsvChunkStream>> Open(
+      const std::string& path, const io::CsvReadOptions& options);
+
+  Result<col::TablePtr> Next() override { return reader_->Next(); }
+
+ private:
+  explicit CsvChunkStream(std::unique_ptr<io::CsvChunkReader> reader)
+      : reader_(std::move(reader)) {}
+  std::unique_ptr<io::CsvChunkReader> reader_;
+};
+
+/// \brief Streams row groups from a BCF file with column projection.
+class BcfChunkStream : public ChunkStream {
+ public:
+  static Result<std::unique_ptr<BcfChunkStream>> Open(
+      const std::string& path, std::vector<std::string> projection = {});
+
+  Result<col::TablePtr> Next() override;
+
+ private:
+  BcfChunkStream(std::unique_ptr<io::BcfReader> reader,
+                 std::vector<std::string> projection)
+      : reader_(std::move(reader)), projection_(std::move(projection)) {}
+
+  std::unique_ptr<io::BcfReader> reader_;
+  std::vector<std::string> projection_;
+  int group_ = 0;
+};
+
+/// \brief Applies a per-chunk transformation to an inner stream (the
+/// second pass of two-pass streaming operators).
+class MappedStream : public ChunkStream {
+ public:
+  using MapFn = std::function<Result<col::TablePtr>(col::TablePtr)>;
+
+  MappedStream(std::unique_ptr<ChunkStream> inner, MapFn fn)
+      : inner_(std::move(inner)), fn_(std::move(fn)) {}
+
+  Result<col::TablePtr> Next() override {
+    BENTO_ASSIGN_OR_RETURN(auto chunk, inner_->Next());
+    if (chunk == nullptr) return chunk;
+    return fn_(std::move(chunk));
+  }
+
+ private:
+  std::unique_ptr<ChunkStream> inner_;
+  MapFn fn_;
+};
+
+/// \brief Streams a fixed list of pre-built batches (tests / partials).
+class VectorChunkStream : public ChunkStream {
+ public:
+  explicit VectorChunkStream(std::vector<col::TablePtr> chunks)
+      : chunks_(std::move(chunks)) {}
+
+  Result<col::TablePtr> Next() override {
+    if (index_ >= chunks_.size()) return col::TablePtr(nullptr);
+    return chunks_[index_++];
+  }
+
+ private:
+  std::vector<col::TablePtr> chunks_;
+  size_t index_ = 0;
+};
+
+}  // namespace bento::eng
+
+#endif  // BENTO_ENGINES_CHUNK_STREAM_H_

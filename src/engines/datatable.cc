@@ -1,0 +1,53 @@
+#include "engines/datatable.h"
+
+namespace bento::eng {
+
+const frame::EngineInfo& DataTableEngine::info() const {
+  static const frame::EngineInfo* info = new frame::EngineInfo{
+      .id = "datatable",
+      .paper_name = "DataTable",
+      .multithreading = true,
+      .gpu_acceleration = false,
+      .resource_optimization = true,
+      .lazy_evaluation = false,
+      .cluster_deploy = false,
+      .native_language = "C++/Python",
+      .license = "Mozilla Public 2.0",
+      .modeled_version = "1.0.0",
+      .requirements = "",
+  };
+  return *info;
+}
+
+frame::ExecPolicy DataTableEngine::NativePolicy() const {
+  frame::ExecPolicy policy;
+  policy.null_probe = kern::NullProbe::kMetadata;
+  policy.string_engine = kern::StringEngine::kColumnar;
+  policy.parallel = true;
+  policy.row_apply_object_bytes = 0;  // native-C row access
+  policy.approx_quantile = true;
+  return policy;
+}
+
+Result<col::TablePtr> DataTableEngine::DoReadCsv(
+    const std::string& path, const io::CsvReadOptions& options) const {
+  return io::ReadCsvMmap(path, options);
+}
+
+Status DataTableEngine::DoWriteCsv(const col::TablePtr& table,
+                                   const std::string& path) const {
+  return io::WriteCsvParallel(table, path);
+}
+
+Result<col::TablePtr> DataTableEngine::DoReadBcf(const std::string& path) const {
+  return Status::NotImplemented("DataTable does not support the Parquet/BCF "
+                                "format (paper Table I)");
+}
+
+Status DataTableEngine::DoWriteBcf(const col::TablePtr& table,
+                                   const std::string& path) const {
+  return Status::NotImplemented("DataTable does not support the Parquet/BCF "
+                                "format (paper Table I)");
+}
+
+}  // namespace bento::eng

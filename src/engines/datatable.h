@@ -1,0 +1,29 @@
+#ifndef BENTO_ENGINES_DATATABLE_H_
+#define BENTO_ENGINES_DATATABLE_H_
+
+#include "engines/eager_engine.h"
+
+namespace bento::eng {
+
+/// \brief Model of H2O DataTable: memory-mapped pointer-walking CSV
+/// ingestion (the paper's fastest reader), multithreaded native kernels for
+/// sort/group/join/strings, no Parquet support, and a long tail of
+/// preparators that Table II marks as hand-emulated (single-threaded here).
+class DataTableEngine : public EagerEngineBase {
+ public:
+  const frame::EngineInfo& info() const override;
+  frame::ExecPolicy NativePolicy() const override;
+
+ protected:
+  Result<col::TablePtr> DoReadCsv(const std::string& path,
+                                  const io::CsvReadOptions& options) const override;
+  Status DoWriteCsv(const col::TablePtr& table,
+                    const std::string& path) const override;
+  Result<col::TablePtr> DoReadBcf(const std::string& path) const override;
+  Status DoWriteBcf(const col::TablePtr& table,
+                    const std::string& path) const override;
+};
+
+}  // namespace bento::eng
+
+#endif  // BENTO_ENGINES_DATATABLE_H_

@@ -1,0 +1,153 @@
+#include "engines/eager_engine.h"
+
+#include "io/bcf.h"
+
+namespace bento::eng {
+
+using frame::ActionResult;
+using frame::ExecPolicy;
+using frame::Op;
+
+namespace {
+
+/// Holds a table plus a tracked reservation modeling object-dtype boxing of
+/// its string cells; released when the last reference dies.
+struct BoxedStringHolder {
+  col::TablePtr table;
+  sim::MemoryPool* pool = nullptr;
+  uint64_t bytes = 0;
+
+  ~BoxedStringHolder() {
+    if (pool != nullptr && bytes > 0) pool->Release(bytes);
+  }
+};
+
+Result<col::TablePtr> WithObjectStringCharge(col::TablePtr table,
+                                             int64_t per_value_bytes) {
+  if (per_value_bytes <= 0 || table == nullptr) return table;
+  uint64_t cells = 0;
+  for (const col::Field& f : table->schema()->fields()) {
+    if (f.type == col::TypeId::kString) {
+      cells += static_cast<uint64_t>(table->num_rows());
+    }
+  }
+  const uint64_t bytes = cells * static_cast<uint64_t>(per_value_bytes);
+  if (bytes == 0) return table;
+  auto holder = std::make_shared<BoxedStringHolder>();
+  holder->pool = sim::MemoryPool::Current();
+  BENTO_RETURN_NOT_OK(holder->pool->Reserve(bytes));
+  holder->bytes = bytes;
+  holder->table = std::move(table);
+  // Aliasing pointer: exposes the table, owns the charge.
+  return col::TablePtr(holder, holder->table.get());
+}
+
+}  // namespace
+
+EagerFrame::EagerFrame(col::TablePtr table, const EagerEngineBase* engine)
+    : table_(std::move(table)),
+      engine_(engine),
+      // Null for stack-allocated engines: the caller owns the lifetime then.
+      engine_keepalive_(engine->weak_from_this().lock()) {}
+
+Result<frame::DataFrame::Ptr> EagerFrame::Apply(const Op& op) {
+  ExecPolicy policy = engine_->PolicyFor(op);
+  BENTO_ASSIGN_OR_RETURN(auto result,
+                         engine_->RunTransform(table_, op, policy));
+  BENTO_ASSIGN_OR_RETURN(
+      result, WithObjectStringCharge(std::move(result),
+                                     engine_->ObjectStringBytes()));
+  return frame::DataFrame::Ptr(
+      std::make_shared<EagerFrame>(std::move(result), engine_));
+}
+
+Result<ActionResult> EagerFrame::RunAction(const Op& op) {
+  ExecPolicy policy = engine_->PolicyFor(op);
+  return engine_->RunAction(table_, op, policy);
+}
+
+ExecPolicy EagerEngineBase::EmulatedPolicy() const {
+  ExecPolicy policy = NativePolicy();
+  policy.parallel = false;  // hand-rolled fallbacks are single-threaded
+  return policy;
+}
+
+Result<col::TablePtr> EagerEngineBase::RunTransform(
+    const col::TablePtr& table, const Op& op, const ExecPolicy& policy) const {
+  return frame::ExecTransform(table, op, policy);
+}
+
+Result<ActionResult> EagerEngineBase::RunAction(const col::TablePtr& table,
+                                                const Op& op,
+                                                const ExecPolicy& policy) const {
+  return frame::ExecAction(table, op, policy);
+}
+
+ExecPolicy EagerEngineBase::PolicyFor(const Op& op) const {
+  auto support = frame::GetSupport(info().id, frame::OpKindName(op.kind));
+  if (support.ok() && support.ValueOrDie() == frame::Support::kEmulated) {
+    return EmulatedPolicy();
+  }
+  return NativePolicy();
+}
+
+Result<col::TablePtr> EagerEngineBase::DoReadCsv(
+    const std::string& path, const io::CsvReadOptions& options) const {
+  return io::ReadCsv(path, options);
+}
+
+Status EagerEngineBase::DoWriteCsv(const col::TablePtr& table,
+                                   const std::string& path) const {
+  return io::WriteCsv(table, path);
+}
+
+Result<col::TablePtr> EagerEngineBase::DoReadBcf(const std::string& path) const {
+  BENTO_ASSIGN_OR_RETURN(auto reader, io::BcfReader::Open(path));
+  return reader->ReadAll();
+}
+
+Status EagerEngineBase::DoWriteBcf(const col::TablePtr& table,
+                                   const std::string& path) const {
+  return io::WriteBcf(table, path);
+}
+
+Result<frame::DataFrame::Ptr> EagerEngineBase::ReadCsv(
+    const std::string& path, const io::CsvReadOptions& options) {
+  BENTO_ASSIGN_OR_RETURN(auto table, DoReadCsv(path, options));
+  BENTO_ASSIGN_OR_RETURN(table, AfterIngest(std::move(table)));
+  BENTO_ASSIGN_OR_RETURN(
+      table, WithObjectStringCharge(std::move(table), ObjectStringBytes()));
+  return frame::DataFrame::Ptr(
+      std::make_shared<EagerFrame>(std::move(table), this));
+}
+
+Result<frame::DataFrame::Ptr> EagerEngineBase::ReadBcf(const std::string& path) {
+  BENTO_ASSIGN_OR_RETURN(auto table, DoReadBcf(path));
+  BENTO_ASSIGN_OR_RETURN(table, AfterIngest(std::move(table)));
+  BENTO_ASSIGN_OR_RETURN(
+      table, WithObjectStringCharge(std::move(table), ObjectStringBytes()));
+  return frame::DataFrame::Ptr(
+      std::make_shared<EagerFrame>(std::move(table), this));
+}
+
+Status EagerEngineBase::WriteCsv(const frame::DataFrame::Ptr& frame,
+                                 const std::string& path) {
+  BENTO_ASSIGN_OR_RETURN(auto table, frame->Collect());
+  return DoWriteCsv(table, path);
+}
+
+Status EagerEngineBase::WriteBcf(const frame::DataFrame::Ptr& frame,
+                                 const std::string& path) {
+  BENTO_ASSIGN_OR_RETURN(auto table, frame->Collect());
+  return DoWriteBcf(table, path);
+}
+
+Result<frame::DataFrame::Ptr> EagerEngineBase::FromTable(col::TablePtr table) {
+  BENTO_ASSIGN_OR_RETURN(table, AfterIngest(std::move(table)));
+  BENTO_ASSIGN_OR_RETURN(
+      table, WithObjectStringCharge(std::move(table), ObjectStringBytes()));
+  return frame::DataFrame::Ptr(
+      std::make_shared<EagerFrame>(std::move(table), this));
+}
+
+}  // namespace bento::eng

@@ -1,0 +1,90 @@
+#ifndef BENTO_ENGINES_EAGER_ENGINE_H_
+#define BENTO_ENGINES_EAGER_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "frame/capabilities.h"
+#include "frame/engine.h"
+#include "frame/exec.h"
+
+namespace bento::eng {
+
+class EagerEngineBase;
+
+/// \brief Materialized-table frame used by all eager engines: every Apply
+/// executes immediately and the handle owns the full result.
+class EagerFrame : public frame::DataFrame {
+ public:
+  EagerFrame(col::TablePtr table, const EagerEngineBase* engine);
+
+  Result<Ptr> Apply(const frame::Op& op) override;
+  Result<frame::ActionResult> RunAction(const frame::Op& op) override;
+  Result<col::TablePtr> Collect() override { return table_; }
+
+  const col::TablePtr& table() const { return table_; }
+
+ private:
+  col::TablePtr table_;
+  const EagerEngineBase* engine_;
+  std::shared_ptr<const frame::Engine> engine_keepalive_;
+};
+
+/// \brief Base for eager engines: shared I/O entry points plus hooks
+/// subclasses override to express their execution model.
+class EagerEngineBase : public frame::Engine {
+ public:
+  Result<frame::DataFrame::Ptr> ReadCsv(
+      const std::string& path, const io::CsvReadOptions& options) override;
+  Result<frame::DataFrame::Ptr> ReadBcf(const std::string& path) override;
+  Status WriteCsv(const frame::DataFrame::Ptr& frame,
+                  const std::string& path) override;
+  Status WriteBcf(const frame::DataFrame::Ptr& frame,
+                  const std::string& path) override;
+  Result<frame::DataFrame::Ptr> FromTable(col::TablePtr table) override;
+
+  /// Policy used for ops this engine supports natively (or renamed).
+  virtual frame::ExecPolicy NativePolicy() const = 0;
+
+  /// Policy for Table-II "emulated" preparators: by default the native
+  /// policy without parallelism (hand-rolled fallbacks are single-threaded).
+  virtual frame::ExecPolicy EmulatedPolicy() const;
+
+  /// Executes one transform; subclasses wrap for device/offload semantics.
+  virtual Result<col::TablePtr> RunTransform(const col::TablePtr& table,
+                                             const frame::Op& op,
+                                             const frame::ExecPolicy& policy) const;
+  virtual Result<frame::ActionResult> RunAction(
+      const col::TablePtr& table, const frame::Op& op,
+      const frame::ExecPolicy& policy) const;
+
+  /// Resolves the policy for `op` from the capability matrix.
+  frame::ExecPolicy PolicyFor(const frame::Op& op) const;
+
+  /// Bytes of per-value boxing overhead for string columns (the NumPy
+  /// object-dtype model: a PyObject header plus a pointer per cell). Charged
+  /// against the machine budget for every string cell a frame holds — the
+  /// mechanism behind Pandas' early OoM on the string-heavy datasets.
+  /// Arrow-backed engines return 0.
+  virtual int64_t ObjectStringBytes() const { return 0; }
+
+ protected:
+  /// CSV ingestion hook (DataTable overrides with the mmap reader).
+  virtual Result<col::TablePtr> DoReadCsv(const std::string& path,
+                                          const io::CsvReadOptions& options) const;
+  virtual Status DoWriteCsv(const col::TablePtr& table,
+                            const std::string& path) const;
+  /// BCF hooks; DataTable overrides with NotImplemented (no Parquet).
+  virtual Result<col::TablePtr> DoReadBcf(const std::string& path) const;
+  virtual Status DoWriteBcf(const col::TablePtr& table,
+                            const std::string& path) const;
+
+  /// Post-ingest hook (CuDF charges the host->device transfer here).
+  virtual Result<col::TablePtr> AfterIngest(col::TablePtr table) const {
+    return table;
+  }
+};
+
+}  // namespace bento::eng
+
+#endif  // BENTO_ENGINES_EAGER_ENGINE_H_

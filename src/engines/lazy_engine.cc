@@ -1,0 +1,646 @@
+#include "engines/lazy_engine.h"
+
+#include <cstdio>
+#include <set>
+
+#include "engines/streaming_ops.h"
+#include "kernels/encode.h"
+#include "kernels/join.h"
+#include "kernels/null_ops.h"
+#include "expr/parser.h"
+
+namespace bento::eng {
+
+using frame::ActionResult;
+using frame::ExecPolicy;
+using frame::Op;
+using frame::OpKind;
+
+int64_t ScaledBatchRows(int64_t full_scale_rows, int64_t min_rows) {
+  const double scaled = static_cast<double>(full_scale_rows) * sim::CostScale();
+  const int64_t rows = static_cast<int64_t>(scaled);
+  return rows < min_rows ? min_rows : rows;
+}
+
+bool IsStreamable(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kQuery:
+    case OpKind::kCast:
+    case OpKind::kDropColumns:
+    case OpKind::kRename:
+    case OpKind::kApplyExpr:
+    case OpKind::kToDatetime:
+    case OpKind::kDropNa:
+    case OpKind::kStrLower:
+    case OpKind::kRound:
+    case OpKind::kReplace:
+    case OpKind::kApplyRow:
+      return true;
+    case OpKind::kFillNa:
+      return !op.fill_with_mean;  // global mean needs a full pass
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+/// Columns an op reads or writes (false when the op touches the whole row,
+/// i.e. is opaque to column analysis).
+bool OpColumnFootprint(const Op& op, std::set<std::string>* touched) {
+  switch (op.kind) {
+    case OpKind::kCast:
+    case OpKind::kStrLower:
+    case OpKind::kRound:
+    case OpKind::kFillNa:
+    case OpKind::kReplace:
+    case OpKind::kToDatetime:
+      touched->insert(op.column);
+      return true;
+    case OpKind::kApplyExpr: {
+      auto parsed = expr::ParseExpr(op.text);
+      if (!parsed.ok()) return false;
+      parsed.ValueOrDie()->CollectColumns(touched);
+      touched->insert(op.new_name);
+      return true;
+    }
+    case OpKind::kDropColumns:
+      touched->insert(op.columns.begin(), op.columns.end());
+      return true;
+    case OpKind::kSortValues:
+      for (const auto& key : op.sort_keys) touched->insert(key.column);
+      return true;
+    case OpKind::kDropNa:
+      if (op.columns.empty()) return false;  // inspects every column
+      touched->insert(op.columns.begin(), op.columns.end());
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::set<std::string> QueryReferences(const Op& query) {
+  std::set<std::string> refs;
+  auto parsed = expr::ParseExpr(query.text);
+  if (parsed.ok()) parsed.ValueOrDie()->CollectColumns(&refs);
+  return refs;
+}
+
+bool Intersects(const std::set<std::string>& a,
+                const std::set<std::string>& b) {
+  for (const std::string& x : a) {
+    if (b.count(x) > 0) return true;
+  }
+  return false;
+}
+
+/// Can `query` (a kQuery op) hop before `prev`? Sound rules only: the swap
+/// must preserve both results.
+bool QueryCanHopBefore(const Op& query, const Op& prev,
+                       const std::set<std::string>& refs) {
+  switch (prev.kind) {
+    case OpKind::kSortValues:
+      return true;  // content-based filter commutes with reordering
+    case OpKind::kDropNa:
+      return true;  // two row filters commute
+    case OpKind::kCast:
+    case OpKind::kStrLower:
+    case OpKind::kRound:
+    case OpKind::kToDatetime:
+    case OpKind::kReplace:
+      return refs.count(prev.column) == 0;
+    case OpKind::kFillNa:
+      // fillna changes null rows; safe only when the filter ignores the
+      // column entirely (and fillna-with-mean depends on the row set the
+      // filter would change).
+      return !prev.fill_with_mean && refs.count(prev.column) == 0;
+    case OpKind::kApplyExpr:
+      return refs.count(prev.new_name) == 0;
+    case OpKind::kApplyRow:
+      return refs.count(prev.new_name) == 0;
+    case OpKind::kDropColumns:
+      // Filter first, then drop: always fine (the filter's columns exist
+      // before the drop; if the drop removed one of them the original plan
+      // was invalid anyway).
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<Op> LazyEngineBase::Optimize(std::vector<Op> plan) const {
+  if (EnablePredicatePushdown()) {
+    // Bubble each filter toward the source through ops it commutes with.
+    for (size_t i = 1; i < plan.size(); ++i) {
+      if (plan[i].kind != OpKind::kQuery) continue;
+      std::set<std::string> refs = QueryReferences(plan[i]);
+      size_t j = i;
+      while (j > 0 && QueryCanHopBefore(plan[j], plan[j - 1], refs)) {
+        std::swap(plan[j], plan[j - 1]);
+        --j;
+      }
+    }
+  }
+  if (EnableProjectionPushdown()) {
+    // Pull column drops toward the source past ops that don't touch the
+    // dropped columns.
+    for (size_t i = 1; i < plan.size(); ++i) {
+      if (plan[i].kind != OpKind::kDropColumns) continue;
+      std::set<std::string> dropped(plan[i].columns.begin(),
+                                    plan[i].columns.end());
+      size_t j = i;
+      while (j > 0) {
+        const Op& prev = plan[j - 1];
+        if (prev.kind == OpKind::kQuery) {
+          if (Intersects(QueryReferences(prev), dropped)) break;
+        } else {
+          std::set<std::string> touched;
+          if (!OpColumnFootprint(prev, &touched)) break;
+          if (Intersects(touched, dropped)) break;
+        }
+        std::swap(plan[j], plan[j - 1]);
+        --j;
+      }
+    }
+  }
+  return plan;
+}
+
+Result<std::unique_ptr<ChunkStream>> LazyEngineBase::OpenStream(
+    const LazySource& source,
+    const std::vector<std::string>& projection) const {
+  switch (source.kind) {
+    case LazySource::Kind::kTable: {
+      col::TablePtr table = source.table;
+      if (!projection.empty()) {
+        // Complement-projection: keep everything except what the pushed
+        // drop removed — `projection` is the keep list.
+        BENTO_ASSIGN_OR_RETURN(table, table->SelectColumns(projection));
+      }
+      return std::unique_ptr<ChunkStream>(
+          std::make_unique<TableChunkStream>(table, ChunkRows()));
+    }
+    case LazySource::Kind::kCsv: {
+      io::CsvReadOptions options = source.csv_options;
+      options.chunk_rows = ChunkRows();
+      BENTO_ASSIGN_OR_RETURN(auto stream,
+                             CsvChunkStream::Open(source.path, options));
+      return std::unique_ptr<ChunkStream>(std::move(stream));
+    }
+    case LazySource::Kind::kBcf: {
+      BENTO_ASSIGN_OR_RETURN(auto stream,
+                             BcfChunkStream::Open(source.path, projection));
+      return std::unique_ptr<ChunkStream>(std::move(stream));
+    }
+  }
+  return Status::Invalid("bad source");
+}
+
+namespace {
+
+/// Applies a run of streamable ops to every chunk of an inner stream.
+class TransformingStream : public ChunkStream {
+ public:
+  TransformingStream(ChunkStream* inner, const Op* ops, size_t n_ops,
+                     const ExecPolicy* policy, double per_chunk_penalty)
+      : inner_(inner),
+        ops_(ops),
+        n_ops_(n_ops),
+        policy_(policy),
+        per_chunk_penalty_(per_chunk_penalty) {}
+
+  Result<col::TablePtr> Next() override {
+    BENTO_ASSIGN_OR_RETURN(auto chunk, inner_->Next());
+    if (chunk == nullptr) return chunk;
+    for (size_t k = 0; k < n_ops_; ++k) {
+      BENTO_ASSIGN_OR_RETURN(chunk,
+                             frame::ExecTransform(chunk, ops_[k], *policy_));
+    }
+    if (per_chunk_penalty_ > 0) sim::ChargePenalty(per_chunk_penalty_);
+    return chunk;
+  }
+
+ private:
+  ChunkStream* inner_;
+  const Op* ops_;
+  size_t n_ops_;
+  const ExecPolicy* policy_;
+  double per_chunk_penalty_;
+};
+
+}  // namespace
+
+namespace {
+
+/// Rough byte size of a source (file size for file-backed sources).
+uint64_t EstimateSourceBytes(const LazySource& source) {
+  switch (source.kind) {
+    case LazySource::Kind::kTable:
+      return source.table != nullptr ? source.table->ByteSize() : 0;
+    case LazySource::Kind::kCsv:
+    case LazySource::Kind::kBcf: {
+      std::FILE* f = std::fopen(source.path.c_str(), "rb");
+      if (f == nullptr) return 0;
+      std::fseek(f, 0, SEEK_END);
+      long size = std::ftell(f);
+      std::fclose(f);
+      return size > 0 ? static_cast<uint64_t>(size) : 0;
+    }
+  }
+  return 0;
+}
+
+/// Spark-like spill policy: go out-of-core only under memory pressure
+/// (several working copies would not fit the machine budget); otherwise the
+/// in-memory operators are faster.
+bool MemoryTight(const LazySource& source) {
+  sim::Session* session = sim::Session::Current();
+  if (session == nullptr || session->host_pool()->budget() == 0) return false;
+  const uint64_t budget = session->host_pool()->budget();
+  // Conservative: transforms can widen frames well past the source size.
+  return EstimateSourceBytes(source) * 5 > budget;
+}
+
+}  // namespace
+
+namespace {
+
+/// Owns a spill file produced mid-plan and removes it when done.
+struct TempSpill {
+  std::string path;
+  ~TempSpill() {
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+}  // namespace
+
+Result<col::TablePtr> LazyEngineBase::Execute(
+    const LazySource& source, const std::vector<Op>& plan) const {
+  if (PlanOverheadSeconds() > 0) sim::ChargePenalty(PlanOverheadSeconds());
+  std::vector<Op> ops = Optimize(plan);
+  const ExecPolicy policy = ExecutionPolicy();
+
+  // Translate a leading column drop into a real projection when the source
+  // format can skip bytes (BCF).
+  std::vector<std::string> projection;
+  size_t start = 0;
+  if (!ops.empty() && ops[0].kind == OpKind::kDropColumns &&
+      source.kind == LazySource::Kind::kBcf && EnableProjectionPushdown()) {
+    BENTO_ASSIGN_OR_RETURN(auto reader, io::BcfReader::Open(source.path));
+    std::set<std::string> dropped(ops[0].columns.begin(), ops[0].columns.end());
+    for (const col::Field& f : reader->schema()->fields()) {
+      if (dropped.count(f.name) == 0) projection.push_back(f.name);
+    }
+    start = 1;
+  }
+
+  BENTO_ASSIGN_OR_RETURN(auto stream, OpenStream(source, projection));
+  const bool stream_breakers = StreamsBreakers() && MemoryTight(source);
+
+  // Streaming loop: breakers either stream (bounded memory) and hand the
+  // pipeline a new stream, or materialize and hand it a table stream.
+  col::TablePtr current;          // set when the plan ends or must materialize
+  col::TablePtr stage_table;      // keep-alive for TableChunkStream sources
+  std::vector<std::shared_ptr<TempSpill>> spills;
+  size_t i = start;
+
+  while (current == nullptr) {
+    // Maximal streamable run [i, j).
+    size_t j = i;
+    while (j < ops.size() && IsStreamable(ops[j])) ++j;
+    auto transformed = std::make_unique<TransformingStream>(
+        stream.get(), ops.data() + i, j - i, &policy,
+        PerChunkOverheadSeconds());
+    if (j >= ops.size()) {
+      BENTO_ASSIGN_OR_RETURN(current, DrainStream(transformed.get()));
+      i = j;
+      break;
+    }
+    const Op& breaker = ops[j];
+    if (stream_breakers) {
+      switch (breaker.kind) {
+        case OpKind::kGroupByAgg: {
+          BENTO_ASSIGN_OR_RETURN(
+              stage_table, StreamingGroupBy(transformed.get(), breaker.columns,
+                                            breaker.aggs, policy));
+          stream = std::make_unique<TableChunkStream>(stage_table, ChunkRows());
+          i = j + 1;
+          continue;
+        }
+        case OpKind::kPivot: {
+          BENTO_ASSIGN_OR_RETURN(
+              stage_table, StreamingPivot(transformed.get(), breaker, policy));
+          stream = std::make_unique<TableChunkStream>(stage_table, ChunkRows());
+          i = j + 1;
+          continue;
+        }
+        case OpKind::kDropDuplicates: {
+          BENTO_ASSIGN_OR_RETURN(
+              stage_table, StreamingDedup(transformed.get(), breaker.columns));
+          stream = std::make_unique<TableChunkStream>(stage_table, ChunkRows());
+          i = j + 1;
+          continue;
+        }
+        case OpKind::kSortValues: {
+          // Sorted output spills to a shuffle-style temp file and the plan
+          // keeps streaming from disk: memory stays O(run + chunk).
+          BENTO_ASSIGN_OR_RETURN(
+              std::string path,
+              ExternalSortToFile(transformed.get(), breaker.sort_keys, policy,
+                                 std::max<int64_t>(ChunkRows() * 4, 64 * 1024)));
+          auto spill = std::make_shared<TempSpill>();
+          spill->path = path;
+          spills.push_back(spill);
+          stage_table.reset();
+          BENTO_ASSIGN_OR_RETURN(auto bcf_stream, BcfChunkStream::Open(path));
+          stream = std::move(bcf_stream);
+          i = j + 1;
+          continue;
+        }
+        case OpKind::kGetDummies:
+        case OpKind::kCatCodes:
+        case OpKind::kFillNa: {
+          // Two-pass streaming: spill the transformed stream, derive the
+          // global state (categories / dictionary / mean) from a first pass
+          // over the spill, then keep streaming with a per-chunk map.
+          if (breaker.kind == OpKind::kFillNa && !breaker.fill_with_mean) {
+            break;  // plain fillna is already streamable
+          }
+          BENTO_ASSIGN_OR_RETURN(std::string path,
+                                 SpillStreamToFile(transformed.get()));
+          auto spill = std::make_shared<TempSpill>();
+          spill->path = path;
+          spills.push_back(spill);
+          stage_table.reset();
+
+          MappedStream::MapFn map_fn;
+          if (breaker.kind == OpKind::kGetDummies) {
+            BENTO_ASSIGN_OR_RETURN(auto pass1, BcfChunkStream::Open(path));
+            BENTO_ASSIGN_OR_RETURN(
+                auto categories,
+                StreamDistinctValues(pass1.get(), breaker.column));
+            map_fn = [column = breaker.column,
+                      categories = std::move(categories)](col::TablePtr chunk) {
+              return kern::GetDummiesWithCategories(chunk, column, categories);
+            };
+          } else if (breaker.kind == OpKind::kCatCodes) {
+            BENTO_ASSIGN_OR_RETURN(auto pass1, BcfChunkStream::Open(path));
+            BENTO_ASSIGN_OR_RETURN(
+                auto dict, StreamDistinctValues(pass1.get(), breaker.column));
+            map_fn = [column = breaker.column, dict = std::move(dict)](
+                         col::TablePtr chunk) -> Result<col::TablePtr> {
+              BENTO_ASSIGN_OR_RETURN(auto values, chunk->GetColumn(column));
+              BENTO_ASSIGN_OR_RETURN(auto codes,
+                                     kern::CatCodesWithDict(values, dict));
+              return chunk->SetColumn(column, codes);
+            };
+          } else {  // fillna with mean
+            BENTO_ASSIGN_OR_RETURN(auto pass1, BcfChunkStream::Open(path));
+            BENTO_ASSIGN_OR_RETURN(double mean,
+                                   StreamColumnMean(pass1.get(), breaker.column));
+            map_fn = [column = breaker.column,
+                      mean](col::TablePtr chunk) -> Result<col::TablePtr> {
+              BENTO_ASSIGN_OR_RETURN(auto values, chunk->GetColumn(column));
+              col::Scalar fill = values->type() == col::TypeId::kInt64
+                                     ? col::Scalar::Int(static_cast<int64_t>(mean))
+                                     : col::Scalar::Double(mean);
+              BENTO_ASSIGN_OR_RETURN(auto filled, kern::FillNull(values, fill));
+              return chunk->SetColumn(column, filled);
+            };
+          }
+          BENTO_ASSIGN_OR_RETURN(auto pass2, BcfChunkStream::Open(path));
+          stream = std::make_unique<MappedStream>(std::move(pass2),
+                                                  std::move(map_fn));
+          i = j + 1;
+          continue;
+        }
+        case OpKind::kMerge: {
+          // Probe-streaming join: materialize the (small) build side once,
+          // join each probe chunk independently.
+          if (breaker.other == nullptr) {
+            return Status::Invalid("merge without right side");
+          }
+          BENTO_ASSIGN_OR_RETURN(auto right, breaker.other->Collect());
+          // Drain into a temp spill so the probe side never materializes.
+          BENTO_ASSIGN_OR_RETURN(std::string path,
+                                 SpillStreamToFile(transformed.get()));
+          auto spill = std::make_shared<TempSpill>();
+          spill->path = path;
+          spills.push_back(spill);
+          stage_table.reset();
+          MappedStream::MapFn map_fn =
+              [right, breaker](col::TablePtr chunk) -> Result<col::TablePtr> {
+            kern::JoinOptions jopts;
+            jopts.type = breaker.join_type;
+            return kern::HashJoin(chunk, right, breaker.left_key,
+                                  breaker.right_key, jopts);
+          };
+          BENTO_ASSIGN_OR_RETURN(auto pass, BcfChunkStream::Open(path));
+          stream = std::make_unique<MappedStream>(std::move(pass),
+                                                  std::move(map_fn));
+          i = j + 1;
+          continue;
+        }
+        default:
+          break;  // fall through to materialize
+      }
+    }
+    // Materialize-then-execute breaker; subsequent ops go whole-table.
+    BENTO_ASSIGN_OR_RETURN(current, DrainStream(transformed.get()));
+    BENTO_ASSIGN_OR_RETURN(current,
+                           frame::ExecTransform(current, breaker, policy));
+    i = j + 1;
+  }
+
+  // Whole-table execution of the remainder.
+  for (; i < ops.size(); ++i) {
+    BENTO_ASSIGN_OR_RETURN(current,
+                           frame::ExecTransform(current, ops[i], policy));
+  }
+  return current;
+}
+
+Result<ActionResult> LazyEngineBase::ExecuteAction(
+    const LazySource& source, const std::vector<Op>& plan,
+    const Op& action) const {
+  const ExecPolicy policy = ExecutionPolicy();
+
+  bool fully_streamable = true;
+  for (const Op& op : plan) {
+    if (!IsStreamable(op)) {
+      fully_streamable = false;
+      break;
+    }
+  }
+  // Quantile-based actions need multi-pass streaming; only the counting
+  // actions stream in one pass here. Everything else materializes.
+  const bool streaming_action =
+      action.kind == OpKind::kIsNa || action.kind == OpKind::kSearchPattern ||
+      action.kind == OpKind::kGetColumns || action.kind == OpKind::kGetDtypes;
+  if (!fully_streamable || !streaming_action) {
+    BENTO_ASSIGN_OR_RETURN(auto table, Execute(source, plan));
+    const double penalty = ActionPenaltySeconds(action, table);
+    if (penalty > 0) sim::ChargePenalty(penalty);
+    return frame::ExecAction(table, action, policy);
+  }
+
+  if (PlanOverheadSeconds() > 0) sim::ChargePenalty(PlanOverheadSeconds());
+  std::vector<Op> ops = Optimize(plan);
+  BENTO_ASSIGN_OR_RETURN(auto stream, OpenStream(source, {}));
+  TransformingStream transformed(stream.get(), ops.data(), ops.size(), &policy,
+                                 PerChunkOverheadSeconds());
+
+  ActionResult result;
+  bool first = true;
+  while (true) {
+    BENTO_ASSIGN_OR_RETURN(auto chunk, transformed.Next());
+    if (chunk == nullptr) break;
+    const double penalty = ActionPenaltySeconds(action, chunk);
+    if (penalty > 0) sim::ChargePenalty(penalty);
+    BENTO_ASSIGN_OR_RETURN(auto partial,
+                           frame::ExecAction(chunk, action, policy));
+    if (first) {
+      result = partial;
+      first = false;
+      if (action.kind == OpKind::kGetColumns ||
+          action.kind == OpKind::kGetDtypes) {
+        break;  // schema-only actions need one chunk
+      }
+      continue;
+    }
+    if (action.kind == OpKind::kIsNa) {
+      for (size_t c = 0; c < result.counts.size() && c < partial.counts.size();
+           ++c) {
+        result.counts[c] += partial.counts[c];
+      }
+    } else if (action.kind == OpKind::kSearchPattern) {
+      result.count += partial.count;
+    }
+  }
+  if (first) return Status::Invalid("action over an empty stream");
+  return result;
+}
+
+LazyFrame::LazyFrame(LazySource source, std::vector<frame::Op> plan,
+                     const LazyEngineBase* engine)
+    : source_(std::move(source)),
+      plan_(std::move(plan)),
+      engine_(engine),
+      // Null for stack-allocated engines: the caller owns the lifetime then.
+      engine_keepalive_(engine->weak_from_this().lock()) {}
+
+Result<frame::DataFrame::Ptr> LazyFrame::Apply(const Op& op) {
+  if (engine_->lazy()) {
+    // If this plan was already forced (an action or an explicit Collect
+    // materialized it), chain from the cached result instead of replaying
+    // the whole lineage from the source — the caching real lazy engines
+    // apply at forced boundaries.
+    if (cache_ != nullptr) {
+      LazySource cached;
+      cached.kind = LazySource::Kind::kTable;
+      cached.table = cache_;
+      cached.owned_resource = source_.owned_resource;
+      return std::static_pointer_cast<frame::DataFrame>(
+          std::make_shared<LazyFrame>(std::move(cached), std::vector<Op>{op},
+                                      engine_));
+    }
+    std::vector<Op> next = plan_;
+    next.push_back(op);
+    return std::static_pointer_cast<frame::DataFrame>(
+        std::make_shared<LazyFrame>(source_, std::move(next), engine_));
+  }
+  // Eager mode: run everything now and hold the materialized result.
+  BENTO_ASSIGN_OR_RETURN(auto table, Collect());
+  BENTO_ASSIGN_OR_RETURN(
+      auto result, frame::ExecTransform(table, op, engine_->ExecutionPolicy()));
+  LazySource source;
+  source.kind = LazySource::Kind::kTable;
+  source.table = std::move(result);
+  return std::static_pointer_cast<frame::DataFrame>(
+      std::make_shared<LazyFrame>(std::move(source), std::vector<Op>{},
+                                  engine_));
+}
+
+Result<ActionResult> LazyFrame::RunAction(const Op& op) {
+  if (engine_->lazy() && cache_ == nullptr &&
+      source_.kind != LazySource::Kind::kTable) {
+    // Lineage semantics: actions re-stream the plan without materializing
+    // the frame (and without populating the cache) — the memory behaviour
+    // behind the streaming engines' small minimum configurations.
+    BENTO_ASSIGN_OR_RETURN(auto result, engine_->ExecuteAction(source_, plan_, op));
+    return result;
+  }
+  BENTO_ASSIGN_OR_RETURN(auto table, Collect());
+  const double penalty = engine_->ActionPenaltySeconds(op, table);
+  if (penalty > 0) sim::ChargePenalty(penalty);
+  return frame::ExecAction(table, op, engine_->ExecutionPolicy());
+}
+
+Result<col::TablePtr> LazyFrame::Collect() {
+  if (cache_ != nullptr) return cache_;
+  if (source_.kind == LazySource::Kind::kTable && plan_.empty()) {
+    cache_ = source_.table;
+    return cache_;
+  }
+  BENTO_ASSIGN_OR_RETURN(cache_, engine_->Execute(source_, plan_));
+  return cache_;
+}
+
+Result<frame::DataFrame::Ptr> LazyEngineBase::ReadCsv(
+    const std::string& path, const io::CsvReadOptions& options) {
+  LazySource source;
+  source.kind = LazySource::Kind::kCsv;
+  source.path = path;
+  source.csv_options = options;
+  BENTO_ASSIGN_OR_RETURN(source, PrepareSource(std::move(source)));
+  auto frame =
+      std::make_shared<LazyFrame>(std::move(source), std::vector<Op>{}, this);
+  if (!lazy()) {
+    // Eager mode ingests immediately.
+    BENTO_RETURN_NOT_OK(frame->Collect().status());
+  }
+  return std::static_pointer_cast<frame::DataFrame>(frame);
+}
+
+Result<frame::DataFrame::Ptr> LazyEngineBase::ReadBcf(const std::string& path) {
+  LazySource source;
+  source.kind = LazySource::Kind::kBcf;
+  source.path = path;
+  BENTO_ASSIGN_OR_RETURN(source, PrepareSource(std::move(source)));
+  auto frame =
+      std::make_shared<LazyFrame>(std::move(source), std::vector<Op>{}, this);
+  if (!lazy()) {
+    BENTO_RETURN_NOT_OK(frame->Collect().status());
+  }
+  return std::static_pointer_cast<frame::DataFrame>(frame);
+}
+
+Status LazyEngineBase::WriteCsv(const frame::DataFrame::Ptr& frame,
+                                const std::string& path) {
+  BENTO_ASSIGN_OR_RETURN(auto table, frame->Collect());
+  if (ExecutionPolicy().parallel) {
+    return io::WriteCsvParallel(table, path, {},
+                                ExecutionPolicy().parallel_options);
+  }
+  return io::WriteCsv(table, path);
+}
+
+Status LazyEngineBase::WriteBcf(const frame::DataFrame::Ptr& frame,
+                                const std::string& path) {
+  BENTO_ASSIGN_OR_RETURN(auto table, frame->Collect());
+  return io::WriteBcf(table, path);
+}
+
+Result<frame::DataFrame::Ptr> LazyEngineBase::FromTable(col::TablePtr table) {
+  LazySource source;
+  source.kind = LazySource::Kind::kTable;
+  source.table = std::move(table);
+  BENTO_ASSIGN_OR_RETURN(source, PrepareSource(std::move(source)));
+  return std::static_pointer_cast<frame::DataFrame>(
+      std::make_shared<LazyFrame>(std::move(source), std::vector<Op>{}, this));
+}
+
+}  // namespace bento::eng

@@ -1,0 +1,104 @@
+#include "engines/modin.h"
+
+namespace bento::eng {
+
+using frame::ExecPolicy;
+using frame::Op;
+using frame::OpKind;
+
+ExecPolicy ModinEngineBase::NativePolicy() const {
+  ExecPolicy policy;
+  policy.null_probe = kern::NullProbe::kMetadata;
+  policy.string_engine = kern::StringEngine::kColumnar;
+  policy.parallel = true;
+  policy.parallel_options = SchedulerOptions();
+  policy.row_apply_object_bytes = 16;  // per-partition batching amortizes boxing
+  return policy;
+}
+
+ExecPolicy ModinEngineBase::EmulatedPolicy() const {
+  // "Default to pandas": single-threaded with the object-model costs.
+  ExecPolicy policy;
+  policy.null_probe = kern::NullProbe::kScan;
+  policy.string_engine = kern::StringEngine::kRowObjects;
+  policy.parallel = false;
+  policy.row_apply_object_bytes = 32;
+  policy.row_apply_series_bytes = 8192;
+  policy.copy_outputs = true;
+  return policy;
+}
+
+bool ModinEngineBase::DefaultsToPandas(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSortValues:      // the paper calls this conversion out
+    case OpKind::kDropDuplicates:
+    case OpKind::kPivot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<col::TablePtr> ModinEngineBase::RunTransform(
+    const col::TablePtr& table, const Op& op, const ExecPolicy& policy) const {
+  if (!DefaultsToPandas(op.kind)) {
+    return EagerEngineBase::RunTransform(table, op, policy);
+  }
+  // Gather: materialize the partitioned frame into one Pandas-model copy...
+  BENTO_ASSIGN_OR_RETURN(auto gathered, frame::DeepCopyTable(table));
+  // ...run the op single-threaded...
+  BENTO_ASSIGN_OR_RETURN(auto result,
+                         frame::ExecTransform(gathered, op, EmulatedPolicy()));
+  // ...and scatter back into partitions (another copy).
+  return frame::DeepCopyTable(result);
+}
+
+const frame::EngineInfo& ModinDaskEngine::info() const {
+  static const frame::EngineInfo* info = new frame::EngineInfo{
+      .id = "modin_dask",
+      .paper_name = "ModinD",
+      .multithreading = true,
+      .gpu_acceleration = false,
+      .resource_optimization = true,
+      .lazy_evaluation = false,
+      .cluster_deploy = true,
+      .native_language = "Python",
+      .license = "Apache 2.0",
+      .modeled_version = "0.16.2",
+      .requirements = "Dask",
+  };
+  return *info;
+}
+
+sim::ParallelOptions ModinDaskEngine::SchedulerOptions() const {
+  sim::ParallelOptions options;
+  options.policy = sim::SchedulePolicy::kStaticBlocks;  // centralized scheduler
+  options.per_task_dispatch_s = 200e-6;
+  return options;
+}
+
+const frame::EngineInfo& ModinRayEngine::info() const {
+  static const frame::EngineInfo* info = new frame::EngineInfo{
+      .id = "modin_ray",
+      .paper_name = "ModinR",
+      .multithreading = true,
+      .gpu_acceleration = false,
+      .resource_optimization = true,
+      .lazy_evaluation = false,
+      .cluster_deploy = true,
+      .native_language = "Python",
+      .license = "Apache 2.0",
+      .modeled_version = "0.16.2",
+      .requirements = "Ray",
+  };
+  return *info;
+}
+
+sim::ParallelOptions ModinRayEngine::SchedulerOptions() const {
+  sim::ParallelOptions options;
+  options.policy = sim::SchedulePolicy::kGreedy;  // bottom-up scheduling
+  options.per_task_dispatch_s = 50e-6;
+  return options;
+}
+
+}  // namespace bento::eng

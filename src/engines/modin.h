@@ -1,0 +1,56 @@
+#ifndef BENTO_ENGINES_MODIN_H_
+#define BENTO_ENGINES_MODIN_H_
+
+#include "engines/eager_engine.h"
+
+namespace bento::eng {
+
+/// \brief Model of Modin: eager Pandas API with partition-parallel core
+/// operators. Preparators outside the core-operator set "default to
+/// pandas": the frame is materialized into a Pandas-model copy, the op runs
+/// single-threaded with object-model costs, and the result is re-partitioned
+/// — the round-trip the paper blames for Modin's sort being up to 100x
+/// slower than SparkSQL.
+///
+/// The two engines differ only in scheduler policy, per the paper's
+/// explanation: Dask's centralized scheduler pre-assigns task blocks and
+/// pays a per-task dispatch latency; Ray's bottom-up scheduler behaves like
+/// work stealing.
+class ModinEngineBase : public EagerEngineBase {
+ public:
+  frame::ExecPolicy NativePolicy() const override;
+  frame::ExecPolicy EmulatedPolicy() const override;
+  // Modin adopts the Pandas data format as its storage layer (Section II).
+  int64_t ObjectStringBytes() const override { return 57; }
+
+  Result<col::TablePtr> RunTransform(const col::TablePtr& table,
+                                     const frame::Op& op,
+                                     const frame::ExecPolicy& policy) const override;
+
+ protected:
+  virtual sim::ParallelOptions SchedulerOptions() const = 0;
+
+ private:
+  /// Ops Modin's core operators cannot express (handled via to-pandas).
+  static bool DefaultsToPandas(frame::OpKind kind);
+};
+
+class ModinDaskEngine : public ModinEngineBase {
+ public:
+  const frame::EngineInfo& info() const override;
+
+ protected:
+  sim::ParallelOptions SchedulerOptions() const override;
+};
+
+class ModinRayEngine : public ModinEngineBase {
+ public:
+  const frame::EngineInfo& info() const override;
+
+ protected:
+  sim::ParallelOptions SchedulerOptions() const override;
+};
+
+}  // namespace bento::eng
+
+#endif  // BENTO_ENGINES_MODIN_H_

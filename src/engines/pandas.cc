@@ -1,0 +1,61 @@
+#include "engines/pandas.h"
+
+namespace bento::eng {
+
+const frame::EngineInfo& PandasEngine::info() const {
+  static const frame::EngineInfo* info = new frame::EngineInfo{
+      .id = "pandas",
+      .paper_name = "Pandas",
+      .multithreading = false,
+      .gpu_acceleration = false,
+      .resource_optimization = false,
+      .lazy_evaluation = false,
+      .cluster_deploy = false,
+      .native_language = "Python",
+      .license = "3-Clause BSD",
+      .modeled_version = "1.5.1",
+      .requirements = "",
+  };
+  return *info;
+}
+
+frame::ExecPolicy PandasEngine::NativePolicy() const {
+  frame::ExecPolicy policy;
+  policy.null_probe = kern::NullProbe::kScan;
+  policy.string_engine = kern::StringEngine::kRowObjects;
+  policy.parallel = false;
+  policy.row_apply_object_bytes = 32;    // boxed cells in each row Series
+  policy.row_apply_series_bytes = 8192;  // the Series object + churn per row
+  policy.copy_outputs = true;            // eager intermediate materialization
+  return policy;
+}
+
+const frame::EngineInfo& Pandas2Engine::info() const {
+  static const frame::EngineInfo* info = new frame::EngineInfo{
+      .id = "pandas2",
+      .paper_name = "Pandas2",
+      .multithreading = false,
+      .gpu_acceleration = false,
+      .resource_optimization = false,
+      .lazy_evaluation = false,
+      .cluster_deploy = false,
+      .native_language = "Python",
+      .license = "3-Clause BSD",
+      .modeled_version = "2.0.0",
+      .requirements = "",
+  };
+  return *info;
+}
+
+frame::ExecPolicy Pandas2Engine::NativePolicy() const {
+  frame::ExecPolicy policy;
+  policy.null_probe = kern::NullProbe::kScan;  // NumPy default backend
+  policy.string_engine = kern::StringEngine::kColumnar;  // Arrow strings
+  policy.parallel = false;
+  policy.row_apply_object_bytes = 32;
+  policy.row_apply_series_bytes = 8192;
+  policy.copy_outputs = true;
+  return policy;
+}
+
+}  // namespace bento::eng

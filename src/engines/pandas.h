@@ -1,0 +1,31 @@
+#ifndef BENTO_ENGINES_PANDAS_H_
+#define BENTO_ENGINES_PANDAS_H_
+
+#include "engines/eager_engine.h"
+
+namespace bento::eng {
+
+/// \brief Model of Pandas 1.x: eager, single-threaded, sentinel-null
+/// (isna re-scans values), Python-object strings, defensive copies after
+/// every transform, boxed per-cell overhead on row-wise apply.
+class PandasEngine : public EagerEngineBase {
+ public:
+  const frame::EngineInfo& info() const override;
+  frame::ExecPolicy NativePolicy() const override;
+  int64_t ObjectStringBytes() const override { return 57; }  // PyObject + ptr
+};
+
+/// \brief Model of Pandas 2.x: same orchestration, but Arrow-backed string
+/// storage (columnar string kernels). Null probing still scans — the
+/// paper's finding that Pandas2 improves only slightly over Pandas.
+class Pandas2Engine : public EagerEngineBase {
+ public:
+  const frame::EngineInfo& info() const override;
+  frame::ExecPolicy NativePolicy() const override;
+  // The 2.0.0 default dtype backend still boxes strings as objects.
+  int64_t ObjectStringBytes() const override { return 57; }
+};
+
+}  // namespace bento::eng
+
+#endif  // BENTO_ENGINES_PANDAS_H_

@@ -1,0 +1,32 @@
+#include "engines/polars.h"
+
+namespace bento::eng {
+
+const frame::EngineInfo& PolarsEngine::info() const {
+  static const frame::EngineInfo* info = new frame::EngineInfo{
+      .id = "polars",
+      .paper_name = "Polars",
+      .multithreading = true,
+      .gpu_acceleration = false,
+      .resource_optimization = true,
+      .lazy_evaluation = true,
+      .cluster_deploy = false,
+      .native_language = "Rust",
+      .license = "MIT",
+      .modeled_version = "0.15.1",
+      .requirements = "",
+  };
+  return *info;
+}
+
+frame::ExecPolicy PolarsEngine::ExecutionPolicy() const {
+  frame::ExecPolicy policy;
+  policy.null_probe = kern::NullProbe::kMetadata;  // Arrow validity metadata
+  policy.string_engine = kern::StringEngine::kColumnar;
+  policy.parallel = true;  // morsel-driven parallelism
+  policy.approx_quantile = true;
+  policy.row_apply_object_bytes = 8;  // typed closures, no boxing
+  return policy;
+}
+
+}  // namespace bento::eng

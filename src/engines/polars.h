@@ -1,0 +1,33 @@
+#ifndef BENTO_ENGINES_POLARS_H_
+#define BENTO_ENGINES_POLARS_H_
+
+#include "engines/lazy_engine.h"
+
+namespace bento::eng {
+
+/// \brief Model of Polars: expression plans with projection/predicate
+/// pushdown, streaming batched execution, morsel-parallel kernels, and
+/// Arrow null-count metadata fast paths. Construct with lazy=false for the
+/// eager comparison mode of Fig. 7.
+class PolarsEngine : public LazyEngineBase {
+ public:
+  explicit PolarsEngine(bool lazy = true) : lazy_(lazy) {}
+
+  const frame::EngineInfo& info() const override;
+  bool lazy() const override { return lazy_; }
+  frame::ExecPolicy ExecutionPolicy() const override;
+  int64_t ChunkRows() const override {
+    return ScaledBatchRows(128 * 1024);
+  }
+  double PlanOverheadSeconds() const override {
+    // ~0.2 s of plan optimization at full scale.
+    return 0.2 * sim::CostScale();
+  }
+
+ private:
+  bool lazy_;
+};
+
+}  // namespace bento::eng
+
+#endif  // BENTO_ENGINES_POLARS_H_

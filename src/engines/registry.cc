@@ -1,0 +1,43 @@
+#include "frame/engine.h"
+
+#include "engines/cudf.h"
+#include "engines/datatable.h"
+#include "engines/modin.h"
+#include "engines/pandas.h"
+#include "engines/polars.h"
+#include "engines/spark.h"
+#include "engines/vaex.h"
+
+namespace bento::frame {
+
+Result<EnginePtr> CreateEngine(const std::string& id) {
+  using namespace bento::eng;  // NOLINT(build/namespaces): factory only
+  if (id == "pandas") return EnginePtr(std::make_shared<PandasEngine>());
+  if (id == "pandas2") return EnginePtr(std::make_shared<Pandas2Engine>());
+  if (id == "spark_pd") return EnginePtr(std::make_shared<SparkPdEngine>());
+  if (id == "spark_sql") return EnginePtr(std::make_shared<SparkSqlEngine>());
+  if (id == "modin_dask") return EnginePtr(std::make_shared<ModinDaskEngine>());
+  if (id == "modin_ray") return EnginePtr(std::make_shared<ModinRayEngine>());
+  if (id == "polars") return EnginePtr(std::make_shared<PolarsEngine>());
+  if (id == "cudf") return EnginePtr(std::make_shared<CudfEngine>());
+  if (id == "vaex") return EnginePtr(std::make_shared<VaexEngine>());
+  if (id == "datatable") return EnginePtr(std::make_shared<DataTableEngine>());
+  // Eager variants of the lazy engines, for the Fig. 7 comparison.
+  if (id == "polars_eager") {
+    return EnginePtr(std::make_shared<PolarsEngine>(false));
+  }
+  if (id == "spark_sql_eager") {
+    return EnginePtr(std::make_shared<SparkSqlEngine>(false));
+  }
+  if (id == "spark_pd_eager") {
+    return EnginePtr(std::make_shared<SparkPdEngine>(false));
+  }
+  return Status::KeyError("unknown engine '", id, "'");
+}
+
+std::vector<std::string> EngineIds() {
+  return {"pandas",     "pandas2", "spark_pd", "spark_sql", "modin_dask",
+          "modin_ray",  "polars",  "cudf",     "vaex",      "datatable"};
+}
+
+}  // namespace bento::frame

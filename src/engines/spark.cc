@@ -1,0 +1,76 @@
+#include "engines/spark.h"
+
+#include "columnar/builder.h"
+
+namespace bento::eng {
+
+const frame::EngineInfo& SparkSqlEngine::info() const {
+  static const frame::EngineInfo* info = new frame::EngineInfo{
+      .id = "spark_sql",
+      .paper_name = "SparkSQL",
+      .multithreading = true,
+      .gpu_acceleration = false,
+      .resource_optimization = true,
+      .lazy_evaluation = true,
+      .cluster_deploy = true,
+      .native_language = "Scala",
+      .license = "Apache 2.0",
+      .modeled_version = "3.4.1",
+      .requirements = "SparkContext",
+  };
+  return *info;
+}
+
+frame::ExecPolicy SparkSqlEngine::ExecutionPolicy() const {
+  frame::ExecPolicy policy;
+  policy.null_probe = kern::NullProbe::kMetadata;
+  policy.string_engine = kern::StringEngine::kColumnar;
+  policy.parallel = true;
+  policy.approx_quantile = true;  // approxQuantile is the Spark idiom
+  policy.row_apply_object_bytes = 16;  // serialized UDF boundary
+  return policy;
+}
+
+const frame::EngineInfo& SparkPdEngine::info() const {
+  static const frame::EngineInfo* info = new frame::EngineInfo{
+      .id = "spark_pd",
+      .paper_name = "SparkPD",
+      .multithreading = true,
+      .gpu_acceleration = false,
+      .resource_optimization = true,
+      .lazy_evaluation = true,
+      .cluster_deploy = true,
+      .native_language = "Scala",
+      .license = "Apache 2.0",
+      .modeled_version = "3.4.1",
+      .requirements = "SparkContext",
+  };
+  return *info;
+}
+
+frame::ExecPolicy SparkPdEngine::ExecutionPolicy() const {
+  frame::ExecPolicy policy;
+  policy.null_probe = kern::NullProbe::kMetadata;
+  policy.string_engine = kern::StringEngine::kColumnar;
+  policy.parallel = true;
+  policy.row_apply_object_bytes = 32;  // Pandas UDF boxing over Arrow batches
+  // Opportunistic evaluation materializes intermediate Pandas-like results.
+  policy.copy_outputs = true;
+  return policy;
+}
+
+Result<LazySource> SparkPdEngine::PrepareSource(LazySource source) const {
+  // Koalas attaches a distributed default index to give Spark frames Pandas
+  // semantics; for in-memory sources we materialize it (file sources pay
+  // the equivalent through copy_outputs during execution).
+  if (source.kind != LazySource::Kind::kTable) return source;
+  col::Int64Builder b;
+  b.Reserve(source.table->num_rows());
+  for (int64_t i = 0; i < source.table->num_rows(); ++i) b.Append(i);
+  BENTO_ASSIGN_OR_RETURN(auto index, b.Finish());
+  BENTO_ASSIGN_OR_RETURN(source.table,
+                         source.table->SetColumn("__index__", index));
+  return source;
+}
+
+}  // namespace bento::eng

@@ -1,0 +1,588 @@
+#include "engines/streaming_ops.h"
+
+#include <cmath>
+#include <functional>
+#include <cstdio>
+#include <queue>
+#include <unistd.h>
+#include <unordered_set>
+
+#include "columnar/builder.h"
+#include "kernels/apply.h"
+#include "kernels/groupby.h"
+#include "kernels/pivot.h"
+#include "kernels/row_hash.h"
+#include "kernels/selection.h"
+#include "kernels/sort.h"
+#include "kernels/stats.h"
+
+namespace bento::eng {
+
+using col::TablePtr;
+using frame::ExecPolicy;
+using kern::AggKind;
+using kern::AggSpec;
+
+namespace {
+
+/// Decomposed partial-aggregation plan for one requested aggregation.
+struct DecomposedAgg {
+  AggSpec request;                // what the caller asked for
+  std::vector<AggSpec> partials;  // partial columns computed per chunk
+  std::vector<AggSpec> merges;    // how partial columns merge
+};
+
+std::vector<DecomposedAgg> DecomposeAggs(const std::vector<AggSpec>& aggs) {
+  std::vector<DecomposedAgg> out;
+  int tag = 0;
+  for (const AggSpec& spec : aggs) {
+    DecomposedAgg d;
+    d.request = spec;
+    auto add = [&](AggKind kind, const char* suffix,
+                   AggKind merge_kind) {
+      std::string name =
+          "__p" + std::to_string(tag) + "_" + suffix;
+      d.partials.push_back(AggSpec{spec.column, kind, name});
+      d.merges.push_back(AggSpec{name, merge_kind, name});
+    };
+    switch (spec.kind) {
+      case AggKind::kSum:
+        add(AggKind::kSum, "sum", AggKind::kSum);
+        break;
+      case AggKind::kCount:
+        add(AggKind::kCount, "cnt", AggKind::kSum);
+        break;
+      case AggKind::kMin:
+        add(AggKind::kMin, "min", AggKind::kMin);
+        break;
+      case AggKind::kMax:
+        add(AggKind::kMax, "max", AggKind::kMax);
+        break;
+      case AggKind::kMean:
+        add(AggKind::kSum, "sum", AggKind::kSum);
+        add(AggKind::kCount, "cnt", AggKind::kSum);
+        break;
+      case AggKind::kStd:
+      case AggKind::kSumSq:
+        add(AggKind::kSum, "sum", AggKind::kSum);
+        add(AggKind::kCount, "cnt", AggKind::kSum);
+        add(AggKind::kSumSq, "sumsq", AggKind::kSum);
+        break;
+    }
+    ++tag;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+double NumericCell(const col::Array& a, int64_t i) {
+  switch (a.type()) {
+    case col::TypeId::kFloat64:
+      return a.float64_data()[i];
+    case col::TypeId::kBool:
+      return a.bool_data()[i] != 0 ? 1.0 : 0.0;
+    default:
+      return static_cast<double>(a.int64_data()[i]);
+  }
+}
+
+/// Finalizes the merged decomposed columns into the requested outputs.
+Result<TablePtr> FinalizeAggs(const TablePtr& merged,
+                              const std::vector<std::string>& keys,
+                              const std::vector<DecomposedAgg>& decomposed) {
+  BENTO_ASSIGN_OR_RETURN(auto out, merged->SelectColumns(keys));
+  const int64_t n = merged->num_rows();
+  for (const DecomposedAgg& d : decomposed) {
+    const std::string out_name = kern::DefaultAggName(d.request);
+    if (d.request.kind == AggKind::kCount) {
+      BENTO_ASSIGN_OR_RETURN(auto cnt, merged->GetColumn(d.partials[0].output_name));
+      col::Int64Builder b;
+      b.Reserve(n);
+      for (int64_t i = 0; i < n; ++i) {
+        b.AppendMaybe(cnt->IsValid(i)
+                          ? static_cast<int64_t>(NumericCell(*cnt, i))
+                          : 0,
+                      cnt->IsValid(i));
+      }
+      BENTO_ASSIGN_OR_RETURN(auto arr, b.Finish());
+      BENTO_ASSIGN_OR_RETURN(out, out->SetColumn(out_name, arr));
+      continue;
+    }
+
+    col::Float64Builder b;
+    b.Reserve(n);
+    switch (d.request.kind) {
+      case AggKind::kSum:
+      case AggKind::kMin:
+      case AggKind::kMax:
+      case AggKind::kSumSq: {
+        BENTO_ASSIGN_OR_RETURN(auto v,
+                               merged->GetColumn(d.partials[0].output_name));
+        // SumSq merges via three partials; its value is the third.
+        if (d.request.kind == AggKind::kSumSq) {
+          BENTO_ASSIGN_OR_RETURN(v, merged->GetColumn(d.partials[2].output_name));
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          b.AppendMaybe(v->IsValid(i) ? NumericCell(*v, i) : 0.0, v->IsValid(i));
+        }
+        break;
+      }
+      case AggKind::kMean: {
+        BENTO_ASSIGN_OR_RETURN(auto sum,
+                               merged->GetColumn(d.partials[0].output_name));
+        BENTO_ASSIGN_OR_RETURN(auto cnt,
+                               merged->GetColumn(d.partials[1].output_name));
+        for (int64_t i = 0; i < n; ++i) {
+          const double c = cnt->IsValid(i) ? NumericCell(*cnt, i) : 0.0;
+          if (c <= 0.0 || !sum->IsValid(i)) {
+            b.AppendNull();
+          } else {
+            b.Append(NumericCell(*sum, i) / c);
+          }
+        }
+        break;
+      }
+      case AggKind::kStd: {
+        BENTO_ASSIGN_OR_RETURN(auto sum,
+                               merged->GetColumn(d.partials[0].output_name));
+        BENTO_ASSIGN_OR_RETURN(auto cnt,
+                               merged->GetColumn(d.partials[1].output_name));
+        BENTO_ASSIGN_OR_RETURN(auto sumsq,
+                               merged->GetColumn(d.partials[2].output_name));
+        for (int64_t i = 0; i < n; ++i) {
+          const double c = cnt->IsValid(i) ? NumericCell(*cnt, i) : 0.0;
+          if (c < 2.0 || !sum->IsValid(i) || !sumsq->IsValid(i)) {
+            b.AppendNull();
+          } else {
+            const double s = NumericCell(*sum, i);
+            const double ss = NumericCell(*sumsq, i);
+            double var = (ss - s * s / c) / (c - 1.0);
+            b.Append(var > 0.0 ? std::sqrt(var) : 0.0);
+          }
+        }
+        break;
+      }
+      case AggKind::kCount:
+        break;  // handled above
+    }
+    BENTO_ASSIGN_OR_RETURN(auto arr, b.Finish());
+    BENTO_ASSIGN_OR_RETURN(out, out->SetColumn(out_name, arr));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TablePtr> StreamingGroupBy(ChunkStream* input,
+                                  const std::vector<std::string>& keys,
+                                  const std::vector<AggSpec>& aggs,
+                                  const ExecPolicy& policy) {
+  auto decomposed = DecomposeAggs(aggs);
+  std::vector<AggSpec> partial_specs;
+  std::vector<AggSpec> merge_specs;
+  for (const DecomposedAgg& d : decomposed) {
+    partial_specs.insert(partial_specs.end(), d.partials.begin(),
+                         d.partials.end());
+    merge_specs.insert(merge_specs.end(), d.merges.begin(), d.merges.end());
+  }
+
+  // Partial count columns decode as int64 but merge through kSum (float64);
+  // normalize them to float64 so compacted and fresh partials share a schema.
+  auto normalize = [&](TablePtr partial) -> Result<TablePtr> {
+    for (const kern::AggSpec& spec : partial_specs) {
+      if (spec.kind != AggKind::kCount) continue;
+      BENTO_ASSIGN_OR_RETURN(auto column, partial->GetColumn(spec.output_name));
+      if (column->type() == col::TypeId::kInt64) {
+        col::Float64Builder b;
+        b.Reserve(column->length());
+        for (int64_t i = 0; i < column->length(); ++i) {
+          b.AppendMaybe(static_cast<double>(column->int64_data()[i]),
+                        column->IsValid(i));
+        }
+        BENTO_ASSIGN_OR_RETURN(auto as_float, b.Finish());
+        BENTO_ASSIGN_OR_RETURN(partial,
+                               partial->SetColumn(spec.output_name, as_float));
+      }
+    }
+    return partial;
+  };
+
+  std::vector<TablePtr> partials;
+  constexpr size_t kCompactEvery = 16;
+  while (true) {
+    BENTO_ASSIGN_OR_RETURN(auto chunk, input->Next());
+    if (chunk == nullptr) break;
+    if (chunk->num_rows() == 0) continue;
+    BENTO_ASSIGN_OR_RETURN(auto partial,
+                           kern::GroupBy(chunk, keys, partial_specs));
+    BENTO_ASSIGN_OR_RETURN(partial, normalize(std::move(partial)));
+    partials.push_back(std::move(partial));
+    if (partials.size() >= kCompactEvery) {
+      BENTO_ASSIGN_OR_RETURN(auto concat, col::ConcatTables(partials));
+      BENTO_ASSIGN_OR_RETURN(auto compacted,
+                             kern::GroupBy(concat, keys, merge_specs));
+      partials.clear();
+      partials.push_back(std::move(compacted));
+    }
+  }
+  if (partials.empty()) {
+    return Status::Invalid("streaming group-by over an empty stream");
+  }
+  BENTO_ASSIGN_OR_RETURN(auto concat, col::ConcatTables(partials));
+  BENTO_ASSIGN_OR_RETURN(auto merged, kern::GroupBy(concat, keys, merge_specs));
+  return FinalizeAggs(merged, keys, decomposed);
+}
+
+namespace {
+
+Result<std::string> TempBcfPath() {
+  static std::atomic<uint64_t> counter{0};
+  const char* tmp = std::getenv("TMPDIR");
+  std::string base = tmp != nullptr ? tmp : "/tmp";
+  return base + "/bento_run_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".bcf";
+}
+
+/// Cursor over one spilled sorted run.
+struct RunCursor {
+  std::unique_ptr<io::BcfReader> reader;
+  std::string path;
+  TablePtr chunk;
+  int group = 0;
+  int64_t row = 0;
+
+  ~RunCursor() {
+    reader.reset();
+    if (!path.empty()) std::remove(path.c_str());
+  }
+
+  Status Advance() {
+    ++row;
+    if (chunk != nullptr && row < chunk->num_rows()) return Status::OK();
+    row = 0;
+    chunk = nullptr;
+    while (group < reader->num_row_groups()) {
+      BENTO_ASSIGN_OR_RETURN(auto next, reader->ReadRowGroup(group++));
+      if (next->num_rows() > 0) {
+        chunk = std::move(next);
+        return Status::OK();
+      }
+    }
+    return Status::OK();  // exhausted: chunk stays null
+  }
+
+  bool exhausted() const { return chunk == nullptr; }
+};
+
+}  // namespace
+
+namespace {
+
+/// Shared core of the external sort: sorted runs spill to temp BCF files;
+/// the k-way merge emits ordered output chunks to `sink`.
+Status ExternalSortImpl(ChunkStream* input,
+                        const std::vector<kern::SortKey>& keys,
+                        const ExecPolicy& policy, int64_t run_rows,
+                        const std::function<Status(TablePtr)>& sink) {
+  // Phase 1: build sorted runs, spilling each to its own temp BCF file.
+  // Runs are bounded both by rows and by bytes (one run plus its sorted
+  // copy must fit comfortably inside the machine budget).
+  uint64_t run_budget_bytes = 64ULL << 20;
+  if (sim::Session::Current() != nullptr &&
+      sim::Session::Current()->host_pool()->budget() > 0) {
+    run_budget_bytes = std::max<uint64_t>(
+        sim::Session::Current()->host_pool()->budget() / 8, 128 << 10);
+  }
+  std::vector<std::unique_ptr<RunCursor>> runs;
+  std::vector<TablePtr> pending;
+  int64_t pending_rows = 0;
+  uint64_t pending_bytes = 0;
+  col::SchemaPtr schema;
+
+  auto flush_run = [&]() -> Status {
+    if (pending.empty()) return Status::OK();
+    BENTO_ASSIGN_OR_RETURN(auto run_table, col::ConcatTablesReleasing(&pending));
+    pending_rows = 0;
+    pending_bytes = 0;
+    TablePtr sorted;
+    if (policy.parallel) {
+      BENTO_ASSIGN_OR_RETURN(
+          auto indices,
+          kern::ArgSortParallel(run_table, keys, policy.parallel_options));
+      BENTO_ASSIGN_OR_RETURN(sorted, kern::TakeTable(run_table, indices));
+    } else {
+      BENTO_ASSIGN_OR_RETURN(sorted, kern::SortTable(run_table, keys));
+    }
+    run_table.reset();
+    BENTO_ASSIGN_OR_RETURN(std::string path, TempBcfPath());
+    io::BcfWriteOptions wopts;
+    wopts.row_group_rows = 2048;  // cursors hold one group per run
+    wopts.compression = false;    // spill prioritizes speed over size
+    BENTO_RETURN_NOT_OK(io::WriteBcf(sorted, path, wopts));
+    sorted.reset();
+    auto cursor = std::make_unique<RunCursor>();
+    BENTO_ASSIGN_OR_RETURN(cursor->reader, io::BcfReader::Open(path));
+    cursor->path = path;
+    cursor->row = -1;
+    BENTO_RETURN_NOT_OK(cursor->Advance());
+    runs.push_back(std::move(cursor));
+    return Status::OK();
+  };
+
+  while (true) {
+    BENTO_ASSIGN_OR_RETURN(auto chunk, input->Next());
+    if (chunk == nullptr) break;
+    if (schema == nullptr) schema = chunk->schema();
+    if (chunk->num_rows() == 0) continue;
+    pending_rows += chunk->num_rows();
+    pending_bytes += chunk->ByteSize();
+    pending.push_back(std::move(chunk));
+    if (pending_rows >= run_rows || pending_bytes >= run_budget_bytes) {
+      BENTO_RETURN_NOT_OK(flush_run());
+    }
+  }
+  BENTO_RETURN_NOT_OK(flush_run());
+
+  if (runs.empty()) {
+    if (schema == nullptr) {
+      return Status::Invalid("external sort over an empty stream");
+    }
+    BENTO_ASSIGN_OR_RETURN(auto empty, col::Table::MakeEmpty(schema));
+    return sink(empty);
+  }
+  if (runs.size() == 1) {
+    // Single run: stream it back whole.
+    while (!runs[0]->exhausted()) {
+      TablePtr chunk = runs[0]->chunk;
+      runs[0]->chunk = nullptr;
+      runs[0]->row = -1;
+      BENTO_RETURN_NOT_OK(sink(std::move(chunk)));
+      BENTO_RETURN_NOT_OK(runs[0]->Advance());
+    }
+    return Status::OK();
+  }
+
+  // Phase 2: cursor-based k-way merge, assembling output in chunks.
+  auto cmp_runs = [&](size_t a, size_t b) -> Result<int> {
+    return kern::CompareTableRows(runs[a]->chunk, runs[a]->row, runs[b]->chunk,
+                                  runs[b]->row, keys);
+  };
+
+  std::vector<std::unique_ptr<kern::ScalarColumnAssembler>> assemblers;
+  const col::SchemaPtr out_schema = runs[0]->chunk->schema();
+  auto reset_assemblers = [&]() {
+    assemblers.clear();
+    for (const col::Field& f : out_schema->fields()) {
+      // Categorical round-trips as string through the assembler.
+      col::TypeId t = f.type == col::TypeId::kCategorical
+                          ? col::TypeId::kString
+                          : f.type;
+      assemblers.push_back(std::make_unique<kern::ScalarColumnAssembler>(t));
+    }
+  };
+  reset_assemblers();
+  int64_t assembled = 0;
+  constexpr int64_t kOutChunk = 8192;  // bounds merge-phase staging
+
+  auto flush_output = [&]() -> Status {
+    if (assembled == 0) return Status::OK();
+    std::vector<col::Field> fields;
+    std::vector<col::ArrayPtr> columns;
+    for (int c = 0; c < out_schema->num_fields(); ++c) {
+      BENTO_ASSIGN_OR_RETURN(auto arr, assemblers[static_cast<size_t>(c)]->Finish());
+      col::Field f = out_schema->field(c);
+      if (f.type == col::TypeId::kCategorical) f.type = col::TypeId::kString;
+      fields.push_back(f);
+      columns.push_back(std::move(arr));
+    }
+    BENTO_ASSIGN_OR_RETURN(
+        auto chunk, col::Table::Make(
+                        std::make_shared<col::Schema>(std::move(fields)),
+                        std::move(columns)));
+    BENTO_RETURN_NOT_OK(sink(std::move(chunk)));
+    reset_assemblers();
+    assembled = 0;
+    return Status::OK();
+  };
+
+  while (true) {
+    // Pick the smallest head among non-exhausted runs.
+    int best = -1;
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if (runs[r]->exhausted()) continue;
+      if (best < 0) {
+        best = static_cast<int>(r);
+        continue;
+      }
+      BENTO_ASSIGN_OR_RETURN(int c, cmp_runs(r, static_cast<size_t>(best)));
+      if (c < 0) best = static_cast<int>(r);
+    }
+    if (best < 0) break;
+    RunCursor& cursor = *runs[static_cast<size_t>(best)];
+    for (int c = 0; c < out_schema->num_fields(); ++c) {
+      BENTO_RETURN_NOT_OK(assemblers[static_cast<size_t>(c)]->Append(
+          cursor.chunk->column(c)->GetScalar(cursor.row)));
+    }
+    ++assembled;
+    if (assembled >= kOutChunk) BENTO_RETURN_NOT_OK(flush_output());
+    BENTO_RETURN_NOT_OK(cursor.Advance());
+  }
+  return flush_output();
+}
+
+}  // namespace
+
+Result<TablePtr> ExternalSort(ChunkStream* input,
+                              const std::vector<kern::SortKey>& keys,
+                              const ExecPolicy& policy, int64_t run_rows) {
+  std::vector<TablePtr> output_chunks;
+  BENTO_RETURN_NOT_OK(ExternalSortImpl(input, keys, policy, run_rows,
+                                       [&](TablePtr chunk) {
+                                         output_chunks.push_back(
+                                             std::move(chunk));
+                                         return Status::OK();
+                                       }));
+  if (output_chunks.empty()) {
+    return Status::Invalid("external sort produced no output");
+  }
+  return col::ConcatTablesReleasing(&output_chunks);
+}
+
+Result<std::string> ExternalSortToFile(ChunkStream* input,
+                                       const std::vector<kern::SortKey>& keys,
+                                       const ExecPolicy& policy,
+                                       int64_t run_rows) {
+  BENTO_ASSIGN_OR_RETURN(std::string path, TempBcfPath());
+  io::BcfWriteOptions wopts;
+  wopts.row_group_rows = 64 * 1024;
+  wopts.compression = false;
+  BENTO_ASSIGN_OR_RETURN(auto writer, io::BcfWriter::Open(path, wopts));
+  Status st = ExternalSortImpl(input, keys, policy, run_rows,
+                               [&](TablePtr chunk) {
+                                 return writer->Append(chunk);
+                               });
+  if (!st.ok()) {
+    std::remove(path.c_str());
+    return st;
+  }
+  BENTO_RETURN_NOT_OK(writer->Finish());
+  return path;
+}
+
+Result<TablePtr> StreamingDedup(ChunkStream* input,
+                                const std::vector<std::string>& subset) {
+  std::unordered_set<uint64_t> seen;
+  std::vector<TablePtr> kept;
+  while (true) {
+    BENTO_ASSIGN_OR_RETURN(auto chunk, input->Next());
+    if (chunk == nullptr) break;
+    if (chunk->num_rows() == 0) continue;
+    BENTO_ASSIGN_OR_RETURN(auto hashes, kern::HashRows(chunk, subset));
+    col::BoolBuilder keep;
+    keep.Reserve(chunk->num_rows());
+    for (int64_t i = 0; i < chunk->num_rows(); ++i) {
+      keep.Append(seen.insert(hashes[static_cast<size_t>(i)]).second);
+    }
+    BENTO_ASSIGN_OR_RETURN(auto mask, keep.Finish());
+    BENTO_ASSIGN_OR_RETURN(auto filtered, kern::FilterTable(chunk, mask));
+    if (filtered->num_rows() > 0) kept.push_back(std::move(filtered));
+  }
+  if (kept.empty()) {
+    return Status::Invalid("streaming dedup over an empty stream");
+  }
+  return col::ConcatTablesReleasing(&kept);
+}
+
+Result<TablePtr> StreamingPivot(ChunkStream* input, const frame::Op& op,
+                                const ExecPolicy& policy) {
+  // Aggregate down to one row per (index, columns) pair, then pivot the
+  // small result in memory.
+  std::vector<AggSpec> aggs = {
+      AggSpec{op.pivot_values, op.pivot_agg, "__pivot_value"}};
+  BENTO_ASSIGN_OR_RETURN(
+      auto grouped,
+      StreamingGroupBy(input, {op.pivot_index, op.pivot_columns}, aggs,
+                       policy));
+  // Cell groups are unique, so any decomposable agg of the single value
+  // reproduces it; the output column names match the kernel's convention.
+  return kern::PivotTable(grouped, op.pivot_index, op.pivot_columns,
+                          "__pivot_value",
+                          op.pivot_agg == kern::AggKind::kCount
+                              ? kern::AggKind::kSum
+                              : kern::AggKind::kMean);
+}
+
+Result<TablePtr> DrainStream(ChunkStream* input) {
+  std::vector<TablePtr> chunks;
+  while (true) {
+    BENTO_ASSIGN_OR_RETURN(auto chunk, input->Next());
+    if (chunk == nullptr) break;
+    chunks.push_back(std::move(chunk));
+  }
+  if (chunks.empty()) return Status::Invalid("drained an empty stream");
+  // Releasing concat keeps the peak at one copy plus one column.
+  return col::ConcatTablesReleasing(&chunks);
+}
+
+
+Result<std::string> SpillStreamToFile(ChunkStream* input) {
+  BENTO_ASSIGN_OR_RETURN(std::string path, TempBcfPath());
+  io::BcfWriteOptions wopts;
+  wopts.row_group_rows = 4096;  // pass-2 readers stream small batches
+  wopts.compression = false;
+  BENTO_ASSIGN_OR_RETURN(auto writer, io::BcfWriter::Open(path, wopts));
+  bool any = false;
+  Status st;
+  while (true) {
+    auto chunk = input->Next();
+    if (!chunk.ok()) {
+      st = chunk.status();
+      break;
+    }
+    if (chunk.ValueOrDie() == nullptr) break;
+    st = writer->Append(chunk.ValueOrDie());
+    if (!st.ok()) break;
+    any = true;
+  }
+  if (st.ok() && !any) st = Status::Invalid("spilled an empty stream");
+  if (st.ok()) st = writer->Finish();
+  if (!st.ok()) {
+    std::remove(path.c_str());
+    return st;
+  }
+  return path;
+}
+
+Result<std::vector<std::string>> StreamDistinctValues(
+    ChunkStream* input, const std::string& column) {
+  std::vector<std::string> values;
+  std::unordered_set<std::string> seen;
+  while (true) {
+    BENTO_ASSIGN_OR_RETURN(auto chunk, input->Next());
+    if (chunk == nullptr) break;
+    BENTO_ASSIGN_OR_RETURN(auto c, chunk->GetColumn(column));
+    for (int64_t i = 0; i < c->length(); ++i) {
+      if (c->IsNull(i)) continue;
+      std::string v = c->ValueToString(i);
+      if (seen.insert(v).second) values.push_back(std::move(v));
+    }
+  }
+  return values;
+}
+
+Result<double> StreamColumnMean(ChunkStream* input, const std::string& column) {
+  double sum = 0.0;
+  int64_t count = 0;
+  while (true) {
+    BENTO_ASSIGN_OR_RETURN(auto chunk, input->Next());
+    if (chunk == nullptr) break;
+    BENTO_ASSIGN_OR_RETURN(auto c, chunk->GetColumn(column));
+    BENTO_ASSIGN_OR_RETURN(auto s, kern::Aggregate(c, AggKind::kSum));
+    BENTO_ASSIGN_OR_RETURN(auto n, kern::Aggregate(c, AggKind::kCount));
+    if (!s.is_null()) sum += s.double_value();
+    count += n.int_value();
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace bento::eng

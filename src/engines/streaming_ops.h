@@ -1,0 +1,72 @@
+#ifndef BENTO_ENGINES_STREAMING_OPS_H_
+#define BENTO_ENGINES_STREAMING_OPS_H_
+
+#include <vector>
+
+#include "engines/chunk_stream.h"
+#include "frame/exec.h"
+#include "kernels/common.h"
+
+namespace bento::eng {
+
+/// Out-of-core / bounded-memory implementations of the pipeline-breaking
+/// operators, used by the SparkSQL-model engine. These consume a ChunkStream
+/// and keep peak memory at O(groups), O(run), or O(distinct) instead of
+/// O(dataset) — the property that lets SparkSQL finish the largest datasets
+/// on the laptop configuration (Table V).
+
+/// \brief Partial-aggregation group-by: per-chunk local aggregation into
+/// decomposed partials (sum/count/min/max/sumsq), periodic compaction, exact
+/// final merge. Peak memory O(#groups).
+Result<col::TablePtr> StreamingGroupBy(ChunkStream* input,
+                                       const std::vector<std::string>& keys,
+                                       const std::vector<kern::AggSpec>& aggs,
+                                       const frame::ExecPolicy& policy);
+
+/// \brief External merge sort: sorted runs of `run_rows` rows spill to
+/// temporary BCF files; a cursor-based k-way merge re-streams them. Peak
+/// memory O(run + output).
+Result<col::TablePtr> ExternalSort(ChunkStream* input,
+                                   const std::vector<kern::SortKey>& keys,
+                                   const frame::ExecPolicy& policy,
+                                   int64_t run_rows = 256 * 1024);
+
+/// \brief Fully out-of-core variant: the merged output is written to a
+/// temporary BCF file (Spark's shuffle-file shape) instead of materialized;
+/// peak memory O(run). Returns the temp file path (caller owns/deletes).
+Result<std::string> ExternalSortToFile(ChunkStream* input,
+                                       const std::vector<kern::SortKey>& keys,
+                                       const frame::ExecPolicy& policy,
+                                       int64_t run_rows = 256 * 1024);
+
+/// \brief Streaming deduplication on 64-bit row hashes over `subset`
+/// columns. Peak memory O(#distinct hashes). Hash collisions would drop a
+/// non-duplicate row (probability ~ n^2 / 2^64, negligible at benchmarked
+/// scales; the trade Spark's partial dedup makes too).
+Result<col::TablePtr> StreamingDedup(ChunkStream* input,
+                                     const std::vector<std::string>& subset);
+
+/// \brief Streaming pivot: decomposed group-by on (index, columns) followed
+/// by a small in-memory pivot of the aggregated result.
+Result<col::TablePtr> StreamingPivot(ChunkStream* input,
+                                     const frame::Op& op,
+                                     const frame::ExecPolicy& policy);
+
+/// \brief Drains a stream into one table (concat of its chunks).
+Result<col::TablePtr> DrainStream(ChunkStream* input);
+
+/// \brief Spills a stream to a temporary BCF file (bounded memory); the
+/// first half of the two-pass streaming operators. Caller owns the file.
+Result<std::string> SpillStreamToFile(ChunkStream* input);
+
+/// \brief First-seen-order distinct non-null values of `column` over a
+/// stream (category/dictionary discovery pass).
+Result<std::vector<std::string>> StreamDistinctValues(ChunkStream* input,
+                                                      const std::string& column);
+
+/// \brief Streaming mean of a numeric column (fillna-with-mean pass 1).
+Result<double> StreamColumnMean(ChunkStream* input, const std::string& column);
+
+}  // namespace bento::eng
+
+#endif  // BENTO_ENGINES_STREAMING_OPS_H_

@@ -1,0 +1,30 @@
+#ifndef BENTO_ENGINES_VAEX_H_
+#define BENTO_ENGINES_VAEX_H_
+
+#include "engines/lazy_engine.h"
+
+namespace bento::eng {
+
+/// \brief Model of Vaex: CSV sources convert once into an on-disk columnar
+/// store (the HDF5-conversion pass) that is then streamed zero-copy-style,
+/// so peak RAM stays O(chunk); column-wise expressions are virtual columns
+/// evaluated lazily per chunk. Row-wise inspections (isna, outliers) go
+/// through the value-scanning probe plus a per-chunk expression-graph
+/// dispatch overhead — the paper's "much less efficient row-wise" finding.
+class VaexEngine : public LazyEngineBase {
+ public:
+  const frame::EngineInfo& info() const override;
+  frame::ExecPolicy ExecutionPolicy() const override;
+  int64_t ChunkRows() const override {
+    return ScaledBatchRows(64 * 1024, 1024);
+  }
+  double PerChunkOverheadSeconds() const override { return 300e-6; }
+
+  Result<LazySource> PrepareSource(LazySource source) const override;
+  double ActionPenaltySeconds(const frame::Op& op,
+                              const col::TablePtr& table) const override;
+};
+
+}  // namespace bento::eng
+
+#endif  // BENTO_ENGINES_VAEX_H_

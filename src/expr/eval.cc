@@ -1,0 +1,220 @@
+#include "expr/eval.h"
+
+#include "columnar/builder.h"
+#include "kernels/arithmetic.h"
+#include "kernels/compare.h"
+#include "kernels/datetime.h"
+#include "kernels/null_ops.h"
+#include "kernels/string_ops.h"
+
+namespace bento::expr {
+
+namespace {
+
+using col::ArrayPtr;
+using col::Scalar;
+using col::TablePtr;
+using col::TypeId;
+
+Result<ArrayPtr> BroadcastLiteral(const Scalar& value, int64_t length) {
+  switch (value.kind()) {
+    case Scalar::Kind::kNull:
+      return col::Array::MakeAllNull(TypeId::kFloat64, length);
+    case Scalar::Kind::kInt: {
+      col::Int64Builder b;
+      b.Reserve(length);
+      for (int64_t i = 0; i < length; ++i) b.Append(value.int_value());
+      return b.Finish();
+    }
+    case Scalar::Kind::kDouble: {
+      col::Float64Builder b;
+      b.Reserve(length);
+      for (int64_t i = 0; i < length; ++i) b.Append(value.double_value());
+      return b.Finish();
+    }
+    case Scalar::Kind::kBool: {
+      col::BoolBuilder b;
+      b.Reserve(length);
+      for (int64_t i = 0; i < length; ++i) b.Append(value.bool_value());
+      return b.Finish();
+    }
+    case Scalar::Kind::kString: {
+      col::StringBuilder b;
+      b.Reserve(length);
+      for (int64_t i = 0; i < length; ++i) b.Append(value.string_value());
+      return b.Finish();
+    }
+    case Scalar::Kind::kTimestamp: {
+      col::TimestampBuilder b;
+      b.Reserve(length);
+      for (int64_t i = 0; i < length; ++i) b.Append(value.int_value());
+      return b.Finish();
+    }
+  }
+  return Status::Invalid("bad literal");
+}
+
+kern::BinaryOp ToKernelArith(BinOpKind op) {
+  switch (op) {
+    case BinOpKind::kAdd:
+      return kern::BinaryOp::kAdd;
+    case BinOpKind::kSub:
+      return kern::BinaryOp::kSub;
+    case BinOpKind::kMul:
+      return kern::BinaryOp::kMul;
+    case BinOpKind::kDiv:
+      return kern::BinaryOp::kDiv;
+    case BinOpKind::kMod:
+      return kern::BinaryOp::kMod;
+    default:
+      return kern::BinaryOp::kPow;
+  }
+}
+
+kern::CompareOp ToKernelCompare(BinOpKind op) {
+  switch (op) {
+    case BinOpKind::kEq:
+      return kern::CompareOp::kEq;
+    case BinOpKind::kNe:
+      return kern::CompareOp::kNe;
+    case BinOpKind::kLt:
+      return kern::CompareOp::kLt;
+    case BinOpKind::kLe:
+      return kern::CompareOp::kLe;
+    case BinOpKind::kGt:
+      return kern::CompareOp::kGt;
+    default:
+      return kern::CompareOp::kGe;
+  }
+}
+
+Result<Scalar> LiteralOf(const ExprPtr& e) {
+  if (e->kind() != Expr::Kind::kLiteral) {
+    return Status::Invalid("expected literal argument, got ", e->ToString());
+  }
+  return e->literal();
+}
+
+Result<ArrayPtr> EvalCall(const Expr& expr, const TablePtr& table);
+
+Result<ArrayPtr> EvalImpl(const Expr& expr, const TablePtr& table) {
+  switch (expr.kind()) {
+    case Expr::Kind::kColumn:
+      return table->GetColumn(expr.column_name());
+    case Expr::Kind::kLiteral:
+      return BroadcastLiteral(expr.literal(), table->num_rows());
+    case Expr::Kind::kUnary: {
+      BENTO_ASSIGN_OR_RETURN(auto v, EvalImpl(*expr.operand(), table));
+      if (expr.un_op() == UnOpKind::kNot) return kern::BooleanNot(v);
+      return kern::UnaryNumeric(v, kern::UnaryOp::kNeg);
+    }
+    case Expr::Kind::kBinary: {
+      const BinOpKind op = expr.bin_op();
+      // Literal RHS gets the scalar kernels (no broadcast materialization).
+      if (IsComparison(op) && expr.right()->kind() == Expr::Kind::kLiteral) {
+        BENTO_ASSIGN_OR_RETURN(auto l, EvalImpl(*expr.left(), table));
+        return kern::CompareScalar(l, ToKernelCompare(op),
+                                   expr.right()->literal());
+      }
+      if (IsArithmetic(op) && expr.right()->kind() == Expr::Kind::kLiteral) {
+        BENTO_ASSIGN_OR_RETURN(auto l, EvalImpl(*expr.left(), table));
+        return kern::BinaryNumericScalar(l, ToKernelArith(op),
+                                         expr.right()->literal());
+      }
+      BENTO_ASSIGN_OR_RETURN(auto l, EvalImpl(*expr.left(), table));
+      BENTO_ASSIGN_OR_RETURN(auto r, EvalImpl(*expr.right(), table));
+      if (op == BinOpKind::kAnd) return kern::BooleanAnd(l, r);
+      if (op == BinOpKind::kOr) return kern::BooleanOr(l, r);
+      if (IsComparison(op)) {
+        return kern::CompareArrays(l, ToKernelCompare(op), r);
+      }
+      return kern::BinaryNumeric(l, ToKernelArith(op), r);
+    }
+    case Expr::Kind::kCall:
+      return EvalCall(expr, table);
+  }
+  return Status::Invalid("bad expression");
+}
+
+Result<ArrayPtr> EvalCall(const Expr& expr, const TablePtr& table) {
+  const std::string& fn = expr.fn_name();
+  const auto& args = expr.args();
+  auto arity = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::Invalid(fn, " expects ", n, " arguments, got ",
+                             args.size());
+    }
+    return Status::OK();
+  };
+
+  if (fn == "abs" || fn == "log" || fn == "log1p" || fn == "exp" ||
+      fn == "sqrt") {
+    BENTO_RETURN_NOT_OK(arity(1));
+    BENTO_ASSIGN_OR_RETURN(auto v, EvalImpl(*args[0], table));
+    kern::UnaryOp op = fn == "abs"     ? kern::UnaryOp::kAbs
+                       : fn == "log"   ? kern::UnaryOp::kLog
+                       : fn == "log1p" ? kern::UnaryOp::kLog1p
+                       : fn == "exp"   ? kern::UnaryOp::kExp
+                                       : kern::UnaryOp::kSqrt;
+    return kern::UnaryNumeric(v, op);
+  }
+  if (fn == "round") {
+    if (args.size() != 1 && args.size() != 2) {
+      return Status::Invalid("round expects 1 or 2 arguments");
+    }
+    BENTO_ASSIGN_OR_RETURN(auto v, EvalImpl(*args[0], table));
+    int decimals = 0;
+    if (args.size() == 2) {
+      BENTO_ASSIGN_OR_RETURN(Scalar k, LiteralOf(args[1]));
+      BENTO_ASSIGN_OR_RETURN(int64_t ki, k.AsInt());
+      decimals = static_cast<int>(ki);
+    }
+    return kern::Round(v, decimals);
+  }
+  if (fn == "lower") {
+    BENTO_RETURN_NOT_OK(arity(1));
+    BENTO_ASSIGN_OR_RETURN(auto v, EvalImpl(*args[0], table));
+    return kern::Lower(v);
+  }
+  if (fn == "length") {
+    BENTO_RETURN_NOT_OK(arity(1));
+    BENTO_ASSIGN_OR_RETURN(auto v, EvalImpl(*args[0], table));
+    return kern::StringLength(v);
+  }
+  if (fn == "contains") {
+    BENTO_RETURN_NOT_OK(arity(2));
+    BENTO_ASSIGN_OR_RETURN(auto v, EvalImpl(*args[0], table));
+    BENTO_ASSIGN_OR_RETURN(Scalar pat, LiteralOf(args[1]));
+    if (pat.kind() != Scalar::Kind::kString) {
+      return Status::TypeError("contains pattern must be a string literal");
+    }
+    return kern::Contains(v, pat.string_value());
+  }
+  if (fn == "isnull") {
+    BENTO_RETURN_NOT_OK(arity(1));
+    BENTO_ASSIGN_OR_RETURN(auto v, EvalImpl(*args[0], table));
+    return kern::IsNull(v, kern::NullProbe::kMetadata);
+  }
+  if (fn == "fillna") {
+    BENTO_RETURN_NOT_OK(arity(2));
+    BENTO_ASSIGN_OR_RETURN(auto v, EvalImpl(*args[0], table));
+    BENTO_ASSIGN_OR_RETURN(Scalar fill, LiteralOf(args[1]));
+    return kern::FillNull(v, fill);
+  }
+  if (fn == "year" || fn == "month" || fn == "day" || fn == "hour" ||
+      fn == "weekday") {
+    BENTO_RETURN_NOT_OK(arity(1));
+    BENTO_ASSIGN_OR_RETURN(auto v, EvalImpl(*args[0], table));
+    return kern::DatetimeComponent(v, fn);
+  }
+  return Status::NotImplemented("unknown function '", fn, "'");
+}
+
+}  // namespace
+
+Result<ArrayPtr> Evaluate(const ExprPtr& expr, const TablePtr& table) {
+  if (expr == nullptr) return Status::Invalid("null expression");
+  return EvalImpl(*expr, table);
+}
+
+}  // namespace bento::expr

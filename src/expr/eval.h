@@ -1,0 +1,15 @@
+#ifndef BENTO_EXPR_EVAL_H_
+#define BENTO_EXPR_EVAL_H_
+
+#include "columnar/table.h"
+#include "expr/expr.h"
+
+namespace bento::expr {
+
+/// \brief Vectorized evaluation of `expr` against the columns of `table`;
+/// literals broadcast. One result value per row.
+Result<col::ArrayPtr> Evaluate(const ExprPtr& expr, const col::TablePtr& table);
+
+}  // namespace bento::expr
+
+#endif  // BENTO_EXPR_EVAL_H_

@@ -1,0 +1,127 @@
+#include "frame/capabilities.h"
+
+namespace bento::frame {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kIO:
+      return "I/O";
+    case Stage::kEDA:
+      return "EDA";
+    case Stage::kDT:
+      return "DT";
+    case Stage::kDC:
+      return "DC";
+  }
+  return "?";
+}
+
+const char* SupportMark(Support s) {
+  switch (s) {
+    case Support::kFull:
+      return "++";
+    case Support::kRenamed:
+      return "+";
+    case Support::kEmulated:
+      return "o";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& CapabilityEngineOrder() {
+  static const std::vector<std::string>* order = new std::vector<std::string>{
+      "spark_pd", "spark_sql", "modin", "polars", "cudf", "vaex", "datatable"};
+  return *order;
+}
+
+namespace {
+
+constexpr Support F = Support::kFull;
+constexpr Support R = Support::kRenamed;
+constexpr Support E = Support::kEmulated;
+
+}  // namespace
+
+const std::vector<CapabilityRow>& CapabilityMatrix() {
+  // Transcription of the paper's Table II; column order is
+  // SparkPD, SparkSQL, Modin, Polars, CuDF, Vaex, DataTable
+  // (Pandas itself defines the reference interface and is implicitly Full).
+  static const std::vector<CapabilityRow>* matrix = new std::vector<
+      CapabilityRow>{
+      {Stage::kIO, "load dataframe", "read_csv", "read_csv",
+       {F, R, F, F, F, R, R}},
+      {Stage::kIO, "output dataframe", "to_csv", "to_csv",
+       {F, R, F, R, F, R, F}},
+      {Stage::kEDA, "locate missing values", "isna", "isna",
+       {F, E, F, R, F, E, R}},
+      {Stage::kEDA, "locate outliers", "percentile", "outlier",
+       {R, R, F, R, F, R, E}},
+      {Stage::kEDA, "search by pattern", "str.contains", "srchptn",
+       {F, R, F, R, F, R, F}},
+      {Stage::kEDA, "sort values", "sort", "sort",
+       {F, R, F, R, F, F, F}},
+      {Stage::kEDA, "get columns list", "columns", "gcols",
+       {F, R, F, F, F, R, R}},
+      {Stage::kEDA, "get columns types", "dtypes", "dtypes",
+       {F, R, F, F, F, F, R}},
+      {Stage::kEDA, "get dataframe statistics", "describe", "stats",
+       {F, R, F, R, F, R, E}},
+      {Stage::kEDA, "query columns", "query", "query",
+       {F, R, F, R, F, R, E}},
+      {Stage::kDT, "cast columns types", "astype", "astype",
+       {F, R, F, R, F, R, E}},
+      {Stage::kDT, "delete columns", "drop", "drop",
+       {F, R, F, F, F, E, E}},
+      {Stage::kDT, "rename columns", "rename", "rename",
+       {F, E, F, R, F, R, E}},
+      {Stage::kDT, "pivot", "pivot_table", "pivot",
+       {R, R, F, R, F, E, E}},
+      {Stage::kDT, "calculate column using expressions", "apply columnwise",
+       "apply", {R, E, F, R, E, R, E}},
+      {Stage::kDT, "join dataframes", "merge", "merge",
+       {F, E, F, R, F, E, E}},
+      {Stage::kDT, "one hot encoding", "get_dummies", "onehot",
+       {R, E, F, F, R, R, E}},
+      {Stage::kDT, "categorical encoding", "cat.codes", "catenc",
+       {R, R, F, R, F, R, E}},
+      {Stage::kDT, "group dataframe", "groupby", "groupby",
+       {F, R, F, F, F, R, F}},
+      {Stage::kDT, "change date & time format", "to_datetime", "chdate",
+       {R, R, F, E, F, E, E}},
+      {Stage::kDC, "delete empty and invalid rows", "dropna", "dropna",
+       {F, R, F, R, F, R, E}},
+      {Stage::kDC, "set content case", "str.lower", "lower",
+       {F, R, F, R, F, R, F}},
+      {Stage::kDC, "normalize numeric values", "round", "round",
+       {R, R, F, F, R, R, E}},
+      {Stage::kDC, "deduplicate rows", "drop_duplicates", "dedup",
+       {R, R, F, R, F, E, E}},
+      {Stage::kDC, "fill empty cells", "fillna", "fillna",
+       {F, R, F, E, F, R, E}},
+      {Stage::kDC, "replace values occurrences", "replace", "replace",
+       {R, R, F, E, F, R, E}},
+      {Stage::kDC, "edit & replace cell data", "apply rowise", "applyrow",
+       {R, E, F, R, F, R, F}},
+  };
+  return *matrix;
+}
+
+Result<Support> GetSupport(const std::string& engine_id,
+                           const std::string& op_name) {
+  if (engine_id == "pandas" || engine_id == "pandas2") return Support::kFull;
+  // Modin variants share a column; so do the Spark APIs with their own ids.
+  std::string column = engine_id;
+  if (engine_id == "modin_dask" || engine_id == "modin_ray") column = "modin";
+  const auto& order = CapabilityEngineOrder();
+  int c = -1;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == column) c = static_cast<int>(i);
+  }
+  if (c < 0) return Status::KeyError("unknown engine '", engine_id, "'");
+  for (const CapabilityRow& row : CapabilityMatrix()) {
+    if (row.op_name == op_name) return row.support[static_cast<size_t>(c)];
+  }
+  return Status::KeyError("unknown preparator '", op_name, "'");
+}
+
+}  // namespace bento::frame

@@ -1,0 +1,49 @@
+#ifndef BENTO_FRAME_CAPABILITIES_H_
+#define BENTO_FRAME_CAPABILITIES_H_
+
+#include <string>
+#include <vector>
+
+#include "frame/op.h"
+
+namespace bento::frame {
+
+/// \brief Pipeline stages of the paper (Section III-B).
+enum class Stage { kIO, kEDA, kDT, kDC };
+
+const char* StageName(Stage stage);
+
+/// \brief Pandas-API compatibility level of one preparator in one library
+/// (the paper's Table II legend).
+enum class Support {
+  kFull,      ///< interface fully matches Pandas (✓✓)
+  kRenamed,   ///< available under a different interface (✓)
+  kEmulated,  ///< missing from the API; implemented by the Bento authors (○)
+};
+
+const char* SupportMark(Support s);  // "++", "+", "o"
+
+/// \brief One row of Table II.
+struct CapabilityRow {
+  Stage stage;
+  std::string preparator;   ///< descriptive name ("locate missing values")
+  std::string pandas_api;   ///< Pandas spelling ("isna")
+  std::string op_name;      ///< OpKindName ("isna"), or "read_csv"/"to_csv"
+  /// Support per engine id, in the order of CapabilityEngineOrder().
+  std::vector<Support> support;
+};
+
+/// \brief Engine ids of the Table II columns (Pandas first).
+const std::vector<std::string>& CapabilityEngineOrder();
+
+/// \brief The transcribed Table II.
+const std::vector<CapabilityRow>& CapabilityMatrix();
+
+/// \brief Support of `engine_id` for `op_name`; Pandas-family ids report
+/// full support.
+Result<Support> GetSupport(const std::string& engine_id,
+                           const std::string& op_name);
+
+}  // namespace bento::frame
+
+#endif  // BENTO_FRAME_CAPABILITIES_H_

@@ -1,0 +1,42 @@
+#ifndef BENTO_FRAME_DATAFRAME_H_
+#define BENTO_FRAME_DATAFRAME_H_
+
+#include <memory>
+
+#include "columnar/table.h"
+#include "frame/op.h"
+
+namespace bento::frame {
+
+/// \brief An engine-owned dataframe handle: the unit the Bento pipeline
+/// runner threads through a sequence of preparators.
+///
+/// Eager engines hold a materialized Table (or partitions of one); lazy
+/// engines hold a logical plan that Collect()/actions force. Handles are
+/// immutable: Apply returns a new handle.
+class DataFrame {
+ public:
+  using Ptr = std::shared_ptr<DataFrame>;
+
+  virtual ~DataFrame() = default;
+
+  /// Applies a transform preparator; `op.kind` must not be an action.
+  virtual Result<Ptr> Apply(const Op& op) = 0;
+
+  /// Runs an action preparator (EDA inspection). Lazy engines force their
+  /// pending plan first.
+  virtual Result<ActionResult> RunAction(const Op& op) = 0;
+
+  /// Forces execution and returns the materialized table.
+  virtual Result<col::TablePtr> Collect() = 0;
+
+  /// Row count (forces execution on lazy engines).
+  virtual Result<int64_t> NumRows() {
+    BENTO_ASSIGN_OR_RETURN(auto table, Collect());
+    return table->num_rows();
+  }
+};
+
+}  // namespace bento::frame
+
+#endif  // BENTO_FRAME_DATAFRAME_H_

@@ -1,0 +1,67 @@
+#ifndef BENTO_FRAME_ENGINE_H_
+#define BENTO_FRAME_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frame/dataframe.h"
+#include "io/csv.h"
+
+namespace bento::frame {
+
+/// \brief Static description of an engine: the rows of the paper's Table I.
+struct EngineInfo {
+  std::string id;          ///< registry key, e.g. "polars"
+  std::string paper_name;  ///< display name, e.g. "Polars"
+  bool multithreading = false;
+  bool gpu_acceleration = false;
+  bool resource_optimization = false;
+  bool lazy_evaluation = false;
+  bool cluster_deploy = false;
+  std::string native_language;
+  std::string license;
+  std::string modeled_version;  ///< version of the library being modeled
+  std::string requirements;     ///< extra runtime requirements ("CUDA", ...)
+};
+
+/// \brief A dataframe implementation: I/O entry points plus a DataFrame
+/// factory. One Engine instance per evaluated library model.
+///
+/// Frames created by a heap-managed engine (CreateEngine) keep their engine
+/// alive; frames from a stack-allocated engine borrow it, and the caller
+/// must keep the engine in scope.
+class Engine : public std::enable_shared_from_this<Engine> {
+ public:
+  virtual ~Engine() = default;
+
+  virtual const EngineInfo& info() const = 0;
+
+  /// I/O preparators (the paper's Figures 5 and 6).
+  virtual Result<DataFrame::Ptr> ReadCsv(const std::string& path,
+                                         const io::CsvReadOptions& options = {}) = 0;
+  /// BCF is this repo's Parquet; engines without Parquet support
+  /// (DataTable) return NotImplemented.
+  virtual Result<DataFrame::Ptr> ReadBcf(const std::string& path) = 0;
+
+  virtual Status WriteCsv(const DataFrame::Ptr& frame,
+                          const std::string& path) = 0;
+  virtual Status WriteBcf(const DataFrame::Ptr& frame,
+                          const std::string& path) = 0;
+
+  /// Wraps an in-memory table (tests, examples, generated data).
+  virtual Result<DataFrame::Ptr> FromTable(col::TablePtr table) = 0;
+};
+
+using EnginePtr = std::shared_ptr<Engine>;
+
+/// \brief Creates an engine by id. Known ids: pandas, pandas2, spark_pd,
+/// spark_sql, modin_dask, modin_ray, polars, cudf, vaex, datatable.
+Result<EnginePtr> CreateEngine(const std::string& id);
+
+/// \brief All registry ids, in the paper's presentation order.
+std::vector<std::string> EngineIds();
+
+}  // namespace bento::frame
+
+#endif  // BENTO_FRAME_ENGINE_H_

@@ -1,0 +1,321 @@
+#include "io/bcf.h"
+
+#include <cstring>
+
+#include "columnar/bitmap.h"
+#include "io/compress.h"
+#include "util/json.h"
+
+namespace bento::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'C', 'F', '1'};
+// Pages smaller than this skip compression (header overhead dominates).
+constexpr size_t kMinCompressSize = 64;
+
+struct PendingChunk {
+  uint64_t validity_offset = 0;
+  uint64_t validity_size = 0;
+  uint64_t data_offset = 0;
+  uint64_t data_size = 0;
+  uint64_t raw_size = 0;
+  Encoding encoding = Encoding::kPlain;
+  bool compressed = false;
+  int64_t null_count = 0;
+};
+
+Status WriteBytes(std::FILE* f, const void* data, size_t size) {
+  if (size > 0 && std::fwrite(data, 1, size, f) != size) {
+    return Status::IOError("short write");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+struct BcfWriter::GroupMeta {
+  int64_t rows = 0;
+  std::vector<PendingChunk> chunks;
+};
+
+Result<std::unique_ptr<BcfWriter>> BcfWriter::Open(
+    const std::string& path, const BcfWriteOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create ", path);
+  auto writer = std::unique_ptr<BcfWriter>(new BcfWriter());
+  writer->file_ = f;
+  writer->options_ = options;
+  BENTO_RETURN_NOT_OK(WriteBytes(f, kMagic, 4));
+  writer->offset_ = 4;
+  return writer;
+}
+
+BcfWriter::~BcfWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status BcfWriter::AppendGroup(const col::TablePtr& slice) {
+  GroupMeta meta;
+  meta.rows = slice->num_rows();
+  for (int c = 0; c < slice->num_columns(); ++c) {
+    const col::ArrayPtr& column = slice->column(c);
+    PendingChunk chunk;
+    chunk.null_count = column->null_count();
+
+    if (chunk.null_count > 0) {
+      // Repack the validity bits of the slice into a fresh bitmap so the
+      // on-disk page is self-contained (slices may not be byte-aligned).
+      BENTO_ASSIGN_OR_RETURN(auto bits,
+                             col::AllocateBitmap(column->length(), false));
+      for (int64_t i = 0; i < column->length(); ++i) {
+        if (column->IsValid(i)) col::SetBit(bits->mutable_data(), i);
+      }
+      chunk.validity_offset = offset_;
+      chunk.validity_size = bits->size();
+      BENTO_RETURN_NOT_OK(WriteBytes(file_, bits->data(), bits->size()));
+      offset_ += bits->size();
+    }
+
+    chunk.encoding = ChooseEncoding(column);
+    BENTO_ASSIGN_OR_RETURN(auto encoded, EncodeArray(column, chunk.encoding));
+    chunk.raw_size = encoded.size();
+    chunk.data_offset = offset_;
+    if (options_.compression && encoded.size() >= kMinCompressSize) {
+      std::vector<uint8_t> packed = LzCompress(encoded.data(), encoded.size());
+      if (packed.size() * 8 < encoded.size() * 7) {
+        chunk.compressed = true;
+        chunk.data_size = packed.size();
+        BENTO_RETURN_NOT_OK(WriteBytes(file_, packed.data(), packed.size()));
+        offset_ += packed.size();
+      }
+    }
+    if (!chunk.compressed) {
+      chunk.data_size = encoded.size();
+      BENTO_RETURN_NOT_OK(WriteBytes(file_, encoded.data(), encoded.size()));
+      offset_ += encoded.size();
+    }
+    meta.chunks.push_back(chunk);
+  }
+  groups_.push_back(std::move(meta));
+  total_rows_ += slice->num_rows();
+  return Status::OK();
+}
+
+Status BcfWriter::Append(const col::TablePtr& table) {
+  if (finished_) return Status::Invalid("BcfWriter already finished");
+  if (schema_ == nullptr) {
+    schema_ = table->schema();
+  } else if (!(*schema_ == *table->schema())) {
+    return Status::Invalid("BcfWriter schema mismatch");
+  }
+  const int64_t group_rows =
+      options_.row_group_rows > 0 ? options_.row_group_rows : table->num_rows();
+  if (table->num_rows() == 0) {
+    return AppendGroup(table);
+  }
+  for (int64_t begin = 0; begin < table->num_rows(); begin += group_rows) {
+    const int64_t rows = std::min(group_rows, table->num_rows() - begin);
+    BENTO_ASSIGN_OR_RETURN(auto slice, table->Slice(begin, rows));
+    BENTO_RETURN_NOT_OK(AppendGroup(slice));
+  }
+  return Status::OK();
+}
+
+Status BcfWriter::Finish() {
+  if (finished_) return Status::Invalid("BcfWriter already finished");
+  finished_ = true;
+  if (schema_ == nullptr) {
+    return Status::Invalid("BcfWriter finished without any data");
+  }
+
+  JsonValue footer = JsonValue::Object();
+  JsonValue schema_json = JsonValue::Array();
+  for (const col::Field& field : schema_->fields()) {
+    JsonValue fj = JsonValue::Object();
+    fj.Set("name", JsonValue::Str(field.name));
+    fj.Set("type", JsonValue::Int(static_cast<int>(field.type)));
+    schema_json.Append(std::move(fj));
+  }
+  footer.Set("schema", std::move(schema_json));
+  footer.Set("num_rows", JsonValue::Int(total_rows_));
+  JsonValue groups_json = JsonValue::Array();
+  for (const GroupMeta& meta : groups_) {
+    JsonValue gj = JsonValue::Object();
+    gj.Set("rows", JsonValue::Int(meta.rows));
+    JsonValue cols = JsonValue::Array();
+    for (const PendingChunk& chunk : meta.chunks) {
+      JsonValue cj = JsonValue::Object();
+      cj.Set("vo", JsonValue::Int(static_cast<int64_t>(chunk.validity_offset)));
+      cj.Set("vs", JsonValue::Int(static_cast<int64_t>(chunk.validity_size)));
+      cj.Set("do", JsonValue::Int(static_cast<int64_t>(chunk.data_offset)));
+      cj.Set("ds", JsonValue::Int(static_cast<int64_t>(chunk.data_size)));
+      cj.Set("rs", JsonValue::Int(static_cast<int64_t>(chunk.raw_size)));
+      cj.Set("enc", JsonValue::Int(static_cast<int>(chunk.encoding)));
+      cj.Set("z", JsonValue::Bool(chunk.compressed));
+      cj.Set("nc", JsonValue::Int(chunk.null_count));
+      cols.Append(std::move(cj));
+    }
+    gj.Set("columns", std::move(cols));
+    groups_json.Append(std::move(gj));
+  }
+  footer.Set("groups", std::move(groups_json));
+
+  const std::string footer_text = footer.Dump();
+  BENTO_RETURN_NOT_OK(WriteBytes(file_, footer_text.data(), footer_text.size()));
+  const uint64_t footer_len = footer_text.size();
+  BENTO_RETURN_NOT_OK(WriteBytes(file_, &footer_len, 8));
+  BENTO_RETURN_NOT_OK(WriteBytes(file_, kMagic, 4));
+  if (std::fflush(file_) != 0) return Status::IOError("BCF flush failed");
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::OK();
+}
+
+Status WriteBcf(const col::TablePtr& table, const std::string& path,
+                const BcfWriteOptions& options) {
+  BENTO_ASSIGN_OR_RETURN(auto writer, BcfWriter::Open(path, options));
+  BENTO_RETURN_NOT_OK(writer->Append(table));
+  return writer->Finish();
+}
+
+Result<std::unique_ptr<BcfReader>> BcfReader::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open ", path);
+  auto reader = std::unique_ptr<BcfReader>(new BcfReader());
+  reader->file_ = f;
+
+  if (std::fseek(f, 0, SEEK_END) != 0) return Status::IOError("seek failed");
+  const long file_size = std::ftell(f);
+  if (file_size < 16) return Status::IOError(path, " is not a BCF file");
+
+  char tail[12];
+  if (std::fseek(f, file_size - 12, SEEK_SET) != 0 ||
+      std::fread(tail, 1, 12, f) != 12) {
+    return Status::IOError("cannot read BCF trailer");
+  }
+  if (std::memcmp(tail + 8, kMagic, 4) != 0) {
+    return Status::IOError(path, " has no BCF magic");
+  }
+  uint64_t footer_len;
+  std::memcpy(&footer_len, tail, 8);
+  if (footer_len + 16 > static_cast<uint64_t>(file_size)) {
+    return Status::IOError("corrupt BCF footer length");
+  }
+
+  std::string footer_text(footer_len, '\0');
+  if (std::fseek(f, file_size - 12 - static_cast<long>(footer_len), SEEK_SET) !=
+          0 ||
+      std::fread(footer_text.data(), 1, footer_len, f) != footer_len) {
+    return Status::IOError("cannot read BCF footer");
+  }
+  BENTO_ASSIGN_OR_RETURN(JsonValue footer, ParseJson(footer_text));
+
+  std::vector<col::Field> fields;
+  for (const JsonValue& fj : footer.Get("schema").items()) {
+    fields.push_back(col::Field{
+        fj.GetString("name"),
+        static_cast<col::TypeId>(fj.GetInt("type"))});
+  }
+  reader->schema_ = std::make_shared<col::Schema>(std::move(fields));
+  reader->num_rows_ = footer.GetInt("num_rows");
+
+  for (const JsonValue& gj : footer.Get("groups").items()) {
+    RowGroup group;
+    group.num_rows = gj.GetInt("rows");
+    for (const JsonValue& cj : gj.Get("columns").items()) {
+      ColumnChunk chunk;
+      chunk.validity_offset = static_cast<uint64_t>(cj.GetInt("vo"));
+      chunk.validity_size = static_cast<uint64_t>(cj.GetInt("vs"));
+      chunk.data_offset = static_cast<uint64_t>(cj.GetInt("do"));
+      chunk.data_size = static_cast<uint64_t>(cj.GetInt("ds"));
+      chunk.raw_size = static_cast<uint64_t>(cj.GetInt("rs"));
+      chunk.encoding = static_cast<Encoding>(cj.GetInt("enc"));
+      chunk.compressed = cj.GetBool("z");
+      chunk.null_count = cj.GetInt("nc");
+      group.columns.push_back(chunk);
+    }
+    if (group.columns.size() !=
+        static_cast<size_t>(reader->schema_->num_fields())) {
+      return Status::IOError("BCF row group column count mismatch");
+    }
+    reader->groups_.push_back(std::move(group));
+  }
+  return reader;
+}
+
+BcfReader::~BcfReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::vector<uint8_t>> BcfReader::ReadRange(uint64_t offset,
+                                                  uint64_t size) {
+  std::vector<uint8_t> out(size);
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0 ||
+      (size > 0 && std::fread(out.data(), 1, size, file_) != size)) {
+    return Status::IOError("BCF read failed at offset ", offset);
+  }
+  return out;
+}
+
+Result<col::TablePtr> BcfReader::ReadRowGroup(
+    int group, const std::vector<std::string>& columns) {
+  if (group < 0 || group >= num_row_groups()) {
+    return Status::IndexError("row group ", group, " out of range");
+  }
+  const RowGroup& g = groups_[static_cast<size_t>(group)];
+
+  std::vector<int> selected;
+  if (columns.empty()) {
+    for (int c = 0; c < schema_->num_fields(); ++c) selected.push_back(c);
+  } else {
+    for (const std::string& name : columns) {
+      int c = schema_->IndexOf(name);
+      if (c < 0) return Status::KeyError("no column named '", name, "'");
+      selected.push_back(c);
+    }
+  }
+
+  std::vector<col::Field> fields;
+  std::vector<col::ArrayPtr> out_columns;
+  for (int c : selected) {
+    const ColumnChunk& chunk = g.columns[static_cast<size_t>(c)];
+    col::BufferPtr validity;
+    if (chunk.validity_size > 0) {
+      BENTO_ASSIGN_OR_RETURN(
+          auto raw, ReadRange(chunk.validity_offset, chunk.validity_size));
+      BENTO_ASSIGN_OR_RETURN(validity,
+                             col::Buffer::CopyOf(raw.data(), raw.size()));
+    }
+    BENTO_ASSIGN_OR_RETURN(auto data,
+                           ReadRange(chunk.data_offset, chunk.data_size));
+    if (chunk.compressed) {
+      BENTO_ASSIGN_OR_RETURN(
+          data, LzDecompress(data.data(), data.size(), chunk.raw_size));
+    }
+    BENTO_ASSIGN_OR_RETURN(
+        auto array,
+        DecodeArray(schema_->field(c).type, chunk.encoding, data.data(),
+                    data.size(), g.num_rows, std::move(validity),
+                    chunk.null_count));
+    fields.push_back(schema_->field(c));
+    out_columns.push_back(std::move(array));
+  }
+  return col::Table::Make(std::make_shared<col::Schema>(std::move(fields)),
+                          std::move(out_columns));
+}
+
+Result<col::TablePtr> BcfReader::ReadAll(
+    const std::vector<std::string>& columns) {
+  std::vector<col::TablePtr> parts;
+  for (int g = 0; g < num_row_groups(); ++g) {
+    BENTO_ASSIGN_OR_RETURN(auto t, ReadRowGroup(g, columns));
+    parts.push_back(std::move(t));
+  }
+  if (parts.empty()) {
+    return col::Table::MakeEmpty(schema_);
+  }
+  return col::ConcatTables(parts);
+}
+
+}  // namespace bento::io

@@ -1,0 +1,543 @@
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <cstring>
+
+#include "columnar/builder.h"
+#include "io/csv.h"
+#include "util/string_util.h"
+
+namespace bento::io {
+
+namespace {
+
+using col::TypeId;
+
+/// Splits one CSV record into fields. Quoted fields may contain the
+/// delimiter and doubled quotes; `scratch` backs unescaped copies.
+/// `quoted` (optional) records which fields were quoted — a quoted empty
+/// field is an empty string, an unquoted one is null.
+void SplitRecord(std::string_view line, char delimiter,
+                 std::vector<std::string_view>* fields, std::string* scratch,
+                 std::vector<bool>* quoted = nullptr) {
+  fields->clear();
+  scratch->clear();
+  if (quoted != nullptr) quoted->clear();
+  // Unescaped content never exceeds the raw line; reserving up front keeps
+  // the string_views into scratch stable across push_backs.
+  scratch->reserve(line.size());
+  size_t pos = 0;
+  while (true) {
+    if (pos < line.size() && line[pos] == '"') {
+      // Quoted field: unescape into scratch (stable because we reserve).
+      const size_t scratch_start = scratch->size();
+      ++pos;
+      bool closed = false;
+      while (pos < line.size()) {
+        char c = line[pos];
+        if (c == '"') {
+          if (pos + 1 < line.size() && line[pos + 1] == '"') {
+            scratch->push_back('"');
+            pos += 2;
+          } else {
+            ++pos;
+            closed = true;
+            break;
+          }
+        } else {
+          scratch->push_back(c);
+          ++pos;
+        }
+      }
+      (void)closed;
+      fields->emplace_back(scratch->data() + scratch_start,
+                           scratch->size() - scratch_start);
+      if (quoted != nullptr) quoted->push_back(true);
+      if (pos < line.size() && line[pos] == delimiter) {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    size_t next = line.find(delimiter, pos);
+    if (next == std::string_view::npos) {
+      fields->push_back(line.substr(pos));
+      if (quoted != nullptr) quoted->push_back(false);
+      break;
+    }
+    fields->push_back(line.substr(pos, next - pos));
+    if (quoted != nullptr) quoted->push_back(false);
+    pos = next + 1;
+  }
+}
+
+bool IsNullLiteral(std::string_view v,
+                   const std::vector<std::string>& null_literals) {
+  for (const std::string& lit : null_literals) {
+    if (v == lit) return true;
+  }
+  return false;
+}
+
+bool LooksLikeInt(std::string_view v) {
+  int64_t out;
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  return ec == std::errc() && p == v.data() + v.size();
+}
+
+bool LooksLikeDouble(std::string_view v) {
+  double out;
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  return ec == std::errc() && p == v.data() + v.size();
+}
+
+bool LooksLikeBool(std::string_view v) {
+  return v == "true" || v == "false" || v == "True" || v == "False";
+}
+
+/// Walks `text` record by record (handles quoted newlines) and calls
+/// `on_record(line)` for each one. Returns the offset one past the last
+/// complete record (the remainder is a partial record).
+template <typename Fn>
+size_t ForEachRecord(std::string_view text, bool allow_partial_tail, Fn on_record) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = pos;
+    bool in_quotes = false;
+    while (end < text.size()) {
+      char c = text[end];
+      if (c == '"') {
+        in_quotes = !in_quotes;
+      } else if (c == '\n' && !in_quotes) {
+        break;
+      }
+      ++end;
+    }
+    if (end >= text.size() && allow_partial_tail) {
+      return pos;  // incomplete tail record
+    }
+    std::string_view line = text.substr(pos, end - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) on_record(line);
+    pos = end + 1;
+  }
+  return pos;
+}
+
+/// Column-type inference over sampled rows.
+col::SchemaPtr InferSchema(const std::vector<std::string>& names,
+                           const std::vector<std::vector<std::string>>& sample,
+                           const CsvReadOptions& options) {
+  const size_t n_cols = names.size();
+  std::vector<bool> all_int(n_cols, true);
+  std::vector<bool> all_double(n_cols, true);
+  std::vector<bool> all_bool(n_cols, true);
+  std::vector<bool> any_value(n_cols, false);
+
+  for (const auto& row : sample) {
+    for (size_t c = 0; c < n_cols && c < row.size(); ++c) {
+      std::string_view v = row[c];
+      if (IsNullLiteral(v, options.null_literals)) continue;
+      any_value[c] = true;
+      if (all_int[c] && !LooksLikeInt(v)) all_int[c] = false;
+      if (all_double[c] && !LooksLikeDouble(v)) all_double[c] = false;
+      if (all_bool[c] && !LooksLikeBool(v)) all_bool[c] = false;
+    }
+  }
+
+  std::vector<col::Field> fields;
+  for (size_t c = 0; c < n_cols; ++c) {
+    TypeId t = TypeId::kString;
+    if (any_value[c]) {
+      if (all_int[c]) {
+        t = TypeId::kInt64;
+      } else if (all_double[c]) {
+        t = TypeId::kFloat64;
+      } else if (all_bool[c]) {
+        t = TypeId::kBool;
+      }
+    }
+    fields.push_back({names[c], t});
+  }
+  return std::make_shared<col::Schema>(std::move(fields));
+}
+
+/// Typed appender: decodes one field into the right builder; unparsable
+/// values become null.
+class ColumnDecoder {
+ public:
+  ColumnDecoder(TypeId type, const CsvReadOptions* options)
+      : type_(type), options_(options) {}
+
+  void Append(std::string_view v, bool was_quoted = false) {
+    // Quoted fields are literal content; only bare fields decode as null.
+    if (!was_quoted && IsNullLiteral(v, options_->null_literals)) {
+      AppendNull();
+      return;
+    }
+    switch (type_) {
+      case TypeId::kInt64: {
+        int64_t out;
+        auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+        if (ec == std::errc() && p == v.data() + v.size()) {
+          ints_.Append(out);
+        } else {
+          ints_.AppendNull();
+        }
+        break;
+      }
+      case TypeId::kFloat64: {
+        double out;
+        auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+        if (ec == std::errc() && p == v.data() + v.size()) {
+          doubles_.Append(out);
+        } else {
+          doubles_.AppendNull();
+        }
+        break;
+      }
+      case TypeId::kBool: {
+        if (v == "true" || v == "True") {
+          bools_.Append(true);
+        } else if (v == "false" || v == "False") {
+          bools_.Append(false);
+        } else {
+          bools_.AppendNull();
+        }
+        break;
+      }
+      default:
+        strings_.Append(v);
+    }
+  }
+
+  void AppendNull() {
+    switch (type_) {
+      case TypeId::kInt64:
+        ints_.AppendNull();
+        break;
+      case TypeId::kFloat64:
+        doubles_.AppendNull();
+        break;
+      case TypeId::kBool:
+        bools_.AppendNull();
+        break;
+      default:
+        strings_.AppendNull();
+    }
+  }
+
+  Result<col::ArrayPtr> Finish() {
+    switch (type_) {
+      case TypeId::kInt64:
+        return ints_.Finish();
+      case TypeId::kFloat64:
+        return doubles_.Finish();
+      case TypeId::kBool:
+        return bools_.Finish();
+      default:
+        return strings_.Finish();
+    }
+  }
+
+ private:
+  TypeId type_;
+  const CsvReadOptions* options_;
+  col::Int64Builder ints_;
+  col::Float64Builder doubles_;
+  col::BoolBuilder bools_;
+  col::StringBuilder strings_;
+};
+
+Result<col::TablePtr> ParseRecords(std::string_view body,
+                                   const col::SchemaPtr& schema,
+                                   const CsvReadOptions& options) {
+  std::vector<ColumnDecoder> decoders;
+  decoders.reserve(static_cast<size_t>(schema->num_fields()));
+  for (const col::Field& f : schema->fields()) {
+    decoders.emplace_back(f.type, &options);
+  }
+  std::vector<std::string_view> fields;
+  std::vector<bool> quoted;
+  std::string scratch;
+  scratch.reserve(4096);
+  ForEachRecord(body, /*allow_partial_tail=*/false, [&](std::string_view line) {
+    SplitRecord(line, options.delimiter, &fields, &scratch, &quoted);
+    for (size_t c = 0; c < decoders.size(); ++c) {
+      if (c < fields.size()) {
+        decoders[c].Append(fields[c], quoted[c]);
+      } else {
+        decoders[c].AppendNull();
+      }
+    }
+  });
+  std::vector<col::ArrayPtr> columns;
+  for (auto& d : decoders) {
+    BENTO_ASSIGN_OR_RETURN(auto a, d.Finish());
+    columns.push_back(std::move(a));
+  }
+  return col::Table::Make(schema, std::move(columns));
+}
+
+struct HeaderInfo {
+  std::vector<std::string> names;
+  size_t body_offset = 0;  // offset of the first data record
+};
+
+HeaderInfo ReadHeader(std::string_view text, const CsvReadOptions& options) {
+  HeaderInfo info;
+  size_t end = text.find('\n');
+  std::string_view first =
+      end == std::string_view::npos ? text : text.substr(0, end);
+  if (!first.empty() && first.back() == '\r') first.remove_suffix(1);
+  std::vector<std::string_view> fields;
+  std::string scratch;
+  SplitRecord(first, options.delimiter, &fields, &scratch);
+  if (options.has_header) {
+    for (std::string_view f : fields) info.names.emplace_back(f);
+    info.body_offset = end == std::string_view::npos ? text.size() : end + 1;
+  } else {
+    for (size_t c = 0; c < fields.size(); ++c) {
+      info.names.push_back("c" + std::to_string(c));
+    }
+    info.body_offset = 0;
+  }
+  return info;
+}
+
+col::SchemaPtr InferFromBody(std::string_view body,
+                             const std::vector<std::string>& names,
+                             const CsvReadOptions& options) {
+  std::vector<std::vector<std::string>> sample;
+  std::vector<std::string_view> fields;
+  std::string scratch;
+  int64_t taken = 0;
+  ForEachRecord(body, false, [&](std::string_view line) {
+    if (taken >= options.infer_rows) return;
+    SplitRecord(line, options.delimiter, &fields, &scratch);
+    std::vector<std::string> row;
+    row.reserve(fields.size());
+    for (std::string_view f : fields) row.emplace_back(f);
+    sample.push_back(std::move(row));
+    ++taken;
+  });
+  return InferSchema(names, sample, options);
+}
+
+Result<std::string> SlurpFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open ", path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string content(static_cast<size_t>(size), '\0');
+  const size_t got = std::fread(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (got != content.size()) return Status::IOError("short read from ", path);
+  return content;
+}
+
+}  // namespace
+
+Result<col::TablePtr> ReadCsv(const std::string& path,
+                              const CsvReadOptions& options) {
+  BENTO_ASSIGN_OR_RETURN(std::string content, SlurpFile(path));
+  HeaderInfo header = ReadHeader(content, options);
+  std::string_view body =
+      std::string_view(content).substr(header.body_offset);
+  col::SchemaPtr schema = options.schema;
+  if (schema == nullptr) {
+    schema = InferFromBody(body, header.names, options);
+  } else if (static_cast<size_t>(schema->num_fields()) != header.names.size()) {
+    return Status::Invalid("explicit schema has ", schema->num_fields(),
+                           " fields, file has ", header.names.size());
+  }
+  return ParseRecords(body, schema, options);
+}
+
+Result<col::TablePtr> ReadCsvMmap(const std::string& path,
+                                  const CsvReadOptions& options,
+                                  const sim::ParallelOptions& parallel) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open ", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("stat failed for ", path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* mapped = size > 0 ? ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0)
+                          : nullptr;
+  ::close(fd);
+  if (size > 0 && mapped == MAP_FAILED) {
+    return Status::IOError("mmap failed for ", path);
+  }
+  struct Unmapper {
+    void* p;
+    size_t n;
+    ~Unmapper() {
+      if (p != nullptr) ::munmap(p, n);
+    }
+  } unmapper{mapped, size};
+
+  std::string_view text(static_cast<const char*>(mapped), size);
+  HeaderInfo header = ReadHeader(text, options);
+  std::string_view body = text.substr(header.body_offset);
+  col::SchemaPtr schema = options.schema;
+  if (schema == nullptr) schema = InferFromBody(body, header.names, options);
+
+  // Split at record boundaries (newline scan; quoted newlines are not
+  // supported on this parallel path, matching mmap readers' restrictions).
+  int workers = parallel.max_workers;
+  if (workers <= 0) {
+    workers = sim::Session::Current() != nullptr
+                  ? sim::Session::Current()->cores()
+                  : 1;
+  }
+  std::vector<std::pair<size_t, size_t>> chunks;
+  if (workers <= 1 || body.size() < 1 << 16) {
+    chunks.emplace_back(0, body.size());
+  } else {
+    size_t begin = 0;
+    for (int w = 1; w <= workers; ++w) {
+      size_t target = body.size() * static_cast<size_t>(w) /
+                      static_cast<size_t>(workers);
+      if (w == workers) {
+        chunks.emplace_back(begin, body.size());
+        break;
+      }
+      size_t cut = body.find('\n', target);
+      if (cut == std::string_view::npos) {
+        chunks.emplace_back(begin, body.size());
+        begin = body.size();
+        break;
+      }
+      chunks.emplace_back(begin, cut + 1);
+      begin = cut + 1;
+    }
+  }
+
+  std::vector<col::TablePtr> parts(chunks.size());
+  BENTO_RETURN_NOT_OK(sim::ParallelFor(
+      static_cast<int64_t>(chunks.size()),
+      [&](int64_t i) -> Status {
+        auto [b, e] = chunks[static_cast<size_t>(i)];
+        if (e <= b) {
+          return Status::OK();
+        }
+        BENTO_ASSIGN_OR_RETURN(parts[static_cast<size_t>(i)],
+                               ParseRecords(body.substr(b, e - b), schema,
+                                            options));
+        return Status::OK();
+      },
+      parallel));
+
+  std::vector<col::TablePtr> non_empty;
+  for (auto& p : parts) {
+    if (p != nullptr && p->num_rows() > 0) non_empty.push_back(std::move(p));
+  }
+  if (non_empty.empty()) return col::Table::MakeEmpty(schema);
+  return col::ConcatTables(non_empty);
+}
+
+Result<std::unique_ptr<CsvChunkReader>> CsvChunkReader::Open(
+    const std::string& path, const CsvReadOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open ", path);
+  auto reader = std::unique_ptr<CsvChunkReader>(new CsvChunkReader());
+  reader->file_ = f;
+  reader->options_ = options;
+
+  // Read an inference prefix, then rewind past the header only.
+  std::string prefix(1 << 20, '\0');
+  const size_t got = std::fread(prefix.data(), 1, prefix.size(), f);
+  prefix.resize(got);
+  HeaderInfo header = ReadHeader(prefix, options);
+  std::string_view body = std::string_view(prefix).substr(header.body_offset);
+  reader->schema_ = options.schema != nullptr
+                        ? options.schema
+                        : InferFromBody(body, header.names, options);
+  if (std::fseek(f, static_cast<long>(header.body_offset), SEEK_SET) != 0) {
+    return Status::IOError("seek failed for ", path);
+  }
+  return reader;
+}
+
+CsvChunkReader::~CsvChunkReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<col::TablePtr> CsvChunkReader::Next() {
+  if (eof_ && carry_.empty()) return col::TablePtr(nullptr);
+
+  // Accumulate at least chunk_rows complete records in the buffer, then cut
+  // exactly chunk_rows of them; the remainder carries to the next call.
+  std::string buffer = std::move(carry_);
+  carry_.clear();
+  std::string block(256 * 1024, '\0');
+  std::string chunk_text;
+
+  auto count_and_cut = [&](int64_t limit, int64_t* rows_out) -> size_t {
+    // Scans complete records; returns the offset just past record `limit`
+    // (or past the last complete record when fewer are buffered).
+    int64_t rows = 0;
+    size_t cut = 0;
+    ForEachRecord(buffer, /*allow_partial_tail=*/true,
+                  [&](std::string_view) { ++rows; });
+    // Second pass to find the cut offset for `limit` records.
+    int64_t seen = 0;
+    size_t pos = 0;
+    std::string_view text(buffer);
+    while (pos < text.size() && seen < limit) {
+      size_t end = pos;
+      bool in_quotes = false;
+      while (end < text.size()) {
+        char c = text[end];
+        if (c == '"') {
+          in_quotes = !in_quotes;
+        } else if (c == '\n' && !in_quotes) {
+          break;
+        }
+        ++end;
+      }
+      if (end >= text.size()) break;  // incomplete tail
+      if (end > pos) ++seen;          // skip blank lines without counting
+      pos = end + 1;
+      cut = pos;
+    }
+    *rows_out = rows;
+    return cut;
+  };
+
+  int64_t rows = 0;
+  while (true) {
+    count_and_cut(0, &rows);
+    if (rows >= options_.chunk_rows || eof_) break;
+    const size_t got = std::fread(block.data(), 1, block.size(), file_);
+    if (got == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer.append(block.data(), got);
+  }
+
+  if (eof_ && rows <= options_.chunk_rows) {
+    // Flush everything, including a tail record without trailing newline.
+    chunk_text = std::move(buffer);
+    carry_.clear();
+  } else {
+    const size_t cut = count_and_cut(options_.chunk_rows, &rows);
+    chunk_text = buffer.substr(0, cut);
+    carry_ = buffer.substr(cut);
+  }
+  if (chunk_text.empty()) {
+    eof_ = true;
+    return col::TablePtr(nullptr);
+  }
+  return ParseRecords(chunk_text, schema_, options_);
+}
+
+}  // namespace bento::io

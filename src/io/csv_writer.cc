@@ -1,0 +1,150 @@
+#include <cstdio>
+
+#include "io/csv.h"
+#include "util/string_util.h"
+
+namespace bento::io {
+
+namespace {
+
+bool NeedsQuoting(std::string_view v, char delimiter) {
+  for (char c : v) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string_view v, char delimiter, std::string* out) {
+  if (!NeedsQuoting(v, delimiter)) {
+    out->append(v);
+    return;
+  }
+  out->push_back('"');
+  for (char c : v) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendCell(const col::Array& column, int64_t row, char delimiter,
+                std::string* out) {
+  if (column.IsNull(row)) return;  // nulls serialize as empty fields
+  switch (column.type()) {
+    case col::TypeId::kInt64:
+      out->append(std::to_string(column.int64_data()[row]));
+      break;
+    case col::TypeId::kFloat64:
+      out->append(FormatDouble(column.float64_data()[row]));
+      break;
+    case col::TypeId::kBool:
+      out->append(column.bool_data()[row] != 0 ? "true" : "false");
+      break;
+    case col::TypeId::kString: {
+      std::string_view v = column.GetView(row);
+      if (v.empty()) {
+        // Disambiguate the empty string from null (a bare empty field).
+        out->append("\"\"");
+      } else {
+        AppendField(v, delimiter, out);
+      }
+      break;
+    }
+    default:
+      AppendField(column.ValueToString(row), delimiter, out);
+  }
+}
+
+std::string StringifyRows(const col::Table& table, int64_t begin, int64_t end,
+                          char delimiter) {
+  std::string out;
+  out.reserve(static_cast<size_t>(end - begin) * 32);
+  for (int64_t r = begin; r < end; ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(delimiter);
+      AppendCell(*table.column(c), r, delimiter, &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string HeaderLine(const col::Table& table, char delimiter) {
+  std::string out;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out.push_back(delimiter);
+    AppendField(table.schema()->field(c).name, delimiter, &out);
+  }
+  out.push_back('\n');
+  return out;
+}
+
+Status WriteAll(std::FILE* f, const std::string& data) {
+  if (!data.empty() && std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
+    return Status::IOError("short CSV write");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCsv(const col::TablePtr& table, const std::string& path,
+                const CsvWriteOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create ", path);
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  if (options.header) {
+    BENTO_RETURN_NOT_OK(WriteAll(f, HeaderLine(*table, options.delimiter)));
+  }
+  // Stringify in modest blocks to bound the staging memory.
+  constexpr int64_t kBlockRows = 64 * 1024;
+  for (int64_t begin = 0; begin < table->num_rows(); begin += kBlockRows) {
+    const int64_t end = std::min(table->num_rows(), begin + kBlockRows);
+    BENTO_RETURN_NOT_OK(
+        WriteAll(f, StringifyRows(*table, begin, end, options.delimiter)));
+  }
+  return Status::OK();
+}
+
+Status WriteCsvParallel(const col::TablePtr& table, const std::string& path,
+                        const CsvWriteOptions& options,
+                        const sim::ParallelOptions& parallel) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create ", path);
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  if (options.header) {
+    BENTO_RETURN_NOT_OK(WriteAll(f, HeaderLine(*table, options.delimiter)));
+  }
+
+  int workers = parallel.max_workers;
+  if (workers <= 0) {
+    workers = sim::Session::Current() != nullptr
+                  ? sim::Session::Current()->cores()
+                  : 1;
+  }
+  auto ranges = sim::SplitRange(table->num_rows(), workers, 8192);
+  std::vector<std::string> blocks(ranges.size());
+  BENTO_RETURN_NOT_OK(sim::ParallelFor(
+      static_cast<int64_t>(ranges.size()),
+      [&](int64_t i) {
+        auto [b, e] = ranges[static_cast<size_t>(i)];
+        blocks[static_cast<size_t>(i)] =
+            StringifyRows(*table, b, e, options.delimiter);
+        return Status::OK();
+      },
+      parallel));
+  for (const std::string& block : blocks) {
+    BENTO_RETURN_NOT_OK(WriteAll(f, block));
+  }
+  return Status::OK();
+}
+
+}  // namespace bento::io

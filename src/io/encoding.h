@@ -1,0 +1,48 @@
+#ifndef BENTO_IO_ENCODING_H_
+#define BENTO_IO_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/array.h"
+
+namespace bento::io {
+
+/// \brief Physical encodings of a BCF column page (the Parquet-like format's
+/// equivalent of PLAIN / RLE / DICTIONARY / DELTA_BINARY_PACKED).
+enum class Encoding : uint8_t {
+  kPlain = 0,  ///< raw values (fixed width) or len-prefixed strings
+  kDelta = 1,  ///< zigzag varint deltas (int64 / timestamp)
+  kDict = 2,   ///< dictionary + u32 codes (string / categorical)
+  kRle = 3,    ///< run-length (bool)
+};
+
+/// \brief Picks the default encoding for a column the way the BCF writer
+/// does: int64/timestamp -> DELTA, bool -> RLE, string/categorical -> DICT
+/// when the dictionary pays for itself, else PLAIN.
+Encoding ChooseEncoding(const col::ArrayPtr& values);
+
+/// \brief Encodes the value payload of `values` (validity travels
+/// separately). Null slots encode as zero values / empty strings.
+Result<std::vector<uint8_t>> EncodeArray(const col::ArrayPtr& values,
+                                         Encoding encoding);
+
+/// \brief Inverse of EncodeArray. `validity` may be nullptr (no nulls).
+Result<col::ArrayPtr> DecodeArray(col::TypeId type, Encoding encoding,
+                                  const uint8_t* data, size_t size,
+                                  int64_t length, col::BufferPtr validity,
+                                  int64_t null_count);
+
+// Varint helpers shared with the BCF footer writer.
+void PutVarint(uint64_t v, std::vector<uint8_t>* out);
+Result<uint64_t> GetVarint(const uint8_t* data, size_t size, size_t* pos);
+inline uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace bento::io
+
+#endif  // BENTO_IO_ENCODING_H_

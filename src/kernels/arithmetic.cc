@@ -1,0 +1,247 @@
+#include "kernels/arithmetic.h"
+
+#include <cmath>
+
+#include "columnar/builder.h"
+
+namespace bento::kern {
+
+namespace {
+
+Status CheckNumeric(const ArrayPtr& a, const char* side) {
+  if (!col::IsNumeric(a->type()) && a->type() != TypeId::kBool) {
+    return Status::TypeError("arithmetic ", side, " must be numeric, got ",
+                             col::TypeName(a->type()));
+  }
+  return Status::OK();
+}
+
+double At(const Array& a, int64_t i) {
+  switch (a.type()) {
+    case TypeId::kFloat64:
+      return a.float64_data()[i];
+    case TypeId::kBool:
+      return a.bool_data()[i] != 0 ? 1.0 : 0.0;
+    default:
+      return static_cast<double>(a.int64_data()[i]);
+  }
+}
+
+bool IntResult(BinaryOp op, const ArrayPtr& l, const ArrayPtr& r) {
+  if (op != BinaryOp::kAdd && op != BinaryOp::kSub && op != BinaryOp::kMul) {
+    return false;
+  }
+  return l->type() == TypeId::kInt64 &&
+         (r == nullptr || r->type() == TypeId::kInt64);
+}
+
+}  // namespace
+
+Result<ArrayPtr> BinaryNumeric(const ArrayPtr& left, BinaryOp op,
+                               const ArrayPtr& right) {
+  BENTO_RETURN_NOT_OK(CheckNumeric(left, "lhs"));
+  BENTO_RETURN_NOT_OK(CheckNumeric(right, "rhs"));
+  if (left->length() != right->length()) {
+    return Status::Invalid("arithmetic length mismatch");
+  }
+  const int64_t n = left->length();
+
+  if (IntResult(op, left, right)) {
+    col::Int64Builder out;
+    out.Reserve(n);
+    const int64_t* l = left->int64_data();
+    const int64_t* r = right->int64_data();
+    for (int64_t i = 0; i < n; ++i) {
+      if (!left->IsValid(i) || !right->IsValid(i)) {
+        out.AppendNull();
+        continue;
+      }
+      int64_t v = op == BinaryOp::kAdd   ? l[i] + r[i]
+                  : op == BinaryOp::kSub ? l[i] - r[i]
+                                         : l[i] * r[i];
+      out.Append(v);
+    }
+    return out.Finish();
+  }
+
+  col::Float64Builder out;
+  out.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    if (!left->IsValid(i) || !right->IsValid(i)) {
+      out.AppendNull();
+      continue;
+    }
+    const double l = At(*left, i);
+    const double r = At(*right, i);
+    double v = 0.0;
+    bool ok = true;
+    switch (op) {
+      case BinaryOp::kAdd:
+        v = l + r;
+        break;
+      case BinaryOp::kSub:
+        v = l - r;
+        break;
+      case BinaryOp::kMul:
+        v = l * r;
+        break;
+      case BinaryOp::kDiv:
+        ok = r != 0.0;
+        v = ok ? l / r : 0.0;
+        break;
+      case BinaryOp::kMod:
+        ok = r != 0.0;
+        v = ok ? std::fmod(l, r) : 0.0;
+        break;
+      case BinaryOp::kPow:
+        v = std::pow(l, r);
+        ok = !std::isnan(v);
+        break;
+    }
+    out.AppendMaybe(v, ok);
+  }
+  return out.Finish();
+}
+
+Result<ArrayPtr> BinaryNumericScalar(const ArrayPtr& left, BinaryOp op,
+                                     const Scalar& right) {
+  BENTO_RETURN_NOT_OK(CheckNumeric(left, "lhs"));
+  if (right.is_null()) {
+    return Array::MakeAllNull(
+        left->type() == TypeId::kInt64 ? TypeId::kInt64 : TypeId::kFloat64,
+        left->length());
+  }
+  BENTO_ASSIGN_OR_RETURN(double r, right.AsDouble());
+  const int64_t n = left->length();
+
+  const bool int_out = left->type() == TypeId::kInt64 &&
+                       right.kind() == Scalar::Kind::kInt &&
+                       (op == BinaryOp::kAdd || op == BinaryOp::kSub ||
+                        op == BinaryOp::kMul);
+  if (int_out) {
+    col::Int64Builder out;
+    out.Reserve(n);
+    const int64_t* l = left->int64_data();
+    const int64_t ri = right.int_value();
+    for (int64_t i = 0; i < n; ++i) {
+      if (!left->IsValid(i)) {
+        out.AppendNull();
+        continue;
+      }
+      int64_t v = op == BinaryOp::kAdd   ? l[i] + ri
+                  : op == BinaryOp::kSub ? l[i] - ri
+                                         : l[i] * ri;
+      out.Append(v);
+    }
+    return out.Finish();
+  }
+
+  col::Float64Builder out;
+  out.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    if (!left->IsValid(i)) {
+      out.AppendNull();
+      continue;
+    }
+    const double l = At(*left, i);
+    double v = 0.0;
+    bool ok = true;
+    switch (op) {
+      case BinaryOp::kAdd:
+        v = l + r;
+        break;
+      case BinaryOp::kSub:
+        v = l - r;
+        break;
+      case BinaryOp::kMul:
+        v = l * r;
+        break;
+      case BinaryOp::kDiv:
+        ok = r != 0.0;
+        v = ok ? l / r : 0.0;
+        break;
+      case BinaryOp::kMod:
+        ok = r != 0.0;
+        v = ok ? std::fmod(l, r) : 0.0;
+        break;
+      case BinaryOp::kPow:
+        v = std::pow(l, r);
+        ok = !std::isnan(v);
+        break;
+    }
+    out.AppendMaybe(v, ok);
+  }
+  return out.Finish();
+}
+
+Result<ArrayPtr> UnaryNumeric(const ArrayPtr& values, UnaryOp op) {
+  BENTO_RETURN_NOT_OK(CheckNumeric(values, "operand"));
+  const int64_t n = values->length();
+
+  if (values->type() == TypeId::kInt64 &&
+      (op == UnaryOp::kNeg || op == UnaryOp::kAbs)) {
+    col::Int64Builder out;
+    out.Reserve(n);
+    const int64_t* d = values->int64_data();
+    for (int64_t i = 0; i < n; ++i) {
+      out.AppendMaybe(op == UnaryOp::kNeg ? -d[i] : std::abs(d[i]),
+                      values->IsValid(i));
+    }
+    return out.Finish();
+  }
+
+  col::Float64Builder out;
+  out.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    if (!values->IsValid(i)) {
+      out.AppendNull();
+      continue;
+    }
+    const double v = At(*values, i);
+    double r = 0.0;
+    bool ok = true;
+    switch (op) {
+      case UnaryOp::kNeg:
+        r = -v;
+        break;
+      case UnaryOp::kAbs:
+        r = std::abs(v);
+        break;
+      case UnaryOp::kLog:
+        ok = v > 0.0;
+        r = ok ? std::log(v) : 0.0;
+        break;
+      case UnaryOp::kLog1p:
+        ok = v > -1.0;
+        r = ok ? std::log1p(v) : 0.0;
+        break;
+      case UnaryOp::kExp:
+        r = std::exp(v);
+        break;
+      case UnaryOp::kSqrt:
+        ok = v >= 0.0;
+        r = ok ? std::sqrt(v) : 0.0;
+        break;
+    }
+    out.AppendMaybe(r, ok && !std::isnan(r));
+  }
+  return out.Finish();
+}
+
+Result<ArrayPtr> Round(const ArrayPtr& values, int decimals) {
+  if (values->type() == TypeId::kInt64) return values;
+  if (values->type() != TypeId::kFloat64) {
+    return Status::TypeError("round requires a numeric column, got ",
+                             col::TypeName(values->type()));
+  }
+  const double scale = std::pow(10.0, decimals);
+  col::Float64Builder out;
+  out.Reserve(values->length());
+  const double* d = values->float64_data();
+  for (int64_t i = 0; i < values->length(); ++i) {
+    out.AppendMaybe(std::round(d[i] * scale) / scale, values->IsValid(i));
+  }
+  return out.Finish();
+}
+
+}  // namespace bento::kern

@@ -1,0 +1,29 @@
+#ifndef BENTO_KERNELS_ARITHMETIC_H_
+#define BENTO_KERNELS_ARITHMETIC_H_
+
+#include "kernels/common.h"
+
+namespace bento::kern {
+
+enum class BinaryOp { kAdd, kSub, kMul, kDiv, kMod, kPow };
+enum class UnaryOp { kNeg, kAbs, kLog, kLog1p, kExp, kSqrt };
+
+/// \brief Elementwise binary arithmetic on numeric columns; the result is
+/// float64 unless both inputs are int64 and the op is closed over integers
+/// (+, -, *). Nulls propagate; division by zero yields null.
+Result<ArrayPtr> BinaryNumeric(const ArrayPtr& left, BinaryOp op,
+                               const ArrayPtr& right);
+Result<ArrayPtr> BinaryNumericScalar(const ArrayPtr& left, BinaryOp op,
+                                     const Scalar& right);
+
+/// \brief Elementwise unary math; result is float64 (kNeg/kAbs keep int64).
+/// Domain errors (log of non-positive, sqrt of negative) yield null.
+Result<ArrayPtr> UnaryNumeric(const ArrayPtr& values, UnaryOp op);
+
+/// \brief Rounds float64 values to `decimals` places (the `round`
+/// normalization preparator); int64 input is returned unchanged.
+Result<ArrayPtr> Round(const ArrayPtr& values, int decimals);
+
+}  // namespace bento::kern
+
+#endif  // BENTO_KERNELS_ARITHMETIC_H_

@@ -1,0 +1,286 @@
+#include "kernels/cast.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "columnar/builder.h"
+#include "util/string_util.h"
+
+namespace bento::kern {
+
+namespace {
+
+Result<ArrayPtr> CastToString(const ArrayPtr& values) {
+  col::StringBuilder out;
+  out.Reserve(values->length());
+  for (int64_t i = 0; i < values->length(); ++i) {
+    if (!values->IsValid(i)) {
+      out.AppendNull();
+    } else {
+      out.Append(values->ValueToString(i));
+    }
+  }
+  return out.Finish();
+}
+
+Result<ArrayPtr> CastToCategorical(const ArrayPtr& values) {
+  if (values->type() == TypeId::kCategorical) return values;
+  if (values->type() != TypeId::kString) {
+    return Status::TypeError("categorical cast requires a string column");
+  }
+  auto dict = std::make_shared<std::vector<std::string>>();
+  // Keys must own their storage: the dictionary vector reallocates as it
+  // grows, which would dangle string_view keys.
+  std::unordered_map<std::string, int32_t> lookup;
+  col::CategoricalBuilder out;
+  for (int64_t i = 0; i < values->length(); ++i) {
+    if (!values->IsValid(i)) {
+      out.AppendNull();
+      continue;
+    }
+    std::string v(values->GetView(i));
+    auto [it, inserted] =
+        lookup.emplace(std::move(v), static_cast<int32_t>(dict->size()));
+    if (inserted) dict->push_back(it->first);
+    out.Append(it->second);
+  }
+  return out.Finish(std::move(dict));
+}
+
+double NumericAt(const Array& a, int64_t i) {
+  switch (a.type()) {
+    case TypeId::kFloat64:
+      return a.float64_data()[i];
+    case TypeId::kBool:
+      return a.bool_data()[i] != 0 ? 1.0 : 0.0;
+    default:
+      return static_cast<double>(a.int64_data()[i]);
+  }
+}
+
+}  // namespace
+
+Result<ArrayPtr> Cast(const ArrayPtr& values, TypeId target) {
+  if (values->type() == target) return values;
+
+  if (target == TypeId::kString) return CastToString(values);
+  if (target == TypeId::kCategorical) return CastToCategorical(values);
+
+  const TypeId source = values->type();
+
+  // String source: strict parse into the numeric target.
+  if (source == TypeId::kString) {
+    switch (target) {
+      case TypeId::kInt64: {
+        col::Int64Builder out;
+        out.Reserve(values->length());
+        for (int64_t i = 0; i < values->length(); ++i) {
+          if (!values->IsValid(i)) {
+            out.AppendNull();
+            continue;
+          }
+          BENTO_ASSIGN_OR_RETURN(int64_t v, ParseInt64(values->GetView(i)));
+          out.Append(v);
+        }
+        return out.Finish();
+      }
+      case TypeId::kFloat64: {
+        col::Float64Builder out;
+        out.Reserve(values->length());
+        for (int64_t i = 0; i < values->length(); ++i) {
+          if (!values->IsValid(i)) {
+            out.AppendNull();
+            continue;
+          }
+          BENTO_ASSIGN_OR_RETURN(double v, ParseDouble(values->GetView(i)));
+          out.Append(v);
+        }
+        return out.Finish();
+      }
+      case TypeId::kBool: {
+        col::BoolBuilder out;
+        out.Reserve(values->length());
+        for (int64_t i = 0; i < values->length(); ++i) {
+          if (!values->IsValid(i)) {
+            out.AppendNull();
+            continue;
+          }
+          BENTO_ASSIGN_OR_RETURN(bool v, ParseBool(values->GetView(i)));
+          out.Append(v);
+        }
+        return out.Finish();
+      }
+      default:
+        return Status::TypeError("cannot cast string to ",
+                                 col::TypeName(target));
+    }
+  }
+
+  if (source == TypeId::kCategorical) {
+    BENTO_ASSIGN_OR_RETURN(auto as_string, CastToString(values));
+    return Cast(as_string, target);
+  }
+
+  // Numeric-ish source to numeric-ish target.
+  switch (target) {
+    case TypeId::kInt64: {
+      col::Int64Builder out;
+      out.Reserve(values->length());
+      for (int64_t i = 0; i < values->length(); ++i) {
+        if (!values->IsValid(i)) {
+          out.AppendNull();
+          continue;
+        }
+        double v = NumericAt(*values, i);
+        if (std::isnan(v)) {
+          out.AppendNull();
+        } else {
+          out.Append(static_cast<int64_t>(v));
+        }
+      }
+      return out.Finish();
+    }
+    case TypeId::kFloat64: {
+      col::Float64Builder out;
+      out.Reserve(values->length());
+      for (int64_t i = 0; i < values->length(); ++i) {
+        out.AppendMaybe(values->IsValid(i) ? NumericAt(*values, i) : 0.0,
+                        values->IsValid(i));
+      }
+      return out.Finish();
+    }
+    case TypeId::kBool: {
+      col::BoolBuilder out;
+      out.Reserve(values->length());
+      for (int64_t i = 0; i < values->length(); ++i) {
+        out.AppendMaybe(NumericAt(*values, i) != 0.0, values->IsValid(i));
+      }
+      return out.Finish();
+    }
+    case TypeId::kTimestamp: {
+      if (source != TypeId::kInt64) {
+        return Status::TypeError(
+            "timestamp cast requires int64 microseconds; use to_datetime for "
+            "strings");
+      }
+      return Array::MakeFixed(TypeId::kTimestamp, values->length(),
+                              values->data_buffer(), values->validity_buffer(),
+                              values->cached_null_count());
+    }
+    default:
+      return Status::TypeError("cannot cast ", col::TypeName(source), " to ",
+                               col::TypeName(target));
+  }
+}
+
+Result<ArrayPtr> ReplaceValues(const ArrayPtr& values, const Scalar& from,
+                               const Scalar& to) {
+  const int64_t n = values->length();
+  auto matches = [&](int64_t i) -> bool {
+    if (from.is_null()) return values->IsNull(i);
+    if (values->IsNull(i)) return false;
+    switch (values->type()) {
+      case TypeId::kInt64:
+      case TypeId::kTimestamp:
+        return from.is_numeric() &&
+               static_cast<double>(values->int64_data()[i]) ==
+                   from.AsDouble().ValueOrDie();
+      case TypeId::kFloat64:
+        return from.is_numeric() &&
+               values->float64_data()[i] == from.AsDouble().ValueOrDie();
+      case TypeId::kBool:
+        return from.kind() == Scalar::Kind::kBool &&
+               (values->bool_data()[i] != 0) == from.bool_value();
+      case TypeId::kString:
+        return from.kind() == Scalar::Kind::kString &&
+               values->GetView(i) == from.string_value();
+      case TypeId::kCategorical:
+        return from.kind() == Scalar::Kind::kString &&
+               (*values->dictionary())[static_cast<size_t>(
+                   values->codes_data()[i])] == from.string_value();
+    }
+    return false;
+  };
+
+  switch (values->type()) {
+    case TypeId::kInt64: {
+      col::Int64Builder out;
+      out.Reserve(n);
+      for (int64_t i = 0; i < n; ++i) {
+        if (matches(i)) {
+          if (to.is_null()) {
+            out.AppendNull();
+          } else {
+            BENTO_ASSIGN_OR_RETURN(int64_t v, to.AsInt());
+            out.Append(v);
+          }
+        } else {
+          out.AppendMaybe(values->IsValid(i) ? values->int64_data()[i] : 0,
+                          values->IsValid(i));
+        }
+      }
+      return out.Finish();
+    }
+    case TypeId::kFloat64: {
+      col::Float64Builder out;
+      out.Reserve(n);
+      for (int64_t i = 0; i < n; ++i) {
+        if (matches(i)) {
+          if (to.is_null()) {
+            out.AppendNull();
+          } else {
+            BENTO_ASSIGN_OR_RETURN(double v, to.AsDouble());
+            out.Append(v);
+          }
+        } else {
+          out.AppendMaybe(values->IsValid(i) ? values->float64_data()[i] : 0.0,
+                          values->IsValid(i));
+        }
+      }
+      return out.Finish();
+    }
+    case TypeId::kBool: {
+      col::BoolBuilder out;
+      out.Reserve(n);
+      for (int64_t i = 0; i < n; ++i) {
+        if (matches(i)) {
+          if (to.is_null() || to.kind() != Scalar::Kind::kBool) {
+            out.AppendNull();
+          } else {
+            out.Append(to.bool_value());
+          }
+        } else {
+          out.AppendMaybe(values->bool_data()[i] != 0, values->IsValid(i));
+        }
+      }
+      return out.Finish();
+    }
+    case TypeId::kString:
+    case TypeId::kCategorical: {
+      col::StringBuilder out;
+      out.Reserve(n);
+      for (int64_t i = 0; i < n; ++i) {
+        if (matches(i)) {
+          if (to.is_null() || to.kind() != Scalar::Kind::kString) {
+            out.AppendNull();
+          } else {
+            out.Append(to.string_value());
+          }
+        } else if (values->IsNull(i)) {
+          out.AppendNull();
+        } else if (values->type() == TypeId::kCategorical) {
+          out.Append((*values->dictionary())[static_cast<size_t>(
+              values->codes_data()[i])]);
+        } else {
+          out.Append(values->GetView(i));
+        }
+      }
+      return out.Finish();
+    }
+    default:
+      return Status::TypeError("replace unsupported for ",
+                               col::TypeName(values->type()));
+  }
+}
+
+}  // namespace bento::kern

@@ -1,0 +1,24 @@
+#ifndef BENTO_KERNELS_CAST_H_
+#define BENTO_KERNELS_CAST_H_
+
+#include "kernels/common.h"
+
+namespace bento::kern {
+
+/// \brief Converts `values` to `target` (the astype preparator).
+///
+/// Supported directions: numeric<->numeric, numeric<->bool,
+/// anything->string, string->numeric (strict parse; unparsable values fail),
+/// categorical->string, string->categorical. Casting to the same type is a
+/// no-op returning the input.
+Result<ArrayPtr> Cast(const ArrayPtr& values, TypeId target);
+
+/// \brief Exact-value replacement (the `replace` preparator): every cell
+/// equal to `from` becomes `to`. Null `from` replaces nulls (like fillna);
+/// null `to` nulls matches out.
+Result<ArrayPtr> ReplaceValues(const ArrayPtr& values, const Scalar& from,
+                               const Scalar& to);
+
+}  // namespace bento::kern
+
+#endif  // BENTO_KERNELS_CAST_H_

@@ -1,0 +1,211 @@
+#include "kernels/compare.h"
+
+#include "columnar/builder.h"
+
+namespace bento::kern {
+
+namespace {
+
+template <typename T>
+bool ApplyOp(CompareOp op, const T& a, const T& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ArrayPtr> CompareScalar(const ArrayPtr& values, CompareOp op,
+                               const Scalar& literal) {
+  col::BoolBuilder out;
+  out.Reserve(values->length());
+
+  if (literal.is_null()) {
+    // Comparisons against null are null everywhere (SQL semantics).
+    for (int64_t i = 0; i < values->length(); ++i) out.AppendNull();
+    return out.Finish();
+  }
+
+  switch (values->type()) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      BENTO_ASSIGN_OR_RETURN(double rhs, literal.AsDouble());
+      const int64_t* data = values->int64_data();
+      for (int64_t i = 0; i < values->length(); ++i) {
+        out.AppendMaybe(ApplyOp(op, static_cast<double>(data[i]), rhs),
+                        values->IsValid(i));
+      }
+      break;
+    }
+    case TypeId::kFloat64: {
+      BENTO_ASSIGN_OR_RETURN(double rhs, literal.AsDouble());
+      const double* data = values->float64_data();
+      for (int64_t i = 0; i < values->length(); ++i) {
+        out.AppendMaybe(ApplyOp(op, data[i], rhs), values->IsValid(i));
+      }
+      break;
+    }
+    case TypeId::kBool: {
+      if (literal.kind() != Scalar::Kind::kBool) {
+        return Status::TypeError("bool column compared to non-bool literal");
+      }
+      const uint8_t* data = values->bool_data();
+      for (int64_t i = 0; i < values->length(); ++i) {
+        out.AppendMaybe(ApplyOp(op, data[i] != 0, literal.bool_value()),
+                        values->IsValid(i));
+      }
+      break;
+    }
+    case TypeId::kString: {
+      if (literal.kind() != Scalar::Kind::kString) {
+        return Status::TypeError("string column compared to non-string literal");
+      }
+      std::string_view rhs = literal.string_value();
+      for (int64_t i = 0; i < values->length(); ++i) {
+        out.AppendMaybe(values->IsValid(i) && ApplyOp(op, values->GetView(i), rhs),
+                        values->IsValid(i));
+      }
+      break;
+    }
+    case TypeId::kCategorical: {
+      if (literal.kind() != Scalar::Kind::kString) {
+        return Status::TypeError(
+            "categorical column compared to non-string literal");
+      }
+      const auto& dict = values->dictionary();
+      std::string_view rhs = literal.string_value();
+      for (int64_t i = 0; i < values->length(); ++i) {
+        if (!values->IsValid(i)) {
+          out.AppendNull();
+          continue;
+        }
+        std::string_view lhs = (*dict)[static_cast<size_t>(values->codes_data()[i])];
+        out.Append(ApplyOp(op, lhs, rhs));
+      }
+      break;
+    }
+  }
+  return out.Finish();
+}
+
+Result<ArrayPtr> CompareArrays(const ArrayPtr& left, CompareOp op,
+                               const ArrayPtr& right) {
+  if (left->length() != right->length()) {
+    return Status::Invalid("compare length mismatch");
+  }
+  col::BoolBuilder out;
+  out.Reserve(left->length());
+
+  auto both_valid = [&](int64_t i) {
+    return left->IsValid(i) && right->IsValid(i);
+  };
+
+  const bool numeric = col::IsNumeric(left->type()) ||
+                       left->type() == TypeId::kTimestamp;
+  const bool numeric_rhs = col::IsNumeric(right->type()) ||
+                           right->type() == TypeId::kTimestamp;
+  if (numeric && numeric_rhs) {
+    auto get = [](const ArrayPtr& a, int64_t i) {
+      return a->type() == TypeId::kFloat64
+                 ? a->float64_data()[i]
+                 : static_cast<double>(a->int64_data()[i]);
+    };
+    for (int64_t i = 0; i < left->length(); ++i) {
+      out.AppendMaybe(ApplyOp(op, get(left, i), get(right, i)), both_valid(i));
+    }
+    return out.Finish();
+  }
+  if (left->type() == TypeId::kString && right->type() == TypeId::kString) {
+    for (int64_t i = 0; i < left->length(); ++i) {
+      out.AppendMaybe(
+          both_valid(i) && ApplyOp(op, left->GetView(i), right->GetView(i)),
+          both_valid(i));
+    }
+    return out.Finish();
+  }
+  if (left->type() == TypeId::kBool && right->type() == TypeId::kBool) {
+    for (int64_t i = 0; i < left->length(); ++i) {
+      out.AppendMaybe(
+          ApplyOp(op, left->bool_data()[i] != 0, right->bool_data()[i] != 0),
+          both_valid(i));
+    }
+    return out.Finish();
+  }
+  return Status::TypeError("cannot compare ", col::TypeName(left->type()),
+                           " with ", col::TypeName(right->type()));
+}
+
+namespace {
+
+Result<ArrayPtr> BooleanBinary(const ArrayPtr& left, const ArrayPtr& right,
+                               bool is_and) {
+  if (left->type() != TypeId::kBool || right->type() != TypeId::kBool) {
+    return Status::TypeError("boolean op requires bool inputs");
+  }
+  if (left->length() != right->length()) {
+    return Status::Invalid("boolean op length mismatch");
+  }
+  col::BoolBuilder out;
+  out.Reserve(left->length());
+  for (int64_t i = 0; i < left->length(); ++i) {
+    const bool lv = left->IsValid(i);
+    const bool rv = right->IsValid(i);
+    const bool l = lv && left->bool_data()[i] != 0;
+    const bool r = rv && right->bool_data()[i] != 0;
+    if (is_and) {
+      // Kleene logic: false AND anything = false.
+      if ((lv && !l) || (rv && !r)) {
+        out.Append(false);
+      } else if (lv && rv) {
+        out.Append(l && r);
+      } else {
+        out.AppendNull();
+      }
+    } else {
+      if ((lv && l) || (rv && r)) {
+        out.Append(true);
+      } else if (lv && rv) {
+        out.Append(l || r);
+      } else {
+        out.AppendNull();
+      }
+    }
+  }
+  return out.Finish();
+}
+
+}  // namespace
+
+Result<ArrayPtr> BooleanAnd(const ArrayPtr& left, const ArrayPtr& right) {
+  return BooleanBinary(left, right, /*is_and=*/true);
+}
+
+Result<ArrayPtr> BooleanOr(const ArrayPtr& left, const ArrayPtr& right) {
+  return BooleanBinary(left, right, /*is_and=*/false);
+}
+
+Result<ArrayPtr> BooleanNot(const ArrayPtr& values) {
+  if (values->type() != TypeId::kBool) {
+    return Status::TypeError("NOT requires bool input");
+  }
+  col::BoolBuilder out;
+  out.Reserve(values->length());
+  for (int64_t i = 0; i < values->length(); ++i) {
+    out.AppendMaybe(values->bool_data()[i] == 0, values->IsValid(i));
+  }
+  return out.Finish();
+}
+
+}  // namespace bento::kern

@@ -1,0 +1,25 @@
+#ifndef BENTO_KERNELS_COMPARE_H_
+#define BENTO_KERNELS_COMPARE_H_
+
+#include "kernels/common.h"
+
+namespace bento::kern {
+
+/// \brief values <op> literal, elementwise; null inputs yield null outputs.
+/// Numeric scalars compare against numeric/timestamp columns; string scalars
+/// against string/categorical columns.
+Result<ArrayPtr> CompareScalar(const ArrayPtr& values, CompareOp op,
+                               const Scalar& literal);
+
+/// \brief Elementwise comparison of two equally-typed columns.
+Result<ArrayPtr> CompareArrays(const ArrayPtr& left, CompareOp op,
+                               const ArrayPtr& right);
+
+/// \brief Three-valued logic on bool arrays (null propagates).
+Result<ArrayPtr> BooleanAnd(const ArrayPtr& left, const ArrayPtr& right);
+Result<ArrayPtr> BooleanOr(const ArrayPtr& left, const ArrayPtr& right);
+Result<ArrayPtr> BooleanNot(const ArrayPtr& values);
+
+}  // namespace bento::kern
+
+#endif  // BENTO_KERNELS_COMPARE_H_

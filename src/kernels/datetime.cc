@@ -1,0 +1,207 @@
+#include "kernels/datetime.h"
+
+#include <cstdio>
+#include <ctime>
+
+#include "columnar/builder.h"
+
+namespace bento::kern {
+
+namespace {
+
+constexpr int64_t kMicrosPerSecond = 1000000;
+
+/// Days since the epoch for a (y, m, d) civil date; Howard Hinnant's
+/// days_from_civil algorithm.
+int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) -
+         719468;
+}
+
+struct CivilTime {
+  int year;
+  unsigned month;
+  unsigned day;
+  unsigned hour;
+  unsigned minute;
+  unsigned second;
+};
+
+CivilTime CivilFromMicros(int64_t micros) {
+  int64_t secs = micros / kMicrosPerSecond;
+  if (micros < 0 && micros % kMicrosPerSecond != 0) --secs;
+  int64_t days = secs / 86400;
+  int64_t rem = secs % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  // civil_from_days
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  return CivilTime{static_cast<int>(y + (m <= 2)), m, d,
+                   static_cast<unsigned>(rem / 3600),
+                   static_cast<unsigned>((rem % 3600) / 60),
+                   static_cast<unsigned>(rem % 60)};
+}
+
+bool ParseDigits(std::string_view s, size_t pos, size_t len, int* out) {
+  if (pos + len > s.size()) return false;
+  int v = 0;
+  for (size_t i = 0; i < len; ++i) {
+    char c = s[pos + i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// Parses one timestamp string; returns false if no layout matches.
+bool ParseTimestamp(std::string_view s, int64_t* micros_out) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, se = 0;
+  bool date_ok = false;
+  size_t time_pos = 0;
+
+  if (s.size() >= 10 && (s[4] == '-' || s[4] == '/') && s[7] == s[4]) {
+    // YYYY-MM-DD or YYYY/MM/DD
+    date_ok = ParseDigits(s, 0, 4, &y) && ParseDigits(s, 5, 2, &mo) &&
+              ParseDigits(s, 8, 2, &d);
+    time_pos = 10;
+  } else if (s.size() >= 10 && s[2] == '/' && s[5] == '/') {
+    // MM/DD/YYYY
+    date_ok = ParseDigits(s, 0, 2, &mo) && ParseDigits(s, 3, 2, &d) &&
+              ParseDigits(s, 6, 4, &y);
+    time_pos = 10;
+  }
+  if (!date_ok || mo < 1 || mo > 12 || d < 1 || d > 31) return false;
+
+  if (s.size() >= time_pos + 9 &&
+      (s[time_pos] == ' ' || s[time_pos] == 'T')) {
+    if (!ParseDigits(s, time_pos + 1, 2, &h) ||
+        s[time_pos + 3] != ':' ||
+        !ParseDigits(s, time_pos + 4, 2, &mi) ||
+        s[time_pos + 6] != ':' ||
+        !ParseDigits(s, time_pos + 7, 2, &se)) {
+      return false;
+    }
+    if (h > 23 || mi > 59 || se > 60) return false;
+  } else if (s.size() > time_pos) {
+    return false;  // trailing garbage
+  }
+
+  const int64_t days = DaysFromCivil(y, static_cast<unsigned>(mo),
+                                     static_cast<unsigned>(d));
+  *micros_out =
+      ((days * 86400) + h * 3600 + mi * 60 + se) * kMicrosPerSecond;
+  return true;
+}
+
+}  // namespace
+
+int64_t MakeTimestampMicros(int year, int month, int day, int hour, int minute,
+                            int second) {
+  const int64_t days = DaysFromCivil(year, static_cast<unsigned>(month),
+                                     static_cast<unsigned>(day));
+  return ((days * 86400) + hour * 3600 + minute * 60 + second) *
+         kMicrosPerSecond;
+}
+
+Result<ArrayPtr> ToDatetime(const ArrayPtr& values, bool coerce) {
+  if (values->type() == TypeId::kTimestamp) return values;
+  if (values->type() != TypeId::kString) {
+    return Status::TypeError("to_datetime requires a string column, got ",
+                             col::TypeName(values->type()));
+  }
+  col::TimestampBuilder out;
+  out.Reserve(values->length());
+  for (int64_t i = 0; i < values->length(); ++i) {
+    if (!values->IsValid(i)) {
+      out.AppendNull();
+      continue;
+    }
+    int64_t micros = 0;
+    if (ParseTimestamp(values->GetView(i), &micros)) {
+      out.Append(micros);
+    } else if (coerce) {
+      out.AppendNull();
+    } else {
+      return Status::Invalid("unparsable datetime: '",
+                             std::string(values->GetView(i)), "'");
+    }
+  }
+  return out.Finish();
+}
+
+Result<ArrayPtr> FormatDatetime(const ArrayPtr& values, bool date_only) {
+  if (values->type() != TypeId::kTimestamp) {
+    return Status::TypeError("format_datetime requires a timestamp column");
+  }
+  col::StringBuilder out;
+  out.Reserve(values->length());
+  char buf[32];
+  for (int64_t i = 0; i < values->length(); ++i) {
+    if (!values->IsValid(i)) {
+      out.AppendNull();
+      continue;
+    }
+    CivilTime ct = CivilFromMicros(values->int64_data()[i]);
+    if (date_only) {
+      std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", ct.year, ct.month,
+                    ct.day);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u %02u:%02u:%02u", ct.year,
+                    ct.month, ct.day, ct.hour, ct.minute, ct.second);
+    }
+    out.Append(buf);
+  }
+  return out.Finish();
+}
+
+Result<ArrayPtr> DatetimeComponent(const ArrayPtr& values,
+                                   const std::string& component) {
+  if (values->type() != TypeId::kTimestamp) {
+    return Status::TypeError("datetime component requires a timestamp column");
+  }
+  col::Int64Builder out;
+  out.Reserve(values->length());
+  for (int64_t i = 0; i < values->length(); ++i) {
+    if (!values->IsValid(i)) {
+      out.AppendNull();
+      continue;
+    }
+    CivilTime ct = CivilFromMicros(values->int64_data()[i]);
+    int64_t v;
+    if (component == "year") {
+      v = ct.year;
+    } else if (component == "month") {
+      v = ct.month;
+    } else if (component == "day") {
+      v = ct.day;
+    } else if (component == "hour") {
+      v = ct.hour;
+    } else if (component == "weekday") {
+      int64_t days = values->int64_data()[i] / (86400 * kMicrosPerSecond);
+      v = ((days % 7) + 7 + 3) % 7;  // epoch (1970-01-01) was a Thursday
+                                     // (Monday = 0)
+    } else {
+      return Status::Invalid("unknown datetime component '", component, "'");
+    }
+    out.Append(v);
+  }
+  return out.Finish();
+}
+
+}  // namespace bento::kern

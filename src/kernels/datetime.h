@@ -1,0 +1,33 @@
+#ifndef BENTO_KERNELS_DATETIME_H_
+#define BENTO_KERNELS_DATETIME_H_
+
+#include <string>
+
+#include "kernels/common.h"
+
+namespace bento::kern {
+
+/// \brief Parses a string column into kTimestamp (`to_datetime`).
+///
+/// Accepted layouts (auto-detected per value):
+///   "YYYY-MM-DD", "YYYY-MM-DD HH:MM:SS", "YYYY/MM/DD", "MM/DD/YYYY",
+///   "YYYY-MM-DDTHH:MM:SS".
+/// Unparsable values become null when `coerce` is true, otherwise fail.
+Result<ArrayPtr> ToDatetime(const ArrayPtr& values, bool coerce = true);
+
+/// \brief Formats kTimestamp into strings ("%Y-%m-%d %H:%M:%S" fixed form,
+/// or date-only when `date_only`).
+Result<ArrayPtr> FormatDatetime(const ArrayPtr& values, bool date_only = false);
+
+/// \brief Extracts a component ("year", "month", "day", "hour", "weekday")
+/// as int64.
+Result<ArrayPtr> DatetimeComponent(const ArrayPtr& values,
+                                   const std::string& component);
+
+/// \brief Builds a timestamp scalar from components (UTC).
+int64_t MakeTimestampMicros(int year, int month, int day, int hour = 0,
+                            int minute = 0, int second = 0);
+
+}  // namespace bento::kern
+
+#endif  // BENTO_KERNELS_DATETIME_H_

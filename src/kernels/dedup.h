@@ -1,0 +1,22 @@
+#ifndef BENTO_KERNELS_DEDUP_H_
+#define BENTO_KERNELS_DEDUP_H_
+
+#include <string>
+#include <vector>
+
+#include "kernels/common.h"
+
+namespace bento::kern {
+
+/// \brief `drop_duplicates`: keeps the first occurrence of each distinct row
+/// over `subset` columns (all columns when empty). Order-preserving.
+Result<TablePtr> DropDuplicates(const TablePtr& table,
+                                const std::vector<std::string>& subset = {});
+
+/// \brief Distinct non-null values of one column, in first-seen order
+/// (`unique()`; used by one-hot encoding and EDA).
+Result<ArrayPtr> Unique(const ArrayPtr& values);
+
+}  // namespace bento::kern
+
+#endif  // BENTO_KERNELS_DEDUP_H_

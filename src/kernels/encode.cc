@@ -1,0 +1,136 @@
+#include "kernels/encode.h"
+
+#include <unordered_map>
+
+#include "columnar/builder.h"
+#include "kernels/cast.h"
+
+namespace bento::kern {
+
+namespace {
+
+Result<std::string> CellString(const Array& a, int64_t i) {
+  if (a.type() == TypeId::kString) return std::string(a.GetView(i));
+  if (a.type() == TypeId::kCategorical) {
+    return (*a.dictionary())[static_cast<size_t>(a.codes_data()[i])];
+  }
+  return Status::TypeError("encoding requires string or categorical input");
+}
+
+}  // namespace
+
+Result<TablePtr> GetDummies(const TablePtr& table, const std::string& column,
+                            int max_categories) {
+  BENTO_ASSIGN_OR_RETURN(auto values, table->GetColumn(column));
+  if (values->type() != TypeId::kString &&
+      values->type() != TypeId::kCategorical) {
+    return Status::TypeError("get_dummies requires string or categorical");
+  }
+
+  // Pass 1: category discovery (first-seen order).
+  std::vector<std::string> categories;
+  std::unordered_map<std::string, int> lookup;
+  for (int64_t i = 0; i < values->length(); ++i) {
+    if (values->IsNull(i)) continue;
+    BENTO_ASSIGN_OR_RETURN(std::string v, CellString(*values, i));
+    if (lookup.emplace(v, static_cast<int>(categories.size())).second) {
+      categories.push_back(std::move(v));
+      if (max_categories > 0 &&
+          static_cast<int>(categories.size()) >= max_categories) {
+        break;
+      }
+    }
+  }
+  return GetDummiesWithCategories(table, column, categories);
+}
+
+Result<TablePtr> GetDummiesWithCategories(
+    const TablePtr& table, const std::string& column,
+    const std::vector<std::string>& categories) {
+  BENTO_ASSIGN_OR_RETURN(auto values, table->GetColumn(column));
+  if (values->type() != TypeId::kString &&
+      values->type() != TypeId::kCategorical) {
+    return Status::TypeError("get_dummies requires string or categorical");
+  }
+  std::unordered_map<std::string, int> lookup;
+  for (size_t k = 0; k < categories.size(); ++k) {
+    lookup.emplace(categories[k], static_cast<int>(k));
+  }
+
+  // Pass 2: indicator columns.
+  std::vector<col::Int64Builder> builders(categories.size());
+  for (auto& b : builders) b.Reserve(values->length());
+  for (int64_t i = 0; i < values->length(); ++i) {
+    int hit = -1;
+    if (!values->IsNull(i)) {
+      BENTO_ASSIGN_OR_RETURN(std::string v, CellString(*values, i));
+      auto it = lookup.find(v);
+      if (it != lookup.end()) hit = it->second;
+    }
+    for (size_t k = 0; k < builders.size(); ++k) {
+      builders[k].Append(static_cast<int>(k) == hit ? 1 : 0);
+    }
+  }
+
+  BENTO_ASSIGN_OR_RETURN(auto base, table->DropColumns({column}));
+  std::vector<col::Field> fields = base->schema()->fields();
+  std::vector<ArrayPtr> columns = base->columns();
+  for (size_t k = 0; k < categories.size(); ++k) {
+    BENTO_ASSIGN_OR_RETURN(auto arr, builders[k].Finish());
+    fields.push_back({column + "_" + categories[k], TypeId::kInt64});
+    columns.push_back(std::move(arr));
+  }
+  return Table::Make(std::make_shared<col::Schema>(std::move(fields)),
+                     std::move(columns));
+}
+
+Result<ArrayPtr> CatCodes(const ArrayPtr& values) {
+  ArrayPtr dict_encoded = values;
+  if (values->type() == TypeId::kString) {
+    BENTO_ASSIGN_OR_RETURN(dict_encoded, DictEncode(values));
+  } else if (values->type() != TypeId::kCategorical) {
+    return Status::TypeError("cat.codes requires string or categorical input");
+  }
+  col::Int64Builder out;
+  out.Reserve(dict_encoded->length());
+  for (int64_t i = 0; i < dict_encoded->length(); ++i) {
+    out.AppendMaybe(
+        dict_encoded->IsValid(i) ? dict_encoded->codes_data()[i] : 0,
+        dict_encoded->IsValid(i));
+  }
+  return out.Finish();
+}
+
+Result<ArrayPtr> DictEncode(const ArrayPtr& values) {
+  return Cast(values, TypeId::kCategorical);
+}
+
+Result<ArrayPtr> CatCodesWithDict(const ArrayPtr& values,
+                                  const std::vector<std::string>& dict) {
+  if (values->type() != TypeId::kString &&
+      values->type() != TypeId::kCategorical) {
+    return Status::TypeError("cat.codes requires string or categorical input");
+  }
+  std::unordered_map<std::string, int64_t> lookup;
+  for (size_t k = 0; k < dict.size(); ++k) {
+    lookup.emplace(dict[k], static_cast<int64_t>(k));
+  }
+  col::Int64Builder out;
+  out.Reserve(values->length());
+  for (int64_t i = 0; i < values->length(); ++i) {
+    if (values->IsNull(i)) {
+      out.AppendNull();
+      continue;
+    }
+    BENTO_ASSIGN_OR_RETURN(std::string v, CellString(*values, i));
+    auto it = lookup.find(v);
+    if (it == lookup.end()) {
+      out.AppendNull();  // unseen under a fixed dictionary
+    } else {
+      out.Append(it->second);
+    }
+  }
+  return out.Finish();
+}
+
+}  // namespace bento::kern

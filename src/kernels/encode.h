@@ -1,0 +1,40 @@
+#ifndef BENTO_KERNELS_ENCODE_H_
+#define BENTO_KERNELS_ENCODE_H_
+
+#include <string>
+#include <vector>
+
+#include "kernels/common.h"
+
+namespace bento::kern {
+
+/// \brief One-hot encoding (`get_dummies`): replaces string/categorical
+/// column `column` with one int64 0/1 column per distinct value, named
+/// "<column>_<value>". Values are discovered in first-seen order;
+/// `max_categories` caps the expansion (0 = unlimited).
+Result<TablePtr> GetDummies(const TablePtr& table, const std::string& column,
+                            int max_categories = 0);
+
+/// \brief One-hot encoding against a pre-discovered category list (the
+/// two-pass streaming path: categories come from a first pass over the
+/// stream, chunks encode independently in the second).
+Result<TablePtr> GetDummiesWithCategories(
+    const TablePtr& table, const std::string& column,
+    const std::vector<std::string>& categories);
+
+/// \brief Categorical encoding (`cat.codes`): int64 dictionary code of each
+/// value (-1-free: nulls stay null). Accepts string or categorical input.
+Result<ArrayPtr> CatCodes(const ArrayPtr& values);
+
+/// \brief Categorical codes against a fixed dictionary (streaming second
+/// pass); values outside the dictionary encode as null.
+Result<ArrayPtr> CatCodesWithDict(const ArrayPtr& values,
+                                  const std::vector<std::string>& dict);
+
+/// \brief Dictionary-encodes a string column into kCategorical (`astype
+/// ('category')`).
+Result<ArrayPtr> DictEncode(const ArrayPtr& values);
+
+}  // namespace bento::kern
+
+#endif  // BENTO_KERNELS_ENCODE_H_

@@ -1,0 +1,234 @@
+#include "kernels/groupby.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "columnar/builder.h"
+#include "kernels/row_hash.h"
+#include "kernels/selection.h"
+
+namespace bento::kern {
+
+namespace {
+
+/// Accumulator for one (group, aggregation) pair.
+struct AggState {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int64_t count = 0;  // non-null inputs seen
+  int64_t rows = 0;   // all rows seen (for kCount)
+
+  void Add(double v) {
+    if (count == 0) {
+      min = v;
+      max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    sum += v;
+    sum_sq += v * v;
+    ++count;
+  }
+
+  double Result(AggKind kind, bool* is_null) const {
+    *is_null = count == 0 && kind != AggKind::kCount;
+    switch (kind) {
+      case AggKind::kSum:
+        return sum;
+      case AggKind::kMean:
+        return count > 0 ? sum / static_cast<double>(count) : 0.0;
+      case AggKind::kMin:
+        return min;
+      case AggKind::kMax:
+        return max;
+      case AggKind::kCount:
+        return static_cast<double>(count);
+      case AggKind::kStd: {
+        if (count < 2) {
+          *is_null = true;
+          return 0.0;
+        }
+        const double n = static_cast<double>(count);
+        double var = (sum_sq - sum * sum / n) / (n - 1.0);
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+      }
+      case AggKind::kSumSq:
+        return sum_sq;
+    }
+    return 0.0;
+  }
+};
+
+double NumericCell(const Array& a, int64_t i) {
+  switch (a.type()) {
+    case TypeId::kFloat64:
+      return a.float64_data()[i];
+    case TypeId::kBool:
+      return a.bool_data()[i] != 0 ? 1.0 : 0.0;
+    default:
+      return static_cast<double>(a.int64_data()[i]);
+  }
+}
+
+}  // namespace
+
+std::string DefaultAggName(const AggSpec& spec) {
+  if (!spec.output_name.empty()) return spec.output_name;
+  return spec.column + "_" + AggName(spec.kind);
+}
+
+const char* AggName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMean:
+      return "mean";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kStd:
+      return "std";
+    case AggKind::kSumSq:
+      return "sumsq";
+  }
+  return "?";
+}
+
+Result<TablePtr> GroupBy(const TablePtr& table,
+                         const std::vector<std::string>& keys,
+                         const std::vector<AggSpec>& aggs) {
+  if (keys.empty()) return Status::Invalid("GroupBy requires at least one key");
+
+  std::vector<ArrayPtr> agg_inputs;
+  for (const AggSpec& spec : aggs) {
+    BENTO_ASSIGN_OR_RETURN(auto c, table->GetColumn(spec.column));
+    if (spec.kind != AggKind::kCount && !col::IsNumeric(c->type()) &&
+        c->type() != TypeId::kBool && c->type() != TypeId::kTimestamp) {
+      return Status::TypeError("cannot aggregate ", col::TypeName(c->type()),
+                               " column '", spec.column, "' with ",
+                               AggName(spec.kind));
+    }
+    agg_inputs.push_back(std::move(c));
+  }
+
+  BENTO_ASSIGN_OR_RETURN(auto hashes, HashRows(table, keys));
+  BENTO_ASSIGN_OR_RETURN(auto equal, RowEquality::Make(table, keys, table, keys));
+
+  // hash -> candidate group ids (chained by row equality).
+  std::unordered_map<uint64_t, std::vector<int64_t>> index;
+  index.reserve(static_cast<size_t>(table->num_rows()) / 2 + 16);
+  std::vector<int64_t> group_representative;  // first row of each group
+  std::vector<std::vector<AggState>> states;  // [group][agg]
+
+  const int64_t n = table->num_rows();
+  for (int64_t i = 0; i < n; ++i) {
+    auto& candidates = index[hashes[static_cast<size_t>(i)]];
+    int64_t group = -1;
+    for (int64_t g : candidates) {
+      if (equal.Equal(group_representative[static_cast<size_t>(g)], i)) {
+        group = g;
+        break;
+      }
+    }
+    if (group < 0) {
+      group = static_cast<int64_t>(group_representative.size());
+      group_representative.push_back(i);
+      states.emplace_back(aggs.size());
+      candidates.push_back(group);
+    }
+    auto& row_states = states[static_cast<size_t>(group)];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row_states[a].rows += 1;
+      const Array& input = *agg_inputs[a];
+      if (input.IsValid(i)) {
+        const double v = NumericCell(input, i);
+        // NaN counts as missing (sentinel-null model).
+        if (!std::isnan(v)) row_states[a].Add(v);
+      }
+    }
+  }
+
+  // Assemble output: key columns via Take on representatives, then aggs.
+  BENTO_ASSIGN_OR_RETURN(auto key_table, table->SelectColumns(keys));
+  BENTO_ASSIGN_OR_RETURN(auto key_out, TakeTable(key_table, group_representative));
+
+  std::vector<col::Field> fields = key_out->schema()->fields();
+  std::vector<ArrayPtr> columns = key_out->columns();
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].kind == AggKind::kCount) {
+      col::Int64Builder b;
+      b.Reserve(static_cast<int64_t>(states.size()));
+      for (const auto& row_states : states) {
+        b.Append(row_states[a].count);
+      }
+      BENTO_ASSIGN_OR_RETURN(auto arr, b.Finish());
+      fields.push_back({DefaultAggName(aggs[a]), TypeId::kInt64});
+      columns.push_back(std::move(arr));
+    } else {
+      col::Float64Builder b;
+      b.Reserve(static_cast<int64_t>(states.size()));
+      for (const auto& row_states : states) {
+        bool is_null = false;
+        double v = row_states[a].Result(aggs[a].kind, &is_null);
+        b.AppendMaybe(v, !is_null);
+      }
+      BENTO_ASSIGN_OR_RETURN(auto arr, b.Finish());
+      fields.push_back({DefaultAggName(aggs[a]), TypeId::kFloat64});
+      columns.push_back(std::move(arr));
+    }
+  }
+  return Table::Make(std::make_shared<col::Schema>(std::move(fields)),
+                     std::move(columns));
+}
+
+Result<TablePtr> GroupByPartitioned(const TablePtr& table,
+                                    const std::vector<std::string>& keys,
+                                    const std::vector<AggSpec>& aggs,
+                                    const sim::ParallelOptions& options) {
+  int workers = options.max_workers;
+  if (workers <= 0) {
+    workers = sim::Session::Current() != nullptr
+                  ? sim::Session::Current()->cores()
+                  : 1;
+  }
+  if (workers <= 1 || table->num_rows() < 8192) {
+    return GroupBy(table, keys, aggs);
+  }
+
+  // Hash-partition rows on the keys: equal keys land in one partition, so
+  // per-partition group-bys are disjoint and concatenate without a merge.
+  BENTO_ASSIGN_OR_RETURN(auto hashes, HashRows(table, keys));
+  const size_t parts = static_cast<size_t>(workers);
+  std::vector<std::vector<int64_t>> partition_rows(parts);
+  for (int64_t i = 0; i < table->num_rows(); ++i) {
+    partition_rows[hashes[static_cast<size_t>(i)] % parts].push_back(i);
+  }
+
+  std::vector<TablePtr> results(parts);
+  BENTO_RETURN_NOT_OK(sim::ParallelFor(
+      static_cast<int64_t>(parts),
+      [&](int64_t p) -> Status {
+        const auto& rows = partition_rows[static_cast<size_t>(p)];
+        if (rows.empty()) return Status::OK();
+        BENTO_ASSIGN_OR_RETURN(auto part, TakeTable(table, rows));
+        BENTO_ASSIGN_OR_RETURN(auto grouped, GroupBy(part, keys, aggs));
+        results[static_cast<size_t>(p)] = std::move(grouped);
+        return Status::OK();
+      },
+      options));
+
+  std::vector<TablePtr> non_empty;
+  for (auto& r : results) {
+    if (r != nullptr) non_empty.push_back(std::move(r));
+  }
+  if (non_empty.empty()) return GroupBy(table, keys, aggs);
+  return col::ConcatTables(non_empty);
+}
+
+}  // namespace bento::kern

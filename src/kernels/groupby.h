@@ -1,0 +1,36 @@
+#ifndef BENTO_KERNELS_GROUPBY_H_
+#define BENTO_KERNELS_GROUPBY_H_
+
+#include <string>
+#include <vector>
+
+#include "kernels/common.h"
+#include "sim/parallel.h"
+
+namespace bento::kern {
+
+/// \brief Hash group-by: groups `table` on `keys` and computes `aggs`.
+///
+/// Output schema: the key columns (one representative row per group, in
+/// first-seen order) followed by one column per AggSpec. kCount outputs
+/// int64; other aggregations output float64 and ignore nulls (Pandas
+/// semantics: a group whose inputs are all null aggregates to null).
+Result<TablePtr> GroupBy(const TablePtr& table,
+                         const std::vector<std::string>& keys,
+                         const std::vector<AggSpec>& aggs);
+
+/// \brief Partition-parallel group-by: rows are hash-partitioned on the
+/// keys, each partition groups independently (through sim::ParallelFor),
+/// and the disjoint partial results are concatenated. The shape used by the
+/// multithreaded engines (Modin/Polars/DataTable/Spark).
+Result<TablePtr> GroupByPartitioned(const TablePtr& table,
+                                    const std::vector<std::string>& keys,
+                                    const std::vector<AggSpec>& aggs,
+                                    const sim::ParallelOptions& options = {});
+
+/// \brief Default output name for an aggregation ("<col>_<agg>").
+std::string DefaultAggName(const AggSpec& spec);
+
+}  // namespace bento::kern
+
+#endif  // BENTO_KERNELS_GROUPBY_H_

@@ -1,0 +1,151 @@
+#include "kernels/join.h"
+
+#include <unordered_map>
+
+#include "kernels/row_hash.h"
+#include "kernels/selection.h"
+
+namespace bento::kern {
+
+namespace {
+
+Result<TablePtr> AssembleJoin(const TablePtr& left, const TablePtr& right,
+                              const std::string& right_key,
+                              const std::vector<int64_t>& left_rows,
+                              const std::vector<int64_t>& right_rows,
+                              const std::string& right_suffix) {
+  BENTO_ASSIGN_OR_RETURN(auto left_out, TakeTable(left, left_rows));
+  BENTO_ASSIGN_OR_RETURN(auto right_sel, right->DropColumns({right_key}));
+  BENTO_ASSIGN_OR_RETURN(auto right_out, TakeTable(right_sel, right_rows));
+
+  std::vector<col::Field> fields = left_out->schema()->fields();
+  std::vector<ArrayPtr> columns = left_out->columns();
+  for (int c = 0; c < right_out->num_columns(); ++c) {
+    col::Field f = right_out->schema()->field(c);
+    if (left_out->schema()->Contains(f.name)) f.name += right_suffix;
+    fields.push_back(std::move(f));
+    columns.push_back(right_out->column(c));
+  }
+  return Table::Make(std::make_shared<col::Schema>(std::move(fields)),
+                     std::move(columns));
+}
+
+}  // namespace
+
+Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
+                          const std::string& left_key,
+                          const std::string& right_key,
+                          const JoinOptions& options) {
+  BENTO_ASSIGN_OR_RETURN(auto right_hashes, HashRows(right, {right_key}));
+  BENTO_ASSIGN_OR_RETURN(auto left_hashes, HashRows(left, {left_key}));
+  BENTO_ASSIGN_OR_RETURN(
+      auto equal, RowEquality::Make(left, {left_key}, right, {right_key}));
+  BENTO_ASSIGN_OR_RETURN(auto right_key_col, right->GetColumn(right_key));
+  BENTO_ASSIGN_OR_RETURN(auto left_key_col, left->GetColumn(left_key));
+
+  std::unordered_map<uint64_t, std::vector<int64_t>> index;
+  index.reserve(static_cast<size_t>(right->num_rows()));
+  for (int64_t j = 0; j < right->num_rows(); ++j) {
+    if (right_key_col->IsNull(j)) continue;  // null keys never match
+    index[right_hashes[static_cast<size_t>(j)]].push_back(j);
+  }
+
+  std::vector<int64_t> left_rows;
+  std::vector<int64_t> right_rows;
+  for (int64_t i = 0; i < left->num_rows(); ++i) {
+    bool matched = false;
+    if (!left_key_col->IsNull(i)) {
+      auto it = index.find(left_hashes[static_cast<size_t>(i)]);
+      if (it != index.end()) {
+        for (int64_t j : it->second) {
+          if (equal.Equal(i, j)) {
+            left_rows.push_back(i);
+            right_rows.push_back(j);
+            matched = true;
+          }
+        }
+      }
+    }
+    if (!matched && options.type == JoinType::kLeft) {
+      left_rows.push_back(i);
+      right_rows.push_back(-1);
+    }
+  }
+  return AssembleJoin(left, right, right_key, left_rows, right_rows,
+                      options.right_suffix);
+}
+
+Result<TablePtr> HashJoinParallel(const TablePtr& left, const TablePtr& right,
+                                  const std::string& left_key,
+                                  const std::string& right_key,
+                                  const JoinOptions& options,
+                                  const sim::ParallelOptions& parallel) {
+  int workers = parallel.max_workers;
+  if (workers <= 0) {
+    workers = sim::Session::Current() != nullptr
+                  ? sim::Session::Current()->cores()
+                  : 1;
+  }
+  auto ranges = sim::SplitRange(left->num_rows(), workers, 8192);
+  if (ranges.size() <= 1) {
+    return HashJoin(left, right, left_key, right_key, options);
+  }
+
+  // Shared build phase (serial), parallel probe over left chunks.
+  BENTO_ASSIGN_OR_RETURN(auto right_hashes, HashRows(right, {right_key}));
+  BENTO_ASSIGN_OR_RETURN(auto left_hashes, HashRows(left, {left_key}));
+  BENTO_ASSIGN_OR_RETURN(
+      auto equal, RowEquality::Make(left, {left_key}, right, {right_key}));
+  BENTO_ASSIGN_OR_RETURN(auto right_key_col, right->GetColumn(right_key));
+  BENTO_ASSIGN_OR_RETURN(auto left_key_col, left->GetColumn(left_key));
+
+  std::unordered_map<uint64_t, std::vector<int64_t>> index;
+  index.reserve(static_cast<size_t>(right->num_rows()));
+  for (int64_t j = 0; j < right->num_rows(); ++j) {
+    if (right_key_col->IsNull(j)) continue;
+    index[right_hashes[static_cast<size_t>(j)]].push_back(j);
+  }
+
+  std::vector<std::vector<int64_t>> chunk_left(ranges.size());
+  std::vector<std::vector<int64_t>> chunk_right(ranges.size());
+  BENTO_RETURN_NOT_OK(sim::ParallelFor(
+      static_cast<int64_t>(ranges.size()),
+      [&](int64_t r) {
+        auto [b, e] = ranges[static_cast<size_t>(r)];
+        auto& lrows = chunk_left[static_cast<size_t>(r)];
+        auto& rrows = chunk_right[static_cast<size_t>(r)];
+        for (int64_t i = b; i < e; ++i) {
+          bool matched = false;
+          if (!left_key_col->IsNull(i)) {
+            auto it = index.find(left_hashes[static_cast<size_t>(i)]);
+            if (it != index.end()) {
+              for (int64_t j : it->second) {
+                if (equal.Equal(i, j)) {
+                  lrows.push_back(i);
+                  rrows.push_back(j);
+                  matched = true;
+                }
+              }
+            }
+          }
+          if (!matched && options.type == JoinType::kLeft) {
+            lrows.push_back(i);
+            rrows.push_back(-1);
+          }
+        }
+        return Status::OK();
+      },
+      parallel));
+
+  std::vector<int64_t> left_rows;
+  std::vector<int64_t> right_rows;
+  for (size_t r = 0; r < ranges.size(); ++r) {
+    left_rows.insert(left_rows.end(), chunk_left[r].begin(), chunk_left[r].end());
+    right_rows.insert(right_rows.end(), chunk_right[r].begin(),
+                      chunk_right[r].end());
+  }
+  return AssembleJoin(left, right, right_key, left_rows, right_rows,
+                      options.right_suffix);
+}
+
+}  // namespace bento::kern

@@ -1,0 +1,38 @@
+#ifndef BENTO_KERNELS_JOIN_H_
+#define BENTO_KERNELS_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "kernels/common.h"
+#include "sim/parallel.h"
+
+namespace bento::kern {
+
+struct JoinOptions {
+  JoinType type = JoinType::kInner;
+  /// Suffix applied to right-side columns whose names collide with the left.
+  std::string right_suffix = "_r";
+};
+
+/// \brief Single-key hash join (build on right, probe from left).
+///
+/// Output: all left columns followed by the right columns except the right
+/// key. Left join emits nulls for unmatched left rows; when one left row
+/// matches k right rows it is replicated k times (Pandas `merge` semantics).
+Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
+                          const std::string& left_key,
+                          const std::string& right_key,
+                          const JoinOptions& options = {});
+
+/// \brief Probe-parallel variant: the build side is shared, probes run over
+/// row chunks through sim::ParallelFor.
+Result<TablePtr> HashJoinParallel(const TablePtr& left, const TablePtr& right,
+                                  const std::string& left_key,
+                                  const std::string& right_key,
+                                  const JoinOptions& options = {},
+                                  const sim::ParallelOptions& parallel = {});
+
+}  // namespace bento::kern
+
+#endif  // BENTO_KERNELS_JOIN_H_

@@ -1,0 +1,42 @@
+#ifndef BENTO_KERNELS_NULL_OPS_H_
+#define BENTO_KERNELS_NULL_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "kernels/common.h"
+
+namespace bento::kern {
+
+/// \brief Strategy for locating nulls; the engines' choice here reproduces
+/// the paper's isna results.
+///
+///  - kMetadata: O(1) per column using the cached/bitmap null count and the
+///    validity bits (the Arrow-backed model: Pandas2, Polars, CuDF).
+///  - kScan: elementwise re-examination of values — NaN test for floats,
+///    per-slot validity probe otherwise (the NumPy-backed Pandas model).
+enum class NullProbe { kMetadata, kScan };
+
+/// \brief Boolean mask that is true where `values` is null.
+Result<ArrayPtr> IsNull(const ArrayPtr& values, NullProbe probe);
+
+/// \brief Per-column null counts for a whole table (`isna().sum()`):
+/// the common EDA call. Metadata probe popcounts bitmaps; scan probe visits
+/// every value.
+Result<std::vector<int64_t>> NullCounts(const TablePtr& table, NullProbe probe);
+
+/// \brief Replaces nulls with `fill` (type-checked against the column).
+Result<ArrayPtr> FillNull(const ArrayPtr& values, const Scalar& fill);
+
+/// \brief Replaces nulls in a float column with the column mean (the
+/// `fillna(df.mean())` idiom used by the Kaggle pipelines).
+Result<ArrayPtr> FillNullWithMean(const ArrayPtr& values);
+
+/// \brief Drops rows that contain a null in any of `subset` columns
+/// (all columns when `subset` is empty).
+Result<TablePtr> DropNullRows(const TablePtr& table,
+                              const std::vector<std::string>& subset = {});
+
+}  // namespace bento::kern
+
+#endif  // BENTO_KERNELS_NULL_OPS_H_

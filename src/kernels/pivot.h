@@ -1,0 +1,21 @@
+#ifndef BENTO_KERNELS_PIVOT_H_
+#define BENTO_KERNELS_PIVOT_H_
+
+#include <string>
+
+#include "kernels/common.h"
+
+namespace bento::kern {
+
+/// \brief `pivot_table`: one output row per distinct `index` value, one
+/// output column per distinct `columns` value (named "<values>_<v>") holding
+/// agg(`values`) of the matching cells; combinations with no input rows are
+/// null. Distinct values appear in first-seen order.
+Result<TablePtr> PivotTable(const TablePtr& table, const std::string& index,
+                            const std::string& columns,
+                            const std::string& values,
+                            AggKind agg = AggKind::kMean);
+
+}  // namespace bento::kern
+
+#endif  // BENTO_KERNELS_PIVOT_H_

@@ -1,0 +1,154 @@
+#include "kernels/row_hash.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace bento::kern {
+
+namespace {
+
+constexpr uint64_t kNullTag = 0x9AE16A3B2F90404FULL;
+
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  // 128-bit-free variant of the Murmur3 finalizer as a combiner.
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+inline uint64_t HashBytes(const void* data, size_t n) {
+  // FNV-1a: adequate distribution for grouping keys.
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashCell(const Array& a, int64_t i) {
+  if (a.IsNull(i)) return kNullTag;
+  switch (a.type()) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return HashBytes(&a.int64_data()[i], 8);
+    case TypeId::kFloat64: {
+      double v = a.float64_data()[i];
+      if (v == 0.0) v = 0.0;  // normalize -0.0
+      if (std::isnan(v)) return kNullTag ^ 1;
+      return HashBytes(&v, 8);
+    }
+    case TypeId::kBool:
+      return a.bool_data()[i] != 0 ? 0x12345 : 0x54321;
+    case TypeId::kString: {
+      std::string_view v = a.GetView(i);
+      return HashBytes(v.data(), v.size());
+    }
+    case TypeId::kCategorical: {
+      // Hash the dictionary value so equal strings match across dictionaries.
+      const auto& dict = *a.dictionary();
+      const std::string& v = dict[static_cast<size_t>(a.codes_data()[i])];
+      return HashBytes(v.data(), v.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<std::vector<uint64_t>> HashRows(
+    const TablePtr& table, const std::vector<std::string>& columns) {
+  std::vector<ArrayPtr> cols;
+  if (columns.empty()) {
+    cols = table->columns();
+  } else {
+    for (const std::string& name : columns) {
+      BENTO_ASSIGN_OR_RETURN(auto c, table->GetColumn(name));
+      cols.push_back(std::move(c));
+    }
+  }
+  std::vector<uint64_t> hashes(static_cast<size_t>(table->num_rows()),
+                               0x8445D61A4E774912ULL);
+  for (const ArrayPtr& c : cols) {
+    for (int64_t i = 0; i < c->length(); ++i) {
+      hashes[static_cast<size_t>(i)] =
+          Mix(hashes[static_cast<size_t>(i)], HashCell(*c, i));
+    }
+  }
+  return hashes;
+}
+
+Result<RowEquality> RowEquality::Make(
+    const TablePtr& left, const std::vector<std::string>& left_cols,
+    const TablePtr& right, const std::vector<std::string>& right_cols) {
+  if (left_cols.size() != right_cols.size()) {
+    return Status::Invalid("column count mismatch in RowEquality");
+  }
+  RowEquality eq;
+  for (size_t k = 0; k < left_cols.size(); ++k) {
+    BENTO_ASSIGN_OR_RETURN(auto lc, left->GetColumn(left_cols[k]));
+    BENTO_ASSIGN_OR_RETURN(auto rc, right->GetColumn(right_cols[k]));
+    const bool same =
+        lc->type() == rc->type() ||
+        (col::IsNumeric(lc->type()) && col::IsNumeric(rc->type())) ||
+        // categorical and string compare by value
+        ((lc->type() == TypeId::kString || lc->type() == TypeId::kCategorical) &&
+         (rc->type() == TypeId::kString || rc->type() == TypeId::kCategorical));
+    if (!same) {
+      return Status::TypeError("key type mismatch: ", col::TypeName(lc->type()),
+                               " vs ", col::TypeName(rc->type()));
+    }
+    eq.left_.push_back(std::move(lc));
+    eq.right_.push_back(std::move(rc));
+  }
+  return eq;
+}
+
+namespace {
+
+inline std::string_view StringAt(const Array& a, int64_t i) {
+  if (a.type() == TypeId::kCategorical) {
+    return (*a.dictionary())[static_cast<size_t>(a.codes_data()[i])];
+  }
+  return a.GetView(i);
+}
+
+inline double NumericAt(const Array& a, int64_t i) {
+  return a.type() == TypeId::kFloat64 ? a.float64_data()[i]
+                                      : static_cast<double>(a.int64_data()[i]);
+}
+
+bool CellEqual(const Array& l, int64_t i, const Array& r, int64_t j) {
+  const bool ln = l.IsNull(i);
+  const bool rn = r.IsNull(j);
+  if (ln || rn) return ln && rn;  // null == null for grouping semantics
+  switch (l.type()) {
+    case TypeId::kBool:
+      return (l.bool_data()[i] != 0) == (r.bool_data()[j] != 0);
+    case TypeId::kString:
+    case TypeId::kCategorical:
+      return StringAt(l, i) == StringAt(r, j);
+    default: {
+      double lv = NumericAt(l, i);
+      double rv = NumericAt(r, j);
+      if (std::isnan(lv) || std::isnan(rv)) {
+        return std::isnan(lv) && std::isnan(rv);
+      }
+      return lv == rv;
+    }
+  }
+}
+
+}  // namespace
+
+bool RowEquality::Equal(int64_t i, int64_t j) const {
+  for (size_t k = 0; k < left_.size(); ++k) {
+    if (!CellEqual(*left_[k], i, *right_[k], j)) return false;
+  }
+  return true;
+}
+
+}  // namespace bento::kern

@@ -1,0 +1,182 @@
+#include "kernels/selection.h"
+
+#include "columnar/builder.h"
+
+namespace bento::kern {
+
+namespace {
+
+using col::BoolBuilder;
+using col::CategoricalBuilder;
+using col::FixedBuilder;
+using col::Float64Builder;
+using col::Int64Builder;
+using col::StringBuilder;
+
+template <typename Builder, typename Getter>
+Result<ArrayPtr> FilterFixed(const ArrayPtr& values, const ArrayPtr& mask,
+                             Builder builder, Getter get) {
+  const uint8_t* mdata = mask->bool_data();
+  for (int64_t i = 0; i < values->length(); ++i) {
+    if (mask->IsValid(i) && mdata[i] != 0) {
+      if (values->IsValid(i)) {
+        builder.Append(get(i));
+      } else {
+        builder.AppendNull();
+      }
+    }
+  }
+  return builder.Finish();
+}
+
+template <typename Builder, typename Getter>
+Result<ArrayPtr> TakeFixed(const ArrayPtr& values,
+                           const std::vector<int64_t>& indices,
+                           Builder builder, Getter get) {
+  for (int64_t idx : indices) {
+    if (idx < 0 || values->IsNull(idx)) {
+      builder.AppendNull();
+    } else {
+      builder.Append(get(idx));
+    }
+  }
+  return builder.Finish();
+}
+
+Result<ArrayPtr> RetypeTimestamp(Result<ArrayPtr> r) {
+  if (!r.ok()) return r;
+  ArrayPtr a = r.MoveValueUnsafe();
+  return Array::MakeFixed(TypeId::kTimestamp, a->length(), a->data_buffer(),
+                          a->validity_buffer(), a->cached_null_count());
+}
+
+}  // namespace
+
+Result<ArrayPtr> Filter(const ArrayPtr& values, const ArrayPtr& mask) {
+  if (mask->type() != TypeId::kBool) {
+    return Status::TypeError("filter mask must be bool, got ",
+                             col::TypeName(mask->type()));
+  }
+  if (mask->length() != values->length()) {
+    return Status::Invalid("mask length ", mask->length(),
+                           " != values length ", values->length());
+  }
+  switch (values->type()) {
+    case TypeId::kInt64:
+      return FilterFixed(values, mask, Int64Builder(),
+                         [&](int64_t i) { return values->int64_data()[i]; });
+    case TypeId::kTimestamp:
+      return RetypeTimestamp(
+          FilterFixed(values, mask, Int64Builder(),
+                      [&](int64_t i) { return values->int64_data()[i]; }));
+    case TypeId::kFloat64:
+      return FilterFixed(values, mask, Float64Builder(),
+                         [&](int64_t i) { return values->float64_data()[i]; });
+    case TypeId::kBool:
+      return FilterFixed(values, mask, BoolBuilder(), [&](int64_t i) {
+        return values->bool_data()[i] != 0;
+      });
+    case TypeId::kString: {
+      StringBuilder builder;
+      const uint8_t* mdata = mask->bool_data();
+      for (int64_t i = 0; i < values->length(); ++i) {
+        if (mask->IsValid(i) && mdata[i] != 0) {
+          if (values->IsValid(i)) {
+            builder.Append(values->GetView(i));
+          } else {
+            builder.AppendNull();
+          }
+        }
+      }
+      return builder.Finish();
+    }
+    case TypeId::kCategorical: {
+      CategoricalBuilder builder;
+      const uint8_t* mdata = mask->bool_data();
+      for (int64_t i = 0; i < values->length(); ++i) {
+        if (mask->IsValid(i) && mdata[i] != 0) {
+          if (values->IsValid(i)) {
+            builder.Append(values->codes_data()[i]);
+          } else {
+            builder.AppendNull();
+          }
+        }
+      }
+      return builder.Finish(values->dictionary());
+    }
+  }
+  return Status::Invalid("unsupported type in Filter");
+}
+
+Result<TablePtr> FilterTable(const TablePtr& table, const ArrayPtr& mask) {
+  std::vector<ArrayPtr> columns;
+  columns.reserve(static_cast<size_t>(table->num_columns()));
+  for (const ArrayPtr& c : table->columns()) {
+    BENTO_ASSIGN_OR_RETURN(auto filtered, Filter(c, mask));
+    columns.push_back(std::move(filtered));
+  }
+  if (columns.empty()) return table;
+  return Table::Make(table->schema(), std::move(columns));
+}
+
+Result<ArrayPtr> Take(const ArrayPtr& values,
+                      const std::vector<int64_t>& indices) {
+  for (int64_t idx : indices) {
+    if (idx >= values->length()) {
+      return Status::IndexError("take index ", idx, " out of bounds (length ",
+                                values->length(), ")");
+    }
+  }
+  switch (values->type()) {
+    case TypeId::kInt64:
+      return TakeFixed(values, indices, Int64Builder(),
+                       [&](int64_t i) { return values->int64_data()[i]; });
+    case TypeId::kTimestamp:
+      return RetypeTimestamp(
+          TakeFixed(values, indices, Int64Builder(),
+                    [&](int64_t i) { return values->int64_data()[i]; }));
+    case TypeId::kFloat64:
+      return TakeFixed(values, indices, Float64Builder(),
+                       [&](int64_t i) { return values->float64_data()[i]; });
+    case TypeId::kBool:
+      return TakeFixed(values, indices, BoolBuilder(),
+                       [&](int64_t i) { return values->bool_data()[i] != 0; });
+    case TypeId::kString: {
+      StringBuilder builder;
+      for (int64_t idx : indices) {
+        if (idx < 0 || values->IsNull(idx)) {
+          builder.AppendNull();
+        } else {
+          builder.Append(values->GetView(idx));
+        }
+      }
+      return builder.Finish();
+    }
+    case TypeId::kCategorical: {
+      CategoricalBuilder builder;
+      for (int64_t idx : indices) {
+        if (idx < 0 || values->IsNull(idx)) {
+          builder.AppendNull();
+        } else {
+          builder.Append(values->codes_data()[idx]);
+        }
+      }
+      return builder.Finish(values->dictionary());
+    }
+  }
+  return Status::Invalid("unsupported type in Take");
+}
+
+Result<TablePtr> TakeTable(const TablePtr& table,
+                           const std::vector<int64_t>& indices) {
+  std::vector<ArrayPtr> columns;
+  columns.reserve(static_cast<size_t>(table->num_columns()));
+  for (const ArrayPtr& c : table->columns()) {
+    BENTO_ASSIGN_OR_RETURN(auto taken, Take(c, indices));
+    columns.push_back(std::move(taken));
+  }
+  if (columns.empty()) return table;
+  return Table::Make(table->schema(), std::move(columns));
+}
+
+}  // namespace bento::kern

@@ -1,0 +1,25 @@
+#ifndef BENTO_KERNELS_SELECTION_H_
+#define BENTO_KERNELS_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/common.h"
+
+namespace bento::kern {
+
+/// \brief Keeps rows where `mask` is true (null mask slots drop the row).
+/// `mask` must be a kBool array of the same length.
+Result<ArrayPtr> Filter(const ArrayPtr& values, const ArrayPtr& mask);
+Result<TablePtr> FilterTable(const TablePtr& table, const ArrayPtr& mask);
+
+/// \brief Gathers rows at `indices`; an index of -1 emits a null row
+/// (used by left joins).
+Result<ArrayPtr> Take(const ArrayPtr& values,
+                      const std::vector<int64_t>& indices);
+Result<TablePtr> TakeTable(const TablePtr& table,
+                           const std::vector<int64_t>& indices);
+
+}  // namespace bento::kern
+
+#endif  // BENTO_KERNELS_SELECTION_H_

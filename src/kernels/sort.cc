@@ -1,0 +1,240 @@
+#include "kernels/sort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "kernels/selection.h"
+
+namespace bento::kern {
+
+namespace {
+
+/// Three-way comparison of one cell pair under a key; nulls last.
+int CompareCell(const Array& a, int64_t i, int64_t j, bool ascending) {
+  const bool in = a.IsNull(i);
+  const bool jn = a.IsNull(j);
+  if (in || jn) {
+    if (in && jn) return 0;
+    return in ? 1 : -1;  // nulls last, independent of direction
+  }
+  int cmp = 0;
+  switch (a.type()) {
+    case TypeId::kBool: {
+      int l = a.bool_data()[i] != 0;
+      int r = a.bool_data()[j] != 0;
+      cmp = l < r ? -1 : (l > r ? 1 : 0);
+      break;
+    }
+    case TypeId::kString: {
+      std::string_view l = a.GetView(i);
+      std::string_view r = a.GetView(j);
+      cmp = l < r ? -1 : (l > r ? 1 : 0);
+      break;
+    }
+    case TypeId::kCategorical: {
+      const auto& dict = *a.dictionary();
+      const std::string& l = dict[static_cast<size_t>(a.codes_data()[i])];
+      const std::string& r = dict[static_cast<size_t>(a.codes_data()[j])];
+      cmp = l < r ? -1 : (l > r ? 1 : 0);
+      break;
+    }
+    case TypeId::kFloat64: {
+      double l = a.float64_data()[i];
+      double r = a.float64_data()[j];
+      const bool lnan = std::isnan(l);
+      const bool rnan = std::isnan(r);
+      if (lnan || rnan) {
+        if (lnan && rnan) return 0;
+        return lnan ? 1 : -1;  // NaN last like nulls
+      }
+      cmp = l < r ? -1 : (l > r ? 1 : 0);
+      break;
+    }
+    default: {
+      int64_t l = a.int64_data()[i];
+      int64_t r = a.int64_data()[j];
+      cmp = l < r ? -1 : (l > r ? 1 : 0);
+      break;
+    }
+  }
+  return ascending ? cmp : -cmp;
+}
+
+struct Comparator {
+  const std::vector<ArrayPtr>* columns;
+  const std::vector<SortKey>* keys;
+
+  bool operator()(int64_t i, int64_t j) const {
+    for (size_t k = 0; k < keys->size(); ++k) {
+      int cmp = CompareCell(*(*columns)[k], i, j, (*keys)[k].ascending);
+      if (cmp != 0) return cmp < 0;
+    }
+    return false;
+  }
+};
+
+Result<std::vector<ArrayPtr>> ResolveKeyColumns(
+    const TablePtr& table, const std::vector<SortKey>& keys) {
+  std::vector<ArrayPtr> columns;
+  for (const SortKey& key : keys) {
+    BENTO_ASSIGN_OR_RETURN(auto c, table->GetColumn(key.column));
+    columns.push_back(std::move(c));
+  }
+  return columns;
+}
+
+}  // namespace
+
+Result<std::vector<int64_t>> ArgSort(const TablePtr& table,
+                                     const std::vector<SortKey>& keys) {
+  if (keys.empty()) return Status::Invalid("ArgSort requires at least one key");
+  BENTO_ASSIGN_OR_RETURN(auto columns, ResolveKeyColumns(table, keys));
+  std::vector<int64_t> indices(static_cast<size_t>(table->num_rows()));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<int64_t>(i);
+  }
+  Comparator cmp{&columns, &keys};
+  std::stable_sort(indices.begin(), indices.end(), cmp);
+  return indices;
+}
+
+Result<std::vector<int64_t>> ArgSortParallel(
+    const TablePtr& table, const std::vector<SortKey>& keys,
+    const sim::ParallelOptions& options) {
+  if (keys.empty()) return Status::Invalid("ArgSort requires at least one key");
+  BENTO_ASSIGN_OR_RETURN(auto columns, ResolveKeyColumns(table, keys));
+  const int64_t n = table->num_rows();
+
+  int workers = options.max_workers;
+  if (workers <= 0) {
+    workers = sim::Session::Current() != nullptr
+                  ? sim::Session::Current()->cores()
+                  : 1;
+  }
+  auto ranges = sim::SplitRange(n, workers, /*min_rows_per_chunk=*/4096);
+  if (ranges.size() <= 1) return ArgSort(table, keys);
+
+  Comparator cmp{&columns, &keys};
+  std::vector<std::vector<int64_t>> runs(ranges.size());
+  BENTO_RETURN_NOT_OK(sim::ParallelFor(
+      static_cast<int64_t>(ranges.size()),
+      [&](int64_t r) {
+        auto [b, e] = ranges[static_cast<size_t>(r)];
+        auto& run = runs[static_cast<size_t>(r)];
+        run.resize(static_cast<size_t>(e - b));
+        for (int64_t i = b; i < e; ++i) run[static_cast<size_t>(i - b)] = i;
+        std::stable_sort(run.begin(), run.end(), cmp);
+        return Status::OK();
+      },
+      options));
+
+  // Serial k-way merge of the sorted runs. Stability across runs follows
+  // from run order being row order and the heap tie-breaking on run id.
+  struct HeapItem {
+    int64_t row;
+    size_t run;
+    size_t pos;
+  };
+  auto heap_cmp = [&](const HeapItem& a, const HeapItem& b) {
+    if (cmp(b.row, a.row)) return true;
+    if (cmp(a.row, b.row)) return false;
+    return a.run > b.run;
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(heap_cmp)> heap(
+      heap_cmp);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) heap.push({runs[r][0], r, 0});
+  }
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(n));
+  while (!heap.empty()) {
+    HeapItem top = heap.top();
+    heap.pop();
+    out.push_back(top.row);
+    size_t next = top.pos + 1;
+    if (next < runs[top.run].size()) {
+      heap.push({runs[top.run][next], top.run, next});
+    }
+  }
+  return out;
+}
+
+Result<TablePtr> SortTable(const TablePtr& table,
+                           const std::vector<SortKey>& keys) {
+  BENTO_ASSIGN_OR_RETURN(auto indices, ArgSort(table, keys));
+  return TakeTable(table, indices);
+}
+
+namespace {
+
+/// Cross-table cell comparison; mirrors CompareCell but over two arrays.
+int CompareCellsAcross(const Array& l, int64_t i, const Array& r, int64_t j,
+                       bool ascending) {
+  const bool ln = l.IsNull(i);
+  const bool rn = r.IsNull(j);
+  if (ln || rn) {
+    if (ln && rn) return 0;
+    return ln ? 1 : -1;
+  }
+  int cmp = 0;
+  switch (l.type()) {
+    case TypeId::kBool: {
+      int a = l.bool_data()[i] != 0;
+      int b = r.bool_data()[j] != 0;
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+      break;
+    }
+    case TypeId::kString: {
+      std::string_view a = l.GetView(i);
+      std::string_view b = r.GetView(j);
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+      break;
+    }
+    case TypeId::kCategorical: {
+      const std::string& a =
+          (*l.dictionary())[static_cast<size_t>(l.codes_data()[i])];
+      const std::string& b =
+          (*r.dictionary())[static_cast<size_t>(r.codes_data()[j])];
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+      break;
+    }
+    case TypeId::kFloat64: {
+      double a = l.float64_data()[i];
+      double b = r.float64_data()[j];
+      const bool anan = std::isnan(a);
+      const bool bnan = std::isnan(b);
+      if (anan || bnan) {
+        if (anan && bnan) return 0;
+        return anan ? 1 : -1;
+      }
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+      break;
+    }
+    default: {
+      int64_t a = l.int64_data()[i];
+      int64_t b = r.int64_data()[j];
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+      break;
+    }
+  }
+  return ascending ? cmp : -cmp;
+}
+
+}  // namespace
+
+Result<int> CompareTableRows(const TablePtr& a, int64_t i, const TablePtr& b,
+                             int64_t j, const std::vector<SortKey>& keys) {
+  for (const SortKey& key : keys) {
+    BENTO_ASSIGN_OR_RETURN(auto ca, a->GetColumn(key.column));
+    BENTO_ASSIGN_OR_RETURN(auto cb, b->GetColumn(key.column));
+    if (ca->type() != cb->type()) {
+      return Status::TypeError("sort key type mismatch across runs");
+    }
+    int cmp = CompareCellsAcross(*ca, i, *cb, j, key.ascending);
+    if (cmp != 0) return cmp;
+  }
+  return 0;
+}
+
+}  // namespace bento::kern

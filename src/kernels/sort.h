@@ -1,0 +1,36 @@
+#ifndef BENTO_KERNELS_SORT_H_
+#define BENTO_KERNELS_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/common.h"
+#include "sim/parallel.h"
+
+namespace bento::kern {
+
+/// \brief Stable multi-key argsort; nulls order last regardless of
+/// direction (the Pandas default).
+Result<std::vector<int64_t>> ArgSort(const TablePtr& table,
+                                     const std::vector<SortKey>& keys);
+
+/// \brief Chunked argsort + k-way merge: the shape multithreaded engines
+/// use. Per-chunk sorts run through sim::ParallelFor so the machine
+/// simulator credits their overlap; the merge is serial.
+Result<std::vector<int64_t>> ArgSortParallel(
+    const TablePtr& table, const std::vector<SortKey>& keys,
+    const sim::ParallelOptions& options = {});
+
+/// \brief Materializes the sorted table (argsort + take).
+Result<TablePtr> SortTable(const TablePtr& table,
+                           const std::vector<SortKey>& keys);
+
+/// \brief Three-way comparison of row `i` of `a` against row `j` of `b`
+/// under `keys` (schemas must agree on the key columns). Nulls sort last.
+/// Used by external merge sort.
+Result<int> CompareTableRows(const TablePtr& a, int64_t i, const TablePtr& b,
+                             int64_t j, const std::vector<SortKey>& keys);
+
+}  // namespace bento::kern
+
+#endif  // BENTO_KERNELS_SORT_H_

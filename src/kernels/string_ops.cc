@@ -1,0 +1,126 @@
+#include "kernels/string_ops.h"
+
+#include <cctype>
+
+#include "columnar/builder.h"
+#include "util/string_util.h"
+
+namespace bento::kern {
+
+namespace {
+
+Status CheckString(const ArrayPtr& values, const char* op) {
+  if (values->type() != TypeId::kString) {
+    return Status::TypeError(op, " requires a string column, got ",
+                             col::TypeName(values->type()));
+  }
+  return Status::OK();
+}
+
+bool ContainsCaseInsensitive(std::string_view hay, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (hay.size() < needle.size()) return false;
+  for (size_t i = 0; i + needle.size() <= hay.size(); ++i) {
+    size_t j = 0;
+    for (; j < needle.size(); ++j) {
+      if (std::tolower(static_cast<unsigned char>(hay[i + j])) !=
+          std::tolower(static_cast<unsigned char>(needle[j]))) {
+        break;
+      }
+    }
+    if (j == needle.size()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ArrayPtr> Contains(const ArrayPtr& values, const std::string& pattern,
+                          bool case_sensitive, StringEngine engine) {
+  BENTO_RETURN_NOT_OK(CheckString(values, "contains"));
+  col::BoolBuilder out;
+  out.Reserve(values->length());
+  for (int64_t i = 0; i < values->length(); ++i) {
+    if (!values->IsValid(i)) {
+      out.AppendNull();
+      continue;
+    }
+    bool hit;
+    if (engine == StringEngine::kRowObjects) {
+      // Object model: copy into an owned string first (per-row allocation),
+      // the cost profile of an object-dtype scan.
+      std::string owned(values->GetView(i));
+      hit = case_sensitive ? StrContains(owned, pattern)
+                           : ContainsCaseInsensitive(owned, pattern);
+    } else {
+      std::string_view v = values->GetView(i);
+      hit = case_sensitive ? StrContains(v, pattern)
+                           : ContainsCaseInsensitive(v, pattern);
+    }
+    out.Append(hit);
+  }
+  return out.Finish();
+}
+
+Result<ArrayPtr> Lower(const ArrayPtr& values, StringEngine engine) {
+  BENTO_RETURN_NOT_OK(CheckString(values, "lower"));
+  col::StringBuilder out;
+  out.Reserve(values->length());
+  for (int64_t i = 0; i < values->length(); ++i) {
+    if (!values->IsValid(i)) {
+      out.AppendNull();
+      continue;
+    }
+    if (engine == StringEngine::kRowObjects) {
+      std::string owned(values->GetView(i));
+      out.Append(AsciiToLower(owned));
+    } else {
+      out.Append(AsciiToLower(values->GetView(i)));
+    }
+  }
+  return out.Finish();
+}
+
+Result<ArrayPtr> ReplaceSubstring(const ArrayPtr& values,
+                                  const std::string& from,
+                                  const std::string& to) {
+  BENTO_RETURN_NOT_OK(CheckString(values, "replace"));
+  if (from.empty()) return Status::Invalid("empty 'from' pattern");
+  col::StringBuilder out;
+  out.Reserve(values->length());
+  std::string scratch;
+  for (int64_t i = 0; i < values->length(); ++i) {
+    if (!values->IsValid(i)) {
+      out.AppendNull();
+      continue;
+    }
+    std::string_view v = values->GetView(i);
+    scratch.clear();
+    size_t pos = 0;
+    while (pos < v.size()) {
+      size_t hit = v.find(from, pos);
+      if (hit == std::string_view::npos) {
+        scratch.append(v.substr(pos));
+        break;
+      }
+      scratch.append(v.substr(pos, hit - pos));
+      scratch.append(to);
+      pos = hit + from.size();
+    }
+    out.Append(scratch);
+  }
+  return out.Finish();
+}
+
+Result<ArrayPtr> StringLength(const ArrayPtr& values) {
+  BENTO_RETURN_NOT_OK(CheckString(values, "length"));
+  col::Int64Builder out;
+  out.Reserve(values->length());
+  const int64_t* offsets = values->offsets_data();
+  for (int64_t i = 0; i < values->length(); ++i) {
+    out.AppendMaybe(offsets[i + 1] - offsets[i], values->IsValid(i));
+  }
+  return out.Finish();
+}
+
+}  // namespace bento::kern

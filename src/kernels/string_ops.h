@@ -1,0 +1,39 @@
+#ifndef BENTO_KERNELS_STRING_OPS_H_
+#define BENTO_KERNELS_STRING_OPS_H_
+
+#include <string>
+
+#include "kernels/common.h"
+
+namespace bento::kern {
+
+/// \brief Execution flavor of string kernels.
+///
+///  - kRowObjects: per-row materialization into std::string before the
+///    operation (the Python object-dtype model: Pandas).
+///  - kColumnar: zero-copy operation directly over the contiguous chars
+///    buffer (the Arrow/Vaex model) — the fast path the paper credits for
+///    Vaex's `str.contains` wins.
+enum class StringEngine { kRowObjects, kColumnar };
+
+/// \brief Boolean mask: does each value contain `pattern` (plain substring,
+/// `case_sensitive` optional)? Null in, null out.
+Result<ArrayPtr> Contains(const ArrayPtr& values, const std::string& pattern,
+                          bool case_sensitive = true,
+                          StringEngine engine = StringEngine::kColumnar);
+
+/// \brief ASCII lower-cased copy of the column.
+Result<ArrayPtr> Lower(const ArrayPtr& values,
+                       StringEngine engine = StringEngine::kColumnar);
+
+/// \brief Per-value substring replacement.
+Result<ArrayPtr> ReplaceSubstring(const ArrayPtr& values,
+                                  const std::string& from,
+                                  const std::string& to);
+
+/// \brief String length of each value (int64; null in, null out).
+Result<ArrayPtr> StringLength(const ArrayPtr& values);
+
+}  // namespace bento::kern
+
+#endif  // BENTO_KERNELS_STRING_OPS_H_

@@ -1,0 +1,82 @@
+#include "sim/device.h"
+
+#include "sim/parallel.h"
+
+namespace bento::sim {
+
+namespace {
+
+const GpuSpec* ActiveGpu() {
+  Session* session = Session::Current();
+  if (session == nullptr || !session->spec().gpu.has_value()) return nullptr;
+  return &session->spec().gpu.value();
+}
+
+double SpeedupFor(const GpuSpec& gpu, KernelClass cls) {
+  switch (cls) {
+    case KernelClass::kVector:
+      return gpu.speedup_vector;
+    case KernelClass::kString:
+      return gpu.speedup_string;
+    case KernelClass::kSort:
+      return gpu.speedup_sort;
+    case KernelClass::kScalar:
+      return gpu.speedup_scalar;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Status DeviceKernel(KernelClass cls, const std::function<Status()>& fn) {
+  const GpuSpec* gpu = ActiveGpu();
+  if (gpu == nullptr) return fn();
+
+  double t0 = NowSeconds();
+  Status st = fn();
+  double host_seconds = NowSeconds() - t0;
+
+  double speedup = SpeedupFor(*gpu, cls);
+  if (speedup <= 0.0) speedup = 1.0;
+  double device_seconds =
+      host_seconds / speedup + gpu->launch_overhead_us * 1e-6;
+  Session::Current()->AddTimeCredit(host_seconds - device_seconds);
+  return st;
+}
+
+void DeviceTransfer(uint64_t bytes) {
+  const GpuSpec* gpu = ActiveGpu();
+  if (gpu == nullptr || bytes == 0) return;
+  double seconds = static_cast<double>(bytes) /
+                   (gpu->pcie_gbps * 1024.0 * 1024.0 * 1024.0);
+  ChargePenalty(seconds);
+}
+
+Status DeviceReserve(uint64_t bytes) {
+  Session* session = Session::Current();
+  if (session == nullptr || session->device_pool() == nullptr) {
+    return Status::OK();
+  }
+  return session->device_pool()->Reserve(bytes);
+}
+
+void DeviceFree(uint64_t bytes) {
+  Session* session = Session::Current();
+  if (session == nullptr || session->device_pool() == nullptr) return;
+  session->device_pool()->Release(bytes);
+}
+
+Status DeviceAllocation::Grow(uint64_t bytes) {
+  BENTO_RETURN_NOT_OK(DeviceReserve(bytes));
+  bytes_ += bytes;
+  return Status::OK();
+}
+
+void DeviceAllocation::Reset() {
+  if (bytes_ > 0) {
+    DeviceFree(bytes_);
+    bytes_ = 0;
+  }
+}
+
+}  // namespace bento::sim

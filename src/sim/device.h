@@ -1,0 +1,67 @@
+#ifndef BENTO_SIM_DEVICE_H_
+#define BENTO_SIM_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/machine.h"
+#include "util/status.h"
+
+namespace bento::sim {
+
+/// \brief Kernel families with distinct simulated GPU speedups.
+///
+/// The paper's CuDF analysis distinguishes dense numeric kernels (large
+/// speedups), string kernels (moderate: irregular accesses), sorts/shuffles,
+/// and inherently serial work that a GPU does not help with.
+enum class KernelClass { kVector, kString, kSort, kScalar };
+
+/// \brief Runs `fn` as one simulated device kernel.
+///
+/// `fn` executes for real on the host and is timed; the active session's
+/// clock is adjusted so the region costs
+///   host_seconds / speedup(cls) + launch_overhead
+/// of virtual time. Without an active GPU session the call degenerates to
+/// plain execution (no adjustment), so engine code is testable standalone.
+Status DeviceKernel(KernelClass cls, const std::function<Status()>& fn);
+
+/// \brief Charges PCIe transfer time for moving `bytes` between host and
+/// device (one direction). No host work is performed.
+void DeviceTransfer(uint64_t bytes);
+
+/// \brief Reserves device memory for `bytes` against the session's VRAM
+/// pool; fails with OutOfMemory at the device-memory wall. Paired with
+/// DeviceFree. Without a GPU session this is a no-op returning OK.
+Status DeviceReserve(uint64_t bytes);
+void DeviceFree(uint64_t bytes);
+
+/// \brief RAII device allocation used for device-resident table lifetimes.
+class DeviceAllocation {
+ public:
+  DeviceAllocation() = default;
+  ~DeviceAllocation() { Reset(); }
+
+  DeviceAllocation(const DeviceAllocation&) = delete;
+  DeviceAllocation& operator=(const DeviceAllocation&) = delete;
+  DeviceAllocation(DeviceAllocation&& other) noexcept { *this = std::move(other); }
+  DeviceAllocation& operator=(DeviceAllocation&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      bytes_ = other.bytes_;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  /// Grows the allocation by `bytes`; fails at the VRAM wall.
+  Status Grow(uint64_t bytes);
+  void Reset();
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace bento::sim
+
+#endif  // BENTO_SIM_DEVICE_H_

@@ -1,0 +1,90 @@
+#include "sim/machine.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace bento::sim {
+
+namespace {
+thread_local Session* t_session = nullptr;
+}  // namespace
+
+MachineSpec MachineSpec::Laptop() {
+  return MachineSpec{"laptop", 8, 16ULL << 30, std::nullopt};
+}
+
+MachineSpec MachineSpec::Workstation() {
+  return MachineSpec{"workstation", 16, 64ULL << 30, std::nullopt};
+}
+
+MachineSpec MachineSpec::Server() {
+  return MachineSpec{"server", 24, 128ULL << 30, std::nullopt};
+}
+
+MachineSpec MachineSpec::EvaluationHost() {
+  return MachineSpec{"eval-host", 24, 196ULL << 30, GpuSpec{}};
+}
+
+MachineSpec MachineSpec::Scaled(double factor) const {
+  MachineSpec out = *this;
+  out.ram_bytes = static_cast<uint64_t>(static_cast<double>(ram_bytes) * factor);
+  if (out.gpu.has_value()) {
+    out.gpu->vram_bytes =
+        static_cast<uint64_t>(static_cast<double>(out.gpu->vram_bytes) * factor);
+  }
+  return out;
+}
+
+Session::Session(MachineSpec spec)
+    : spec_(std::move(spec)),
+      host_pool_("host:" + spec_.name, spec_.ram_bytes),
+      device_pool_(spec_.gpu.has_value()
+                       ? std::make_unique<MemoryPool>(
+                             "device:" + spec_.name,
+                             static_cast<uint64_t>(
+                                 static_cast<double>(spec_.gpu->vram_bytes) *
+                                 spec_.gpu->managed_oversubscription))
+                       : nullptr),
+      scope_(&host_pool_),
+      previous_(t_session) {
+  t_session = this;
+}
+
+Session::~Session() { t_session = previous_; }
+
+Session* Session::Current() { return t_session; }
+
+double CostScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("BENTO_SCALE");
+    if (env != nullptr) {
+      double v = std::atof(env);
+      if (v > 0) return v;
+    }
+    return 0.001;
+  }();
+  return scale;
+}
+
+double NowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+}
+
+VirtualTimer::VirtualTimer()
+    : wall_start_(NowSeconds()),
+      credit_start_(Session::Current() != nullptr
+                        ? Session::Current()->credit_seconds()
+                        : 0.0) {}
+
+double VirtualTimer::Elapsed() const {
+  double wall = NowSeconds() - wall_start_;
+  double credit = 0.0;
+  if (Session::Current() != nullptr) {
+    credit = Session::Current()->credit_seconds() - credit_start_;
+  }
+  double v = wall - credit;
+  return v > 0.0 ? v : 0.0;
+}
+
+}  // namespace bento::sim

@@ -1,0 +1,127 @@
+#ifndef BENTO_SIM_MACHINE_H_
+#define BENTO_SIM_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/memory.h"
+
+namespace bento::sim {
+
+/// \brief Cost model of the simulated accelerator (the paper's NVIDIA T4).
+///
+/// Kernels still execute for real on the host; the session charges virtual
+/// time `host_seconds / speedup(class) + launch_overhead` and PCIe transfer
+/// time `bytes / bandwidth` per direction. Device allocations are charged to
+/// a capacity-limited device pool, reproducing the 16 GB device-memory wall.
+struct GpuSpec {
+  uint64_t vram_bytes = 16ULL << 30;
+  /// Unified-memory oversubscription factor: device allocations may exceed
+  /// VRAM up to vram_bytes * managed_oversubscription (RMM managed memory,
+  /// the common CuDF deployment for near-VRAM datasets); beyond that, OoM.
+  double managed_oversubscription = 2.0;
+  double pcie_gbps = 12.0;              ///< effective host<->device GiB/s
+  double launch_overhead_us = 10.0;     ///< per-kernel launch latency
+  double speedup_vector = 64.0;         ///< dense numeric kernels
+  double speedup_string = 8.0;          ///< irregular string kernels
+  double speedup_sort = 24.0;           ///< sort / shuffle-like kernels
+  double speedup_scalar = 0.5;          ///< inherently serial work (slower)
+};
+
+/// \brief A single-machine configuration: the paper's Table IV rows plus the
+/// evaluation server. RAM is the budget of the session's host memory pool;
+/// `cores` bounds the virtual concurrency used for makespan simulation.
+struct MachineSpec {
+  std::string name = "server";
+  int cores = 24;
+  uint64_t ram_bytes = 128ULL << 30;
+  std::optional<GpuSpec> gpu;
+
+  static MachineSpec Laptop();       ///< 8 CPUs, 16 GB (Table IV)
+  static MachineSpec Workstation();  ///< 16 CPUs, 64 GB (Table IV)
+  static MachineSpec Server();       ///< 24 CPUs, 128 GB (Table IV)
+  /// The paper's full evaluation host: 24 threads, 196 GB, T4 GPU.
+  static MachineSpec EvaluationHost();
+
+  /// Returns a copy with every byte budget scaled by `factor`, matching a
+  /// dataset scale factor so OoM crossovers happen at the same sample
+  /// percentages as at full scale.
+  MachineSpec Scaled(double factor) const;
+};
+
+/// \brief One simulated execution environment: host pool, optional device
+/// pool, and a virtual clock.
+///
+/// Virtual time = wall time spent inside the session minus "time credits"
+/// granted by the parallel simulator (work that C virtual cores would have
+/// overlapped) plus penalties (e.g. PCIe transfers). Engines interact with
+/// the session only through sim::ParallelFor / sim::Device helpers, so code
+/// without an active session still runs correctly at wall-clock speed.
+class Session {
+ public:
+  explicit Session(MachineSpec spec);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  static Session* Current();
+
+  const MachineSpec& spec() const { return spec_; }
+  MemoryPool* host_pool() { return &host_pool_; }
+  MemoryPool* device_pool() { return device_pool_.get(); }
+  bool has_gpu() const { return device_pool_ != nullptr; }
+
+  /// \brief Positive credit shrinks virtual time (parallel overlap);
+  /// negative credit grows it (modeled overheads such as transfers).
+  void AddTimeCredit(double seconds) { credit_seconds_ += seconds; }
+  double credit_seconds() const { return credit_seconds_; }
+
+  int cores() const { return spec_.cores; }
+
+  /// Isolated-measurement mode (the paper's function-core setting): each
+  /// preparator is measured alone and repeatedly, so allocator/GC churn
+  /// accumulates instead of being reclaimed between ops. Cost models that
+  /// depend on reclamation pacing (the Pandas row-Series staging) read this.
+  void set_isolated_measurement(bool v) { isolated_measurement_ = v; }
+  bool isolated_measurement() const { return isolated_measurement_; }
+
+ private:
+  MachineSpec spec_;
+  MemoryPool host_pool_;
+  std::unique_ptr<MemoryPool> device_pool_;
+  MemoryScope scope_;
+  Session* previous_;
+  double credit_seconds_ = 0.0;
+  bool isolated_measurement_ = false;
+};
+
+/// \brief Measures virtual elapsed time across a region: wall time minus the
+/// credits accrued by the current session during the region.
+class VirtualTimer {
+ public:
+  VirtualTimer();
+
+  /// Seconds of virtual time since construction.
+  double Elapsed() const;
+
+ private:
+  double wall_start_;
+  double credit_start_;
+};
+
+/// \brief Monotonic wall clock in seconds.
+double NowSeconds();
+
+/// \brief The dataset scale factor of the current experiment (BENTO_SCALE,
+/// default 0.001 of the paper's sizes). Fixed real-world costs that do not
+/// shrink with the data (JVM/plan dispatch, kernel-launch latencies) are
+/// multiplied by this so the *shape* of overhead-vs-work matches the
+/// full-size evaluation at any scale.
+double CostScale();
+
+}  // namespace bento::sim
+
+#endif  // BENTO_SIM_MACHINE_H_

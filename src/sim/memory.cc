@@ -1,0 +1,49 @@
+#include "sim/memory.h"
+
+#include "util/string_util.h"
+
+namespace bento::sim {
+
+namespace {
+thread_local MemoryPool* t_current_pool = nullptr;
+}  // namespace
+
+MemoryPool* MemoryPool::Default() {
+  // Intentionally leaked: trivially-destructible access at shutdown.
+  static MemoryPool* pool = new MemoryPool("default", 0);
+  return pool;
+}
+
+MemoryPool* MemoryPool::Current() {
+  return t_current_pool != nullptr ? t_current_pool : Default();
+}
+
+Status MemoryPool::Reserve(uint64_t bytes) {
+  uint64_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget_ != 0 && now > budget_) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::OutOfMemory("pool '", name_, "' budget ",
+                               HumanBytes(budget_), " exceeded: in use ",
+                               HumanBytes(now - bytes), ", requested ",
+                               HumanBytes(bytes));
+  }
+  // Update peak watermark.
+  uint64_t prev_peak = peak_.load(std::memory_order_relaxed);
+  while (now > prev_peak &&
+         !peak_.compare_exchange_weak(prev_peak, now,
+                                      std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryPool::Release(uint64_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+MemoryScope::MemoryScope(MemoryPool* pool) : previous_(t_current_pool) {
+  t_current_pool = pool;
+}
+
+MemoryScope::~MemoryScope() { t_current_pool = previous_; }
+
+}  // namespace bento::sim

@@ -1,0 +1,77 @@
+#ifndef BENTO_SIM_MEMORY_H_
+#define BENTO_SIM_MEMORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bento::sim {
+
+/// \brief Byte-accounting pool with an optional hard budget.
+///
+/// Every columnar Buffer charges its bytes against a pool; the pool plays the
+/// role that the Docker cgroup memory limit plays in the paper's Table IV
+/// machine configurations: when a reservation would exceed the budget, the
+/// allocation fails with StatusCode::kOutOfMemory, which engines surface as
+/// the OoM outcomes of Figures 3/8 and Table V.
+///
+/// Thread-safe; counters are atomics.
+class MemoryPool {
+ public:
+  /// budget_bytes == 0 means unbounded.
+  explicit MemoryPool(std::string name = "pool", uint64_t budget_bytes = 0)
+      : name_(std::move(name)), budget_(budget_bytes) {}
+
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  /// \brief The process-wide unbounded pool.
+  static MemoryPool* Default();
+
+  /// \brief The pool installed by the innermost MemoryScope on this thread,
+  /// or Default() when none is installed.
+  static MemoryPool* Current();
+
+  /// \brief Charges `bytes`; fails with OutOfMemory when over budget.
+  Status Reserve(uint64_t bytes);
+
+  /// \brief Returns previously reserved bytes.
+  void Release(uint64_t bytes);
+
+  uint64_t bytes_allocated() const { return current_.load(std::memory_order_relaxed); }
+  uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  uint64_t budget() const { return budget_; }
+  const std::string& name() const { return name_; }
+
+  void set_budget(uint64_t bytes) { budget_ = bytes; }
+
+  /// \brief Resets the peak watermark to the current usage (between runs).
+  void ResetPeak() { peak_.store(current_.load()); }
+
+ private:
+  std::string name_;
+  uint64_t budget_;
+  std::atomic<uint64_t> current_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+/// \brief RAII installation of a pool as MemoryPool::Current() for this
+/// thread. Scopes nest; destruction restores the previous pool.
+class MemoryScope {
+ public:
+  explicit MemoryScope(MemoryPool* pool);
+  ~MemoryScope();
+
+  MemoryScope(const MemoryScope&) = delete;
+  MemoryScope& operator=(const MemoryScope&) = delete;
+
+ private:
+  MemoryPool* previous_;
+};
+
+}  // namespace bento::sim
+
+#endif  // BENTO_SIM_MEMORY_H_

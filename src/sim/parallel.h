@@ -1,0 +1,64 @@
+#ifndef BENTO_SIM_PARALLEL_H_
+#define BENTO_SIM_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/machine.h"
+#include "util/status.h"
+
+namespace bento::sim {
+
+/// \brief How tasks are mapped onto the virtual workers.
+///
+/// kGreedy models a work-stealing / bottom-up scheduler (the paper's Ray):
+/// each task goes to the worker that frees up first. kStaticBlocks models a
+/// centralized scheduler that pre-assigns contiguous task blocks (the
+/// paper's Dask engine in Modin): skewed task durations inflate the makespan.
+enum class SchedulePolicy { kGreedy, kStaticBlocks };
+
+struct ParallelOptions {
+  SchedulePolicy policy = SchedulePolicy::kGreedy;
+  /// Dispatch latency charged per task on the (serial) scheduler; models
+  /// centralized-scheduler overhead. Seconds.
+  double per_task_dispatch_s = 0.0;
+  /// Cap on workers; 0 means the active session's core count (or 1 when no
+  /// session is active).
+  int max_workers = 0;
+};
+
+/// \brief Executes `n` independent tasks and simulates their parallel
+/// schedule.
+///
+/// Tasks run serially on the calling thread (this host has one core; the
+/// paper's Docker configs bound concurrency the same way, just at higher
+/// counts). Each task's wall time is measured; the makespan that
+/// `max_workers` virtual workers would achieve is computed, and the active
+/// Session is granted a time credit equal to the overlap
+/// (total_serial_time - makespan), so VirtualTimer reports the simulated
+/// parallel runtime.
+///
+/// The first task error aborts the loop and is returned; the makespan credit
+/// for completed tasks is still recorded.
+Status ParallelFor(int64_t n, const std::function<Status(int64_t)>& fn,
+                   const ParallelOptions& options = {});
+
+/// \brief Pure makespan computation (exposed for tests): schedules
+/// `durations` in order onto `workers` workers under `policy`.
+double SimulateMakespan(const std::vector<double>& durations, int workers,
+                        SchedulePolicy policy,
+                        double per_task_dispatch_s = 0.0);
+
+/// \brief Charges a pure virtual-time penalty (e.g. modeled overheads with
+/// no host work) to the active session. No-op without a session.
+void ChargePenalty(double seconds);
+
+/// \brief Splits `n` rows into roughly even [begin, end) chunks of at most
+/// `max_chunks` pieces with at least `min_rows_per_chunk` rows each.
+std::vector<std::pair<int64_t, int64_t>> SplitRange(int64_t n, int max_chunks,
+                                                    int64_t min_rows_per_chunk);
+
+}  // namespace bento::sim
+
+#endif  // BENTO_SIM_PARALLEL_H_

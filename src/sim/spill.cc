@@ -1,0 +1,59 @@
+#include "sim/spill.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bento::sim {
+
+namespace {
+std::atomic<uint64_t> g_spill_counter{0};
+}  // namespace
+
+Result<std::unique_ptr<SpillFile>> SpillFile::Create(const std::string& dir) {
+  std::string base = dir;
+  if (base.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    base = tmp != nullptr ? tmp : "/tmp";
+  }
+  std::string path = base + "/bento_spill_" + std::to_string(::getpid()) +
+                     "_" + std::to_string(g_spill_counter.fetch_add(1)) +
+                     ".bin";
+  std::FILE* f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot create spill file at ", path);
+  }
+  return std::unique_ptr<SpillFile>(new SpillFile(f, std::move(path)));
+}
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);
+  std::remove(path_.c_str());
+}
+
+Result<uint64_t> SpillFile::Write(const void* data, uint64_t size) {
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("spill seek failed");
+  }
+  long offset = std::ftell(file_);
+  if (offset < 0) return Status::IOError("spill tell failed");
+  if (size > 0 && std::fwrite(data, 1, size, file_) != size) {
+    return Status::IOError("spill write failed");
+  }
+  bytes_written_ += size;
+  return static_cast<uint64_t>(offset);
+}
+
+Status SpillFile::Read(uint64_t offset, uint64_t size, void* out) {
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError("spill seek failed");
+  }
+  if (size > 0 && std::fread(out, 1, size, file_) != size) {
+    return Status::IOError("spill read failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace bento::sim

@@ -1,0 +1,52 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace bento {
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  if (n == 0) return 0;
+  if (s <= 0.0) return Uniform(n);
+  // Inverse-CDF on the continuous approximation of the Zipf distribution:
+  // P(X <= x) ~ (x^(1-s) - 1) / (n^(1-s) - 1) for s != 1.
+  const double u = UniformDouble();
+  if (std::abs(s - 1.0) < 1e-9) {
+    const double x = std::exp(u * std::log(static_cast<double>(n)));
+    uint64_t r = static_cast<uint64_t>(x) - 1;
+    return r >= n ? n - 1 : r;
+  }
+  const double t = 1.0 - s;
+  const double x =
+      std::pow(u * (std::pow(static_cast<double>(n), t) - 1.0) + 1.0, 1.0 / t);
+  uint64_t r = static_cast<uint64_t>(x) - 1;
+  return r >= n ? n - 1 : r;
+}
+
+std::string Rng::AsciiString(int min_len, int max_len) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _-";
+  const int len = static_cast<int>(UniformInt(min_len, max_len));
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[Uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+}  // namespace bento

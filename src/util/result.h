@@ -1,0 +1,86 @@
+#ifndef BENTO_UTIL_RESULT_H_
+#define BENTO_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace bento {
+
+/// \brief Either a value of type T or an error Status.
+///
+/// The canonical return type of fallible value-producing functions:
+///
+///   Result<std::shared_ptr<Table>> ReadCsv(const std::string& path);
+///
+/// Use BENTO_ASSIGN_OR_RETURN to unwrap in Status/Result-returning code.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value and from a Status keeps call sites
+  /// natural (`return table;` / `return Status::IOError(...)`).
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(var_).ok()) {
+      // A Result must be either a value or an error; OK-without-value is a bug.
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  /// Precondition: ok(). Aborts otherwise (programming error).
+  const T& ValueOrDie() const& {
+    if (!ok()) Abort();
+    return std::get<T>(var_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) Abort();
+    return std::get<T>(var_);
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) Abort();
+    return std::move(std::get<T>(var_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  T MoveValueUnsafe() { return std::move(std::get<T>(var_)); }
+
+ private:
+  [[noreturn]] void Abort() const {
+    std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                 std::get<Status>(var_).ToString().c_str());
+    std::abort();
+  }
+
+  std::variant<Status, T> var_;
+};
+
+/// Unwraps a Result into `lhs`, or returns its Status from the enclosing
+/// function. `lhs` may be a declaration (`auto x`) or an existing lvalue.
+#define BENTO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define BENTO_ASSIGN_OR_RETURN(lhs, rexpr) \
+  BENTO_ASSIGN_OR_RETURN_IMPL(BENTO_CONCAT(_bento_res_, __COUNTER__), lhs, rexpr)
+
+}  // namespace bento
+
+#endif  // BENTO_UTIL_RESULT_H_

@@ -1,0 +1,128 @@
+#ifndef BENTO_UTIL_STATUS_H_
+#define BENTO_UTIL_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace bento {
+
+/// \brief Machine-readable category of a failure.
+///
+/// Mirrors the Arrow/RocksDB idiom: library code never throws across API
+/// boundaries; every fallible operation returns a Status (or Result<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalid,         ///< malformed argument or input data
+  kTypeError,       ///< operation applied to an incompatible data type
+  kKeyError,        ///< unknown column / key
+  kIndexError,      ///< out-of-bounds row or position
+  kOutOfMemory,     ///< memory budget of the simulated machine exceeded
+  kIOError,         ///< file system / format error
+  kNotImplemented,  ///< preparator not supported by this engine
+  kCancelled,       ///< execution aborted
+  kUnknown,
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: OK or a code plus message.
+///
+/// Cheap to pass by value: the OK state carries no allocation; error state
+/// holds a heap string. Copyable and movable.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status Invalid(Args&&... args) {
+    return FromArgs(StatusCode::kInvalid, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status TypeError(Args&&... args) {
+    return FromArgs(StatusCode::kTypeError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status KeyError(Args&&... args) {
+    return FromArgs(StatusCode::kKeyError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IndexError(Args&&... args) {
+    return FromArgs(StatusCode::kIndexError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfMemory(Args&&... args) {
+    return FromArgs(StatusCode::kOutOfMemory, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IOError(Args&&... args) {
+    return FromArgs(StatusCode::kIOError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return FromArgs(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Cancelled(Args&&... args) {
+    return FromArgs(StatusCode::kCancelled, std::forward<Args>(args)...);
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsInvalid() const { return code() == StatusCode::kInvalid; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  template <typename... Args>
+  static Status FromArgs(StatusCode code, Args&&... args) {
+    std::ostringstream oss;
+    (oss << ... << args);
+    return Status(code, oss.str());
+  }
+
+  std::shared_ptr<State> state_;  // nullptr means OK
+};
+
+/// Propagates a non-OK Status to the caller.
+#define BENTO_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::bento::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#define BENTO_CONCAT_IMPL(x, y) x##y
+#define BENTO_CONCAT(x, y) BENTO_CONCAT_IMPL(x, y)
+
+}  // namespace bento
+
+#endif  // BENTO_UTIL_STATUS_H_

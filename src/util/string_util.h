@@ -1,0 +1,52 @@
+#ifndef BENTO_UTIL_STRING_UTIL_H_
+#define BENTO_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace bento {
+
+/// \brief Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// \brief Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// \brief Removes ASCII whitespace from both ends.
+std::string_view StrTrim(std::string_view s);
+
+/// \brief ASCII lower-cased copy.
+std::string AsciiToLower(std::string_view s);
+
+/// \brief ASCII upper-cased copy.
+std::string AsciiToUpper(std::string_view s);
+
+/// \brief True if `hay` contains `needle` (plain substring search).
+bool StrContains(std::string_view hay, std::string_view needle);
+
+bool StrStartsWith(std::string_view s, std::string_view prefix);
+bool StrEndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Strict parse of the whole string; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+Result<bool> ParseBool(std::string_view s);
+
+/// \brief Formats a double the way the CSV writer needs it: shortest
+/// round-trip representation without locale dependence.
+std::string FormatDouble(double v);
+
+/// \brief "1.5 GiB"-style human-readable byte count for reports.
+std::string HumanBytes(uint64_t bytes);
+
+/// \brief "%8.3f"-style fixed formatting helper for report tables.
+std::string FormatFixed(double v, int precision);
+
+}  // namespace bento
+
+#endif  // BENTO_UTIL_STRING_UTIL_H_

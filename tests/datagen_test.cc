@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "tests/test_util.h"
+
+namespace bento::gen {
+namespace {
+
+TEST(ProfilesTest, FourDatasetsMatchTableIII) {
+  ASSERT_EQ(DatasetProfiles().size(), 4u);
+  auto athlete = GetProfile("athlete").ValueOrDie();
+  EXPECT_EQ(athlete.base_rows, 200000);
+  EXPECT_EQ(athlete.num_columns, 15);
+  auto loan = GetProfile("loan").ValueOrDie();
+  EXPECT_EQ(loan.num_columns, 151);
+  EXPECT_EQ(loan.numeric_columns, 113);
+  EXPECT_EQ(loan.string_columns, 38);
+  auto patrol = GetProfile("patrol").ValueOrDie();
+  EXPECT_EQ(patrol.base_rows, 27000000);
+  EXPECT_EQ(patrol.bool_columns, 2);
+  auto taxi = GetProfile("taxi").ValueOrDie();
+  EXPECT_EQ(taxi.base_rows, 77000000);
+  EXPECT_DOUBLE_EQ(taxi.null_fraction, 0.0);
+  EXPECT_FALSE(GetProfile("nope").ok());
+}
+
+class GeneratorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorTest, MatchesProfile) {
+  const std::string name = GetParam();
+  auto profile = GetProfile(name).ValueOrDie();
+  // A small but statistically meaningful sample.
+  const double scale = 20000.0 / static_cast<double>(profile.base_rows);
+  auto table = GenerateDataset(name, scale, 7).ValueOrDie();
+  auto measured = MeasureProfile(table);
+
+  EXPECT_NEAR(static_cast<double>(measured.rows), 20000.0, 1.0);
+  EXPECT_EQ(measured.columns, profile.num_columns);
+  EXPECT_EQ(measured.numeric, profile.numeric_columns);
+  EXPECT_EQ(measured.strings, profile.string_columns);
+  EXPECT_EQ(measured.bools, profile.bool_columns);
+  // Null share within 5 percentage points of Table III.
+  EXPECT_NEAR(measured.null_fraction, profile.null_fraction, 0.05);
+  // String lengths within the published ranges.
+  EXPECT_GE(measured.str_len_min, profile.str_len_min);
+  EXPECT_LE(measured.str_len_max, profile.str_len_max);
+}
+
+TEST_P(GeneratorTest, DeterministicInSeed) {
+  const std::string name = GetParam();
+  auto a = GenerateDataset(name, 0.0005, 42).ValueOrDie();
+  auto b = GenerateDataset(name, 0.0005, 42).ValueOrDie();
+  test::ExpectTablesEqual(a, b);
+  auto c = GenerateDataset(name, 0.0005, 43).ValueOrDie();
+  // Different seed must actually change the data.
+  bool any_diff = false;
+  for (int col = 0; col < a->num_columns() && !any_diff; ++col) {
+    for (int64_t r = 0; r < a->num_rows() && !any_diff; ++r) {
+      any_diff = test::CellStr(*a->column(col), r) !=
+                 test::CellStr(*c->column(col), r);
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorTest,
+                         ::testing::Values("athlete", "loan", "patrol",
+                                           "taxi"));
+
+TEST(GeneratorTest, ScaleControlsRows) {
+  auto small = GenerateDataset("taxi", 0.00001).ValueOrDie();
+  auto larger = GenerateDataset("taxi", 0.0001).ValueOrDie();
+  EXPECT_GT(larger->num_rows(), small->num_rows());
+  // Floor of 16 rows.
+  auto tiny = GenerateDataset("athlete", 1e-9).ValueOrDie();
+  EXPECT_GE(tiny->num_rows(), 16);
+}
+
+TEST(GeneratorTest, TaxiDatetimesParse) {
+  auto taxi = GenerateDataset("taxi", 0.00002).ValueOrDie();
+  auto pickup = taxi->GetColumn("pickup_datetime").ValueOrDie();
+  ASSERT_EQ(pickup->type(), col::TypeId::kString);
+  // Exactly the "YYYY-MM-DD HH:MM:SS" 19-char layout.
+  for (int64_t i = 0; i < pickup->length(); ++i) {
+    EXPECT_EQ(pickup->GetView(i).size(), 19u);
+  }
+}
+
+TEST(GeneratorTest, RegionsTableJoinsWithAthlete) {
+  auto regions = GenerateRegionsTable().ValueOrDie();
+  EXPECT_EQ(regions->num_columns(), 2);
+  EXPECT_GT(regions->num_rows(), 100);
+  // Regions must cover the athlete noc vocabulary (same seed).
+  auto athlete = GenerateDataset("athlete", 0.0005).ValueOrDie();
+  auto noc = athlete->GetColumn("noc").ValueOrDie();
+  auto region_noc = regions->GetColumn("noc").ValueOrDie();
+  std::set<std::string> known;
+  for (int64_t i = 0; i < region_noc->length(); ++i) {
+    known.insert(std::string(region_noc->GetView(i)));
+  }
+  int64_t covered = 0;
+  for (int64_t i = 0; i < noc->length(); ++i) {
+    if (known.count(std::string(noc->GetView(i)))) ++covered;
+  }
+  EXPECT_EQ(covered, noc->length());
+}
+
+}  // namespace
+}  // namespace bento::gen

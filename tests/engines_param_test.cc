@@ -1,0 +1,220 @@
+// Parameterized cross-engine sweeps: every engine must satisfy the same
+// behavioural contracts. The parameter is the engine id.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "datagen/datasets.h"
+#include "frame/engine.h"
+#include "io/bcf.h"
+#include "io/csv.h"
+#include "kernels/sort.h"
+#include "tests/test_util.h"
+
+namespace bento::eng {
+namespace {
+
+using col::Scalar;
+using col::TablePtr;
+using col::TypeId;
+using frame::Op;
+using test::F64;
+using test::I64;
+using test::MakeTable;
+using test::Str;
+
+class EngineContractTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  frame::EnginePtr engine() const {
+    return frame::CreateEngine(GetParam()).ValueOrDie();
+  }
+
+  static TablePtr Sample() {
+    return MakeTable({
+        {"g", Str({"x", "y", "x", "z", "y", "x"})},
+        {"a", I64({5, 3, 5, 1, 2, 5})},
+        {"b", F64({1.5, 0.0, 2.5, 3.5, 0.0, 4.5},
+                  {true, false, true, true, false, true})},
+    });
+  }
+};
+
+TEST_P(EngineContractTest, InfoIsCoherent) {
+  auto info = engine()->info();
+  EXPECT_EQ(info.id, GetParam());
+  EXPECT_FALSE(info.paper_name.empty());
+  EXPECT_FALSE(info.native_language.empty());
+  EXPECT_FALSE(info.modeled_version.empty());
+}
+
+TEST_P(EngineContractTest, TransformChainProducesExpectedRows) {
+  auto frame = engine()->FromTable(Sample()).ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(frame, frame->Apply(Op::Query("a >= 2")));
+  ASSERT_OK_AND_ASSIGN(frame, frame->Apply(Op::DropNa({"b"})));
+  ASSERT_OK_AND_ASSIGN(auto result, frame->Collect());
+  // a>=2 keeps rows {5,3,5,2,5}; dropna(b) removes the two null-b rows.
+  EXPECT_EQ(result->num_rows(), 3);
+}
+
+TEST_P(EngineContractTest, SortIsStableAndNullsLast) {
+  auto frame = engine()->FromTable(Sample()).ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(frame, frame->Apply(Op::SortValues({{"b", true}})));
+  ASSERT_OK_AND_ASSIGN(auto result, frame->Collect());
+  auto b = result->GetColumn("b").ValueOrDie();
+  EXPECT_TRUE(b->IsNull(result->num_rows() - 1));
+  EXPECT_TRUE(b->IsNull(result->num_rows() - 2));
+  EXPECT_DOUBLE_EQ(b->float64_data()[0], 1.5);
+}
+
+TEST_P(EngineContractTest, GroupByTotalsPreserved) {
+  auto frame = engine()->FromTable(Sample()).ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(
+      frame, frame->Apply(Op::GroupByAgg(
+                 {"g"}, {{"a", kern::AggKind::kSum, "total"},
+                         {"a", kern::AggKind::kCount, "n"}})));
+  ASSERT_OK_AND_ASSIGN(auto result, frame->Collect());
+  EXPECT_EQ(result->num_rows(), 3);
+  double total = 0;
+  int64_t n = 0;
+  auto totals = result->GetColumn("total").ValueOrDie();
+  auto counts = result->GetColumn("n").ValueOrDie();
+  for (int64_t i = 0; i < result->num_rows(); ++i) {
+    total += totals->float64_data()[i];
+    n += counts->int64_data()[i];
+  }
+  EXPECT_DOUBLE_EQ(total, 21.0);
+  EXPECT_EQ(n, 6);
+}
+
+TEST_P(EngineContractTest, ErrorsSurfaceNotCrash) {
+  auto frame = engine()->FromTable(Sample()).ValueOrDie();
+  // Unknown column: the error may surface at Apply (eager) or at Collect
+  // (lazy), but must surface as a Status either way.
+  auto applied = frame->Apply(Op::StrLower("missing_column"));
+  if (applied.ok()) {
+    EXPECT_FALSE(applied.ValueOrDie()->Collect().ok());
+  } else {
+    EXPECT_TRUE(applied.status().IsKeyError());
+  }
+  EXPECT_FALSE(frame->RunAction(Op::SearchPattern("nope", "x")).ok());
+}
+
+TEST_P(EngineContractTest, CollectIsIdempotent) {
+  auto frame = engine()->FromTable(Sample()).ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(frame, frame->Apply(Op::Round("b", 1)));
+  ASSERT_OK_AND_ASSIGN(auto first, frame->Collect());
+  ASSERT_OK_AND_ASSIGN(auto second, frame->Collect());
+  test::ExpectTablesEqual(first, second);
+}
+
+TEST_P(EngineContractTest, NumRowsMatchesCollect) {
+  auto frame = engine()->FromTable(Sample()).ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(frame, frame->Apply(Op::Query("a == 5")));
+  ASSERT_OK_AND_ASSIGN(int64_t rows, frame->NumRows());
+  EXPECT_EQ(rows, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineContractTest,
+                         ::testing::ValuesIn(frame::EngineIds()),
+                         [](const auto& info) { return info.param; });
+
+// --- generated-data pipeline equivalence across engines -------------------
+
+class GeneratedPipelineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GeneratedPipelineTest, AthleteSliceAllOpsAgreeWithPandas) {
+  const std::string dataset = GetParam();
+  auto data = gen::GenerateDataset(dataset, 0.002, 99).ValueOrDie();
+
+  // A representative op chain valid on every dataset: filter on the first
+  // numeric column, sort by it, round it, and drop nulls on it.
+  std::string numeric;
+  for (const col::Field& f : data->schema()->fields()) {
+    if (f.type == TypeId::kFloat64) {
+      numeric = f.name;
+      break;
+    }
+  }
+  ASSERT_FALSE(numeric.empty());
+  std::vector<Op> ops = {
+      Op::DropNa({numeric}),
+      Op::ApplyExpr("scaled", numeric + " * 2"),
+      Op::SortValues({{numeric, false}}),
+      Op::Round("scaled", 1),
+  };
+
+  TablePtr reference;
+  for (const std::string& id : frame::EngineIds()) {
+    SCOPED_TRACE(id);
+    auto engine = frame::CreateEngine(id).ValueOrDie();
+    auto frame = engine->FromTable(data).ValueOrDie();
+    for (const Op& op : ops) {
+      ASSERT_OK_AND_ASSIGN(frame, frame->Apply(op));
+    }
+    ASSERT_OK_AND_ASSIGN(auto result, frame->Collect());
+    if (id == "spark_pd") {
+      ASSERT_OK_AND_ASSIGN(result, result->DropColumns({"__index__"}));
+    }
+    if (reference == nullptr) {
+      reference = result;
+    } else {
+      ASSERT_EQ(reference->num_rows(), result->num_rows());
+      // Spot-check the transformed column cell-by-cell.
+      auto a = reference->GetColumn("scaled").ValueOrDie();
+      auto b = result->GetColumn("scaled").ValueOrDie();
+      for (int64_t i = 0; i < a->length(); ++i) {
+        ASSERT_EQ(test::CellStr(*a, i), test::CellStr(*b, i)) << "row " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, GeneratedPipelineTest,
+                         ::testing::Values("athlete", "taxi"));
+
+// --- per-type kernel sweeps ------------------------------------------------
+
+class TypedRoundTripTest : public ::testing::TestWithParam<TypeId> {};
+
+TEST_P(TypedRoundTripTest, CsvAndBcfPreserveColumn) {
+  const TypeId type = GetParam();
+  col::ArrayPtr column;
+  switch (type) {
+    case TypeId::kInt64:
+      column = I64({1, -5, 99}, {true, false, true});
+      break;
+    case TypeId::kFloat64:
+      column = F64({0.5, -1.25, 3.75}, {true, true, false});
+      break;
+    case TypeId::kBool:
+      column = test::Bools({true, false, true}, {true, false, true});
+      break;
+    case TypeId::kString:
+      column = Str({"plain", "with,comma", ""}, {true, true, false});
+      break;
+    default:
+      GTEST_SKIP();
+  }
+  // Anchor column keeps CSV rows non-blank (blank lines are skipped, the
+  // Pandas-compatible behaviour).
+  auto t = MakeTable({{"row", I64({0, 1, 2})}, {"c", column}});
+  std::string base = "/tmp/bento_typed_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(static_cast<int>(type));
+  ASSERT_OK(io::WriteCsv(t, base + ".csv"));
+  auto csv = io::ReadCsv(base + ".csv").ValueOrDie();
+  test::ExpectTablesEqual(t, csv);
+  ASSERT_OK(io::WriteBcf(t, base + ".bcf"));
+  auto bcf = io::BcfReader::Open(base + ".bcf").ValueOrDie()->ReadAll().ValueOrDie();
+  test::ExpectTablesEqual(t, bcf);
+  std::remove((base + ".csv").c_str());
+  std::remove((base + ".bcf").c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, TypedRoundTripTest,
+                         ::testing::Values(TypeId::kInt64, TypeId::kFloat64,
+                                           TypeId::kBool, TypeId::kString));
+
+}  // namespace
+}  // namespace bento::eng

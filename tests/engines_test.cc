@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "engines/lazy_engine.h"
+#include "engines/polars.h"
+#include "engines/spark.h"
+#include "engines/streaming_ops.h"
+#include "frame/engine.h"
+#include "io/csv.h"
+#include "kernels/dedup.h"
+#include "kernels/groupby.h"
+#include "kernels/pivot.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace bento::eng {
+namespace {
+
+using col::Scalar;
+using col::TablePtr;
+using col::TypeId;
+using frame::Op;
+using test::F64;
+using test::I64;
+using test::MakeTable;
+using test::Str;
+
+TablePtr SampleTable() {
+  return MakeTable({
+      {"k", I64({2, 1, 2, 3, 1})},
+      {"v", F64({1.0, 2.0, 0.0, 4.0, 5.0}, {true, true, false, true, true})},
+      {"s", Str({"Aa", "Bb", "Aa", "Cc", "Dd"})},
+  });
+}
+
+/// The ops every engine must execute identically (shared kernels).
+std::vector<Op> CommonPlan() {
+  return {
+      Op::Query("k >= 1"),
+      Op::ApplyExpr("v2", "fillna(v, 0.0) * 2"),
+      Op::StrLower("s"),
+      Op::FillNa("v", Scalar::Double(-1.0)),
+      Op::SortValues({{"k", true}, {"s", true}}),
+      Op::Round("v2", 1),
+      Op::Replace("s", Scalar::Str("aa"), Scalar::Str("ZZ")),
+  };
+}
+
+TEST(RegistryTest, AllEnginesConstruct) {
+  for (const std::string& id : frame::EngineIds()) {
+    auto engine = frame::CreateEngine(id);
+    ASSERT_TRUE(engine.ok()) << id;
+    EXPECT_EQ(engine.ValueOrDie()->info().id, id);
+  }
+  EXPECT_FALSE(frame::CreateEngine("no_such_engine").ok());
+}
+
+TEST(RegistryTest, TableIFeatureBits) {
+  auto get = [](const std::string& id) {
+    return frame::CreateEngine(id).ValueOrDie()->info();
+  };
+  EXPECT_FALSE(get("pandas").multithreading);
+  EXPECT_TRUE(get("polars").multithreading);
+  EXPECT_TRUE(get("polars").lazy_evaluation);
+  EXPECT_FALSE(get("cudf").lazy_evaluation);
+  EXPECT_TRUE(get("cudf").gpu_acceleration);
+  EXPECT_TRUE(get("spark_sql").cluster_deploy);
+  EXPECT_FALSE(get("vaex").lazy_evaluation);  // only virtual columns
+  EXPECT_EQ(get("datatable").paper_name, "DataTable");
+}
+
+TEST(CrossEngineTest, AllEnginesAgreeOnCommonPlan) {
+  // The central equivalence property: every engine model must produce the
+  // same dataframe for the same preparator sequence.
+  TablePtr reference;
+  for (const std::string& id : frame::EngineIds()) {
+    SCOPED_TRACE(id);
+    auto engine = frame::CreateEngine(id).ValueOrDie();
+    auto frame = engine->FromTable(SampleTable()).ValueOrDie();
+    for (const Op& op : CommonPlan()) {
+      ASSERT_OK_AND_ASSIGN(frame, frame->Apply(op));
+    }
+    ASSERT_OK_AND_ASSIGN(auto result, frame->Collect());
+    if (id == "spark_pd") {
+      // SparkPD materializes its index column; strip it for comparison.
+      ASSERT_OK_AND_ASSIGN(result, result->DropColumns({"__index__"}));
+    }
+    if (reference == nullptr) {
+      reference = result;
+    } else {
+      test::ExpectTablesEqual(reference, result);
+    }
+  }
+}
+
+TEST(CrossEngineTest, ActionsAgree) {
+  for (const std::string& id : frame::EngineIds()) {
+    SCOPED_TRACE(id);
+    auto engine = frame::CreateEngine(id).ValueOrDie();
+    auto frame = engine->FromTable(SampleTable()).ValueOrDie();
+    ASSERT_OK_AND_ASSIGN(auto isna, frame->RunAction(Op::IsNa()));
+    std::vector<int64_t> expected = {0, 1, 0};
+    if (id == "spark_pd") expected.push_back(0);  // index column
+    EXPECT_EQ(isna.counts, expected);
+    ASSERT_OK_AND_ASSIGN(auto search,
+                         frame->RunAction(Op::SearchPattern("s", "A")));
+    EXPECT_EQ(search.count, 2);
+  }
+}
+
+TEST(CrossEngineTest, GroupByAgreesUpToOrder) {
+  Op group = Op::GroupByAgg({"k"}, {{"v", kern::AggKind::kSum, "s"},
+                                    {"v", kern::AggKind::kCount, "n"}});
+  TablePtr reference;
+  for (const std::string& id : frame::EngineIds()) {
+    SCOPED_TRACE(id);
+    auto engine = frame::CreateEngine(id).ValueOrDie();
+    auto frame = engine->FromTable(SampleTable()).ValueOrDie();
+    ASSERT_OK_AND_ASSIGN(frame, frame->Apply(group));
+    ASSERT_OK_AND_ASSIGN(auto result, frame->Collect());
+    if (reference == nullptr) {
+      reference = result;
+    } else {
+      test::ExpectTablesEquivalent(reference, result, {"k"});
+    }
+  }
+}
+
+TEST(LazyEngineTest, LazyEqualsEager) {
+  for (auto [lazy_id, eager_id] :
+       {std::pair<std::string, std::string>{"polars", "polars_eager"},
+        {"spark_sql", "spark_sql_eager"}}) {
+    SCOPED_TRACE(lazy_id);
+    auto lazy = frame::CreateEngine(lazy_id).ValueOrDie();
+    auto eager = frame::CreateEngine(eager_id).ValueOrDie();
+    auto lf = lazy->FromTable(SampleTable()).ValueOrDie();
+    auto ef = eager->FromTable(SampleTable()).ValueOrDie();
+    for (const Op& op : CommonPlan()) {
+      ASSERT_OK_AND_ASSIGN(lf, lf->Apply(op));
+      ASSERT_OK_AND_ASSIGN(ef, ef->Apply(op));
+    }
+    ASSERT_OK_AND_ASSIGN(auto lt, lf->Collect());
+    ASSERT_OK_AND_ASSIGN(auto et, ef->Collect());
+    test::ExpectTablesEqual(lt, et);
+  }
+}
+
+TEST(LazyEngineTest, PredicatePushdownPreservesSemantics) {
+  PolarsEngine engine;
+  std::vector<Op> plan = {
+      Op::StrLower("s"),
+      Op::Round("v", 1),
+      Op::Query("k > 1"),  // should bubble ahead of both
+  };
+  auto optimized = engine.Optimize(plan);
+  EXPECT_EQ(optimized[0].kind, frame::OpKind::kQuery);
+
+  // And the result matches the unoptimized execution.
+  LazySource source;
+  source.kind = LazySource::Kind::kTable;
+  source.table = SampleTable();
+  auto with = engine.Execute(source, plan).ValueOrDie();
+  PolarsEngine no_pushdown;  // execute the pre-optimized plan directly
+  auto frame = no_pushdown.FromTable(SampleTable()).ValueOrDie();
+  for (const Op& op : plan) frame = frame->Apply(op).ValueOrDie();
+  auto without = frame->Collect().ValueOrDie();
+  test::ExpectTablesEqual(without, with);
+}
+
+TEST(LazyEngineTest, PushdownBlockedByDependency) {
+  PolarsEngine engine;
+  std::vector<Op> plan = {
+      Op::ApplyExpr("w", "v * 2"),
+      Op::Query("w > 1"),  // depends on w: must NOT hop over its definition
+  };
+  auto optimized = engine.Optimize(plan);
+  EXPECT_EQ(optimized[0].kind, frame::OpKind::kApplyExpr);
+  EXPECT_EQ(optimized[1].kind, frame::OpKind::kQuery);
+}
+
+TEST(LazyEngineTest, ProjectionPushdownMovesDrops) {
+  PolarsEngine engine;
+  std::vector<Op> plan = {
+      Op::Round("v", 2),
+      Op::DropColumns({"s"}),  // s untouched by round: hops to front
+  };
+  auto optimized = engine.Optimize(plan);
+  EXPECT_EQ(optimized[0].kind, frame::OpKind::kDropColumns);
+}
+
+TEST(LazyEngineTest, IsStreamableClassification) {
+  EXPECT_TRUE(IsStreamable(Op::Query("a > 1")));
+  EXPECT_TRUE(IsStreamable(Op::StrLower("s")));
+  EXPECT_TRUE(IsStreamable(Op::FillNa("v", Scalar::Double(0))));
+  EXPECT_FALSE(IsStreamable(Op::FillNaMean("v")));
+  EXPECT_FALSE(IsStreamable(Op::SortValues({{"k", true}})));
+  EXPECT_FALSE(IsStreamable(Op::GetDummies("s")));
+  EXPECT_FALSE(IsStreamable(Op::DropDuplicates()));
+}
+
+// --- streaming operators vs in-memory kernels ---
+
+TablePtr RandomTable(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  col::Int64Builder k;
+  col::Float64Builder v;
+  col::StringBuilder s;
+  for (int64_t i = 0; i < rows; ++i) {
+    k.Append(rng.UniformInt(0, 40));
+    v.AppendMaybe(rng.UniformDouble(0, 100), !rng.Bernoulli(0.1));
+    s.Append(std::string(1, static_cast<char>('a' + rng.Uniform(6))));
+  }
+  return MakeTable({{"k", k.Finish().ValueOrDie()},
+                    {"v", v.Finish().ValueOrDie()},
+                    {"s", s.Finish().ValueOrDie()}});
+}
+
+TEST(StreamingOpsTest, GroupByMatchesKernel) {
+  auto t = RandomTable(5000, 3);
+  std::vector<kern::AggSpec> aggs = {{"v", kern::AggKind::kSum, "sum"},
+                                     {"v", kern::AggKind::kMean, "mean"},
+                                     {"v", kern::AggKind::kStd, "std"},
+                                     {"v", kern::AggKind::kCount, "n"},
+                                     {"v", kern::AggKind::kMin, "lo"},
+                                     {"v", kern::AggKind::kMax, "hi"}};
+  auto expected = kern::GroupBy(t, {"k"}, aggs).ValueOrDie();
+  TableChunkStream stream(t, 257);
+  auto streaming = StreamingGroupBy(&stream, {"k"}, aggs, {}).ValueOrDie();
+  ASSERT_EQ(expected->num_rows(), streaming->num_rows());
+  // Compare after sorting by key; float agreement to 1e-9 relative.
+  auto se = kern::SortTable(expected, {{"k", true}}).ValueOrDie();
+  auto ss = kern::SortTable(streaming, {{"k", true}}).ValueOrDie();
+  for (int64_t r = 0; r < se->num_rows(); ++r) {
+    EXPECT_EQ(se->column(0)->int64_data()[r], ss->column(0)->int64_data()[r]);
+    for (const char* name : {"sum", "mean", "std", "lo", "hi"}) {
+      double a = se->GetColumn(name).ValueOrDie()->float64_data()[r];
+      double b = ss->GetColumn(name).ValueOrDie()->float64_data()[r];
+      EXPECT_NEAR(a, b, 1e-9 * (std::abs(a) + 1)) << name << " row " << r;
+    }
+    EXPECT_EQ(se->GetColumn("n").ValueOrDie()->int64_data()[r],
+              ss->GetColumn("n").ValueOrDie()->int64_data()[r]);
+  }
+}
+
+TEST(StreamingOpsTest, ExternalSortMatchesKernel) {
+  auto t = RandomTable(3000, 11);
+  std::vector<kern::SortKey> keys = {{"k", true}, {"v", false}};
+  auto expected = kern::SortTable(t, keys).ValueOrDie();
+  TableChunkStream stream(t, 200);
+  auto external = ExternalSort(&stream, keys, {}, /*run_rows=*/512).ValueOrDie();
+  test::ExpectTablesEqual(expected, external);
+}
+
+TEST(StreamingOpsTest, ExternalSortSingleRun) {
+  auto t = RandomTable(100, 12);
+  std::vector<kern::SortKey> keys = {{"v", true}};
+  auto expected = kern::SortTable(t, keys).ValueOrDie();
+  TableChunkStream stream(t, 50);
+  auto external =
+      ExternalSort(&stream, keys, {}, /*run_rows=*/100000).ValueOrDie();
+  test::ExpectTablesEqual(expected, external);
+}
+
+TEST(StreamingOpsTest, DedupMatchesKernel) {
+  auto t = RandomTable(2000, 17);
+  auto expected = kern::DropDuplicates(t, {"k", "s"}).ValueOrDie();
+  TableChunkStream stream(t, 111);
+  auto streaming = StreamingDedup(&stream, {"k", "s"}).ValueOrDie();
+  EXPECT_EQ(expected->num_rows(), streaming->num_rows());
+  test::ExpectTablesEqual(expected, streaming);
+}
+
+TEST(StreamingOpsTest, PivotMatchesKernel) {
+  auto t = RandomTable(2000, 23);
+  auto expected =
+      kern::PivotTable(t, "k", "s", "v", kern::AggKind::kMean).ValueOrDie();
+  TableChunkStream stream(t, 173);
+  Op op = Op::Pivot("k", "s", "v", kern::AggKind::kMean);
+  auto streaming = StreamingPivot(&stream, op, {}).ValueOrDie();
+  // Column order may differ (first-seen per execution order); compare by
+  // aligned column names after sorting rows by the index.
+  auto se = kern::SortTable(expected, {{"k", true}}).ValueOrDie();
+  auto ss = kern::SortTable(streaming, {{"k", true}}).ValueOrDie();
+  ASSERT_EQ(se->num_rows(), ss->num_rows());
+  for (const std::string& name : se->schema()->names()) {
+    if (name == "k") continue;
+    // Streaming pivot names cells "__pivot_value_<v>"; map accordingly.
+    std::string streaming_name = "__pivot_value_" + name.substr(2);
+    auto a = se->GetColumn(name).ValueOrDie();
+    auto b = ss->GetColumn(streaming_name);
+    ASSERT_TRUE(b.ok()) << streaming_name;
+    for (int64_t r = 0; r < se->num_rows(); ++r) {
+      ASSERT_EQ(a->IsNull(r), b.ValueOrDie()->IsNull(r));
+      if (!a->IsNull(r)) {
+        EXPECT_NEAR(a->float64_data()[r], b.ValueOrDie()->float64_data()[r],
+                    1e-9);
+      }
+    }
+  }
+}
+
+// --- device engine behaviour ---
+
+TEST(CudfEngineTest, DeviceMemoryWall) {
+  // A machine whose VRAM cannot hold the frame: ingest must OoM.
+  sim::MachineSpec spec = sim::MachineSpec::Server();
+  sim::GpuSpec gpu;
+  gpu.vram_bytes = 64;  // absurdly small device
+  spec.gpu = gpu;
+  sim::Session session(spec);
+
+  auto engine = frame::CreateEngine("cudf").ValueOrDie();
+  auto result = engine->FromTable(SampleTable());
+  EXPECT_TRUE(result.status().IsOutOfMemory()) << result.status().ToString();
+}
+
+TEST(CudfEngineTest, WorksWithAdequateVram) {
+  sim::MachineSpec spec = sim::MachineSpec::Server();
+  spec.gpu = sim::GpuSpec{};
+  sim::Session session(spec);
+  auto engine = frame::CreateEngine("cudf").ValueOrDie();
+  auto frame = engine->FromTable(SampleTable()).ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(frame, frame->Apply(Op::Query("k > 1")));
+  ASSERT_OK_AND_ASSIGN(auto out, frame->Collect());
+  EXPECT_EQ(out->num_rows(), 3);
+  EXPECT_GT(session.device_pool()->bytes_allocated(), 0u);
+}
+
+// --- engine I/O paths ---
+
+TEST(EngineIoTest, CsvRoundTripPerEngine) {
+  std::string path = "/tmp/bento_engine_io_" + std::to_string(getpid()) + ".csv";
+  auto t = SampleTable();
+  for (const std::string& id : frame::EngineIds()) {
+    SCOPED_TRACE(id);
+    auto engine = frame::CreateEngine(id).ValueOrDie();
+    auto frame = engine->FromTable(t).ValueOrDie();
+    ASSERT_OK(engine->WriteCsv(frame, path));
+    ASSERT_OK_AND_ASSIGN(auto back, engine->ReadCsv(path, {}));
+    ASSERT_OK_AND_ASSIGN(auto table, back->Collect());
+    if (id == "spark_pd") {
+      ASSERT_OK_AND_ASSIGN(table, table->DropColumns({"__index__"}));
+    }
+    test::ExpectTablesEqual(t, table);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EngineIoTest, DataTableHasNoBcf) {
+  std::string path = "/tmp/bento_engine_bcf_" + std::to_string(getpid()) + ".bcf";
+  auto engine = frame::CreateEngine("datatable").ValueOrDie();
+  auto frame = engine->FromTable(SampleTable()).ValueOrDie();
+  EXPECT_TRUE(engine->WriteBcf(frame, path).IsNotImplemented());
+  EXPECT_TRUE(engine->ReadBcf(path).status().IsNotImplemented());
+}
+
+TEST(EngineIoTest, BcfRoundTripForSupportingEngines) {
+  std::string path = "/tmp/bento_engine_bcf2_" + std::to_string(getpid()) + ".bcf";
+  auto t = SampleTable();
+  for (const std::string& id : {"pandas", "polars", "spark_sql", "vaex",
+                                "cudf"}) {
+    SCOPED_TRACE(id);
+    auto engine = frame::CreateEngine(id).ValueOrDie();
+    auto frame = engine->FromTable(t).ValueOrDie();
+    ASSERT_OK(engine->WriteBcf(frame, path));
+    ASSERT_OK_AND_ASSIGN(auto back, engine->ReadBcf(path));
+    ASSERT_OK_AND_ASSIGN(auto table, back->Collect());
+    test::ExpectTablesEqual(t, table);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(VaexEngineTest, CsvConvertsToColumnarStore) {
+  std::string path = "/tmp/bento_vaex_" + std::to_string(getpid()) + ".csv";
+  ASSERT_OK(io::WriteCsv(SampleTable(), path));
+  auto engine = frame::CreateEngine("vaex").ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(auto frame, engine->ReadCsv(path, {}));
+  ASSERT_OK_AND_ASSIGN(auto table, frame->Collect());
+  EXPECT_EQ(table->num_rows(), 5);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bento::eng

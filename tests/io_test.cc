@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "engines/chunk_stream.h"
+#include "io/bcf.h"
+#include "io/compress.h"
+#include "io/csv.h"
+#include "io/encoding.h"
+#include "kernels/cast.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace bento::io {
+namespace {
+
+using col::TablePtr;
+using col::TypeId;
+using test::Bools;
+using test::F64;
+using test::I64;
+using test::MakeTable;
+using test::Str;
+
+class TempPath {
+ public:
+  explicit TempPath(const std::string& suffix) {
+    static int counter = 0;
+    path_ = "/tmp/bento_io_test_" + std::to_string(getpid()) + "_" +
+            std::to_string(counter++) + suffix;
+  }
+  ~TempPath() { std::remove(path_.c_str()); }
+  const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// --- LZ codec ---
+
+TEST(CompressTest, RoundTripsText) {
+  std::string text =
+      "the quick brown fox jumps over the lazy dog; the quick brown fox "
+      "jumps again and again and again over the very same lazy dog";
+  auto packed = LzCompress(reinterpret_cast<const uint8_t*>(text.data()),
+                           text.size());
+  EXPECT_LT(packed.size(), text.size());  // repetitive text must compress
+  auto unpacked =
+      LzDecompress(packed.data(), packed.size(), text.size()).ValueOrDie();
+  EXPECT_EQ(std::string(unpacked.begin(), unpacked.end()), text);
+}
+
+TEST(CompressTest, RoundTripsRandomProperty) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = rng.Uniform(5000);
+    std::vector<uint8_t> data(n);
+    // Mix random bytes with runs so both token kinds are exercised.
+    for (size_t i = 0; i < n; ++i) {
+      data[i] = rng.Bernoulli(0.5) ? static_cast<uint8_t>(rng.Uniform(256))
+                                   : static_cast<uint8_t>(7);
+    }
+    auto packed = LzCompress(data.data(), data.size());
+    auto unpacked =
+        LzDecompress(packed.data(), packed.size(), data.size()).ValueOrDie();
+    ASSERT_EQ(unpacked, data);
+  }
+}
+
+TEST(CompressTest, RejectsCorruptStreams) {
+  std::vector<uint8_t> bogus = {0x85, 0x01};  // match token, truncated
+  EXPECT_FALSE(LzDecompress(bogus.data(), bogus.size(), 10).ok());
+  std::vector<uint8_t> bad_dist = {0x80, 0xFF, 0x00};  // distance > output
+  EXPECT_FALSE(LzDecompress(bad_dist.data(), bad_dist.size(), 4).ok());
+}
+
+TEST(CompressTest, EmptyInput) {
+  auto packed = LzCompress(nullptr, 0);
+  EXPECT_TRUE(LzDecompress(packed.data(), packed.size(), 0).ValueOrDie().empty());
+}
+
+// --- encodings ---
+
+TEST(EncodingTest, VarintRoundTrip) {
+  std::vector<uint8_t> buf;
+  for (uint64_t v : std::vector<uint64_t>{0, 1, 127, 128, 300000, UINT64_MAX}) {
+    buf.clear();
+    PutVarint(v, &buf);
+    size_t pos = 0;
+    EXPECT_EQ(GetVarint(buf.data(), buf.size(), &pos).ValueOrDie(), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(EncodingTest, ZigZag) {
+  for (int64_t v : std::vector<int64_t>{0, 1, -1, 1000, -1000, INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(UnZigZag(ZigZag(v)), v);
+  }
+}
+
+TEST(EncodingTest, RoundTripPerEncoding) {
+  struct Case {
+    col::ArrayPtr array;
+    Encoding encoding;
+  };
+  std::vector<Case> cases = {
+      {I64({5, 6, 7, 100, -3}, {true, true, false, true, true}),
+       Encoding::kDelta},
+      {I64({1, 2, 3}), Encoding::kPlain},
+      {F64({1.5, -2.5, 0.0}, {true, false, true}), Encoding::kPlain},
+      {Bools({true, true, false, false, true}), Encoding::kRle},
+      {Str({"aa", "bb", "aa", ""}, {true, true, true, false}),
+       Encoding::kPlain},
+      {Str({"x", "y", "x", "x"}, {true, true, true, true}), Encoding::kDict},
+  };
+  for (const Case& c : cases) {
+    auto encoded = EncodeArray(c.array, c.encoding).ValueOrDie();
+    auto decoded =
+        DecodeArray(c.array->type(), c.encoding, encoded.data(), encoded.size(),
+                    c.array->length(), c.array->validity_buffer(),
+                    c.array->cached_null_count())
+            .ValueOrDie();
+    ASSERT_EQ(decoded->length(), c.array->length());
+    for (int64_t i = 0; i < c.array->length(); ++i) {
+      EXPECT_EQ(test::CellStr(*c.array, i), test::CellStr(*decoded, i))
+          << "encoding " << static_cast<int>(c.encoding) << " row " << i;
+    }
+  }
+}
+
+TEST(EncodingTest, ChooseEncodingHeuristics) {
+  EXPECT_EQ(ChooseEncoding(I64({1, 2})), Encoding::kDelta);
+  EXPECT_EQ(ChooseEncoding(Bools({true})), Encoding::kRle);
+  EXPECT_EQ(ChooseEncoding(F64({1.0})), Encoding::kPlain);
+  // Low-cardinality strings pick DICT.
+  std::vector<std::string> repeated(100, "abc");
+  EXPECT_EQ(ChooseEncoding(Str(repeated)), Encoding::kDict);
+}
+
+// --- CSV ---
+
+TablePtr SampleTable() {
+  return MakeTable({
+      {"id", I64({1, 2, 3, 4})},
+      {"score", F64({1.5, -2.0, 0.0, 99.25}, {true, true, false, true})},
+      {"name", Str({"alice", "bob,comma", "quote\"inside", ""},
+                   {true, true, true, false})},
+      {"flag", Bools({true, false, true, false})},
+  });
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  TempPath path(".csv");
+  auto t = SampleTable();
+  ASSERT_TRUE(WriteCsv(t, path.str()).ok());
+  auto back = ReadCsv(path.str()).ValueOrDie();
+  test::ExpectTablesEqual(t, back);
+}
+
+TEST(CsvTest, TypeInferenceLadder) {
+  TempPath path(".csv");
+  FILE* f = fopen(path.str().c_str(), "w");
+  fputs("i,f,b,s,empty\n1,1.5,true,hello,\n2,2,false,world,\n", f);
+  fclose(f);
+  auto t = ReadCsv(path.str()).ValueOrDie();
+  EXPECT_EQ(t->schema()->GetField("i").ValueOrDie().type, TypeId::kInt64);
+  EXPECT_EQ(t->schema()->GetField("f").ValueOrDie().type, TypeId::kFloat64);
+  EXPECT_EQ(t->schema()->GetField("b").ValueOrDie().type, TypeId::kBool);
+  EXPECT_EQ(t->schema()->GetField("s").ValueOrDie().type, TypeId::kString);
+  // All-null column defaults to string.
+  EXPECT_EQ(t->schema()->GetField("empty").ValueOrDie().type, TypeId::kString);
+  EXPECT_EQ(t->GetColumn("empty").ValueOrDie()->null_count(), 2);
+}
+
+TEST(CsvTest, NullLiterals) {
+  TempPath path(".csv");
+  FILE* f = fopen(path.str().c_str(), "w");
+  fputs("x,y\n1,a\nNA,null\n3,NaN\n", f);
+  fclose(f);
+  auto t = ReadCsv(path.str()).ValueOrDie();
+  EXPECT_EQ(t->GetColumn("x").ValueOrDie()->null_count(), 1);
+  EXPECT_EQ(t->GetColumn("y").ValueOrDie()->null_count(), 2);
+}
+
+TEST(CsvTest, QuotedFieldsWithEmbeddedNewline) {
+  TempPath path(".csv");
+  FILE* f = fopen(path.str().c_str(), "w");
+  fputs("a,b\n\"line1\nline2\",\"x,y\"\n", f);
+  fclose(f);
+  auto t = ReadCsv(path.str()).ValueOrDie();
+  ASSERT_EQ(t->num_rows(), 1);
+  EXPECT_EQ(t->GetColumn("a").ValueOrDie()->GetView(0), "line1\nline2");
+  EXPECT_EQ(t->GetColumn("b").ValueOrDie()->GetView(0), "x,y");
+}
+
+TEST(CsvTest, MissingTrailingFieldsBecomeNull) {
+  TempPath path(".csv");
+  FILE* f = fopen(path.str().c_str(), "w");
+  fputs("a,b,c\n1,2,3\n4,5\n", f);
+  fclose(f);
+  auto t = ReadCsv(path.str()).ValueOrDie();
+  EXPECT_EQ(t->GetColumn("c").ValueOrDie()->null_count(), 1);
+}
+
+TEST(CsvTest, MmapReaderMatchesBuffered) {
+  TempPath path(".csv");
+  auto t = SampleTable();
+  ASSERT_TRUE(WriteCsv(t, path.str()).ok());
+  auto buffered = ReadCsv(path.str()).ValueOrDie();
+  auto mapped = ReadCsvMmap(path.str()).ValueOrDie();
+  test::ExpectTablesEqual(buffered, mapped);
+}
+
+TEST(CsvTest, ChunkReaderStreamsAllRows) {
+  TempPath path(".csv");
+  col::Int64Builder b;
+  for (int i = 0; i < 1000; ++i) b.Append(i);
+  auto t = MakeTable({{"v", b.Finish().ValueOrDie()}});
+  ASSERT_TRUE(WriteCsv(t, path.str()).ok());
+
+  CsvReadOptions options;
+  options.chunk_rows = 128;
+  auto reader = CsvChunkReader::Open(path.str(), options).ValueOrDie();
+  int64_t total = 0;
+  int chunks = 0;
+  int64_t expected_next = 0;
+  while (true) {
+    auto chunk = reader->Next().ValueOrDie();
+    if (chunk == nullptr) break;
+    ++chunks;
+    total += chunk->num_rows();
+    for (int64_t i = 0; i < chunk->num_rows(); ++i) {
+      ASSERT_EQ(chunk->column(0)->int64_data()[i], expected_next++);
+    }
+  }
+  EXPECT_EQ(total, 1000);
+  EXPECT_GT(chunks, 1);
+}
+
+TEST(CsvTest, ParallelWriterMatchesSerial) {
+  TempPath p1(".csv");
+  TempPath p2(".csv");
+  auto t = SampleTable();
+  ASSERT_TRUE(WriteCsv(t, p1.str()).ok());
+  sim::ParallelOptions popts;
+  popts.max_workers = 3;
+  ASSERT_TRUE(WriteCsvParallel(t, p2.str(), {}, popts).ok());
+  auto a = ReadCsv(p1.str()).ValueOrDie();
+  auto b = ReadCsv(p2.str()).ValueOrDie();
+  test::ExpectTablesEqual(a, b);
+}
+
+TEST(CsvTest, MissingFileErrors) {
+  EXPECT_TRUE(ReadCsv("/nonexistent/nope.csv").status().IsIOError());
+  EXPECT_TRUE(ReadCsvMmap("/nonexistent/nope.csv").status().IsIOError());
+}
+
+// --- BCF ---
+
+TEST(BcfTest, WriteReadRoundTrip) {
+  TempPath path(".bcf");
+  auto t = SampleTable();
+  ASSERT_TRUE(WriteBcf(t, path.str()).ok());
+  auto reader = BcfReader::Open(path.str()).ValueOrDie();
+  EXPECT_EQ(reader->num_rows(), t->num_rows());
+  auto back = reader->ReadAll().ValueOrDie();
+  test::ExpectTablesEqual(t, back);
+}
+
+TEST(BcfTest, MultipleRowGroups) {
+  TempPath path(".bcf");
+  col::Int64Builder b;
+  for (int i = 0; i < 1000; ++i) b.Append(i * 3);
+  auto t = MakeTable({{"v", b.Finish().ValueOrDie()}});
+  BcfWriteOptions options;
+  options.row_group_rows = 100;
+  ASSERT_TRUE(WriteBcf(t, path.str(), options).ok());
+  auto reader = BcfReader::Open(path.str()).ValueOrDie();
+  EXPECT_EQ(reader->num_row_groups(), 10);
+  auto g3 = reader->ReadRowGroup(3).ValueOrDie();
+  EXPECT_EQ(g3->num_rows(), 100);
+  EXPECT_EQ(g3->column(0)->int64_data()[0], 900);
+  auto back = reader->ReadAll().ValueOrDie();
+  test::ExpectTablesEqual(t, back);
+}
+
+TEST(BcfTest, ColumnProjection) {
+  TempPath path(".bcf");
+  auto t = SampleTable();
+  ASSERT_TRUE(WriteBcf(t, path.str()).ok());
+  auto reader = BcfReader::Open(path.str()).ValueOrDie();
+  auto projected = reader->ReadAll({"name", "id"}).ValueOrDie();
+  EXPECT_EQ(projected->num_columns(), 2);
+  EXPECT_EQ(projected->schema()->field(0).name, "name");
+  EXPECT_FALSE(reader->ReadAll({"missing"}).ok());
+}
+
+TEST(BcfTest, CompressionToggle) {
+  // Highly repetitive strings: the compressed file must be smaller.
+  std::vector<std::string> values(2000, "a rather repetitive value here");
+  auto t = MakeTable({{"s", Str(values)}});
+  TempPath packed(".bcf");
+  TempPath raw(".bcf");
+  BcfWriteOptions with;
+  with.compression = true;
+  BcfWriteOptions without;
+  without.compression = false;
+  ASSERT_TRUE(WriteBcf(t, packed.str(), with).ok());
+  ASSERT_TRUE(WriteBcf(t, raw.str(), without).ok());
+
+  auto size_of = [](const std::string& p) {
+    FILE* f = fopen(p.c_str(), "rb");
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    fclose(f);
+    return size;
+  };
+  EXPECT_LT(size_of(packed.str()), size_of(raw.str()));
+  test::ExpectTablesEqual(
+      t, BcfReader::Open(packed.str()).ValueOrDie()->ReadAll().ValueOrDie());
+}
+
+TEST(BcfTest, IncrementalWriter) {
+  TempPath path(".bcf");
+  auto writer = BcfWriter::Open(path.str()).ValueOrDie();
+  auto t1 = MakeTable({{"v", I64({1, 2})}});
+  auto t2 = MakeTable({{"v", I64({3})}});
+  ASSERT_TRUE(writer->Append(t1).ok());
+  ASSERT_TRUE(writer->Append(t2).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  auto back = BcfReader::Open(path.str()).ValueOrDie()->ReadAll().ValueOrDie();
+  EXPECT_EQ(back->num_rows(), 3);
+  EXPECT_EQ(back->column(0)->int64_data()[2], 3);
+}
+
+TEST(BcfTest, WriterRejectsSchemaDrift) {
+  TempPath path(".bcf");
+  auto writer = BcfWriter::Open(path.str()).ValueOrDie();
+  ASSERT_TRUE(writer->Append(MakeTable({{"v", I64({1})}})).ok());
+  EXPECT_FALSE(writer->Append(MakeTable({{"w", I64({1})}})).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  EXPECT_FALSE(writer->Finish().ok());  // double finish rejected
+}
+
+TEST(BcfTest, CorruptFilesRejected) {
+  TempPath path(".bcf");
+  FILE* f = fopen(path.str().c_str(), "w");
+  fputs("definitely not a bcf file at all.....", f);
+  fclose(f);
+  EXPECT_FALSE(BcfReader::Open(path.str()).ok());
+  EXPECT_FALSE(BcfReader::Open("/nonexistent/x.bcf").ok());
+}
+
+TEST(BcfTest, CategoricalColumnsRoundTrip) {
+  auto s = Str({"b", "a", "b", "c"});
+  auto cat = kern::Cast(s, TypeId::kCategorical).ValueOrDie();
+  auto t = MakeTable({{"c", cat}});
+  TempPath path(".bcf");
+  ASSERT_TRUE(WriteBcf(t, path.str()).ok());
+  auto back = BcfReader::Open(path.str()).ValueOrDie()->ReadAll().ValueOrDie();
+  EXPECT_EQ(back->column(0)->type(), TypeId::kCategorical);
+  EXPECT_EQ(test::CellStr(*back->column(0), 3), "c");
+}
+
+// --- chunk streams ---
+
+TEST(ChunkStreamTest, TableStreamSlices) {
+  col::Int64Builder b;
+  for (int i = 0; i < 10; ++i) b.Append(i);
+  auto t = MakeTable({{"v", b.Finish().ValueOrDie()}});
+  eng::TableChunkStream stream(t, 4);
+  std::vector<int64_t> sizes;
+  while (true) {
+    auto chunk = stream.Next().ValueOrDie();
+    if (chunk == nullptr) break;
+    sizes.push_back(chunk->num_rows());
+  }
+  EXPECT_EQ(sizes, (std::vector<int64_t>{4, 4, 2}));
+}
+
+TEST(ChunkStreamTest, BcfStreamProjects) {
+  TempPath path(".bcf");
+  auto t = SampleTable();
+  BcfWriteOptions options;
+  options.row_group_rows = 2;
+  ASSERT_TRUE(WriteBcf(t, path.str(), options).ok());
+  auto stream = eng::BcfChunkStream::Open(path.str(), {"id"}).ValueOrDie();
+  int64_t rows = 0;
+  while (true) {
+    auto chunk = stream->Next().ValueOrDie();
+    if (chunk == nullptr) break;
+    EXPECT_EQ(chunk->num_columns(), 1);
+    rows += chunk->num_rows();
+  }
+  EXPECT_EQ(rows, t->num_rows());
+}
+
+}  // namespace
+}  // namespace bento::io

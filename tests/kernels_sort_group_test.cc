@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "kernels/dedup.h"
+#include "kernels/groupby.h"
+#include "kernels/join.h"
+#include "kernels/row_hash.h"
+#include "kernels/sort.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace bento::kern {
+namespace {
+
+using col::TablePtr;
+using test::F64;
+using test::I64;
+using test::MakeTable;
+using test::Str;
+
+TEST(SortTest, SingleKeyAscending) {
+  auto t = MakeTable({{"k", I64({3, 1, 2})}});
+  auto sorted = SortTable(t, {{"k", true}}).ValueOrDie();
+  EXPECT_EQ(sorted->column(0)->int64_data()[0], 1);
+  EXPECT_EQ(sorted->column(0)->int64_data()[2], 3);
+}
+
+TEST(SortTest, DescendingAndNullsLast) {
+  auto t = MakeTable({{"k", F64({1.0, 0.0, 2.0}, {true, false, true})}});
+  auto asc = SortTable(t, {{"k", true}}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(asc->column(0)->float64_data()[0], 1.0);
+  EXPECT_TRUE(asc->column(0)->IsNull(2));
+  auto desc = SortTable(t, {{"k", false}}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(desc->column(0)->float64_data()[0], 2.0);
+  EXPECT_TRUE(desc->column(0)->IsNull(2));  // nulls last either way
+}
+
+TEST(SortTest, MultiKeyAndStability) {
+  auto t = MakeTable({{"a", I64({1, 1, 0, 0})}, {"b", Str({"x", "w", "z", "z"})},
+                      {"row", I64({0, 1, 2, 3})}});
+  auto sorted = SortTable(t, {{"a", true}, {"b", true}}).ValueOrDie();
+  // a=0 rows first, tie on b="z" broken by original order (stable).
+  EXPECT_EQ(sorted->column(2)->int64_data()[0], 2);
+  EXPECT_EQ(sorted->column(2)->int64_data()[1], 3);
+  EXPECT_EQ(sorted->column(1)->GetView(2), "w");
+}
+
+TEST(SortTest, StringKeys) {
+  auto t = MakeTable({{"s", Str({"pear", "apple", "fig"})}});
+  auto sorted = SortTable(t, {{"s", true}}).ValueOrDie();
+  EXPECT_EQ(sorted->column(0)->GetView(0), "apple");
+  EXPECT_EQ(sorted->column(0)->GetView(2), "pear");
+}
+
+TEST(SortTest, ParallelMatchesSerialProperty) {
+  Rng rng(99);
+  col::Int64Builder kb;
+  col::Float64Builder vb;
+  const int64_t n = 20000;
+  for (int64_t i = 0; i < n; ++i) {
+    kb.AppendMaybe(rng.UniformInt(0, 50), !rng.Bernoulli(0.05));
+    vb.Append(rng.UniformDouble());
+  }
+  auto t = MakeTable({{"k", kb.Finish().ValueOrDie()},
+                      {"v", vb.Finish().ValueOrDie()}});
+  std::vector<SortKey> keys = {{"k", true}};
+  auto serial = ArgSort(t, keys).ValueOrDie();
+  sim::ParallelOptions opts;
+  opts.max_workers = 7;
+  auto parallel = ArgSortParallel(t, keys, opts).ValueOrDie();
+  // Both must produce the identical stable order.
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SortTest, UnknownKeyFails) {
+  auto t = MakeTable({{"a", I64({1})}});
+  EXPECT_FALSE(SortTable(t, {{"zz", true}}).ok());
+  EXPECT_FALSE(SortTable(t, {}).ok());
+}
+
+TEST(CompareTableRowsTest, AcrossTables) {
+  auto a = MakeTable({{"k", I64({1, 5})}});
+  auto b = MakeTable({{"k", I64({3})}});
+  std::vector<SortKey> keys = {{"k", true}};
+  EXPECT_LT(CompareTableRows(a, 0, b, 0, keys).ValueOrDie(), 0);
+  EXPECT_GT(CompareTableRows(a, 1, b, 0, keys).ValueOrDie(), 0);
+  EXPECT_EQ(CompareTableRows(a, 0, a, 0, keys).ValueOrDie(), 0);
+}
+
+TEST(HashRowsTest, EqualRowsHashEqual) {
+  auto t = MakeTable({{"a", I64({1, 1, 2})}, {"b", Str({"x", "x", "x"})}});
+  auto hashes = HashRows(t, {"a", "b"}).ValueOrDie();
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_NE(hashes[0], hashes[2]);
+}
+
+TEST(HashRowsTest, NullsHashConsistently) {
+  auto t = MakeTable({{"a", I64({1, 1}, {false, false})}});
+  auto hashes = HashRows(t, {}).ValueOrDie();
+  EXPECT_EQ(hashes[0], hashes[1]);
+}
+
+TEST(GroupByTest, BasicAggregations) {
+  auto t = MakeTable({{"k", Str({"a", "b", "a", "a"})},
+                      {"v", F64({1.0, 10.0, 2.0, 3.0})}});
+  auto out = GroupBy(t, {"k"},
+                     {{"v", AggKind::kSum, "s"},
+                      {"v", AggKind::kMean, "m"},
+                      {"v", AggKind::kMin, "lo"},
+                      {"v", AggKind::kMax, "hi"},
+                      {"v", AggKind::kCount, "n"}})
+                 .ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 2);  // first-seen order: a, b
+  EXPECT_EQ(out->column(0)->GetView(0), "a");
+  EXPECT_DOUBLE_EQ(out->GetColumn("s").ValueOrDie()->float64_data()[0], 6.0);
+  EXPECT_DOUBLE_EQ(out->GetColumn("m").ValueOrDie()->float64_data()[0], 2.0);
+  EXPECT_DOUBLE_EQ(out->GetColumn("lo").ValueOrDie()->float64_data()[0], 1.0);
+  EXPECT_DOUBLE_EQ(out->GetColumn("hi").ValueOrDie()->float64_data()[0], 3.0);
+  EXPECT_EQ(out->GetColumn("n").ValueOrDie()->int64_data()[0], 3);
+  EXPECT_DOUBLE_EQ(out->GetColumn("s").ValueOrDie()->float64_data()[1], 10.0);
+}
+
+TEST(GroupByTest, StdMatchesManual) {
+  auto t = MakeTable({{"k", I64({1, 1, 1})}, {"v", F64({2.0, 4.0, 6.0})}});
+  auto out = GroupBy(t, {"k"}, {{"v", AggKind::kStd, "sd"}}).ValueOrDie();
+  EXPECT_NEAR(out->GetColumn("sd").ValueOrDie()->float64_data()[0], 2.0, 1e-12);
+}
+
+TEST(GroupByTest, NullKeysFormAGroup) {
+  auto t = MakeTable({{"k", Str({"a", "x", "x"}, {true, false, false})},
+                      {"v", I64({1, 2, 3})}});
+  auto out = GroupBy(t, {"k"}, {{"v", AggKind::kSum, "s"}}).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 2);
+  EXPECT_DOUBLE_EQ(out->GetColumn("s").ValueOrDie()->float64_data()[1], 5.0);
+}
+
+TEST(GroupByTest, NullValuesSkipped) {
+  auto t = MakeTable(
+      {{"k", I64({1, 1})}, {"v", F64({5.0, 99.0}, {true, false})}});
+  auto out = GroupBy(t, {"k"},
+                     {{"v", AggKind::kSum, "s"}, {"v", AggKind::kCount, "n"}})
+                 .ValueOrDie();
+  EXPECT_DOUBLE_EQ(out->GetColumn("s").ValueOrDie()->float64_data()[0], 5.0);
+  EXPECT_EQ(out->GetColumn("n").ValueOrDie()->int64_data()[0], 1);
+}
+
+TEST(GroupByTest, AllNullGroupAggregatesToNull) {
+  auto t = MakeTable({{"k", I64({1})}, {"v", F64({0.0}, {false})}});
+  auto out = GroupBy(t, {"k"}, {{"v", AggKind::kMean, "m"}}).ValueOrDie();
+  EXPECT_TRUE(out->GetColumn("m").ValueOrDie()->IsNull(0));
+}
+
+TEST(GroupByTest, RejectsStringAggregation) {
+  auto t = MakeTable({{"k", I64({1})}, {"s", Str({"x"})}});
+  EXPECT_FALSE(GroupBy(t, {"k"}, {{"s", AggKind::kSum, ""}}).ok());
+  EXPECT_TRUE(GroupBy(t, {"k"}, {{"s", AggKind::kCount, "n"}}).ok());
+  EXPECT_FALSE(GroupBy(t, {}, {{"k", AggKind::kSum, ""}}).ok());
+}
+
+TEST(GroupByTest, PartitionedMatchesSerialProperty) {
+  Rng rng(7);
+  col::Int64Builder kb;
+  col::Float64Builder vb;
+  for (int64_t i = 0; i < 20000; ++i) {
+    kb.Append(rng.UniformInt(0, 97));
+    vb.AppendMaybe(rng.UniformDouble(0, 100), !rng.Bernoulli(0.1));
+  }
+  auto t = MakeTable({{"k", kb.Finish().ValueOrDie()},
+                      {"v", vb.Finish().ValueOrDie()}});
+  std::vector<AggSpec> aggs = {{"v", AggKind::kSum, "s"},
+                               {"v", AggKind::kMean, "m"},
+                               {"v", AggKind::kCount, "n"}};
+  auto serial = GroupBy(t, {"k"}, aggs).ValueOrDie();
+  sim::ParallelOptions opts;
+  opts.max_workers = 5;
+  auto partitioned = GroupByPartitioned(t, {"k"}, aggs, opts).ValueOrDie();
+  EXPECT_EQ(serial->num_rows(), partitioned->num_rows());
+  test::ExpectTablesEquivalent(serial, partitioned, {"k"});
+}
+
+TEST(JoinTest, InnerJoin) {
+  auto left = MakeTable({{"k", I64({1, 2, 3})}, {"lv", Str({"a", "b", "c"})}});
+  auto right = MakeTable({{"k", I64({2, 3, 4})}, {"rv", F64({20, 30, 40})}});
+  auto out = HashJoin(left, right, "k", "k").ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 2);
+  EXPECT_EQ(out->GetColumn("lv").ValueOrDie()->GetView(0), "b");
+  EXPECT_DOUBLE_EQ(out->GetColumn("rv").ValueOrDie()->float64_data()[1], 30.0);
+}
+
+TEST(JoinTest, LeftJoinEmitsNulls) {
+  auto left = MakeTable({{"k", I64({1, 2})}, {"lv", I64({10, 20})}});
+  auto right = MakeTable({{"k", I64({2})}, {"rv", I64({200})}});
+  JoinOptions opts;
+  opts.type = JoinType::kLeft;
+  auto out = HashJoin(left, right, "k", "k", opts).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 2);
+  EXPECT_TRUE(out->GetColumn("rv").ValueOrDie()->IsNull(0));
+  EXPECT_EQ(out->GetColumn("rv").ValueOrDie()->int64_data()[1], 200);
+}
+
+TEST(JoinTest, DuplicateRightKeysReplicate) {
+  auto left = MakeTable({{"k", I64({7})}, {"lv", I64({1})}});
+  auto right = MakeTable({{"k", I64({7, 7})}, {"rv", I64({100, 200})}});
+  auto out = HashJoin(left, right, "k", "k").ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 2);
+}
+
+TEST(JoinTest, NullKeysNeverMatch) {
+  auto left = MakeTable({{"k", I64({1}, {false})}, {"lv", I64({1})}});
+  auto right = MakeTable({{"k", I64({1}, {false})}, {"rv", I64({2})}});
+  auto inner = HashJoin(left, right, "k", "k").ValueOrDie();
+  EXPECT_EQ(inner->num_rows(), 0);
+  JoinOptions opts;
+  opts.type = JoinType::kLeft;
+  auto outer = HashJoin(left, right, "k", "k", opts).ValueOrDie();
+  EXPECT_EQ(outer->num_rows(), 1);
+  EXPECT_TRUE(outer->GetColumn("rv").ValueOrDie()->IsNull(0));
+}
+
+TEST(JoinTest, CollidingNamesGetSuffix) {
+  auto left = MakeTable({{"k", I64({1})}, {"v", I64({1})}});
+  auto right = MakeTable({{"k", I64({1})}, {"v", I64({2})}});
+  auto out = HashJoin(left, right, "k", "k").ValueOrDie();
+  EXPECT_TRUE(out->schema()->Contains("v"));
+  EXPECT_TRUE(out->schema()->Contains("v_r"));
+}
+
+TEST(JoinTest, ParallelMatchesSerialProperty) {
+  Rng rng(21);
+  col::Int64Builder lk, rk;
+  for (int i = 0; i < 5000; ++i) lk.Append(rng.UniformInt(0, 500));
+  for (int i = 0; i < 800; ++i) rk.Append(rng.UniformInt(0, 500));
+  col::Int64Builder lid, rid;
+  for (int i = 0; i < 5000; ++i) lid.Append(i);
+  for (int i = 0; i < 800; ++i) rid.Append(i);
+  auto left = MakeTable({{"k", lk.Finish().ValueOrDie()},
+                         {"lid", lid.Finish().ValueOrDie()}});
+  auto right = MakeTable({{"k", rk.Finish().ValueOrDie()},
+                          {"rid", rid.Finish().ValueOrDie()}});
+  auto serial = HashJoin(left, right, "k", "k").ValueOrDie();
+  sim::ParallelOptions popts;
+  popts.max_workers = 4;
+  auto parallel =
+      HashJoinParallel(left, right, "k", "k", {}, popts).ValueOrDie();
+  test::ExpectTablesEqual(serial, parallel);  // probe order is preserved
+}
+
+TEST(DedupTest, KeepsFirstOccurrence) {
+  auto t = MakeTable({{"a", I64({1, 2, 1, 3, 2})},
+                      {"b", Str({"x", "y", "x", "z", "q"})}});
+  auto all = DropDuplicates(t).ValueOrDie();
+  EXPECT_EQ(all->num_rows(), 4);  // (2,"q") differs from (2,"y")
+  auto on_a = DropDuplicates(t, {"a"}).ValueOrDie();
+  EXPECT_EQ(on_a->num_rows(), 3);
+  EXPECT_EQ(on_a->column(1)->GetView(1), "y");  // first occurrence kept
+}
+
+TEST(DedupTest, NullsAreEqualForDedup) {
+  auto t = MakeTable({{"a", I64({1, 1}, {false, false})}});
+  EXPECT_EQ(DropDuplicates(t).ValueOrDie()->num_rows(), 1);
+}
+
+TEST(UniqueTest, DistinctNonNull) {
+  auto v = Str({"b", "a", "b", "c"}, {true, true, true, false});
+  auto u = Unique(v).ValueOrDie();
+  ASSERT_EQ(u->length(), 2);
+  EXPECT_EQ(u->GetView(0), "b");
+  EXPECT_EQ(u->GetView(1), "a");
+}
+
+}  // namespace
+}  // namespace bento::kern

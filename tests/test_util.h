@@ -1,0 +1,122 @@
+#ifndef BENTO_TESTS_TEST_UTIL_H_
+#define BENTO_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "columnar/builder.h"
+#include "columnar/table.h"
+#include "kernels/sort.h"
+
+namespace bento::test {
+
+#define ASSERT_OK(expr)                                 \
+  do {                                                  \
+    auto _st = (expr);                                  \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (false)
+
+#define EXPECT_OK(expr)                                 \
+  do {                                                  \
+    auto _st = (expr);                                  \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                          \
+  ASSERT_OK_AND_ASSIGN_IMPL(BENTO_CONCAT(_r_, __COUNTER__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, rexpr)                \
+  auto tmp = (rexpr);                                             \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();               \
+  lhs = std::move(tmp).ValueOrDie();
+
+// --- column construction helpers (null encoded via optional-like flag) ----
+
+inline col::ArrayPtr I64(const std::vector<int64_t>& values,
+                         const std::vector<bool>& valid = {}) {
+  col::Int64Builder b;
+  for (size_t i = 0; i < values.size(); ++i) {
+    b.AppendMaybe(values[i], valid.empty() || valid[i]);
+  }
+  return b.Finish().ValueOrDie();
+}
+
+inline col::ArrayPtr F64(const std::vector<double>& values,
+                         const std::vector<bool>& valid = {}) {
+  col::Float64Builder b;
+  for (size_t i = 0; i < values.size(); ++i) {
+    b.AppendMaybe(values[i], valid.empty() || valid[i]);
+  }
+  return b.Finish().ValueOrDie();
+}
+
+inline col::ArrayPtr Str(const std::vector<std::string>& values,
+                         const std::vector<bool>& valid = {}) {
+  col::StringBuilder b;
+  for (size_t i = 0; i < values.size(); ++i) {
+    b.AppendMaybe(values[i], valid.empty() || valid[i]);
+  }
+  return b.Finish().ValueOrDie();
+}
+
+inline col::ArrayPtr Bools(const std::vector<bool>& values,
+                           const std::vector<bool>& valid = {}) {
+  col::BoolBuilder b;
+  for (size_t i = 0; i < values.size(); ++i) {
+    b.AppendMaybe(values[i], valid.empty() || valid[i]);
+  }
+  return b.Finish().ValueOrDie();
+}
+
+inline col::TablePtr MakeTable(
+    const std::vector<std::pair<std::string, col::ArrayPtr>>& columns) {
+  std::vector<col::Field> fields;
+  std::vector<col::ArrayPtr> arrays;
+  for (const auto& [name, array] : columns) {
+    fields.push_back({name, array->type()});
+    arrays.push_back(array);
+  }
+  return col::Table::Make(std::make_shared<col::Schema>(std::move(fields)),
+                          std::move(arrays))
+      .ValueOrDie();
+}
+
+/// Cell as display string with categorical decoded; the comparison unit.
+inline std::string CellStr(const col::Array& a, int64_t i) {
+  return a.IsNull(i) ? std::string("null") : a.ValueToString(i);
+}
+
+/// Asserts equal schema names and cell-by-cell equality (categorical and
+/// string columns compare by value).
+inline void ExpectTablesEqual(const col::TablePtr& expected,
+                              const col::TablePtr& actual) {
+  ASSERT_EQ(expected->num_columns(), actual->num_columns());
+  ASSERT_EQ(expected->num_rows(), actual->num_rows());
+  for (int c = 0; c < expected->num_columns(); ++c) {
+    EXPECT_EQ(expected->schema()->field(c).name,
+              actual->schema()->field(c).name);
+    for (int64_t r = 0; r < expected->num_rows(); ++r) {
+      EXPECT_EQ(CellStr(*expected->column(c), r), CellStr(*actual->column(c), r))
+          << "column " << expected->schema()->field(c).name << " row " << r;
+    }
+  }
+}
+
+/// Order-insensitive comparison: both tables are sorted by `keys` first.
+inline void ExpectTablesEquivalent(const col::TablePtr& expected,
+                                   const col::TablePtr& actual,
+                                   const std::vector<std::string>& keys) {
+  std::vector<kern::SortKey> sort_keys;
+  for (const std::string& k : keys) sort_keys.push_back({k, true});
+  auto se = kern::SortTable(expected, sort_keys);
+  auto sa = kern::SortTable(actual, sort_keys);
+  ASSERT_TRUE(se.ok()) << se.status().ToString();
+  ASSERT_TRUE(sa.ok()) << sa.status().ToString();
+  ExpectTablesEqual(se.ValueOrDie(), sa.ValueOrDie());
+}
+
+}  // namespace bento::test
+
+#endif  // BENTO_TESTS_TEST_UTIL_H_

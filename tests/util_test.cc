@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/json.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace bento {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::OutOfMemory("need ", 42, " bytes");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_EQ(st.message(), "need 42 bytes");
+  EXPECT_EQ(st.ToString(), "OutOfMemory: need 42 bytes");
+}
+
+TEST(StatusTest, AllConstructorsSetTheirCode) {
+  EXPECT_TRUE(Status::Invalid("x").IsInvalid());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::KeyError("x").IsKeyError());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_EQ(Status::IndexError("x").code(), StatusCode::kIndexError);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::Invalid("boom");
+  Status copy = st;
+  EXPECT_EQ(copy.ToString(), st.ToString());
+}
+
+Status FailsThrough() {
+  BENTO_RETURN_NOT_OK(Status::IOError("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(FailsThrough().IsIOError());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::Invalid("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  BENTO_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return x * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  EXPECT_EQ(Doubled(4).ValueOrDie(), 8);
+  EXPECT_FALSE(Doubled(-1).ok());
+  EXPECT_TRUE(Doubled(-1).status().IsInvalid());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+// --- string utilities ---
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, JoinTrimCase) {
+  EXPECT_EQ(StrJoin({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(StrTrim("  hi \t\n"), "hi");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(AsciiToLower("MiXeD 42"), "mixed 42");
+  EXPECT_EQ(AsciiToUpper("MiXeD 42"), "MIXED 42");
+}
+
+TEST(StringUtilTest, ContainsPrefixSuffix) {
+  EXPECT_TRUE(StrContains("hello world", "lo wo"));
+  EXPECT_FALSE(StrContains("hello", "world"));
+  EXPECT_TRUE(StrStartsWith("hello", "he"));
+  EXPECT_FALSE(StrStartsWith("h", "he"));
+  EXPECT_TRUE(StrEndsWith("hello", "llo"));
+  EXPECT_FALSE(StrEndsWith("o", "llo"));
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt64("-7").ValueOrDie(), -7);
+  EXPECT_EQ(ParseInt64("  13  ").ValueOrDie(), 13);
+  EXPECT_FALSE(ParseInt64("4.2").ok());
+  EXPECT_FALSE(ParseInt64("x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").ValueOrDie(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").ValueOrDie(), -1000.0);
+  EXPECT_FALSE(ParseDouble("3.5x").ok());
+}
+
+TEST(StringUtilTest, ParseBool) {
+  EXPECT_TRUE(ParseBool("true").ValueOrDie());
+  EXPECT_TRUE(ParseBool("Yes").ValueOrDie());
+  EXPECT_FALSE(ParseBool("0").ValueOrDie());
+  EXPECT_FALSE(ParseBool("maybe").ok());
+}
+
+TEST(StringUtilTest, FormatDoubleRoundTrips) {
+  for (double v : {0.0, 1.5, -2.25, 1.0 / 3.0, 1e300, 6.02e23, 0.1}) {
+    EXPECT_DOUBLE_EQ(ParseDouble(FormatDouble(v)).ValueOrDie(), v);
+  }
+  EXPECT_EQ(FormatDouble(std::nan("")), "nan");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KiB");
+  EXPECT_EQ(HumanBytes(16ULL << 30), "16.00 GiB");
+}
+
+// --- JSON ---
+
+TEST(JsonTest, ParsePrimitives) {
+  EXPECT_TRUE(ParseJson("null").ValueOrDie().is_null());
+  EXPECT_TRUE(ParseJson("true").ValueOrDie().bool_value());
+  EXPECT_EQ(ParseJson("42").ValueOrDie().int_value(), 42);
+  EXPECT_DOUBLE_EQ(ParseJson("-2.5e2").ValueOrDie().number_value(), -250.0);
+  EXPECT_EQ(ParseJson("\"hi\\nthere\"").ValueOrDie().string_value(),
+            "hi\nthere");
+}
+
+TEST(JsonTest, ParseNested) {
+  auto v = ParseJson(R"({"a": [1, 2, {"b": "c"}], "d": {"e": false}})")
+               .ValueOrDie();
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.Get("a").size(), 3u);
+  EXPECT_EQ(v.Get("a").at(2).GetString("b"), "c");
+  EXPECT_FALSE(v.Get("d").GetBool("e", true));
+}
+
+TEST(JsonTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("12 34").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+}
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", JsonValue::Str("bento \"quoted\""));
+  obj.Set("count", JsonValue::Int(12));
+  obj.Set("ratio", JsonValue::Number(0.125));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Bool(true));
+  arr.Append(JsonValue::Null());
+  obj.Set("flags", std::move(arr));
+
+  for (int indent : {0, 2}) {
+    auto round = ParseJson(obj.Dump(indent)).ValueOrDie();
+    EXPECT_EQ(round.GetString("name"), "bento \"quoted\"");
+    EXPECT_EQ(round.GetInt("count"), 12);
+    EXPECT_DOUBLE_EQ(round.GetNumber("ratio"), 0.125);
+    EXPECT_TRUE(round.Get("flags").at(0).bool_value());
+    EXPECT_TRUE(round.Get("flags").at(1).is_null());
+  }
+}
+
+TEST(JsonTest, ObjectSetOverwrites) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", JsonValue::Int(1));
+  obj.Set("k", JsonValue::Int(2));
+  EXPECT_EQ(obj.GetInt("k"), 2);
+  EXPECT_EQ(obj.members().size(), 1u);
+}
+
+TEST(JsonTest, UnicodeEscapes) {
+  auto v = ParseJson("\"\\u0041\\u00e9\"").ValueOrDie();
+  EXPECT_EQ(v.string_value(), "A\xC3\xA9");
+}
+
+// --- RNG ---
+
+TEST(RandomTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, NormalHasRequestedMoments) {
+  Rng rng(11);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(RandomTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(13);
+  int low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = rng.Zipf(100, 1.2);
+    ASSERT_LT(v, 100u);
+    if (v < 10) ++low;
+  }
+  // With skew, the first 10 ranks should dominate well past uniform's 10%.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(RandomTest, AsciiStringRespectsLengthBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    std::string s = rng.AsciiString(3, 9);
+    EXPECT_GE(s.size(), 3u);
+    EXPECT_LE(s.size(), 9u);
+  }
+}
+
+}  // namespace
+}  // namespace bento
