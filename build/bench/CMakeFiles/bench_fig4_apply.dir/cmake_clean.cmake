@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_apply.dir/bench_fig4_apply.cc.o"
+  "CMakeFiles/bench_fig4_apply.dir/bench_fig4_apply.cc.o.d"
+  "bench_fig4_apply"
+  "bench_fig4_apply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_compat.dir/bench_table2_compat.cc.o"
+  "CMakeFiles/bench_table2_compat.dir/bench_table2_compat.cc.o.d"
+  "bench_table2_compat"
+  "bench_table2_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

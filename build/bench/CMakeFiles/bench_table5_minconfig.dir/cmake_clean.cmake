@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_minconfig.dir/bench_table5_minconfig.cc.o"
+  "CMakeFiles/bench_table5_minconfig.dir/bench_table5_minconfig.cc.o.d"
+  "bench_table5_minconfig"
+  "bench_table5_minconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_minconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

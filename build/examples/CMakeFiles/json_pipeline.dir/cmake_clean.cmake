@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_pipeline.dir/json_pipeline.cpp.o"
+  "CMakeFiles/json_pipeline.dir/json_pipeline.cpp.o.d"
+  "json_pipeline"
+  "json_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

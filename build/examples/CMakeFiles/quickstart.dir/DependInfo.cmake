@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bento/CMakeFiles/bento_bento.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/bento_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/frame/CMakeFiles/bento_frame.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/bento_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bento_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/bento_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/bento_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/bento_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bento_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bento_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_bento.dir/pipeline.cc.o"
+  "CMakeFiles/bento_bento.dir/pipeline.cc.o.d"
+  "CMakeFiles/bento_bento.dir/report.cc.o"
+  "CMakeFiles/bento_bento.dir/report.cc.o.d"
+  "CMakeFiles/bento_bento.dir/runner.cc.o"
+  "CMakeFiles/bento_bento.dir/runner.cc.o.d"
+  "libbento_bento.a"
+  "libbento_bento.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_bento.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/array.cc" "src/columnar/CMakeFiles/bento_columnar.dir/array.cc.o" "gcc" "src/columnar/CMakeFiles/bento_columnar.dir/array.cc.o.d"
+  "/root/repo/src/columnar/bitmap.cc" "src/columnar/CMakeFiles/bento_columnar.dir/bitmap.cc.o" "gcc" "src/columnar/CMakeFiles/bento_columnar.dir/bitmap.cc.o.d"
+  "/root/repo/src/columnar/buffer.cc" "src/columnar/CMakeFiles/bento_columnar.dir/buffer.cc.o" "gcc" "src/columnar/CMakeFiles/bento_columnar.dir/buffer.cc.o.d"
+  "/root/repo/src/columnar/builder.cc" "src/columnar/CMakeFiles/bento_columnar.dir/builder.cc.o" "gcc" "src/columnar/CMakeFiles/bento_columnar.dir/builder.cc.o.d"
+  "/root/repo/src/columnar/datatype.cc" "src/columnar/CMakeFiles/bento_columnar.dir/datatype.cc.o" "gcc" "src/columnar/CMakeFiles/bento_columnar.dir/datatype.cc.o.d"
+  "/root/repo/src/columnar/scalar.cc" "src/columnar/CMakeFiles/bento_columnar.dir/scalar.cc.o" "gcc" "src/columnar/CMakeFiles/bento_columnar.dir/scalar.cc.o.d"
+  "/root/repo/src/columnar/schema.cc" "src/columnar/CMakeFiles/bento_columnar.dir/schema.cc.o" "gcc" "src/columnar/CMakeFiles/bento_columnar.dir/schema.cc.o.d"
+  "/root/repo/src/columnar/table.cc" "src/columnar/CMakeFiles/bento_columnar.dir/table.cc.o" "gcc" "src/columnar/CMakeFiles/bento_columnar.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bento_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bento_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

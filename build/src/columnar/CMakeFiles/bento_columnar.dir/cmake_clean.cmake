@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_columnar.dir/array.cc.o"
+  "CMakeFiles/bento_columnar.dir/array.cc.o.d"
+  "CMakeFiles/bento_columnar.dir/bitmap.cc.o"
+  "CMakeFiles/bento_columnar.dir/bitmap.cc.o.d"
+  "CMakeFiles/bento_columnar.dir/buffer.cc.o"
+  "CMakeFiles/bento_columnar.dir/buffer.cc.o.d"
+  "CMakeFiles/bento_columnar.dir/builder.cc.o"
+  "CMakeFiles/bento_columnar.dir/builder.cc.o.d"
+  "CMakeFiles/bento_columnar.dir/datatype.cc.o"
+  "CMakeFiles/bento_columnar.dir/datatype.cc.o.d"
+  "CMakeFiles/bento_columnar.dir/scalar.cc.o"
+  "CMakeFiles/bento_columnar.dir/scalar.cc.o.d"
+  "CMakeFiles/bento_columnar.dir/schema.cc.o"
+  "CMakeFiles/bento_columnar.dir/schema.cc.o.d"
+  "CMakeFiles/bento_columnar.dir/table.cc.o"
+  "CMakeFiles/bento_columnar.dir/table.cc.o.d"
+  "libbento_columnar.a"
+  "libbento_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

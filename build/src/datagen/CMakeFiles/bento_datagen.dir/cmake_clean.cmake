@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_datagen.dir/datasets.cc.o"
+  "CMakeFiles/bento_datagen.dir/datasets.cc.o.d"
+  "libbento_datagen.a"
+  "libbento_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engines/chunk_stream.cc" "src/engines/CMakeFiles/bento_engines.dir/chunk_stream.cc.o" "gcc" "src/engines/CMakeFiles/bento_engines.dir/chunk_stream.cc.o.d"
+  "/root/repo/src/engines/cudf.cc" "src/engines/CMakeFiles/bento_engines.dir/cudf.cc.o" "gcc" "src/engines/CMakeFiles/bento_engines.dir/cudf.cc.o.d"
+  "/root/repo/src/engines/datatable.cc" "src/engines/CMakeFiles/bento_engines.dir/datatable.cc.o" "gcc" "src/engines/CMakeFiles/bento_engines.dir/datatable.cc.o.d"
+  "/root/repo/src/engines/eager_engine.cc" "src/engines/CMakeFiles/bento_engines.dir/eager_engine.cc.o" "gcc" "src/engines/CMakeFiles/bento_engines.dir/eager_engine.cc.o.d"
+  "/root/repo/src/engines/lazy_engine.cc" "src/engines/CMakeFiles/bento_engines.dir/lazy_engine.cc.o" "gcc" "src/engines/CMakeFiles/bento_engines.dir/lazy_engine.cc.o.d"
+  "/root/repo/src/engines/modin.cc" "src/engines/CMakeFiles/bento_engines.dir/modin.cc.o" "gcc" "src/engines/CMakeFiles/bento_engines.dir/modin.cc.o.d"
+  "/root/repo/src/engines/pandas.cc" "src/engines/CMakeFiles/bento_engines.dir/pandas.cc.o" "gcc" "src/engines/CMakeFiles/bento_engines.dir/pandas.cc.o.d"
+  "/root/repo/src/engines/polars.cc" "src/engines/CMakeFiles/bento_engines.dir/polars.cc.o" "gcc" "src/engines/CMakeFiles/bento_engines.dir/polars.cc.o.d"
+  "/root/repo/src/engines/registry.cc" "src/engines/CMakeFiles/bento_engines.dir/registry.cc.o" "gcc" "src/engines/CMakeFiles/bento_engines.dir/registry.cc.o.d"
+  "/root/repo/src/engines/spark.cc" "src/engines/CMakeFiles/bento_engines.dir/spark.cc.o" "gcc" "src/engines/CMakeFiles/bento_engines.dir/spark.cc.o.d"
+  "/root/repo/src/engines/streaming_ops.cc" "src/engines/CMakeFiles/bento_engines.dir/streaming_ops.cc.o" "gcc" "src/engines/CMakeFiles/bento_engines.dir/streaming_ops.cc.o.d"
+  "/root/repo/src/engines/vaex.cc" "src/engines/CMakeFiles/bento_engines.dir/vaex.cc.o" "gcc" "src/engines/CMakeFiles/bento_engines.dir/vaex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frame/CMakeFiles/bento_frame.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/bento_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bento_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/bento_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/bento_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bento_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bento_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

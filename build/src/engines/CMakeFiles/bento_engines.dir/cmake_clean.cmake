@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_engines.dir/chunk_stream.cc.o"
+  "CMakeFiles/bento_engines.dir/chunk_stream.cc.o.d"
+  "CMakeFiles/bento_engines.dir/cudf.cc.o"
+  "CMakeFiles/bento_engines.dir/cudf.cc.o.d"
+  "CMakeFiles/bento_engines.dir/datatable.cc.o"
+  "CMakeFiles/bento_engines.dir/datatable.cc.o.d"
+  "CMakeFiles/bento_engines.dir/eager_engine.cc.o"
+  "CMakeFiles/bento_engines.dir/eager_engine.cc.o.d"
+  "CMakeFiles/bento_engines.dir/lazy_engine.cc.o"
+  "CMakeFiles/bento_engines.dir/lazy_engine.cc.o.d"
+  "CMakeFiles/bento_engines.dir/modin.cc.o"
+  "CMakeFiles/bento_engines.dir/modin.cc.o.d"
+  "CMakeFiles/bento_engines.dir/pandas.cc.o"
+  "CMakeFiles/bento_engines.dir/pandas.cc.o.d"
+  "CMakeFiles/bento_engines.dir/polars.cc.o"
+  "CMakeFiles/bento_engines.dir/polars.cc.o.d"
+  "CMakeFiles/bento_engines.dir/registry.cc.o"
+  "CMakeFiles/bento_engines.dir/registry.cc.o.d"
+  "CMakeFiles/bento_engines.dir/spark.cc.o"
+  "CMakeFiles/bento_engines.dir/spark.cc.o.d"
+  "CMakeFiles/bento_engines.dir/streaming_ops.cc.o"
+  "CMakeFiles/bento_engines.dir/streaming_ops.cc.o.d"
+  "CMakeFiles/bento_engines.dir/vaex.cc.o"
+  "CMakeFiles/bento_engines.dir/vaex.cc.o.d"
+  "libbento_engines.a"
+  "libbento_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/eval.cc" "src/expr/CMakeFiles/bento_expr.dir/eval.cc.o" "gcc" "src/expr/CMakeFiles/bento_expr.dir/eval.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/expr/CMakeFiles/bento_expr.dir/expr.cc.o" "gcc" "src/expr/CMakeFiles/bento_expr.dir/expr.cc.o.d"
+  "/root/repo/src/expr/parser.cc" "src/expr/CMakeFiles/bento_expr.dir/parser.cc.o" "gcc" "src/expr/CMakeFiles/bento_expr.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/bento_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/bento_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bento_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bento_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_expr.dir/eval.cc.o"
+  "CMakeFiles/bento_expr.dir/eval.cc.o.d"
+  "CMakeFiles/bento_expr.dir/expr.cc.o"
+  "CMakeFiles/bento_expr.dir/expr.cc.o.d"
+  "CMakeFiles/bento_expr.dir/parser.cc.o"
+  "CMakeFiles/bento_expr.dir/parser.cc.o.d"
+  "libbento_expr.a"
+  "libbento_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

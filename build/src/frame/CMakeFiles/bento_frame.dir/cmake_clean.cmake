@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_frame.dir/capabilities.cc.o"
+  "CMakeFiles/bento_frame.dir/capabilities.cc.o.d"
+  "CMakeFiles/bento_frame.dir/exec.cc.o"
+  "CMakeFiles/bento_frame.dir/exec.cc.o.d"
+  "CMakeFiles/bento_frame.dir/op.cc.o"
+  "CMakeFiles/bento_frame.dir/op.cc.o.d"
+  "libbento_frame.a"
+  "libbento_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

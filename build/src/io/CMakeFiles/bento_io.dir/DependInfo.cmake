@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/bcf.cc" "src/io/CMakeFiles/bento_io.dir/bcf.cc.o" "gcc" "src/io/CMakeFiles/bento_io.dir/bcf.cc.o.d"
+  "/root/repo/src/io/compress.cc" "src/io/CMakeFiles/bento_io.dir/compress.cc.o" "gcc" "src/io/CMakeFiles/bento_io.dir/compress.cc.o.d"
+  "/root/repo/src/io/csv_reader.cc" "src/io/CMakeFiles/bento_io.dir/csv_reader.cc.o" "gcc" "src/io/CMakeFiles/bento_io.dir/csv_reader.cc.o.d"
+  "/root/repo/src/io/csv_writer.cc" "src/io/CMakeFiles/bento_io.dir/csv_writer.cc.o" "gcc" "src/io/CMakeFiles/bento_io.dir/csv_writer.cc.o.d"
+  "/root/repo/src/io/encoding.cc" "src/io/CMakeFiles/bento_io.dir/encoding.cc.o" "gcc" "src/io/CMakeFiles/bento_io.dir/encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/columnar/CMakeFiles/bento_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bento_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bento_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

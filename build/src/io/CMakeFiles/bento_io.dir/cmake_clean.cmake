@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_io.dir/bcf.cc.o"
+  "CMakeFiles/bento_io.dir/bcf.cc.o.d"
+  "CMakeFiles/bento_io.dir/compress.cc.o"
+  "CMakeFiles/bento_io.dir/compress.cc.o.d"
+  "CMakeFiles/bento_io.dir/csv_reader.cc.o"
+  "CMakeFiles/bento_io.dir/csv_reader.cc.o.d"
+  "CMakeFiles/bento_io.dir/csv_writer.cc.o"
+  "CMakeFiles/bento_io.dir/csv_writer.cc.o.d"
+  "CMakeFiles/bento_io.dir/encoding.cc.o"
+  "CMakeFiles/bento_io.dir/encoding.cc.o.d"
+  "libbento_io.a"
+  "libbento_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

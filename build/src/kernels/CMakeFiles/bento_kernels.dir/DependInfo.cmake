@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/apply.cc" "src/kernels/CMakeFiles/bento_kernels.dir/apply.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/apply.cc.o.d"
+  "/root/repo/src/kernels/arithmetic.cc" "src/kernels/CMakeFiles/bento_kernels.dir/arithmetic.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/arithmetic.cc.o.d"
+  "/root/repo/src/kernels/cast.cc" "src/kernels/CMakeFiles/bento_kernels.dir/cast.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/cast.cc.o.d"
+  "/root/repo/src/kernels/compare.cc" "src/kernels/CMakeFiles/bento_kernels.dir/compare.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/compare.cc.o.d"
+  "/root/repo/src/kernels/datetime.cc" "src/kernels/CMakeFiles/bento_kernels.dir/datetime.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/datetime.cc.o.d"
+  "/root/repo/src/kernels/dedup.cc" "src/kernels/CMakeFiles/bento_kernels.dir/dedup.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/dedup.cc.o.d"
+  "/root/repo/src/kernels/encode.cc" "src/kernels/CMakeFiles/bento_kernels.dir/encode.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/encode.cc.o.d"
+  "/root/repo/src/kernels/groupby.cc" "src/kernels/CMakeFiles/bento_kernels.dir/groupby.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/groupby.cc.o.d"
+  "/root/repo/src/kernels/join.cc" "src/kernels/CMakeFiles/bento_kernels.dir/join.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/join.cc.o.d"
+  "/root/repo/src/kernels/null_ops.cc" "src/kernels/CMakeFiles/bento_kernels.dir/null_ops.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/null_ops.cc.o.d"
+  "/root/repo/src/kernels/pivot.cc" "src/kernels/CMakeFiles/bento_kernels.dir/pivot.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/pivot.cc.o.d"
+  "/root/repo/src/kernels/row_hash.cc" "src/kernels/CMakeFiles/bento_kernels.dir/row_hash.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/row_hash.cc.o.d"
+  "/root/repo/src/kernels/selection.cc" "src/kernels/CMakeFiles/bento_kernels.dir/selection.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/selection.cc.o.d"
+  "/root/repo/src/kernels/sort.cc" "src/kernels/CMakeFiles/bento_kernels.dir/sort.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/sort.cc.o.d"
+  "/root/repo/src/kernels/stats.cc" "src/kernels/CMakeFiles/bento_kernels.dir/stats.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/stats.cc.o.d"
+  "/root/repo/src/kernels/string_ops.cc" "src/kernels/CMakeFiles/bento_kernels.dir/string_ops.cc.o" "gcc" "src/kernels/CMakeFiles/bento_kernels.dir/string_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/columnar/CMakeFiles/bento_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bento_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bento_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

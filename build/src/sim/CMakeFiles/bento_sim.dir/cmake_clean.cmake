@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_sim.dir/device.cc.o"
+  "CMakeFiles/bento_sim.dir/device.cc.o.d"
+  "CMakeFiles/bento_sim.dir/machine.cc.o"
+  "CMakeFiles/bento_sim.dir/machine.cc.o.d"
+  "CMakeFiles/bento_sim.dir/memory.cc.o"
+  "CMakeFiles/bento_sim.dir/memory.cc.o.d"
+  "CMakeFiles/bento_sim.dir/parallel.cc.o"
+  "CMakeFiles/bento_sim.dir/parallel.cc.o.d"
+  "CMakeFiles/bento_sim.dir/spill.cc.o"
+  "CMakeFiles/bento_sim.dir/spill.cc.o.d"
+  "libbento_sim.a"
+  "libbento_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_util.dir/json.cc.o"
+  "CMakeFiles/bento_util.dir/json.cc.o.d"
+  "CMakeFiles/bento_util.dir/logging.cc.o"
+  "CMakeFiles/bento_util.dir/logging.cc.o.d"
+  "CMakeFiles/bento_util.dir/random.cc.o"
+  "CMakeFiles/bento_util.dir/random.cc.o.d"
+  "CMakeFiles/bento_util.dir/status.cc.o"
+  "CMakeFiles/bento_util.dir/status.cc.o.d"
+  "CMakeFiles/bento_util.dir/string_util.cc.o"
+  "CMakeFiles/bento_util.dir/string_util.cc.o.d"
+  "libbento_util.a"
+  "libbento_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

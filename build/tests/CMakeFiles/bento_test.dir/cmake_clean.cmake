@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_test.dir/bento_test.cc.o"
+  "CMakeFiles/bento_test.dir/bento_test.cc.o.d"
+  "bento_test"
+  "bento_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

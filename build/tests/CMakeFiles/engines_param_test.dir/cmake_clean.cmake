@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engines_param_test.dir/engines_param_test.cc.o"
+  "CMakeFiles/engines_param_test.dir/engines_param_test.cc.o.d"
+  "engines_param_test"
+  "engines_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engines_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

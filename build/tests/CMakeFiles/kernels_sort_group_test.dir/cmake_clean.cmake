@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_sort_group_test.dir/kernels_sort_group_test.cc.o"
+  "CMakeFiles/kernels_sort_group_test.dir/kernels_sort_group_test.cc.o.d"
+  "kernels_sort_group_test"
+  "kernels_sort_group_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_sort_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
