@@ -6,9 +6,11 @@
 
 #include "columnar/builder.h"
 #include "kernels/groupby.h"
+#include "kernels/join.h"
 #include "kernels/null_ops.h"
 #include "kernels/sort.h"
 #include "kernels/string_ops.h"
+#include "sim/parallel.h"
 #include "util/random.h"
 
 namespace bento {
@@ -109,6 +111,70 @@ void BM_GroupByPartitioned(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_GroupByPartitioned)->Arg(50000);
+
+// --- real execution backend (ExecutionMode::kReal) ------------------------
+//
+// The pairs below run the identical kernel with 1 vs 4 real workers on the
+// shared work-stealing pool (no Session installed, so real dispatch is
+// unconditional). Compare against the simulated makespan the partitioned
+// benchmarks above report through virtual time: on a multi-core host the
+// 4-worker wall-clock should land within the same ballpark as the simulated
+// speedup (the acceptance bar is >= 1.5x on >= 1M rows); on a single-core
+// host only the simulated numbers can show the speedup.
+
+sim::ParallelOptions RealOptions(int workers) {
+  sim::ParallelOptions opts;
+  opts.mode = sim::ExecutionMode::kReal;
+  opts.max_workers = workers;
+  return opts;
+}
+
+void BM_GroupByReal(benchmark::State& state) {
+  auto t = BenchTable(state.range(0));
+  std::vector<kern::AggSpec> aggs = {{"v", kern::AggKind::kMean, "m"}};
+  auto opts = RealOptions(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto grouped = kern::GroupByPartitioned(t, {"k"}, aggs, opts);
+    benchmark::DoNotOptimize(grouped);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByReal)->Args({1000000, 1})->Args({1000000, 4});
+
+void BM_SortReal(benchmark::State& state) {
+  auto t = BenchTable(state.range(0));
+  auto opts = RealOptions(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto indices = kern::ArgSortParallel(t, {{"k", true}}, opts);
+    benchmark::DoNotOptimize(indices);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortReal)->Args({1000000, 1})->Args({1000000, 4});
+
+void BM_JoinReal(benchmark::State& state) {
+  auto left = BenchTable(state.range(0));
+  // Build side: one payload row per key value.
+  col::Int64Builder keys;
+  col::Float64Builder payload;
+  for (int64_t k = 0; k <= 1000; ++k) {
+    keys.Append(k);
+    payload.Append(static_cast<double>(k) * 0.5);
+  }
+  std::vector<col::Field> fields = {{"k", col::TypeId::kInt64},
+                                    {"p", col::TypeId::kFloat64}};
+  auto right = col::Table::Make(
+                   std::make_shared<col::Schema>(std::move(fields)),
+                   {keys.Finish().ValueOrDie(), payload.Finish().ValueOrDie()})
+                   .ValueOrDie();
+  auto opts = RealOptions(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto joined = kern::HashJoinParallel(left, right, "k", "k", {}, opts);
+    benchmark::DoNotOptimize(joined);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinReal)->Args({1000000, 1})->Args({1000000, 4});
 
 }  // namespace
 }  // namespace bento

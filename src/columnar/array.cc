@@ -97,13 +97,14 @@ Result<ArrayPtr> Array::MakeAllNull(TypeId type, int64_t length) {
 }
 
 int64_t Array::null_count() const {
-  if (null_count_ == kUnknownNullCount) {
-    null_count_ =
-        validity_ == nullptr
-            ? 0
-            : length_ - CountSetBits(validity_->data(), length_);
+  int64_t cached = null_count_.load(std::memory_order_relaxed);
+  if (cached == kUnknownNullCount) {
+    cached = validity_ == nullptr
+                 ? 0
+                 : length_ - CountSetBits(validity_->data(), length_);
+    null_count_.store(cached, std::memory_order_relaxed);
   }
-  return null_count_;
+  return cached;
 }
 
 std::string Array::ValueToString(int64_t i) const {

@@ -1,6 +1,7 @@
 #ifndef BENTO_COLUMNAR_ARRAY_H_
 #define BENTO_COLUMNAR_ARRAY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -58,7 +59,9 @@ class Array {
   /// O(1) if cached; otherwise popcounts the bitmap and caches.
   int64_t null_count() const;
   /// Returns kUnknownNullCount when not yet computed (no scan performed).
-  int64_t cached_null_count() const { return null_count_; }
+  int64_t cached_null_count() const {
+    return null_count_.load(std::memory_order_relaxed);
+  }
   bool MayHaveNulls() const { return validity_ != nullptr && null_count() > 0; }
 
   const uint8_t* validity_bits() const {
@@ -109,7 +112,9 @@ class Array {
 
   TypeId type_ = TypeId::kInt64;
   int64_t length_ = 0;
-  mutable int64_t null_count_ = kUnknownNullCount;
+  // Lazily-computed cache; atomic because arrays are shared across the real
+  // execution backend's worker threads (the recomputation is idempotent).
+  mutable std::atomic<int64_t> null_count_{kUnknownNullCount};
   BufferPtr data_;
   BufferPtr offsets_;   // strings only
   BufferPtr validity_;  // nullptr = all valid

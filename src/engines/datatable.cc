@@ -24,6 +24,8 @@ frame::ExecPolicy DataTableEngine::NativePolicy() const {
   policy.null_probe = kern::NullProbe::kMetadata;
   policy.string_engine = kern::StringEngine::kColumnar;
   policy.parallel = true;
+  // datatable's native OpenMP-style threading maps onto the real backend.
+  policy.parallel_options.mode = sim::ExecutionMode::kReal;
   policy.row_apply_object_bytes = 0;  // native-C row access
   policy.approx_quantile = true;
   return policy;
@@ -31,7 +33,7 @@ frame::ExecPolicy DataTableEngine::NativePolicy() const {
 
 Result<col::TablePtr> DataTableEngine::DoReadCsv(
     const std::string& path, const io::CsvReadOptions& options) const {
-  return io::ReadCsvMmap(path, options);
+  return io::ReadCsvMmap(path, options, NativePolicy().parallel_options);
 }
 
 Status DataTableEngine::DoWriteCsv(const col::TablePtr& table,

@@ -74,6 +74,7 @@ sim::ParallelOptions ModinDaskEngine::SchedulerOptions() const {
   sim::ParallelOptions options;
   options.policy = sim::SchedulePolicy::kStaticBlocks;  // centralized scheduler
   options.per_task_dispatch_s = 200e-6;
+  options.mode = sim::ExecutionMode::kReal;  // Dask worker threads
   return options;
 }
 
@@ -98,6 +99,7 @@ sim::ParallelOptions ModinRayEngine::SchedulerOptions() const {
   sim::ParallelOptions options;
   options.policy = sim::SchedulePolicy::kGreedy;  // bottom-up scheduling
   options.per_task_dispatch_s = 50e-6;
+  options.mode = sim::ExecutionMode::kReal;  // Ray's work-stealing scheduler
   return options;
 }
 

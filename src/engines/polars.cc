@@ -24,6 +24,8 @@ frame::ExecPolicy PolarsEngine::ExecutionPolicy() const {
   policy.null_probe = kern::NullProbe::kMetadata;  // Arrow validity metadata
   policy.string_engine = kern::StringEngine::kColumnar;
   policy.parallel = true;  // morsel-driven parallelism
+  // Rayon's work stealing is exactly the real backend's discipline.
+  policy.parallel_options.mode = sim::ExecutionMode::kReal;
   policy.approx_quantile = true;
   policy.row_apply_object_bytes = 8;  // typed closures, no boxing
   return policy;

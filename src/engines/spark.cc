@@ -26,6 +26,7 @@ frame::ExecPolicy SparkSqlEngine::ExecutionPolicy() const {
   policy.null_probe = kern::NullProbe::kMetadata;
   policy.string_engine = kern::StringEngine::kColumnar;
   policy.parallel = true;
+  policy.parallel_options.mode = sim::ExecutionMode::kReal;  // local[*] tasks
   policy.approx_quantile = true;  // approxQuantile is the Spark idiom
   policy.row_apply_object_bytes = 16;  // serialized UDF boundary
   return policy;
@@ -53,6 +54,7 @@ frame::ExecPolicy SparkPdEngine::ExecutionPolicy() const {
   policy.null_probe = kern::NullProbe::kMetadata;
   policy.string_engine = kern::StringEngine::kColumnar;
   policy.parallel = true;
+  policy.parallel_options.mode = sim::ExecutionMode::kReal;  // local[*] tasks
   policy.row_apply_object_bytes = 32;  // Pandas UDF boxing over Arrow batches
   // Opportunistic evaluation materializes intermediate Pandas-like results.
   policy.copy_outputs = true;

@@ -53,6 +53,8 @@ frame::ExecPolicy VaexEngine::ExecutionPolicy() const {
   policy.null_probe = kern::NullProbe::kScan;
   policy.string_engine = kern::StringEngine::kColumnar;  // columnar strength
   policy.parallel = true;
+  // Vaex's multithreaded C kernels opt into the real backend too.
+  policy.parallel_options.mode = sim::ExecutionMode::kReal;
   policy.approx_quantile = true;  // vaex statistics are streaming
   policy.row_apply_object_bytes = 16;
   return policy;

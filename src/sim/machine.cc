@@ -2,11 +2,25 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
+
+#include "sim/parallel.h"
 
 namespace bento::sim {
 
 namespace {
 thread_local Session* t_session = nullptr;
+
+ExecutionMode DefaultExecutionMode() {
+  static const ExecutionMode mode = [] {
+    const char* env = std::getenv("BENTO_EXECUTION");
+    if (env != nullptr && std::strcmp(env, "real") == 0) {
+      return ExecutionMode::kReal;
+    }
+    return ExecutionMode::kSimulated;
+  }();
+  return mode;
+}
 }  // namespace
 
 MachineSpec MachineSpec::Laptop() {
@@ -46,7 +60,8 @@ Session::Session(MachineSpec spec)
                                  spec_.gpu->managed_oversubscription))
                        : nullptr),
       scope_(&host_pool_),
-      previous_(t_session) {
+      previous_(t_session),
+      execution_mode_(DefaultExecutionMode()) {
   t_session = this;
 }
 

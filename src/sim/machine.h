@@ -10,6 +10,8 @@
 
 namespace bento::sim {
 
+enum class ExecutionMode;  // sim/parallel.h
+
 /// \brief Cost model of the simulated accelerator (the paper's NVIDIA T4).
 ///
 /// Kernels still execute for real on the host; the session charges virtual
@@ -81,6 +83,14 @@ class Session {
 
   int cores() const { return spec_.cores; }
 
+  /// How ParallelFor executes under this session: kSimulated (default)
+  /// serializes tasks and grants virtual-time credits; kReal dispatches them
+  /// onto the work-stealing ThreadPool. The default can be flipped process-
+  /// wide with BENTO_EXECUTION=real. Engines additionally opt in per
+  /// ParallelOptions (see sim/parallel.h); both must agree for real dispatch.
+  ExecutionMode execution_mode() const { return execution_mode_; }
+  void set_execution_mode(ExecutionMode mode) { execution_mode_ = mode; }
+
   /// Isolated-measurement mode (the paper's function-core setting): each
   /// preparator is measured alone and repeatedly, so allocator/GC churn
   /// accumulates instead of being reclaimed between ops. Cost models that
@@ -94,6 +104,7 @@ class Session {
   std::unique_ptr<MemoryPool> device_pool_;
   MemoryScope scope_;
   Session* previous_;
+  ExecutionMode execution_mode_;
   double credit_seconds_ = 0.0;
   bool isolated_measurement_ = false;
 };

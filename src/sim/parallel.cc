@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <queue>
 
+#include "sim/thread_pool.h"
+
 namespace bento::sim {
+
+namespace {
+
+/// Real dispatch requires the caller to ask for it (options.mode), the
+/// session — when one is installed — to allow it, and the calling thread to
+/// not already be a pool worker (nested fan-out runs inline).
+bool UseRealExecution(const ParallelOptions& options, const Session* session) {
+  if (options.mode != ExecutionMode::kReal) return false;
+  if (session != nullptr &&
+      session->execution_mode() != ExecutionMode::kReal) {
+    return false;
+  }
+  return !ThreadPool::OnWorkerThread();
+}
+
+}  // namespace
 
 double SimulateMakespan(const std::vector<double>& durations, int workers,
                         SchedulePolicy policy, double per_task_dispatch_s) {
@@ -49,6 +67,13 @@ Status ParallelFor(int64_t n, const std::function<Status(int64_t)>& fn,
   Session* session = Session::Current();
   int workers = options.max_workers;
   if (workers <= 0) workers = session != nullptr ? session->cores() : 1;
+  // Real threads never exceed the simulated machine's core count.
+  if (session != nullptr) workers = std::min(workers, session->cores());
+
+  if (n > 1 && workers > 1 && UseRealExecution(options, session)) {
+    return ThreadPool::Shared()->ParallelFor(n, fn, workers,
+                                             MemoryPool::Current());
+  }
 
   std::vector<double> durations;
   durations.reserve(static_cast<size_t>(n));
@@ -86,8 +111,10 @@ std::vector<std::pair<int64_t, int64_t>> SplitRange(int64_t n, int max_chunks,
   if (n <= 0) return out;
   if (max_chunks < 1) max_chunks = 1;
   if (min_rows_per_chunk < 1) min_rows_per_chunk = 1;
-  int64_t chunks = std::min<int64_t>(max_chunks, (n + min_rows_per_chunk - 1) /
-                                                     min_rows_per_chunk);
+  // Floor division keeps the documented guarantee: whenever n >= min_rows,
+  // every chunk carries at least min_rows_per_chunk rows (smaller inputs
+  // collapse to a single undersized chunk).
+  int64_t chunks = std::min<int64_t>(max_chunks, n / min_rows_per_chunk);
   if (chunks < 1) chunks = 1;
   for (int64_t c = 0; c < chunks; ++c) {
     int64_t b = n * c / chunks;

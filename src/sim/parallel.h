@@ -18,6 +18,18 @@ namespace bento::sim {
 /// paper's Dask engine in Modin): skewed task durations inflate the makespan.
 enum class SchedulePolicy { kGreedy, kStaticBlocks };
 
+/// \brief Whether ParallelFor models concurrency or uses it.
+///
+/// kSimulated runs tasks serially and grants the active Session a
+/// virtual-time credit for the overlap the simulated machine would achieve —
+/// the paper-faithful mode every engine defaults to. kReal dispatches tasks
+/// onto the process-wide work-stealing ThreadPool, clamped to the simulated
+/// machine's core count, so kernels genuinely run "as fast as the hardware
+/// allows". Both modes produce bit-identical results (tasks write disjoint
+/// output slots and merges are order-deterministic); the differential test
+/// suite asserts this for every engine.
+enum class ExecutionMode { kSimulated, kReal };
+
 struct ParallelOptions {
   SchedulePolicy policy = SchedulePolicy::kGreedy;
   /// Dispatch latency charged per task on the (serial) scheduler; models
@@ -26,21 +38,30 @@ struct ParallelOptions {
   /// Cap on workers; 0 means the active session's core count (or 1 when no
   /// session is active).
   int max_workers = 0;
+  /// The engine's requested execution backend. kReal only takes effect when
+  /// the active Session is also in kReal mode (or when no session is
+  /// installed — standalone kernel use); otherwise the schedule is
+  /// simulated, so a multi-threaded engine model stays paper-faithful by
+  /// default and opts into real threads per session.
+  ExecutionMode mode = ExecutionMode::kSimulated;
 };
 
-/// \brief Executes `n` independent tasks and simulates their parallel
-/// schedule.
+/// \brief Executes `n` independent tasks, either simulating their parallel
+/// schedule or actually running them on the work-stealing thread pool.
 ///
-/// Tasks run serially on the calling thread (this host has one core; the
-/// paper's Docker configs bound concurrency the same way, just at higher
-/// counts). Each task's wall time is measured; the makespan that
-/// `max_workers` virtual workers would achieve is computed, and the active
-/// Session is granted a time credit equal to the overlap
-/// (total_serial_time - makespan), so VirtualTimer reports the simulated
-/// parallel runtime.
+/// Simulated mode: tasks run serially on the calling thread. Each task's
+/// wall time is measured; the makespan that `max_workers` virtual workers
+/// would achieve is computed, and the active Session is granted a time
+/// credit equal to the overlap (total_serial_time - makespan), so
+/// VirtualTimer reports the simulated parallel runtime. The first task error
+/// aborts the loop and is returned; the makespan credit for completed tasks
+/// is still recorded.
 ///
-/// The first task error aborts the loop and is returned; the makespan credit
-/// for completed tasks is still recorded.
+/// Real mode (see ExecutionMode): tasks are claimed dynamically by up to
+/// `workers` runners on the shared ThreadPool; the caller's MemoryPool is
+/// installed on the workers so allocations still charge the session budget.
+/// No time credit is granted — wall time genuinely shrinks instead. Nested
+/// ParallelFor calls issued from inside a task run serially inline.
 Status ParallelFor(int64_t n, const std::function<Status(int64_t)>& fn,
                    const ParallelOptions& options = {});
 

@@ -1,0 +1,182 @@
+#include "sim/thread_pool.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+
+namespace bento::sim {
+
+namespace {
+
+// Index of the current thread in its owning pool, or -1 off-pool. A plain
+// int (not pool identity) is enough: the process has one shared pool, and
+// private pools in tests only need the "am I a worker" bit too.
+thread_local int t_worker_index = -1;
+
+int SharedPoolThreads() {
+  if (const char* env = std::getenv("BENTO_POOL_THREADS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(hw > 4 ? hw : 4);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  int target = t_worker_index;
+  if (target < 0 || static_cast<size_t>(target) >= workers_.size()) {
+    target = static_cast<int>(
+        next_victim_.fetch_add(1, std::memory_order_relaxed) %
+        workers_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lk(workers_[static_cast<size_t>(target)]->mu);
+    workers_[static_cast<size_t>(target)]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::PopOrSteal(int self, std::function<void()>* out) {
+  // Own deque first, newest task (LIFO keeps the working set hot).
+  Worker& own = *workers_[static_cast<size_t>(self)];
+  {
+    std::lock_guard<std::mutex> lk(own.mu);
+    if (!own.tasks.empty()) {
+      *out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_acquire);
+      return true;
+    }
+  }
+  // Steal oldest task from the next non-empty victim.
+  const size_t n = workers_.size();
+  size_t start = next_victim_.fetch_add(1, std::memory_order_relaxed) % n;
+  for (size_t k = 0; k < n; ++k) {
+    size_t v = (start + k) % n;
+    if (v == static_cast<size_t>(self)) continue;
+    Worker& victim = *workers_[v];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (!victim.tasks.empty()) {
+      *out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_acquire);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  t_worker_index = self;
+  std::function<void()> task;
+  for (;;) {
+    if (PopOrSteal(self, &task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    if (queued_.load(std::memory_order_acquire) > 0) continue;
+    if (stop_.load(std::memory_order_acquire)) break;  // drained: exit
+    // Timed wait as a lost-wakeup backstop: Submit may interleave between
+    // the empty scan above and this wait.
+    wake_cv_.wait_for(lk, std::chrono::milliseconds(50));
+  }
+  t_worker_index = -1;
+}
+
+Status ThreadPool::ParallelFor(int64_t n,
+                               const std::function<Status(int64_t)>& fn,
+                               int parallelism, MemoryPool* memory_pool) {
+  if (n <= 0) return Status::OK();
+  if (parallelism > size() + 1) parallelism = size() + 1;
+  if (static_cast<int64_t>(parallelism) > n) {
+    parallelism = static_cast<int>(n);
+  }
+
+  // Shared state of one fan-out. Runners claim indices from `next` until
+  // exhausted or a failure is observed; dynamic claiming is the real
+  // counterpart of the simulator's greedy (work-stealing) schedule.
+  struct Group {
+    std::atomic<int64_t> next{0};
+    std::atomic<bool> failed{false};
+    int64_t n;
+    const std::function<Status(int64_t)>* fn;
+    MemoryPool* pool;
+    std::mutex mu;
+    std::condition_variable done;
+    Status first_error;
+    int pending;  // outstanding pool-side runners
+  };
+  Group group;
+  group.n = n;
+  group.fn = &fn;
+  group.pool = memory_pool;
+  group.pending = parallelism - 1;  // the caller is the final runner
+
+  auto run = [](Group* g) {
+    MemoryScope scope(g->pool);
+    for (;;) {
+      if (g->failed.load(std::memory_order_acquire)) break;
+      int64_t i = g->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= g->n) break;
+      Status st;
+      try {
+        st = (*g->fn)(i);
+      } catch (const std::exception& e) {
+        st = Status(StatusCode::kUnknown,
+                    std::string("task threw: ") + e.what());
+      } catch (...) {
+        st = Status(StatusCode::kUnknown, "task threw a non-std exception");
+      }
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lk(g->mu);
+        if (g->first_error.ok()) g->first_error = st;
+        g->failed.store(true, std::memory_order_release);
+      }
+    }
+  };
+
+  for (int r = 0; r < parallelism - 1; ++r) {
+    Submit([&group, run] {
+      run(&group);
+      std::lock_guard<std::mutex> lk(group.mu);
+      if (--group.pending == 0) group.done.notify_all();
+    });
+  }
+  run(&group);  // caller participates; also covers parallelism == 1
+  std::unique_lock<std::mutex> lk(group.mu);
+  group.done.wait(lk, [&group] { return group.pending == 0; });
+  return group.first_error;
+}
+
+ThreadPool* ThreadPool::Shared() {
+  // Intentionally leaked: workers must outlive static destruction order.
+  static ThreadPool* pool = new ThreadPool(SharedPoolThreads());
+  return pool;
+}
+
+bool ThreadPool::OnWorkerThread() { return t_worker_index >= 0; }
+
+}  // namespace bento::sim

@@ -1,0 +1,93 @@
+#ifndef BENTO_SIM_THREAD_POOL_H_
+#define BENTO_SIM_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/memory.h"
+#include "util/status.h"
+
+namespace bento::sim {
+
+/// \brief Fixed-size work-stealing thread pool: the real execution backend
+/// behind sim::ParallelFor's ExecutionMode::kReal.
+///
+/// Each worker owns a deque guarded by a small mutex. Workers pop their own
+/// deque LIFO (cache-warm) and steal FIFO from a randomized victim when
+/// empty — the classic Blumofe/Leiserson discipline, which is also the
+/// Polars/Rayon and Ray scheduling model the simulator's kGreedy policy
+/// approximates. External submitters round-robin across deques; a worker
+/// submitting from inside a task pushes to its own deque.
+///
+/// Tasks never throw across the pool boundary: ParallelFor bodies return
+/// Status, and any exception escaping a task is captured and converted to
+/// StatusCode::kUnknown. Destruction drains every queued task, then joins
+/// (clean shutdown: no task is ever dropped).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (clamped below at 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// \brief Enqueues one fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  /// \brief Runs fn(0..n-1) across the pool with at most `parallelism`
+  /// concurrently executing indices; blocks until every claimed index has
+  /// finished. The calling thread participates as one of the runners, so a
+  /// busy pool can never deadlock a caller.
+  ///
+  /// `memory_pool` is installed as MemoryPool::Current() on the worker
+  /// threads for the duration of each task, so allocations made inside the
+  /// tasks charge the caller's (session) budget.
+  ///
+  /// The first failing index stops further indices from being claimed
+  /// (in-flight ones complete) and its Status is returned; the pool stays
+  /// usable afterwards.
+  Status ParallelFor(int64_t n, const std::function<Status(int64_t)>& fn,
+                     int parallelism, MemoryPool* memory_pool);
+
+  /// \brief Process-wide pool, created on first use with
+  /// max(hardware_concurrency, 4) workers (override: BENTO_POOL_THREADS).
+  /// The floor keeps 4-worker speedup experiments meaningful on small CI
+  /// hosts; oversubscription is what the modeled libraries do too.
+  static ThreadPool* Shared();
+
+  /// \brief True when the calling thread is one of this process's pool
+  /// workers. Used to run nested ParallelFor calls inline (no recursive
+  /// fan-out, no deadlock).
+  static bool OnWorkerThread();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(int self);
+  bool PopOrSteal(int self, std::function<void()>* out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> queued_{0};       // tasks sitting in deques
+  std::atomic<uint64_t> next_victim_{0};  // round-robin submit / steal cursor
+};
+
+}  // namespace bento::sim
+
+#endif  // BENTO_SIM_THREAD_POOL_H_

@@ -196,6 +196,69 @@ TEST(CsvTest, QuotedFieldsWithEmbeddedNewline) {
   EXPECT_EQ(t->GetColumn("b").ValueOrDie()->GetView(0), "x,y");
 }
 
+TEST(CsvTest, QuotedFieldTortureRoundTrip) {
+  // Every quoting hazard at once: embedded delimiters, embedded newlines
+  // (both \n and \r\n), doubled quotes, quotes adjacent to delimiters, and
+  // fields that are nothing but separators. Writer and both readers
+  // (buffered and mmap/parallel) must agree cell-for-cell.
+  auto t = MakeTable({
+      {"left", Str({"a,b", ",", "\"", "line1\nline2", "crlf\r\nrest", ""},
+                   {true, true, true, true, true, false})},
+      {"right", Str({"she said \"hi\"", "\",\"", "\n", ",,,", "x", "tail"})},
+      {"n", I64({1, 2, 3, 4, 5, 6})},
+  });
+  TempPath path(".csv");
+  ASSERT_TRUE(WriteCsv(t, path.str()).ok());
+  test::ExpectTablesEqual(t, ReadCsv(path.str()).ValueOrDie());
+  test::ExpectTablesEqual(t, ReadCsvMmap(path.str()).ValueOrDie());
+}
+
+TEST(CsvTest, ParallelWriterQuotesEmbeddedNewlines) {
+  // The chunked writer must keep quoting correct at chunk boundaries too.
+  col::StringBuilder b;
+  col::Int64Builder ids;
+  for (int i = 0; i < 5000; ++i) {
+    b.Append("row\n" + std::to_string(i) + ",with,commas");
+    ids.Append(i);
+  }
+  auto t = MakeTable(
+      {{"id", ids.Finish().ValueOrDie()}, {"s", b.Finish().ValueOrDie()}});
+  TempPath path(".csv");
+  sim::ParallelOptions popts;
+  popts.max_workers = 4;
+  ASSERT_TRUE(WriteCsvParallel(t, path.str(), {}, popts).ok());
+  test::ExpectTablesEqual(t, ReadCsv(path.str()).ValueOrDie());
+}
+
+TEST(CsvTest, TrailingNullColumnsRoundTrip) {
+  // Columns whose tail (or entirety) is null: rows end in bare commas, and
+  // the readers must rebuild the same null pattern and row count.
+  auto t = MakeTable({
+      {"id", I64({1, 2, 3, 4})},
+      {"mid", F64({1.5, 0.0, 0.0, 2.5}, {true, false, false, true})},
+      {"tail", Str({"x", "", "", ""}, {true, false, false, false})},
+  });
+  TempPath path(".csv");
+  ASSERT_TRUE(WriteCsv(t, path.str()).ok());
+  auto back = ReadCsv(path.str()).ValueOrDie();
+  test::ExpectTablesEqual(t, back);
+  EXPECT_EQ(back->GetColumn("tail").ValueOrDie()->null_count(), 3);
+  test::ExpectTablesEqual(t, ReadCsvMmap(path.str()).ValueOrDie());
+}
+
+TEST(CsvTest, AllNullLastColumnKeepsArity) {
+  // An entirely-null final column must survive as a column, not collapse
+  // the row arity (every data line ends with the delimiter).
+  TempPath path(".csv");
+  FILE* f = fopen(path.str().c_str(), "w");
+  fputs("a,b\n1,\n2,\n3,\n", f);
+  fclose(f);
+  auto t = ReadCsv(path.str()).ValueOrDie();
+  ASSERT_EQ(t->num_columns(), 2);
+  ASSERT_EQ(t->num_rows(), 3);
+  EXPECT_EQ(t->GetColumn("b").ValueOrDie()->null_count(), 3);
+}
+
 TEST(CsvTest, MissingTrailingFieldsBecomeNull) {
   TempPath path(".csv");
   FILE* f = fopen(path.str().c_str(), "w");

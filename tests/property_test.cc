@@ -14,6 +14,8 @@
 #include "kernels/groupby.h"
 #include "kernels/selection.h"
 #include "kernels/sort.h"
+#include "sim/machine.h"
+#include "sim/parallel.h"
 #include "tests/test_util.h"
 #include "util/json.h"
 #include "util/random.h"
@@ -224,6 +226,132 @@ TEST_P(SeededProperty, JsonDumpParseFixpoint) {
   auto pretty = ParseJson(v.Dump(2));
   ASSERT_TRUE(pretty.ok());
   EXPECT_EQ(pretty.ValueOrDie().Dump(), once);
+}
+
+TEST_P(SeededProperty, MakespanBounds) {
+  Rng rng(GetParam() ^ 0x3C);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng.Uniform(40));
+    std::vector<double> durations(n);
+    double total = 0, longest = 0;
+    for (double& d : durations) {
+      d = rng.Uniform(1000) * 1e-3;
+      if (rng.Bernoulli(0.2)) d = 0.0;       // idle tasks
+      if (rng.Bernoulli(0.1)) d *= 50;       // heavy skew
+      total += d;
+      longest = std::max(longest, d);
+    }
+    const int workers = 1 + static_cast<int>(rng.Uniform(12));
+    for (auto policy :
+         {sim::SchedulePolicy::kGreedy, sim::SchedulePolicy::kStaticBlocks}) {
+      const double m = sim::SimulateMakespan(durations, workers, policy);
+      // No schedule beats the critical path or perfect work division, and
+      // none is worse than fully serial execution (zero dispatch cost).
+      ASSERT_GE(m, longest - 1e-12);
+      ASSERT_GE(m, total / workers - 1e-9);
+      ASSERT_LE(m, total + 1e-9);
+      // One worker has no overlap to exploit: makespan is the serial sum.
+      ASSERT_NEAR(sim::SimulateMakespan(durations, 1, policy), total, 1e-9);
+    }
+    // Dispatch overhead only ever adds time.
+    const double dispatch = rng.Uniform(100) * 1e-4;
+    ASSERT_GE(sim::SimulateMakespan(durations, workers,
+                                    sim::SchedulePolicy::kGreedy, dispatch),
+              sim::SimulateMakespan(durations, workers,
+                                    sim::SchedulePolicy::kGreedy));
+  }
+}
+
+TEST_P(SeededProperty, GreedyMakespanMonotoneInWorkers) {
+  // Greedy (work-stealing) scheduling never slows down when workers are
+  // added. Deliberately NOT asserted for kStaticBlocks: shifting block
+  // boundaries can pack two heavy tasks onto one worker (e.g. durations
+  // {0,0,9,9,0,0} take 9s on 2 workers but 18s on 3).
+  Rng rng(GetParam() ^ 0xA7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng.Uniform(30));
+    std::vector<double> durations(n);
+    for (double& d : durations) d = rng.Uniform(1000) * 1e-3;
+    const double dispatch = rng.Bernoulli(0.5) ? rng.Uniform(50) * 1e-4 : 0.0;
+    double prev = sim::SimulateMakespan(durations, 1,
+                                        sim::SchedulePolicy::kGreedy, dispatch);
+    for (int w = 2; w <= 14; ++w) {
+      double m = sim::SimulateMakespan(durations, w,
+                                       sim::SchedulePolicy::kGreedy, dispatch);
+      ASSERT_LE(m, prev + 1e-9) << "workers " << w;
+      prev = m;
+    }
+  }
+}
+
+TEST_P(SeededProperty, SplitRangeCoversDisjointly) {
+  Rng rng(GetParam() ^ 0x5B);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int64_t n = static_cast<int64_t>(rng.Uniform(100000));
+    const int max_chunks = 1 + static_cast<int>(rng.Uniform(24));
+    const int64_t min_rows = 1 + static_cast<int64_t>(rng.Uniform(5000));
+    auto chunks = sim::SplitRange(n, max_chunks, min_rows);
+    if (n == 0) {
+      ASSERT_TRUE(chunks.empty());
+      continue;
+    }
+    // Exact disjoint cover of [0, n): contiguous, ascending, non-empty.
+    ASSERT_FALSE(chunks.empty());
+    ASSERT_LE(static_cast<int>(chunks.size()), max_chunks);
+    ASSERT_EQ(chunks.front().first, 0);
+    ASSERT_EQ(chunks.back().second, n);
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      ASSERT_LT(chunks[i].first, chunks[i].second);
+      if (i > 0) ASSERT_EQ(chunks[i].first, chunks[i - 1].second);
+      // The minimum-chunk contract: inputs of at least min_rows rows never
+      // produce an undersized chunk; smaller inputs collapse to one chunk.
+      if (n >= min_rows) {
+        ASSERT_GE(chunks[i].second - chunks[i].first, min_rows);
+      }
+    }
+    if (n < min_rows) {
+      ASSERT_EQ(chunks.size(), 1u);
+    }
+  }
+  // Pinned edge cases.
+  EXPECT_TRUE(sim::SplitRange(0, 8, 1).empty());
+  auto tiny = sim::SplitRange(3, 8, 100);
+  ASSERT_EQ(tiny.size(), 1u);
+  EXPECT_EQ(tiny[0], (std::pair<int64_t, int64_t>{0, 3}));
+  // Degenerate arguments clamp instead of misbehaving.
+  auto clamped = sim::SplitRange(10, 0, 0);
+  ASSERT_EQ(clamped.size(), 1u);
+  EXPECT_EQ(clamped[0], (std::pair<int64_t, int64_t>{0, 10}));
+}
+
+TEST_P(SeededProperty, RealExecutionMatchesSimulated) {
+  // The tentpole invariant at the ParallelFor level: a real-thread run
+  // produces exactly the per-index outputs of the simulated (serial) run.
+  Rng rng(GetParam() ^ 0x77);
+  const int64_t n = 1 + static_cast<int64_t>(rng.Uniform(4000));
+  std::vector<uint64_t> inputs(n);
+  for (auto& v : inputs) v = rng.Uniform(1u << 30);
+
+  auto run = [&](sim::ExecutionMode mode) {
+    sim::Session session(sim::MachineSpec::Server());
+    session.set_execution_mode(mode);
+    std::vector<uint64_t> out(n, 0);
+    sim::ParallelOptions options;
+    options.mode = sim::ExecutionMode::kReal;
+    options.max_workers = 1 + static_cast<int>(rng.Uniform(8));
+    EXPECT_TRUE(sim::ParallelFor(
+                    n,
+                    [&](int64_t i) {
+                      uint64_t h = inputs[i] * 0x9E3779B97F4A7C15ULL;
+                      out[i] = h ^ (h >> 31);
+                      return Status::OK();
+                    },
+                    options)
+                    .ok());
+    return out;
+  };
+  EXPECT_EQ(run(sim::ExecutionMode::kSimulated),
+            run(sim::ExecutionMode::kReal));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
