@@ -1,6 +1,9 @@
 #include "bench/bench_common.h"
 
 #include <cstdio>
+#include <cstring>
+
+#include "util/json.h"
 
 namespace bento::bench {
 
@@ -93,6 +96,50 @@ void PrintSpeedupTable(run::Runner* runner, const std::string& dataset) {
   }
   std::printf("--- %s (speedup over Pandas; >1x is faster) ---\n%s\n",
               dataset.c_str(), table.ToString().c_str());
+}
+
+std::string ParseJsonPathArg(int* argc, char** argv) {
+  for (int i = 1; i < *argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      std::string path = argv[i + 1];
+      for (int j = i + 2; j < *argc; ++j) argv[j - 2] = argv[j];
+      *argc -= 2;
+      return path;
+    }
+  }
+  return "";
+}
+
+void BenchJsonWriter::Add(const std::string& name, int64_t iterations,
+                          double ns_per_op, double rows_per_second) {
+  rows_.push_back({name, iterations, ns_per_op, rows_per_second});
+}
+
+Status BenchJsonWriter::WriteTo(const std::string& path) const {
+  JsonValue doc = JsonValue::Object();
+  JsonValue context = JsonValue::Object();
+  context.Set("scale", JsonValue::Number(ScaleFromEnv()));
+  doc.Set("context", std::move(context));
+  JsonValue benchmarks = JsonValue::Array();
+  for (const Row& row : rows_) {
+    JsonValue b = JsonValue::Object();
+    b.Set("name", JsonValue::Str(row.name));
+    b.Set("iterations", JsonValue::Int(row.iterations));
+    b.Set("ns_per_op", JsonValue::Number(row.ns_per_op));
+    b.Set("rows_per_second", JsonValue::Number(row.rows_per_second));
+    benchmarks.Append(std::move(b));
+  }
+  doc.Set("benchmarks", std::move(benchmarks));
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open ", path, " for writing");
+  }
+  const std::string text = doc.Dump(2);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return Status::OK();
 }
 
 }  // namespace bento::bench

@@ -36,6 +36,32 @@ std::string OutcomeCell(const Status& status, double seconds);
 /// Engines that fail a preparator print OoM/err for it.
 void PrintSpeedupTable(run::Runner* runner, const std::string& dataset);
 
+/// \brief Extracts and strips a `--json <path>` flag from argv (so the
+/// remaining args can flow into the benchmark framework untouched).
+/// Returns the path, or "" when the flag is absent.
+std::string ParseJsonPathArg(int* argc, char** argv);
+
+/// \brief Machine-readable benchmark report: one row per benchmark with
+/// name, iterations, ns/op, and rows/s, serialized as JSON so perf
+/// trajectories can be tracked across PRs (see BENCH_kernels.json).
+class BenchJsonWriter {
+ public:
+  void Add(const std::string& name, int64_t iterations, double ns_per_op,
+           double rows_per_second);
+
+  /// Writes {"context": {...}, "benchmarks": [...]} to `path`.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  struct Row {
+    std::string name;
+    int64_t iterations;
+    double ns_per_op;
+    double rows_per_second;
+  };
+  std::vector<Row> rows_;
+};
+
 }  // namespace bento::bench
 
 #endif  // BENTO_BENCH_BENCH_COMMON_H_

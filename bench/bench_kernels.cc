@@ -4,10 +4,15 @@
 // partitioned group-by).
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
+#include "bench/bench_common.h"
 #include "columnar/builder.h"
+#include "kernels/flat_index.h"
 #include "kernels/groupby.h"
 #include "kernels/join.h"
 #include "kernels/null_ops.h"
+#include "kernels/row_hash.h"
 #include "kernels/sort.h"
 #include "kernels/string_ops.h"
 #include "sim/parallel.h"
@@ -152,6 +157,127 @@ void BM_SortReal(benchmark::State& state) {
 }
 BENCHMARK(BM_SortReal)->Args({1000000, 1})->Args({1000000, 4});
 
+// --- hash-build ablations (flat open-addressing vs node-based map) --------
+//
+// The FlatIndex/FlatGrouper pairs below isolate the hash-build phase of
+// join and group-by at 1M rows: the *_NodeMap variants reproduce the
+// pre-flat-index structures (std::unordered_map chained buckets with
+// per-bucket std::vectors) so the layout win stays measurable in-tree.
+// BENCH_kernels.json tracks these numbers across PRs (acceptance bar for
+// the flat-index PR: >= 2x rows/s on both pairs).
+
+col::TablePtr KeyTable(int64_t rows, int64_t distinct) {
+  Rng rng(99);
+  col::Int64Builder keys;
+  for (int64_t i = 0; i < rows; ++i) {
+    keys.Append(rng.UniformInt(0, distinct - 1));
+  }
+  std::vector<col::Field> fields = {{"k", col::TypeId::kInt64}};
+  return col::Table::Make(std::make_shared<col::Schema>(std::move(fields)),
+                          {keys.Finish().ValueOrDie()})
+      .ValueOrDie();
+}
+
+void BM_JoinBuildFlat(benchmark::State& state) {
+  auto t = KeyTable(state.range(0), 65536);
+  auto key = t->GetColumn("k").ValueOrDie();
+  auto equal = kern::RowEquality::Make(t, {"k"}, t, {"k"}).ValueOrDie();
+  auto hashes = kern::HashRows(t, {"k"}).ValueOrDie();
+  for (auto _ : state) {
+    kern::FlatIndex index;
+    index.Build(
+        hashes, [&](int64_t j) { return !key->IsNull(j); },
+        [&](int64_t a, int64_t b) { return equal.Equal(a, b); });
+    benchmark::DoNotOptimize(index.num_keys());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinBuildFlat)->Arg(1000000);
+
+void BM_JoinBuildFlatRadix(benchmark::State& state) {
+  auto t = KeyTable(state.range(0), 65536);
+  auto key = t->GetColumn("k").ValueOrDie();
+  auto equal = kern::RowEquality::Make(t, {"k"}, t, {"k"}).ValueOrDie();
+  sim::ParallelOptions opts;
+  opts.mode = sim::ExecutionMode::kReal;
+  opts.max_workers = static_cast<int>(state.range(1));
+  auto hashes = kern::HashRowsParallel(t, {"k"}, opts).ValueOrDie();
+  for (auto _ : state) {
+    kern::FlatIndex index;
+    Status st = index.BuildPartitioned(
+        hashes, [&](int64_t j) { return !key->IsNull(j); },
+        [&](int64_t a, int64_t b) { return equal.Equal(a, b); }, opts);
+    benchmark::DoNotOptimize(st.ok());
+    benchmark::DoNotOptimize(index.num_keys());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinBuildFlatRadix)->Args({1000000, 4});
+
+void BM_JoinBuildNodeMap(benchmark::State& state) {
+  auto t = KeyTable(state.range(0), 65536);
+  auto key = t->GetColumn("k").ValueOrDie();
+  auto hashes = kern::HashRows(t, {"k"}).ValueOrDie();
+  for (auto _ : state) {
+    std::unordered_map<uint64_t, std::vector<int64_t>> index;
+    index.reserve(static_cast<size_t>(t->num_rows()));
+    for (int64_t j = 0; j < t->num_rows(); ++j) {
+      if (key->IsNull(j)) continue;
+      index[hashes[static_cast<size_t>(j)]].push_back(j);
+    }
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinBuildNodeMap)->Arg(1000000);
+
+void BM_GroupByBuildFlat(benchmark::State& state) {
+  auto t = KeyTable(state.range(0), state.range(1));
+  auto equal = kern::RowEquality::Make(t, {"k"}, t, {"k"}).ValueOrDie();
+  auto hashes = kern::HashRows(t, {"k"}).ValueOrDie();
+  for (auto _ : state) {
+    kern::FlatGrouper grouper(t->num_rows() / 8 + 16);
+    for (int64_t i = 0; i < t->num_rows(); ++i) {
+      grouper.FindOrInsert(
+          hashes[static_cast<size_t>(i)], i,
+          [&](int64_t a, int64_t b) { return equal.Equal(a, b); });
+    }
+    benchmark::DoNotOptimize(grouper.num_groups());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByBuildFlat)->Args({1000000, 1000})->Args({1000000, 100000});
+
+void BM_GroupByBuildNodeMap(benchmark::State& state) {
+  auto t = KeyTable(state.range(0), state.range(1));
+  auto equal = kern::RowEquality::Make(t, {"k"}, t, {"k"}).ValueOrDie();
+  auto hashes = kern::HashRows(t, {"k"}).ValueOrDie();
+  for (auto _ : state) {
+    std::unordered_map<uint64_t, std::vector<int64_t>> index;
+    index.reserve(static_cast<size_t>(t->num_rows()) / 2 + 16);
+    std::vector<int64_t> representatives;
+    for (int64_t i = 0; i < t->num_rows(); ++i) {
+      auto& candidates = index[hashes[static_cast<size_t>(i)]];
+      int64_t group = -1;
+      for (int64_t g : candidates) {
+        if (equal.Equal(representatives[static_cast<size_t>(g)], i)) {
+          group = g;
+          break;
+        }
+      }
+      if (group < 0) {
+        candidates.push_back(static_cast<int64_t>(representatives.size()));
+        representatives.push_back(i);
+      }
+    }
+    benchmark::DoNotOptimize(representatives.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByBuildNodeMap)
+    ->Args({1000000, 1000})
+    ->Args({1000000, 100000});
+
 void BM_JoinReal(benchmark::State& state) {
   auto left = BenchTable(state.range(0));
   // Build side: one payload row per key value.
@@ -179,4 +305,51 @@ BENCHMARK(BM_JoinReal)->Args({1000000, 1})->Args({1000000, 4});
 }  // namespace
 }  // namespace bento
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console reporter that additionally captures per-iteration runs so the
+// binary can emit BENCH_kernels.json-style output via `--json <path>`.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      if (run.run_type != Run::RT_Iteration) continue;
+      const double ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations) *
+                    1e9
+              : 0.0;
+      double rows_per_second = 0.0;
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) rows_per_second = it->second;
+      writer_.Add(run.benchmark_name(), run.iterations, ns_per_op,
+                  rows_per_second);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const bento::bench::BenchJsonWriter& writer() const { return writer_; }
+
+ private:
+  bento::bench::BenchJsonWriter writer_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bento::bench::ParseJsonPathArg(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    bento::Status st = reporter.writer().WriteTo(json_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--json: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

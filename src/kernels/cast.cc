@@ -1,9 +1,9 @@
 #include "kernels/cast.h"
 
 #include <cmath>
-#include <unordered_map>
 
 #include "columnar/builder.h"
+#include "kernels/flat_index.h"
 #include "util/string_util.h"
 
 namespace bento::kern {
@@ -28,22 +28,18 @@ Result<ArrayPtr> CastToCategorical(const ArrayPtr& values) {
   if (values->type() != TypeId::kString) {
     return Status::TypeError("categorical cast requires a string column");
   }
-  auto dict = std::make_shared<std::vector<std::string>>();
-  // Keys must own their storage: the dictionary vector reallocates as it
-  // grows, which would dangle string_view keys.
-  std::unordered_map<std::string, int32_t> lookup;
+  // Flat interner: probe on string_view against arena bytes — no per-value
+  // std::string materialization, one copy per *distinct* value.
+  StringInterner interner;
   col::CategoricalBuilder out;
   for (int64_t i = 0; i < values->length(); ++i) {
     if (!values->IsValid(i)) {
       out.AppendNull();
       continue;
     }
-    std::string v(values->GetView(i));
-    auto [it, inserted] =
-        lookup.emplace(std::move(v), static_cast<int32_t>(dict->size()));
-    if (inserted) dict->push_back(it->first);
-    out.Append(it->second);
+    out.Append(interner.FindOrInsert(values->GetView(i)));
   }
+  auto dict = std::make_shared<std::vector<std::string>>(interner.ToStrings());
   return out.Finish(std::move(dict));
 }
 

@@ -1,8 +1,6 @@
 #include "kernels/dedup.h"
 
-#include <unordered_map>
-
-#include "columnar/builder.h"
+#include "kernels/flat_index.h"
 #include "kernels/row_hash.h"
 #include "kernels/selection.h"
 
@@ -15,40 +13,40 @@ Result<TablePtr> DropDuplicates(const TablePtr& table,
   if (cols.empty()) cols = table->schema()->names();
   BENTO_ASSIGN_OR_RETURN(auto equal, RowEquality::Make(table, cols, table, cols));
 
-  std::unordered_map<uint64_t, std::vector<int64_t>> seen;
-  seen.reserve(static_cast<size_t>(table->num_rows()));
+  const int64_t n = table->num_rows();
+  FlatGrouper seen(n / 8 + 16);
   std::vector<int64_t> keep_rows;
-  for (int64_t i = 0; i < table->num_rows(); ++i) {
-    auto& bucket = seen[hashes[static_cast<size_t>(i)]];
-    bool duplicate = false;
-    for (int64_t j : bucket) {
-      if (equal.Equal(j, i)) {
-        duplicate = true;
-        break;
-      }
-    }
-    if (!duplicate) {
-      bucket.push_back(i);
-      keep_rows.push_back(i);
-    }
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t before = seen.num_groups();
+    seen.FindOrInsert(hashes[static_cast<size_t>(i)], i,
+                      [&](int64_t a, int64_t b) { return equal.Equal(a, b); });
+    if (seen.num_groups() != before) keep_rows.push_back(i);  // first sighting
   }
   return TakeTable(table, keep_rows);
 }
 
 Result<ArrayPtr> Unique(const ArrayPtr& values) {
-  // Reuse row machinery through a single-column table.
+  // Reuse row machinery through a single-column table; nulls are dropped
+  // during the dedup scan itself (Unique reports non-null values), not via
+  // a mask + Filter pass over the distinct result.
   auto schema = std::make_shared<col::Schema>(
       std::vector<col::Field>{{"v", values->type()}});
   BENTO_ASSIGN_OR_RETURN(auto table, Table::Make(schema, {values}));
-  BENTO_ASSIGN_OR_RETURN(auto distinct, DropDuplicates(table, {"v"}));
-  // Drop the null representative if present: Unique reports non-null values.
-  const ArrayPtr& c = distinct->column(0);
-  if (c->null_count() == 0) return c;
-  col::BoolBuilder keep;
-  keep.Reserve(c->length());
-  for (int64_t i = 0; i < c->length(); ++i) keep.Append(c->IsValid(i));
-  BENTO_ASSIGN_OR_RETURN(auto mask, keep.Finish());
-  return Filter(c, mask);
+  BENTO_ASSIGN_OR_RETURN(auto hashes, HashRows(table, {"v"}));
+  BENTO_ASSIGN_OR_RETURN(auto equal,
+                         RowEquality::Make(table, {"v"}, table, {"v"}));
+
+  const int64_t n = values->length();
+  FlatGrouper seen(n / 8 + 16);
+  std::vector<int64_t> keep_rows;
+  for (int64_t i = 0; i < n; ++i) {
+    if (values->IsNull(i)) continue;
+    const int64_t before = seen.num_groups();
+    seen.FindOrInsert(hashes[static_cast<size_t>(i)], i,
+                      [&](int64_t a, int64_t b) { return equal.Equal(a, b); });
+    if (seen.num_groups() != before) keep_rows.push_back(i);
+  }
+  return Take(values, keep_rows);
 }
 
 }  // namespace bento::kern

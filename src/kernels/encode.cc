@@ -1,20 +1,58 @@
 #include "kernels/encode.h"
 
-#include <unordered_map>
+#include <cstring>
 
 #include "columnar/builder.h"
 #include "kernels/cast.h"
+#include "kernels/flat_index.h"
 
 namespace bento::kern {
 
 namespace {
 
-Result<std::string> CellString(const Array& a, int64_t i) {
-  if (a.type() == TypeId::kString) return std::string(a.GetView(i));
+Status CheckEncodable(const Array& a, const char* what) {
+  if (a.type() != TypeId::kString && a.type() != TypeId::kCategorical) {
+    return Status::TypeError(what, " requires string or categorical input");
+  }
+  return Status::OK();
+}
+
+/// View of a (pre-validated) string or categorical cell; no copies.
+inline std::string_view CellView(const Array& a, int64_t i) {
   if (a.type() == TypeId::kCategorical) {
     return (*a.dictionary())[static_cast<size_t>(a.codes_data()[i])];
   }
-  return Status::TypeError("encoding requires string or categorical input");
+  return a.GetView(i);
+}
+
+/// Category index of every row (-1 = null or unseen category), resolved
+/// once per row. Categorical columns resolve through a per-dictionary-code
+/// lookup table instead of hashing row values.
+std::vector<int32_t> ResolveHits(const Array& values,
+                                 const StringInterner& categories) {
+  const int64_t n = values.length();
+  std::vector<int32_t> hits(static_cast<size_t>(n), -1);
+  if (values.type() == TypeId::kCategorical) {
+    const auto& dict = *values.dictionary();
+    std::vector<int32_t> code_to_hit(dict.size());
+    for (size_t c = 0; c < dict.size(); ++c) {
+      code_to_hit[c] = categories.Find(dict[c]);
+    }
+    const int32_t* codes = values.codes_data();
+    for (int64_t i = 0; i < n; ++i) {
+      if (values.IsValid(i)) {
+        hits[static_cast<size_t>(i)] =
+            code_to_hit[static_cast<size_t>(codes[i])];
+      }
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      if (values.IsValid(i)) {
+        hits[static_cast<size_t>(i)] = categories.Find(values.GetView(i));
+      }
+    }
+  }
+  return hits;
 }
 
 }  // namespace
@@ -22,61 +60,56 @@ Result<std::string> CellString(const Array& a, int64_t i) {
 Result<TablePtr> GetDummies(const TablePtr& table, const std::string& column,
                             int max_categories) {
   BENTO_ASSIGN_OR_RETURN(auto values, table->GetColumn(column));
-  if (values->type() != TypeId::kString &&
-      values->type() != TypeId::kCategorical) {
-    return Status::TypeError("get_dummies requires string or categorical");
-  }
+  BENTO_RETURN_NOT_OK(CheckEncodable(*values, "get_dummies"));
 
-  // Pass 1: category discovery (first-seen order).
-  std::vector<std::string> categories;
-  std::unordered_map<std::string, int> lookup;
+  // Pass 1: category discovery (first-seen order), interned without
+  // materializing per-row std::strings.
+  StringInterner interner;
   for (int64_t i = 0; i < values->length(); ++i) {
     if (values->IsNull(i)) continue;
-    BENTO_ASSIGN_OR_RETURN(std::string v, CellString(*values, i));
-    if (lookup.emplace(v, static_cast<int>(categories.size())).second) {
-      categories.push_back(std::move(v));
-      if (max_categories > 0 &&
-          static_cast<int>(categories.size()) >= max_categories) {
-        break;
-      }
+    const int64_t before = interner.size();
+    interner.FindOrInsert(CellView(*values, i));
+    if (interner.size() != before && max_categories > 0 &&
+        interner.size() >= max_categories) {
+      break;
     }
   }
-  return GetDummiesWithCategories(table, column, categories);
+  return GetDummiesWithCategories(table, column, interner.ToStrings());
 }
 
 Result<TablePtr> GetDummiesWithCategories(
     const TablePtr& table, const std::string& column,
     const std::vector<std::string>& categories) {
   BENTO_ASSIGN_OR_RETURN(auto values, table->GetColumn(column));
-  if (values->type() != TypeId::kString &&
-      values->type() != TypeId::kCategorical) {
-    return Status::TypeError("get_dummies requires string or categorical");
-  }
-  std::unordered_map<std::string, int> lookup;
-  for (size_t k = 0; k < categories.size(); ++k) {
-    lookup.emplace(categories[k], static_cast<int>(k));
-  }
+  BENTO_RETURN_NOT_OK(CheckEncodable(*values, "get_dummies"));
+  StringInterner lookup(static_cast<int64_t>(categories.size()));
+  for (const std::string& c : categories) lookup.FindOrInsert(c);
 
-  // Pass 2: indicator columns.
-  std::vector<col::Int64Builder> builders(categories.size());
-  for (auto& b : builders) b.Reserve(values->length());
-  for (int64_t i = 0; i < values->length(); ++i) {
-    int hit = -1;
-    if (!values->IsNull(i)) {
-      BENTO_ASSIGN_OR_RETURN(std::string v, CellString(*values, i));
-      auto it = lookup.find(v);
-      if (it != lookup.end()) hit = it->second;
-    }
-    for (size_t k = 0; k < builders.size(); ++k) {
-      builders[k].Append(static_cast<int>(k) == hit ? 1 : 0);
-    }
+  // Pass 2: one hit index per row, then column-major indicator fill —
+  // zero-initialized buffers up front (bulk), a single store for each hit.
+  const int64_t n = values->length();
+  std::vector<int32_t> hits = ResolveHits(*values, lookup);
+
+  std::vector<col::BufferPtr> indicator(categories.size());
+  std::vector<int64_t*> data(categories.size());
+  for (size_t k = 0; k < categories.size(); ++k) {
+    BENTO_ASSIGN_OR_RETURN(
+        indicator[k],
+        col::Buffer::Allocate(static_cast<uint64_t>(n) * sizeof(int64_t)));
+    data[k] = indicator[k]->mutable_data_as<int64_t>();
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t hit = hits[static_cast<size_t>(i)];
+    if (hit >= 0) data[static_cast<size_t>(hit)][i] = 1;
   }
 
   BENTO_ASSIGN_OR_RETURN(auto base, table->DropColumns({column}));
   std::vector<col::Field> fields = base->schema()->fields();
   std::vector<ArrayPtr> columns = base->columns();
   for (size_t k = 0; k < categories.size(); ++k) {
-    BENTO_ASSIGN_OR_RETURN(auto arr, builders[k].Finish());
+    BENTO_ASSIGN_OR_RETURN(
+        auto arr, Array::MakeFixed(TypeId::kInt64, n, std::move(indicator[k]),
+                                   nullptr, 0));
     fields.push_back({column + "_" + categories[k], TypeId::kInt64});
     columns.push_back(std::move(arr));
   }
@@ -107,14 +140,9 @@ Result<ArrayPtr> DictEncode(const ArrayPtr& values) {
 
 Result<ArrayPtr> CatCodesWithDict(const ArrayPtr& values,
                                   const std::vector<std::string>& dict) {
-  if (values->type() != TypeId::kString &&
-      values->type() != TypeId::kCategorical) {
-    return Status::TypeError("cat.codes requires string or categorical input");
-  }
-  std::unordered_map<std::string, int64_t> lookup;
-  for (size_t k = 0; k < dict.size(); ++k) {
-    lookup.emplace(dict[k], static_cast<int64_t>(k));
-  }
+  BENTO_RETURN_NOT_OK(CheckEncodable(*values, "cat.codes"));
+  StringInterner lookup(static_cast<int64_t>(dict.size()));
+  for (const std::string& d : dict) lookup.FindOrInsert(d);
   col::Int64Builder out;
   out.Reserve(values->length());
   for (int64_t i = 0; i < values->length(); ++i) {
@@ -122,12 +150,11 @@ Result<ArrayPtr> CatCodesWithDict(const ArrayPtr& values,
       out.AppendNull();
       continue;
     }
-    BENTO_ASSIGN_OR_RETURN(std::string v, CellString(*values, i));
-    auto it = lookup.find(v);
-    if (it == lookup.end()) {
+    const int32_t id = lookup.Find(CellView(*values, i));
+    if (id == StringInterner::kNone) {
       out.AppendNull();  // unseen under a fixed dictionary
     } else {
-      out.Append(it->second);
+      out.Append(id);
     }
   }
   return out.Finish();

@@ -1,9 +1,9 @@
 #include "kernels/groupby.h"
 
 #include <cmath>
-#include <unordered_map>
 
 #include "columnar/builder.h"
+#include "kernels/flat_index.h"
 #include "kernels/row_hash.h"
 #include "kernels/selection.h"
 
@@ -120,27 +120,18 @@ Result<TablePtr> GroupBy(const TablePtr& table,
   BENTO_ASSIGN_OR_RETURN(auto hashes, HashRows(table, keys));
   BENTO_ASSIGN_OR_RETURN(auto equal, RowEquality::Make(table, keys, table, keys));
 
-  // hash -> candidate group ids (chained by row equality).
-  std::unordered_map<uint64_t, std::vector<int64_t>> index;
-  index.reserve(static_cast<size_t>(table->num_rows()) / 2 + 16);
-  std::vector<int64_t> group_representative;  // first row of each group
+  // Flat open-addressing grouper: dense group ids in first-seen order,
+  // full-hash ties resolved against each group's representative row.
+  const int64_t n = table->num_rows();
+  FlatGrouper grouper(n / 8 + 16);
   std::vector<std::vector<AggState>> states;  // [group][agg]
 
-  const int64_t n = table->num_rows();
   for (int64_t i = 0; i < n; ++i) {
-    auto& candidates = index[hashes[static_cast<size_t>(i)]];
-    int64_t group = -1;
-    for (int64_t g : candidates) {
-      if (equal.Equal(group_representative[static_cast<size_t>(g)], i)) {
-        group = g;
-        break;
-      }
-    }
-    if (group < 0) {
-      group = static_cast<int64_t>(group_representative.size());
-      group_representative.push_back(i);
+    const int64_t group = grouper.FindOrInsert(
+        hashes[static_cast<size_t>(i)], i,
+        [&](int64_t a, int64_t b) { return equal.Equal(a, b); });
+    if (group == static_cast<int64_t>(states.size())) {
       states.emplace_back(aggs.size());
-      candidates.push_back(group);
     }
     auto& row_states = states[static_cast<size_t>(group)];
     for (size_t a = 0; a < aggs.size(); ++a) {
@@ -156,7 +147,8 @@ Result<TablePtr> GroupBy(const TablePtr& table,
 
   // Assemble output: key columns via Take on representatives, then aggs.
   BENTO_ASSIGN_OR_RETURN(auto key_table, table->SelectColumns(keys));
-  BENTO_ASSIGN_OR_RETURN(auto key_out, TakeTable(key_table, group_representative));
+  BENTO_ASSIGN_OR_RETURN(auto key_out,
+                         TakeTable(key_table, grouper.representatives()));
 
   std::vector<col::Field> fields = key_out->schema()->fields();
   std::vector<ArrayPtr> columns = key_out->columns();
@@ -203,7 +195,7 @@ Result<TablePtr> GroupByPartitioned(const TablePtr& table,
 
   // Hash-partition rows on the keys: equal keys land in one partition, so
   // per-partition group-bys are disjoint and concatenate without a merge.
-  BENTO_ASSIGN_OR_RETURN(auto hashes, HashRows(table, keys));
+  BENTO_ASSIGN_OR_RETURN(auto hashes, HashRowsParallel(table, keys, options));
   const size_t parts = static_cast<size_t>(workers);
   std::vector<std::vector<int64_t>> partition_rows(parts);
   for (int64_t i = 0; i < table->num_rows(); ++i) {

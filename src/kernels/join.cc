@@ -1,7 +1,6 @@
 #include "kernels/join.h"
 
-#include <unordered_map>
-
+#include "kernels/flat_index.h"
 #include "kernels/row_hash.h"
 #include "kernels/selection.h"
 
@@ -30,6 +29,31 @@ Result<TablePtr> AssembleJoin(const TablePtr& left, const TablePtr& right,
                      std::move(columns));
 }
 
+/// Probes rows [begin, end) of the left table against the build index and
+/// appends match pairs (first-seen order: left row major, right chain minor).
+void ProbeRange(const FlatIndex& index, const std::vector<uint64_t>& left_hashes,
+                const Array& left_key_col, const RowEquality& equal,
+                JoinType type, int64_t begin, int64_t end,
+                std::vector<int64_t>* left_rows,
+                std::vector<int64_t>* right_rows) {
+  for (int64_t i = begin; i < end; ++i) {
+    bool matched = false;
+    if (!left_key_col.IsNull(i)) {
+      int64_t j = index.Find(left_hashes[static_cast<size_t>(i)],
+                             [&](int64_t row) { return equal.Equal(i, row); });
+      for (; j != FlatIndex::kNone; j = index.Next(j)) {
+        left_rows->push_back(i);
+        right_rows->push_back(j);
+        matched = true;
+      }
+    }
+    if (!matched && type == JoinType::kLeft) {
+      left_rows->push_back(i);
+      right_rows->push_back(-1);
+    }
+  }
+}
+
 }  // namespace
 
 Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
@@ -40,37 +64,21 @@ Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
   BENTO_ASSIGN_OR_RETURN(auto left_hashes, HashRows(left, {left_key}));
   BENTO_ASSIGN_OR_RETURN(
       auto equal, RowEquality::Make(left, {left_key}, right, {right_key}));
+  BENTO_ASSIGN_OR_RETURN(
+      auto build_equal, RowEquality::Make(right, {right_key}, right, {right_key}));
   BENTO_ASSIGN_OR_RETURN(auto right_key_col, right->GetColumn(right_key));
   BENTO_ASSIGN_OR_RETURN(auto left_key_col, left->GetColumn(left_key));
 
-  std::unordered_map<uint64_t, std::vector<int64_t>> index;
-  index.reserve(static_cast<size_t>(right->num_rows()));
-  for (int64_t j = 0; j < right->num_rows(); ++j) {
-    if (right_key_col->IsNull(j)) continue;  // null keys never match
-    index[right_hashes[static_cast<size_t>(j)]].push_back(j);
-  }
+  FlatIndex index;
+  index.Build(
+      right_hashes,
+      [&](int64_t j) { return !right_key_col->IsNull(j); },  // nulls never match
+      [&](int64_t a, int64_t b) { return build_equal.Equal(a, b); });
 
   std::vector<int64_t> left_rows;
   std::vector<int64_t> right_rows;
-  for (int64_t i = 0; i < left->num_rows(); ++i) {
-    bool matched = false;
-    if (!left_key_col->IsNull(i)) {
-      auto it = index.find(left_hashes[static_cast<size_t>(i)]);
-      if (it != index.end()) {
-        for (int64_t j : it->second) {
-          if (equal.Equal(i, j)) {
-            left_rows.push_back(i);
-            right_rows.push_back(j);
-            matched = true;
-          }
-        }
-      }
-    }
-    if (!matched && options.type == JoinType::kLeft) {
-      left_rows.push_back(i);
-      right_rows.push_back(-1);
-    }
-  }
+  ProbeRange(index, left_hashes, *left_key_col, equal, options.type, 0,
+             left->num_rows(), &left_rows, &right_rows);
   return AssembleJoin(left, right, right_key, left_rows, right_rows,
                       options.right_suffix);
 }
@@ -87,24 +95,29 @@ Result<TablePtr> HashJoinParallel(const TablePtr& left, const TablePtr& right,
                   : 1;
   }
   auto ranges = sim::SplitRange(left->num_rows(), workers, 8192);
-  if (ranges.size() <= 1) {
+  if (ranges.size() <= 1 &&
+      FlatIndex::PlanPartitions(right->num_rows(), parallel) <= 1) {
     return HashJoin(left, right, left_key, right_key, options);
   }
 
-  // Shared build phase (serial), parallel probe over left chunks.
-  BENTO_ASSIGN_OR_RETURN(auto right_hashes, HashRows(right, {right_key}));
-  BENTO_ASSIGN_OR_RETURN(auto left_hashes, HashRows(left, {left_key}));
+  // Parallel hash + radix-partitioned parallel build, parallel probe over
+  // left chunks. Output order is identical to the serial path: probes emit
+  // per-chunk in left-row order and chunks concatenate in range order.
+  BENTO_ASSIGN_OR_RETURN(auto right_hashes,
+                         HashRowsParallel(right, {right_key}, parallel));
+  BENTO_ASSIGN_OR_RETURN(auto left_hashes,
+                         HashRowsParallel(left, {left_key}, parallel));
   BENTO_ASSIGN_OR_RETURN(
       auto equal, RowEquality::Make(left, {left_key}, right, {right_key}));
+  BENTO_ASSIGN_OR_RETURN(
+      auto build_equal, RowEquality::Make(right, {right_key}, right, {right_key}));
   BENTO_ASSIGN_OR_RETURN(auto right_key_col, right->GetColumn(right_key));
   BENTO_ASSIGN_OR_RETURN(auto left_key_col, left->GetColumn(left_key));
 
-  std::unordered_map<uint64_t, std::vector<int64_t>> index;
-  index.reserve(static_cast<size_t>(right->num_rows()));
-  for (int64_t j = 0; j < right->num_rows(); ++j) {
-    if (right_key_col->IsNull(j)) continue;
-    index[right_hashes[static_cast<size_t>(j)]].push_back(j);
-  }
+  FlatIndex index;
+  BENTO_RETURN_NOT_OK(index.BuildPartitioned(
+      right_hashes, [&](int64_t j) { return !right_key_col->IsNull(j); },
+      [&](int64_t a, int64_t b) { return build_equal.Equal(a, b); }, parallel));
 
   std::vector<std::vector<int64_t>> chunk_left(ranges.size());
   std::vector<std::vector<int64_t>> chunk_right(ranges.size());
@@ -112,27 +125,9 @@ Result<TablePtr> HashJoinParallel(const TablePtr& left, const TablePtr& right,
       static_cast<int64_t>(ranges.size()),
       [&](int64_t r) {
         auto [b, e] = ranges[static_cast<size_t>(r)];
-        auto& lrows = chunk_left[static_cast<size_t>(r)];
-        auto& rrows = chunk_right[static_cast<size_t>(r)];
-        for (int64_t i = b; i < e; ++i) {
-          bool matched = false;
-          if (!left_key_col->IsNull(i)) {
-            auto it = index.find(left_hashes[static_cast<size_t>(i)]);
-            if (it != index.end()) {
-              for (int64_t j : it->second) {
-                if (equal.Equal(i, j)) {
-                  lrows.push_back(i);
-                  rrows.push_back(j);
-                  matched = true;
-                }
-              }
-            }
-          }
-          if (!matched && options.type == JoinType::kLeft) {
-            lrows.push_back(i);
-            rrows.push_back(-1);
-          }
-        }
+        ProbeRange(index, left_hashes, *left_key_col, equal, options.type, b, e,
+                   &chunk_left[static_cast<size_t>(r)],
+                   &chunk_right[static_cast<size_t>(r)]);
         return Status::OK();
       },
       parallel));

@@ -1,22 +1,14 @@
 #include "kernels/pivot.h"
 
 #include <cmath>
-#include <unordered_map>
 
 #include "columnar/builder.h"
+#include "kernels/flat_index.h"
 #include "kernels/groupby.h"
+#include "kernels/row_hash.h"
 #include "kernels/selection.h"
 
 namespace bento::kern {
-
-namespace {
-
-/// String key of a cell for pivot axis discovery (numbers stringify).
-std::string AxisKey(const Array& a, int64_t i) {
-  return a.IsNull(i) ? std::string("\x01<null>") : a.ValueToString(i);
-}
-
-}  // namespace
 
 Result<TablePtr> PivotTable(const TablePtr& table, const std::string& index,
                             const std::string& columns,
@@ -29,26 +21,35 @@ Result<TablePtr> PivotTable(const TablePtr& table, const std::string& index,
     return Status::TypeError("pivot values column must be numeric");
   }
 
-  // Axis discovery in first-seen order.
-  std::vector<int64_t> row_representatives;  // first row of each index value
-  std::unordered_map<std::string, int> row_lookup;
-  std::vector<std::string> col_labels;
-  std::unordered_map<std::string, int> col_lookup;
+  // Axis discovery in first-seen order through flat groupers: cells group
+  // by value equality (nulls form their own group), no per-row
+  // stringification — labels stringify once per distinct column value.
+  BENTO_ASSIGN_OR_RETURN(auto row_hashes, HashRows(table, {index}));
+  BENTO_ASSIGN_OR_RETURN(auto col_hashes, HashRows(table, {columns}));
+  BENTO_ASSIGN_OR_RETURN(
+      auto row_equal, RowEquality::Make(table, {index}, table, {index}));
+  BENTO_ASSIGN_OR_RETURN(
+      auto col_equal, RowEquality::Make(table, {columns}, table, {columns}));
 
   const int64_t n = table->num_rows();
+  FlatGrouper row_groups(n / 8 + 16);
+  FlatGrouper col_groups;
   std::vector<int> row_of(static_cast<size_t>(n));
   std::vector<int> col_of(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
-    std::string rk = AxisKey(*index_col, i);
-    auto [rit, rnew] =
-        row_lookup.emplace(rk, static_cast<int>(row_representatives.size()));
-    if (rnew) row_representatives.push_back(i);
-    row_of[static_cast<size_t>(i)] = rit->second;
-
-    std::string ck = AxisKey(*columns_col, i);
-    auto [cit, cnew] = col_lookup.emplace(ck, static_cast<int>(col_labels.size()));
-    if (cnew) col_labels.push_back(ck);
-    col_of[static_cast<size_t>(i)] = cit->second;
+    row_of[static_cast<size_t>(i)] = static_cast<int>(row_groups.FindOrInsert(
+        row_hashes[static_cast<size_t>(i)], i,
+        [&](int64_t a, int64_t b) { return row_equal.Equal(a, b); }));
+    col_of[static_cast<size_t>(i)] = static_cast<int>(col_groups.FindOrInsert(
+        col_hashes[static_cast<size_t>(i)], i,
+        [&](int64_t a, int64_t b) { return col_equal.Equal(a, b); }));
+  }
+  const std::vector<int64_t>& row_representatives = row_groups.representatives();
+  std::vector<std::string> col_labels;
+  col_labels.reserve(static_cast<size_t>(col_groups.num_groups()));
+  for (int64_t rep : col_groups.representatives()) {
+    col_labels.push_back(columns_col->IsNull(rep) ? "null"
+                                                  : columns_col->ValueToString(rep));
   }
 
   // Accumulate cells.
@@ -127,8 +128,7 @@ Result<TablePtr> PivotTable(const TablePtr& table, const std::string& index,
       b.Append(v);
     }
     BENTO_ASSIGN_OR_RETURN(auto arr, b.Finish());
-    std::string label = col_labels[c] == "\x01<null>" ? "null" : col_labels[c];
-    fields.push_back({values + "_" + label, TypeId::kFloat64});
+    fields.push_back({values + "_" + col_labels[c], TypeId::kFloat64});
     out_columns.push_back(std::move(arr));
   }
   return Table::Make(std::make_shared<col::Schema>(std::move(fields)),

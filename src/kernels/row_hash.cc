@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstring>
 
+#include "kernels/flat_index.h"
+#include "sim/parallel.h"
+
 namespace bento::kern {
 
 namespace {
@@ -18,66 +21,102 @@ inline uint64_t Mix(uint64_t h, uint64_t v) {
   return h;
 }
 
-inline uint64_t HashBytes(const void* data, size_t n) {
-  // FNV-1a: adequate distribution for grouping keys.
-  const auto* p = static_cast<const unsigned char*>(data);
-  uint64_t h = 0xCBF29CE484222325ULL;
-  for (size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
 inline uint64_t HashCell(const Array& a, int64_t i) {
   if (a.IsNull(i)) return kNullTag;
   switch (a.type()) {
     case TypeId::kInt64:
     case TypeId::kTimestamp:
-      return HashBytes(&a.int64_data()[i], 8);
+      return HashWord64(static_cast<uint64_t>(a.int64_data()[i]));
     case TypeId::kFloat64: {
       double v = a.float64_data()[i];
       if (v == 0.0) v = 0.0;  // normalize -0.0
       if (std::isnan(v)) return kNullTag ^ 1;
-      return HashBytes(&v, 8);
+      uint64_t bits;
+      std::memcpy(&bits, &v, 8);
+      return HashWord64(bits);
     }
     case TypeId::kBool:
       return a.bool_data()[i] != 0 ? 0x12345 : 0x54321;
     case TypeId::kString: {
       std::string_view v = a.GetView(i);
-      return HashBytes(v.data(), v.size());
+      return Hash64(v.data(), v.size());
     }
     case TypeId::kCategorical: {
       // Hash the dictionary value so equal strings match across dictionaries.
       const auto& dict = *a.dictionary();
       const std::string& v = dict[static_cast<size_t>(a.codes_data()[i])];
-      return HashBytes(v.data(), v.size());
+      return Hash64(v.data(), v.size());
     }
   }
   return 0;
+}
+
+/// Combines one column into the running row hashes for rows [begin, end).
+void HashColumnRange(const Array& a, int64_t begin, int64_t end,
+                     uint64_t* hashes) {
+  for (int64_t i = begin; i < end; ++i) {
+    hashes[i] = Mix(hashes[i], HashCell(a, i));
+  }
+}
+
+Result<std::vector<ArrayPtr>> ResolveColumns(
+    const TablePtr& table, const std::vector<std::string>& columns) {
+  if (columns.empty()) return table->columns();
+  std::vector<ArrayPtr> cols;
+  for (const std::string& name : columns) {
+    BENTO_ASSIGN_OR_RETURN(auto c, table->GetColumn(name));
+    cols.push_back(std::move(c));
+  }
+  return cols;
 }
 
 }  // namespace
 
 Result<std::vector<uint64_t>> HashRows(
     const TablePtr& table, const std::vector<std::string>& columns) {
-  std::vector<ArrayPtr> cols;
-  if (columns.empty()) {
-    cols = table->columns();
-  } else {
-    for (const std::string& name : columns) {
-      BENTO_ASSIGN_OR_RETURN(auto c, table->GetColumn(name));
-      cols.push_back(std::move(c));
-    }
-  }
+  BENTO_ASSIGN_OR_RETURN(auto cols, ResolveColumns(table, columns));
   std::vector<uint64_t> hashes(static_cast<size_t>(table->num_rows()),
                                0x8445D61A4E774912ULL);
+  if (detail::ForcedHashCollisionsActive()) return hashes;  // all rows collide
   for (const ArrayPtr& c : cols) {
-    for (int64_t i = 0; i < c->length(); ++i) {
-      hashes[static_cast<size_t>(i)] =
-          Mix(hashes[static_cast<size_t>(i)], HashCell(*c, i));
-    }
+    HashColumnRange(*c, 0, c->length(), hashes.data());
   }
+  return hashes;
+}
+
+Result<std::vector<uint64_t>> HashRowsParallel(
+    const TablePtr& table, const std::vector<std::string>& columns,
+    const sim::ParallelOptions& options) {
+  BENTO_ASSIGN_OR_RETURN(auto cols, ResolveColumns(table, columns));
+  const int64_t n = table->num_rows();
+  std::vector<uint64_t> hashes(static_cast<size_t>(n),
+                               0x8445D61A4E774912ULL);
+  if (detail::ForcedHashCollisionsActive()) return hashes;  // all rows collide
+  int workers = options.max_workers;
+  if (workers <= 0) {
+    workers = sim::Session::Current() != nullptr
+                  ? sim::Session::Current()->cores()
+                  : 1;
+  }
+  auto ranges = sim::SplitRange(n, workers, 8192);
+  if (ranges.size() <= 1) {
+    for (const ArrayPtr& c : cols) {
+      HashColumnRange(*c, 0, n, hashes.data());
+    }
+    return hashes;
+  }
+  // Tasks own disjoint row ranges; every task sweeps all key columns so the
+  // combiner order matches the serial path bit for bit.
+  BENTO_RETURN_NOT_OK(sim::ParallelFor(
+      static_cast<int64_t>(ranges.size()),
+      [&](int64_t r) {
+        auto [b, e] = ranges[static_cast<size_t>(r)];
+        for (const ArrayPtr& c : cols) {
+          HashColumnRange(*c, b, e, hashes.data());
+        }
+        return Status::OK();
+      },
+      options));
   return hashes;
 }
 

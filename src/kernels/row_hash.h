@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "kernels/common.h"
+#include "sim/parallel.h"
 
 namespace bento::kern {
 
@@ -14,6 +15,12 @@ namespace bento::kern {
 /// (the dataframe-library convention, unlike SQL joins).
 Result<std::vector<uint64_t>> HashRows(const TablePtr& table,
                                        const std::vector<std::string>& columns);
+
+/// \brief HashRows fanned out over sim::ParallelFor in disjoint row ranges;
+/// bit-identical to the serial result in both execution modes.
+Result<std::vector<uint64_t>> HashRowsParallel(
+    const TablePtr& table, const std::vector<std::string>& columns,
+    const sim::ParallelOptions& options);
 
 /// \brief Equality of row `i` in `left` and row `j` in `right` over
 /// pre-resolved column index pairs. Used to resolve hash collisions.
