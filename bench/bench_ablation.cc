@@ -10,6 +10,7 @@
 #include "kernels/null_ops.h"
 #include "kernels/stats.h"
 #include "kernels/string_ops.h"
+#include "obs/trace.h"
 #include "sim/machine.h"
 
 namespace {
@@ -39,7 +40,9 @@ class NoStreamingSpark : public eng::SparkSqlEngine {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bento::obs::TraceEnvScope trace_scope(
+      bento::bench::ParseTraceArg(&argc, argv));
   using frame::Op;
   bench::PrintHeader("Ablations", "one mechanism toggled at a time");
 

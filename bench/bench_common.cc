@@ -1,8 +1,11 @@
 #include "bench/bench_common.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/json.h"
 
 namespace bento::bench {
@@ -98,9 +101,11 @@ void PrintSpeedupTable(run::Runner* runner, const std::string& dataset) {
               dataset.c_str(), table.ToString().c_str());
 }
 
-std::string ParseJsonPathArg(int* argc, char** argv) {
+namespace {
+
+std::string ParseFlagWithValue(const char* flag, int* argc, char** argv) {
   for (int i = 1; i < *argc - 1; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+    if (std::strcmp(argv[i], flag) == 0) {
       std::string path = argv[i + 1];
       for (int j = i + 2; j < *argc; ++j) argv[j - 2] = argv[j];
       *argc -= 2;
@@ -110,15 +115,69 @@ std::string ParseJsonPathArg(int* argc, char** argv) {
   return "";
 }
 
+/// Short git sha of the working tree, or "" outside a repository. Forked
+/// once per JSON write; failures are silent (benches must run from
+/// exported tarballs too).
+std::string GitShaOrEmpty() {
+  std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (p == nullptr) return "";
+  char buf[64] = {0};
+  std::string sha;
+  if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+    sha = buf;
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+  }
+  ::pclose(p);
+  return sha;
+}
+
+std::string HostnameOrEmpty() {
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof(buf) - 1) != 0) return "";
+  return buf;
+}
+
+}  // namespace
+
+std::string ParseJsonPathArg(int* argc, char** argv) {
+  return ParseFlagWithValue("--json", argc, argv);
+}
+
+std::string ParseTraceArg(int* argc, char** argv) {
+  return ParseFlagWithValue("--trace", argc, argv);
+}
+
 void BenchJsonWriter::Add(const std::string& name, int64_t iterations,
                           double ns_per_op, double rows_per_second) {
   rows_.push_back({name, iterations, ns_per_op, rows_per_second});
+}
+
+void BenchJsonWriter::SetContext(const std::string& key, std::string value) {
+  for (auto& [k, v] : extra_context_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  extra_context_.emplace_back(key, std::move(value));
 }
 
 Status BenchJsonWriter::WriteTo(const std::string& path) const {
   JsonValue doc = JsonValue::Object();
   JsonValue context = JsonValue::Object();
   context.Set("scale", JsonValue::Number(ScaleFromEnv()));
+  const char* execution = std::getenv("BENTO_EXECUTION");
+  context.Set("execution", JsonValue::Str(
+                               execution != nullptr ? execution : "simulated"));
+  const std::string sha = GitShaOrEmpty();
+  if (!sha.empty()) context.Set("git_sha", JsonValue::Str(sha));
+  const std::string host = HostnameOrEmpty();
+  if (!host.empty()) context.Set("host", JsonValue::Str(host));
+  for (const auto& [key, value] : extra_context_) {
+    context.Set(key, JsonValue::Str(value));
+  }
   doc.Set("context", std::move(context));
   JsonValue benchmarks = JsonValue::Array();
   for (const Row& row : rows_) {
@@ -130,6 +189,7 @@ Status BenchJsonWriter::WriteTo(const std::string& path) const {
     benchmarks.Append(std::move(b));
   }
   doc.Set("benchmarks", std::move(benchmarks));
+  doc.Set("metrics", obs::MetricsRegistry::Global().ToJson());
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

@@ -41,6 +41,11 @@ void PrintSpeedupTable(run::Runner* runner, const std::string& dataset);
 /// Returns the path, or "" when the flag is absent.
 std::string ParseJsonPathArg(int* argc, char** argv);
 
+/// \brief Extracts and strips a `--trace <path>` flag from argv. Returns
+/// the path, or "" when absent — pass the result to obs::TraceEnvScope,
+/// which also honors the BENTO_TRACE environment variable.
+std::string ParseTraceArg(int* argc, char** argv);
+
 /// \brief Machine-readable benchmark report: one row per benchmark with
 /// name, iterations, ns/op, and rows/s, serialized as JSON so perf
 /// trajectories can be tracked across PRs (see BENCH_kernels.json).
@@ -49,7 +54,13 @@ class BenchJsonWriter {
   void Add(const std::string& name, int64_t iterations, double ns_per_op,
            double rows_per_second);
 
-  /// Writes {"context": {...}, "benchmarks": [...]} to `path`.
+  /// Adds or overrides a context entry (e.g. the machine spec name of a
+  /// sweep). Standard metadata — git sha, BENTO_SCALE, BENTO_EXECUTION,
+  /// hostname — is stamped automatically by WriteTo.
+  void SetContext(const std::string& key, std::string value);
+
+  /// Writes {"context": {...}, "benchmarks": [...], "metrics": {...}} to
+  /// `path`; `metrics` is the obs::MetricsRegistry snapshot at write time.
   Status WriteTo(const std::string& path) const;
 
  private:
@@ -60,6 +71,7 @@ class BenchJsonWriter {
     double rows_per_second;
   };
   std::vector<Row> rows_;
+  std::vector<std::pair<std::string, std::string>> extra_context_;
 };
 
 }  // namespace bento::bench

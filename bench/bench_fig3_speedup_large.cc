@@ -4,8 +4,11 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "obs/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bento::obs::TraceEnvScope trace_scope(
+      bento::bench::ParseTraceArg(&argc, argv));
   using namespace bento;
   bench::PrintHeader("Figure 3",
                      "per-preparator speedup over Pandas (Patrol, Taxi)");

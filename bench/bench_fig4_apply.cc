@@ -5,8 +5,11 @@
 
 #include "bench/bench_common.h"
 #include "frame/engine.h"
+#include "obs/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bento::obs::TraceEnvScope trace_scope(
+      bento::bench::ParseTraceArg(&argc, argv));
   using namespace bento;
   using frame::Op;
   bench::PrintHeader("Figure 4",

@@ -4,9 +4,12 @@
 
 #include "bench/bench_common.h"
 #include "frame/engine.h"
+#include "obs/trace.h"
 #include "sim/machine.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bento::obs::TraceEnvScope trace_scope(
+      bento::bench::ParseTraceArg(&argc, argv));
   using namespace bento;
   bench::PrintHeader("Figure 5", "read runtime, CSV vs columnar (BCF)");
   run::Runner runner = bench::MakeRunner();

@@ -4,9 +4,12 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "obs/trace.h"
 #include "sim/machine.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bento::obs::TraceEnvScope trace_scope(
+      bento::bench::ParseTraceArg(&argc, argv));
   using namespace bento;
   bench::PrintHeader("Figure 8",
                      "entire pipeline on incremental Taxi samples per machine");

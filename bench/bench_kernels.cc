@@ -15,6 +15,7 @@
 #include "kernels/row_hash.h"
 #include "kernels/sort.h"
 #include "kernels/string_ops.h"
+#include "obs/trace.h"
 #include "sim/parallel.h"
 #include "util/random.h"
 
@@ -339,6 +340,8 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   const std::string json_path = bento::bench::ParseJsonPathArg(&argc, argv);
+  bento::obs::TraceEnvScope trace_scope(
+      bento::bench::ParseTraceArg(&argc, argv));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonCapturingReporter reporter;

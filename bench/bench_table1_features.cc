@@ -4,8 +4,11 @@
 
 #include "bench/bench_common.h"
 #include "frame/engine.h"
+#include "obs/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bento::obs::TraceEnvScope trace_scope(
+      bento::bench::ParseTraceArg(&argc, argv));
   using namespace bento;
   bench::PrintHeader("Table I", "features of the compared dataframe libraries");
 

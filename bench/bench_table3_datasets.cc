@@ -6,9 +6,12 @@
 #include "bench/bench_common.h"
 #include "datagen/datasets.h"
 #include "io/csv.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bento::obs::TraceEnvScope trace_scope(
+      bento::bench::ParseTraceArg(&argc, argv));
   using namespace bento;
   bench::PrintHeader("Table III", "features of the selected datasets");
 

@@ -4,9 +4,12 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "obs/trace.h"
 #include "sim/machine.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bento::obs::TraceEnvScope trace_scope(
+      bento::bench::ParseTraceArg(&argc, argv));
   using namespace bento;
   bench::PrintHeader("Table V",
                      "minimum machine configuration per dataset sample");

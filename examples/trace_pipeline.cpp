@@ -1,0 +1,69 @@
+// Produce a Chrome/Perfetto trace of one pipeline run: the observability
+// tour. Runs a dataset pipeline in function-core mode (every preparator
+// forced and timed, as in the paper's per-operation measurements) with
+// tracing on, then prints where to load the result.
+//
+//   $ ./build/examples/trace_pipeline [--trace out.json] [dataset] [engine]
+//
+// Defaults: loan pipeline, polars engine, trace written to
+// bento_trace.json (or $BENTO_TRACE when set). Open the file at
+// https://ui.perfetto.dev or chrome://tracing; see README.md for the
+// recipe and DESIGN.md for the span taxonomy.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bento/pipeline.h"
+#include "bento/report.h"
+#include "bento/runner.h"
+
+using namespace bento;
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string dataset = "loan";
+  std::string engine = "polars";
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (positional == 0) {
+      dataset = argv[i];
+      ++positional;
+    } else {
+      engine = argv[i];
+    }
+  }
+  // Precedence: --trace flag, then $BENTO_TRACE, then the default file.
+  if (trace_path.empty()) {
+    const char* env = std::getenv("BENTO_TRACE");
+    trace_path = env != nullptr ? env : "bento_trace.json";
+  }
+
+  run::Runner runner("./example_data", 0.002);
+  auto pipeline = run::PipelineFor(dataset);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "unknown dataset '%s': %s\n", dataset.c_str(),
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+
+  run::RunConfig config;
+  config.engine_id = engine;
+  config.mode = run::RunMode::kFunctionCore;
+  config.trace_path = trace_path;
+  auto report = runner.Run(config, pipeline.ValueOrDie(), dataset);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s pipeline on %s (function-core mode)\n\n%s\n",
+              dataset.c_str(), engine.c_str(),
+              run::RunReportText(report.ValueOrDie()).c_str());
+  std::printf("trace written to %s — load it at https://ui.perfetto.dev\n",
+              trace_path.c_str());
+  return report.ValueOrDie().status.ok() ? 0 : 1;
+}

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "frame/capabilities.h"
+#include "util/string_util.h"
+
 namespace bento::run {
 
 TextTable::TextTable(std::vector<std::string> header)
@@ -67,6 +70,36 @@ std::string FormatSpeedup(double speedup) {
     std::snprintf(buf, sizeof(buf), "%.3fx", speedup);
   }
   return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  if (bytes == 0) return "-";
+  return HumanBytes(bytes);
+}
+
+std::string RunReportText(const RunReport& report) {
+  std::string out;
+  out += "status: " + report.status.ToString() + "\n";
+
+  TextTable stages({"stage", "time"});
+  for (const auto& [stage, seconds] : report.stage_seconds) {
+    stages.AddRow({frame::StageName(stage), FormatSeconds(seconds)});
+  }
+  stages.AddRow({"total", FormatSeconds(report.total_seconds)});
+  out += stages.ToString();
+
+  out += "peak host: " + FormatBytes(report.peak_host_bytes) +
+         "  peak device: " + FormatBytes(report.peak_device_bytes) + "\n";
+
+  if (!report.ops.empty()) {
+    TextTable ops({"op", "stage", "time", "peak"});
+    for (const OpTiming& t : report.ops) {
+      ops.AddRow({t.op, frame::StageName(t.stage), FormatSeconds(t.seconds),
+                  FormatBytes(t.peak_bytes)});
+    }
+    out += ops.ToString();
+  }
+  return out;
 }
 
 }  // namespace bento::run

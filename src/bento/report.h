@@ -1,8 +1,11 @@
 #ifndef BENTO_BENTO_REPORT_H_
 #define BENTO_BENTO_REPORT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "bento/runner.h"
 
 namespace bento::run {
 
@@ -26,6 +29,15 @@ std::string FormatSeconds(double seconds);
 
 /// \brief Speedup "12.5x" / "0.08x" formatting.
 std::string FormatSpeedup(double speedup);
+
+/// \brief "1.5 GiB" style byte counts ("-" for zero, which means the run
+/// never touched the corresponding pool).
+std::string FormatBytes(uint64_t bytes);
+
+/// \brief Renders a RunReport as an aligned text table: the stage rows with
+/// times, peak-memory lines, and — in function-core mode — one row per
+/// preparator including its peak bytes.
+std::string RunReportText(const RunReport& report);
 
 }  // namespace bento::run
 

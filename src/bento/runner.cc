@@ -2,11 +2,14 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 
 #include "datagen/datasets.h"
 #include "io/bcf.h"
 #include "io/csv.h"
+#include "obs/trace.h"
 
 namespace bento::run {
 
@@ -90,9 +93,20 @@ Result<RunReport> Runner::Run(const RunConfig& config, const Pipeline& pipeline,
   sim::Session session(EffectiveMachine(config));
   session.set_isolated_measurement(config.mode == RunMode::kFunctionCore);
 
+  // Collect a trace when the config or BENTO_TRACE asks for one; inert when
+  // an enclosing scope (a bench harness tracing many runs) already owns it.
+  obs::TraceEnvScope trace_scope(config.trace_path);
+
+  // Function-core runs report a per-op peak, which requires resetting the
+  // pool watermark; the run-wide peak is kept as a running maximum.
+  const bool per_op_peaks = config.mode == RunMode::kFunctionCore;
+  uint64_t host_peak_hwm = 0;
+
   // --- I/O stage: ingest ---
   frame::DataFrame::Ptr frame;
   {
+    BENTO_TRACE_SPAN(kStage, "stage.I/O");
+    if (per_op_peaks) session.host_pool()->ResetPeak();
     sim::VirtualTimer timer;
     auto read = config.use_bcf_source ? engine->ReadBcf(source_path)
                                       : engine->ReadCsv(source_path, {});
@@ -115,6 +129,9 @@ Result<RunReport> Runner::Run(const RunConfig& config, const Pipeline& pipeline,
     }
     report.read_seconds = timer.Elapsed();
   }
+  if (per_op_peaks) {
+    host_peak_hwm = std::max(host_peak_hwm, session.host_pool()->peak_bytes());
+  }
   report.stage_seconds[Stage::kIO] = report.read_seconds;
 
   // Full-pipeline mode with a lazy engine: intermediate actions and
@@ -128,6 +145,7 @@ Result<RunReport> Runner::Run(const RunConfig& config, const Pipeline& pipeline,
   Stage current_stage = Stage::kEDA;
   sim::VirtualTimer stage_timer;
   bool stage_open = false;
+  std::optional<obs::TraceSpan> stage_span;
 
   auto close_stage = [&](Stage stage) -> Status {
     if (!stage_open) return Status::OK();
@@ -137,6 +155,7 @@ Result<RunReport> Runner::Run(const RunConfig& config, const Pipeline& pipeline,
     }
     report.stage_seconds[stage] += stage_timer.Elapsed();
     stage_open = false;
+    stage_span.reset();
     return Status::OK();
   };
 
@@ -150,6 +169,11 @@ Result<RunReport> Runner::Run(const RunConfig& config, const Pipeline& pipeline,
       current_stage = step.stage;
       stage_timer = sim::VirtualTimer();
       stage_open = true;
+      stage_span.emplace(
+          obs::Category::kStage,
+          obs::TracingEnabled()
+              ? std::string("stage.") + frame::StageName(step.stage)
+              : std::string());
     }
 
     // Resolve named merge right-hand sides through the aux registry.
@@ -168,30 +192,36 @@ Result<RunReport> Runner::Run(const RunConfig& config, const Pipeline& pipeline,
       op.other = right.MoveValueUnsafe();
     }
 
+    if (per_op_peaks) session.host_pool()->ResetPeak();
     sim::VirtualTimer op_timer;
     Status op_status;
-    if (frame::IsAction(op.kind)) {
-      // Lazy full-pipeline runs only *declare* exploratory actions.
-      if (!lazy_full) op_status = frame->RunAction(op).status();
-    } else {
-      auto applied = frame->Apply(op);
-      if (applied.ok()) {
-        frame::DataFrame::Ptr result = applied.MoveValueUnsafe();
-        if (config.mode == RunMode::kFunctionCore ||
-            (!step.carry && !lazy_full)) {
-          // Function-core forces every preparator; side outputs (carry ==
-          // false) are notebook actions and force immediately too — except
-          // under lazy full-pipeline semantics, where they stay unevaluated.
-          op_status = result->Collect().status();
-        }
-        if (op_status.ok() && step.carry) frame = std::move(result);
+    {
+      BENTO_TRACE_SPAN_DYN(kPreparator, frame::OpKindName(op.kind));
+      if (frame::IsAction(op.kind)) {
+        // Lazy full-pipeline runs only *declare* exploratory actions.
+        if (!lazy_full) op_status = frame->RunAction(op).status();
       } else {
-        op_status = applied.status();
+        auto applied = frame->Apply(op);
+        if (applied.ok()) {
+          frame::DataFrame::Ptr result = applied.MoveValueUnsafe();
+          if (config.mode == RunMode::kFunctionCore ||
+              (!step.carry && !lazy_full)) {
+            // Function-core forces every preparator; side outputs (carry ==
+            // false) are notebook actions and force immediately too — except
+            // under lazy full-pipeline semantics, where they stay unevaluated.
+            op_status = result->Collect().status();
+          }
+          if (op_status.ok() && step.carry) frame = std::move(result);
+        } else {
+          op_status = applied.status();
+        }
       }
     }
     if (config.mode == RunMode::kFunctionCore) {
+      const uint64_t op_peak = session.host_pool()->peak_bytes();
+      host_peak_hwm = std::max(host_peak_hwm, op_peak);
       report.ops.push_back(OpTiming{frame::OpKindName(op.kind), step.stage,
-                                    op_timer.Elapsed()});
+                                    op_timer.Elapsed(), op_peak});
     }
     if (!op_status.ok()) {
       failure = op_status;
@@ -212,7 +242,13 @@ Result<RunReport> Runner::Run(const RunConfig& config, const Pipeline& pipeline,
   for (const auto& [stage, seconds] : report.stage_seconds) {
     if (stage != Stage::kIO) report.total_seconds += seconds;
   }
-  report.peak_host_bytes = session.host_pool()->peak_bytes();
+  report.peak_host_bytes = per_op_peaks
+                               ? std::max(host_peak_hwm,
+                                          session.host_pool()->peak_bytes())
+                               : session.host_pool()->peak_bytes();
+  if (session.device_pool() != nullptr) {
+    report.peak_device_bytes = session.device_pool()->peak_bytes();
+  }
   return report;
 }
 

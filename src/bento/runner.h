@@ -24,12 +24,18 @@ struct RunConfig {
   RunMode mode = RunMode::kPipelineStage;
   /// Measure read from BCF instead of CSV (Fig. 5's Parquet series).
   bool use_bcf_source = false;
+  /// When non-empty, the run collects an obs trace and writes it here (the
+  /// BENTO_TRACE environment variable provides a process-wide default).
+  std::string trace_path;
 };
 
 struct OpTiming {
   std::string op;
   frame::Stage stage;
   double seconds = 0.0;
+  /// Host-pool high water during this preparator (function-core mode only;
+  /// the pool's peak is reset before each op).
+  uint64_t peak_bytes = 0;
 };
 
 struct RunReport {
@@ -39,6 +45,7 @@ struct RunReport {
   double total_seconds = 0.0;   ///< read + all stages
   std::vector<OpTiming> ops;    ///< per-preparator (function-core mode)
   uint64_t peak_host_bytes = 0;
+  uint64_t peak_device_bytes = 0;  ///< 0 without a GPU device pool
 };
 
 /// \brief Generates datasets on demand, caches them as CSV/BCF files, and

@@ -22,7 +22,8 @@ Result<std::shared_ptr<Buffer>> Buffer::Allocate(uint64_t size) {
       return Status::OutOfMemory("host allocation of ", size, " bytes failed");
     }
   }
-  return std::shared_ptr<Buffer>(new Buffer(data, size, /*owned=*/true, pool));
+  return std::shared_ptr<Buffer>(
+      new Buffer(data, size, /*owned=*/true, pool->state()));
 }
 
 std::shared_ptr<Buffer> Buffer::Wrap(const void* data, uint64_t size) {

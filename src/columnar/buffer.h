@@ -15,7 +15,9 @@ namespace bento::col {
 /// Every buffer charges its capacity against the sim::MemoryPool that was
 /// current at allocation time and releases it on destruction, which is how
 /// engine memory behaviour (materialization peaks, OoM, spill benefits)
-/// becomes observable to the machine simulator.
+/// becomes observable to the machine simulator. Buffers co-own the pool's
+/// accounting state, so one that outlives its session still releases
+/// safely.
 class Buffer {
  public:
   ~Buffer();
@@ -54,13 +56,16 @@ class Buffer {
   }
 
  private:
-  Buffer(uint8_t* data, uint64_t size, bool owned, sim::MemoryPool* pool)
-      : data_(data), size_(size), owned_(owned), pool_(pool) {}
+  Buffer(uint8_t* data, uint64_t size, bool owned,
+         std::shared_ptr<sim::MemoryPool::State> pool)
+      : data_(data), size_(size), owned_(owned), pool_(std::move(pool)) {}
 
   uint8_t* data_;
   uint64_t size_;
   bool owned_;
-  sim::MemoryPool* pool_;  // nullptr for wrapped buffers
+  // Shared accounting state (nullptr for wrapped buffers); keeping it alive
+  // makes the destructor's Release safe even after the pool is gone.
+  std::shared_ptr<sim::MemoryPool::State> pool_;
   std::shared_ptr<Buffer> parent_;  // keep-alive for sliced views
 };
 

@@ -1,6 +1,7 @@
 #include "engines/eager_engine.h"
 
 #include "io/bcf.h"
+#include "obs/trace.h"
 
 namespace bento::eng {
 
@@ -11,10 +12,12 @@ using frame::Op;
 namespace {
 
 /// Holds a table plus a tracked reservation modeling object-dtype boxing of
-/// its string cells; released when the last reference dies.
+/// its string cells; released when the last reference dies. Co-owns the
+/// pool's accounting state: the holder may outlive the session whose pool
+/// charged it (results escaping a run).
 struct BoxedStringHolder {
   col::TablePtr table;
-  sim::MemoryPool* pool = nullptr;
+  std::shared_ptr<sim::MemoryPool::State> pool;
   uint64_t bytes = 0;
 
   ~BoxedStringHolder() {
@@ -34,7 +37,7 @@ Result<col::TablePtr> WithObjectStringCharge(col::TablePtr table,
   const uint64_t bytes = cells * static_cast<uint64_t>(per_value_bytes);
   if (bytes == 0) return table;
   auto holder = std::make_shared<BoxedStringHolder>();
-  holder->pool = sim::MemoryPool::Current();
+  holder->pool = sim::MemoryPool::Current()->state();
   BENTO_RETURN_NOT_OK(holder->pool->Reserve(bytes));
   holder->bytes = bytes;
   holder->table = std::move(table);
@@ -51,6 +54,7 @@ EagerFrame::EagerFrame(col::TablePtr table, const EagerEngineBase* engine)
       engine_keepalive_(engine->weak_from_this().lock()) {}
 
 Result<frame::DataFrame::Ptr> EagerFrame::Apply(const Op& op) {
+  BENTO_TRACE_SPAN_DYN(kEngine, engine_->info().id + ".apply");
   ExecPolicy policy = engine_->PolicyFor(op);
   BENTO_ASSIGN_OR_RETURN(auto result,
                          engine_->RunTransform(table_, op, policy));
@@ -62,6 +66,7 @@ Result<frame::DataFrame::Ptr> EagerFrame::Apply(const Op& op) {
 }
 
 Result<ActionResult> EagerFrame::RunAction(const Op& op) {
+  BENTO_TRACE_SPAN_DYN(kEngine, engine_->info().id + ".action");
   ExecPolicy policy = engine_->PolicyFor(op);
   return engine_->RunAction(table_, op, policy);
 }

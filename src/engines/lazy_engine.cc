@@ -5,6 +5,8 @@
 
 #include "engines/streaming_ops.h"
 #include "kernels/encode.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "kernels/join.h"
 #include "kernels/null_ops.h"
 #include "expr/parser.h"
@@ -214,6 +216,12 @@ class TransformingStream : public ChunkStream {
   Result<col::TablePtr> Next() override {
     BENTO_ASSIGN_OR_RETURN(auto chunk, inner_->Next());
     if (chunk == nullptr) return chunk;
+    static obs::Counter* chunks =
+        obs::MetricsRegistry::Global().counter("lazy.stream_chunks");
+    chunks->Increment();
+    static obs::Counter* rows =
+        obs::MetricsRegistry::Global().counter("lazy.stream_rows");
+    rows->Add(static_cast<uint64_t>(chunk->num_rows()));
     for (size_t k = 0; k < n_ops_; ++k) {
       BENTO_ASSIGN_OR_RETURN(chunk,
                              frame::ExecTransform(chunk, ops_[k], *policy_));
@@ -279,6 +287,7 @@ struct TempSpill {
 
 Result<col::TablePtr> LazyEngineBase::Execute(
     const LazySource& source, const std::vector<Op>& plan) const {
+  BENTO_TRACE_SPAN_DYN(kEngine, info().id + ".execute");
   if (PlanOverheadSeconds() > 0) sim::ChargePenalty(PlanOverheadSeconds());
   std::vector<Op> ops = Optimize(plan);
   const ExecPolicy policy = ExecutionPolicy();
@@ -466,6 +475,7 @@ Result<col::TablePtr> LazyEngineBase::Execute(
 Result<ActionResult> LazyEngineBase::ExecuteAction(
     const LazySource& source, const std::vector<Op>& plan,
     const Op& action) const {
+  BENTO_TRACE_SPAN_DYN(kEngine, info().id + ".execute_action");
   const ExecPolicy policy = ExecutionPolicy();
 
   bool fully_streamable = true;

@@ -4,6 +4,7 @@
 
 #include "columnar/builder.h"
 #include "expr/eval.h"
+#include "obs/trace.h"
 #include "expr/parser.h"
 #include "frame/dataframe.h"
 #include "kernels/arithmetic.h"
@@ -33,7 +34,7 @@ class StagingCharge {
   static Result<StagingCharge> Reserve(int64_t bytes) {
     StagingCharge charge;
     if (bytes > 0) {
-      charge.pool_ = sim::MemoryPool::Current();
+      charge.pool_ = sim::MemoryPool::Current()->state();
       BENTO_RETURN_NOT_OK(charge.pool_->Reserve(static_cast<uint64_t>(bytes)));
       charge.bytes_ = static_cast<uint64_t>(bytes);
     }
@@ -65,7 +66,9 @@ class StagingCharge {
     bytes_ = 0;
   }
 
-  sim::MemoryPool* pool_ = nullptr;
+  // Shared accounting state, kept alive past the owning pool (same
+  // rationale as col::Buffer).
+  std::shared_ptr<sim::MemoryPool::State> pool_;
   uint64_t bytes_ = 0;
 };
 
@@ -212,6 +215,7 @@ Result<col::TablePtr> DeepCopyTable(const col::TablePtr& table) {
 
 Result<col::TablePtr> ExecTransform(const col::TablePtr& table, const Op& op,
                                     const ExecPolicy& policy) {
+  BENTO_TRACE_SPAN(kEngine, OpKindName(op.kind));
   switch (op.kind) {
     case OpKind::kSortValues:
       return MaybeCopy(DoSort(table, op, policy), policy);
@@ -290,6 +294,7 @@ Result<col::TablePtr> ExecTransform(const col::TablePtr& table, const Op& op,
 
 Result<ActionResult> ExecAction(const col::TablePtr& table, const Op& op,
                                 const ExecPolicy& policy) {
+  BENTO_TRACE_SPAN(kEngine, OpKindName(op.kind));
   ActionResult result;
   switch (op.kind) {
     case OpKind::kIsNa: {

@@ -4,6 +4,8 @@
 
 #include "columnar/bitmap.h"
 #include "io/compress.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/json.h"
 
 namespace bento::io {
@@ -26,6 +28,9 @@ struct PendingChunk {
 };
 
 Status WriteBytes(std::FILE* f, const void* data, size_t size) {
+  static obs::Counter* bytes_written =
+      obs::MetricsRegistry::Global().counter("io.bcf.bytes_written");
+  bytes_written->Add(size);
   if (size > 0 && std::fwrite(data, 1, size, f) != size) {
     return Status::IOError("short write");
   }
@@ -174,6 +179,7 @@ Status BcfWriter::Finish() {
 
 Status WriteBcf(const col::TablePtr& table, const std::string& path,
                 const BcfWriteOptions& options) {
+  BENTO_TRACE_SPAN(kIo, "bcf.write");
   BENTO_ASSIGN_OR_RETURN(auto writer, BcfWriter::Open(path, options));
   BENTO_RETURN_NOT_OK(writer->Append(table));
   return writer->Finish();
@@ -250,6 +256,9 @@ BcfReader::~BcfReader() {
 
 Result<std::vector<uint8_t>> BcfReader::ReadRange(uint64_t offset,
                                                   uint64_t size) {
+  static obs::Counter* bytes_read =
+      obs::MetricsRegistry::Global().counter("io.bcf.bytes_read");
+  bytes_read->Add(size);
   std::vector<uint8_t> out(size);
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0 ||
       (size > 0 && std::fread(out.data(), 1, size, file_) != size)) {
@@ -307,6 +316,7 @@ Result<col::TablePtr> BcfReader::ReadRowGroup(
 
 Result<col::TablePtr> BcfReader::ReadAll(
     const std::vector<std::string>& columns) {
+  BENTO_TRACE_SPAN(kIo, "bcf.read_all");
   std::vector<col::TablePtr> parts;
   for (int g = 0; g < num_row_groups(); ++g) {
     BENTO_ASSIGN_OR_RETURN(auto t, ReadRowGroup(g, columns));

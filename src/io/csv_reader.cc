@@ -8,6 +8,8 @@
 
 #include "columnar/builder.h"
 #include "io/csv.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace bento::io {
@@ -344,7 +346,11 @@ Result<std::string> SlurpFile(const std::string& path) {
 
 Result<col::TablePtr> ReadCsv(const std::string& path,
                               const CsvReadOptions& options) {
+  BENTO_TRACE_SPAN(kIo, "csv.read");
   BENTO_ASSIGN_OR_RETURN(std::string content, SlurpFile(path));
+  static obs::Counter* bytes_read =
+      obs::MetricsRegistry::Global().counter("io.csv.bytes_read");
+  bytes_read->Add(content.size());
   HeaderInfo header = ReadHeader(content, options);
   std::string_view body =
       std::string_view(content).substr(header.body_offset);
@@ -361,6 +367,7 @@ Result<col::TablePtr> ReadCsv(const std::string& path,
 Result<col::TablePtr> ReadCsvMmap(const std::string& path,
                                   const CsvReadOptions& options,
                                   const sim::ParallelOptions& parallel) {
+  BENTO_TRACE_SPAN(kIo, "csv.read_mmap");
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return Status::IOError("cannot open ", path);
   struct stat st;
@@ -369,6 +376,9 @@ Result<col::TablePtr> ReadCsvMmap(const std::string& path,
     return Status::IOError("stat failed for ", path);
   }
   const size_t size = static_cast<size_t>(st.st_size);
+  static obs::Counter* bytes_read =
+      obs::MetricsRegistry::Global().counter("io.csv.bytes_read");
+  bytes_read->Add(size);
   void* mapped = size > 0 ? ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0)
                           : nullptr;
   ::close(fd);
@@ -471,6 +481,7 @@ CsvChunkReader::~CsvChunkReader() {
 }
 
 Result<col::TablePtr> CsvChunkReader::Next() {
+  BENTO_TRACE_SPAN(kIo, "csv.chunk_next");
   if (eof_ && carry_.empty()) return col::TablePtr(nullptr);
 
   // Accumulate at least chunk_rows complete records in the buffer, then cut

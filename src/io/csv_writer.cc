@@ -1,6 +1,8 @@
 #include <cstdio>
 
 #include "io/csv.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace bento::io {
@@ -83,6 +85,9 @@ Status WriteAll(std::FILE* f, const std::string& data) {
   if (!data.empty() && std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
     return Status::IOError("short CSV write");
   }
+  static obs::Counter* bytes_written =
+      obs::MetricsRegistry::Global().counter("io.csv.bytes_written");
+  bytes_written->Add(data.size());
   return Status::OK();
 }
 
@@ -90,6 +95,7 @@ Status WriteAll(std::FILE* f, const std::string& data) {
 
 Status WriteCsv(const col::TablePtr& table, const std::string& path,
                 const CsvWriteOptions& options) {
+  BENTO_TRACE_SPAN(kIo, "csv.write");
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot create ", path);
   struct Closer {
@@ -113,6 +119,7 @@ Status WriteCsv(const col::TablePtr& table, const std::string& path,
 Status WriteCsvParallel(const col::TablePtr& table, const std::string& path,
                         const CsvWriteOptions& options,
                         const sim::ParallelOptions& parallel) {
+  BENTO_TRACE_SPAN(kIo, "csv.write_parallel");
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot create ", path);
   struct Closer {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/metrics.h"
 #include "sim/machine.h"
 
 namespace bento::kern {
@@ -56,9 +57,36 @@ int FlatIndex::PartShiftFor(int parts) {
 
 void FlatIndex::Part::Reset(int64_t expected_rows) {
   keys = 0;
+  probes = 0;
+  collisions = 0;
   const uint64_t cap = CapacityFor(expected_rows);
   mask = cap - 1;
   slots.assign(cap, Slot());
+}
+
+void FlatIndex::ReportBuildStats() const {
+  int64_t probes = 0;
+  int64_t collisions = 0;
+  for (const Part& p : parts_) {
+    probes += p.probes;
+    collisions += p.collisions;
+  }
+  static obs::Counter* c_probes =
+      obs::MetricsRegistry::Global().counter("flat_index.build_probes");
+  static obs::Counter* c_collisions =
+      obs::MetricsRegistry::Global().counter("flat_index.build_collisions");
+  c_probes->Add(static_cast<uint64_t>(probes));
+  c_collisions->Add(static_cast<uint64_t>(collisions));
+}
+
+FlatGrouper::~FlatGrouper() {
+  if (probes_ == 0) return;
+  static obs::Counter* c_probes =
+      obs::MetricsRegistry::Global().counter("flat_grouper.probes");
+  static obs::Counter* c_collisions =
+      obs::MetricsRegistry::Global().counter("flat_grouper.collisions");
+  c_probes->Add(static_cast<uint64_t>(probes_));
+  c_collisions->Add(static_cast<uint64_t>(collisions_));
 }
 
 void FlatGrouper::Reset(int64_t expected_groups) {

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/parallel.h"
 #include "util/result.h"
 
@@ -152,6 +153,7 @@ class FlatIndex {
   /// a and b carry the same key.
   template <typename Keep, typename Equal>
   void Build(const std::vector<uint64_t>& hashes, Keep&& keep, Equal&& equal) {
+    BENTO_TRACE_SPAN(kKernel, "flat_index.build");
     const int64_t n = static_cast<int64_t>(hashes.size());
     parts_.assign(1, Part());
     part_shift_ = 64;  // single partition: no radix bits consumed
@@ -165,6 +167,7 @@ class FlatIndex {
       if (!keep(i)) continue;
       InsertInto(part, hashes[static_cast<size_t>(i)], i, equal);
     }
+    ReportBuildStats();
   }
 
   /// \brief Radix-partitioned parallel build: rows are scattered into
@@ -176,6 +179,7 @@ class FlatIndex {
   template <typename Keep, typename Equal>
   Status BuildPartitioned(const std::vector<uint64_t>& hashes, Keep&& keep,
                           Equal&& equal, const sim::ParallelOptions& options) {
+    BENTO_TRACE_SPAN(kKernel, "flat_index.build_partitioned");
     const int64_t n = static_cast<int64_t>(hashes.size());
     const int parts = PlanPartitions(n, options);
     if (parts <= 1) {
@@ -198,7 +202,7 @@ class FlatIndex {
     parts_.assign(static_cast<size_t>(parts), Part());
     part_shift_ = shift;
     next_.assign(static_cast<size_t>(n), kNone);
-    return sim::ParallelFor(
+    Status st = sim::ParallelFor(
         parts,
         [&](int64_t p) {
           Part* part = &parts_[static_cast<size_t>(p)];
@@ -216,6 +220,8 @@ class FlatIndex {
           return Status::OK();
         },
         options);
+    ReportBuildStats();
+    return st;
   }
 
   /// \brief First build row whose key matches probe hash `h`, resolving
@@ -268,6 +274,11 @@ class FlatIndex {
     std::vector<Slot> slots;
     uint64_t mask = 0;
     int64_t keys = 0;
+    // Build-side probe statistics: plain ints — each Part is written by
+    // exactly one build task; ReportBuildStats() flushes the totals to the
+    // MetricsRegistry after the build completes.
+    int64_t probes = 0;
+    int64_t collisions = 0;
 
     void Reset(int64_t expected_rows);
 
@@ -290,6 +301,7 @@ class FlatIndex {
   void InsertInto(Part* part, uint64_t h, int64_t row, Equal&& equal) {
     uint64_t s = h & part->mask;
     while (true) {
+      ++part->probes;
       Slot& slot = part->slots[s];
       if (slot.head == kNone) {
         slot.hash = h;
@@ -303,9 +315,12 @@ class FlatIndex {
         slot.tail = row;
         return;
       }
+      ++part->collisions;
       s = (s + 1) & part->mask;
     }
   }
+
+  void ReportBuildStats() const;
 
   std::vector<Part> parts_;
   std::vector<int64_t> next_;
@@ -329,6 +344,13 @@ class FlatGrouper {
   explicit FlatGrouper(int64_t expected_groups = 0) {
     Reset(expected_groups);
   }
+  /// Flushes accumulated probe statistics to the MetricsRegistry
+  /// ("flat_grouper.probes" / "flat_grouper.collisions"). Groupers are
+  /// single-owner stack locals, so destruction is the natural flush point.
+  ~FlatGrouper();
+
+  FlatGrouper(const FlatGrouper&) = delete;
+  FlatGrouper& operator=(const FlatGrouper&) = delete;
 
   void Reset(int64_t expected_groups);
 
@@ -339,6 +361,7 @@ class FlatGrouper {
     if (num_groups_ * 3 >= static_cast<int64_t>(slots_.size()) * 2) Grow();
     uint64_t s = h & mask_;
     while (true) {
+      ++probes_;
       Slot& slot = slots_[s];
       if (slot.group == kNone) {
         slot.hash = h;
@@ -350,6 +373,7 @@ class FlatGrouper {
           equal(representatives_[static_cast<size_t>(slot.group)], row)) {
         return slot.group;
       }
+      ++collisions_;
       s = (s + 1) & mask_;
     }
   }
@@ -388,6 +412,9 @@ class FlatGrouper {
   std::vector<int64_t> representatives_;
   uint64_t mask_ = 0;
   int64_t num_groups_ = 0;
+  // Plain ints: groupers are used from one thread; flushed by ~FlatGrouper.
+  int64_t probes_ = 0;
+  int64_t collisions_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -103,6 +103,7 @@ const char* AggName(AggKind kind) {
 Result<TablePtr> GroupBy(const TablePtr& table,
                          const std::vector<std::string>& keys,
                          const std::vector<AggSpec>& aggs) {
+  BENTO_TRACE_SPAN(kKernel, "groupby");
   if (keys.empty()) return Status::Invalid("GroupBy requires at least one key");
 
   std::vector<ArrayPtr> agg_inputs;
@@ -183,6 +184,7 @@ Result<TablePtr> GroupByPartitioned(const TablePtr& table,
                                     const std::vector<std::string>& keys,
                                     const std::vector<AggSpec>& aggs,
                                     const sim::ParallelOptions& options) {
+  BENTO_TRACE_SPAN(kKernel, "groupby.partitioned");
   int workers = options.max_workers;
   if (workers <= 0) {
     workers = sim::Session::Current() != nullptr

@@ -60,6 +60,7 @@ Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
                           const std::string& left_key,
                           const std::string& right_key,
                           const JoinOptions& options) {
+  BENTO_TRACE_SPAN(kKernel, "join.hash");
   BENTO_ASSIGN_OR_RETURN(auto right_hashes, HashRows(right, {right_key}));
   BENTO_ASSIGN_OR_RETURN(auto left_hashes, HashRows(left, {left_key}));
   BENTO_ASSIGN_OR_RETURN(
@@ -88,6 +89,7 @@ Result<TablePtr> HashJoinParallel(const TablePtr& left, const TablePtr& right,
                                   const std::string& right_key,
                                   const JoinOptions& options,
                                   const sim::ParallelOptions& parallel) {
+  BENTO_TRACE_SPAN(kKernel, "join.hash_parallel");
   int workers = parallel.max_workers;
   if (workers <= 0) {
     workers = sim::Session::Current() != nullptr

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "kernels/selection.h"
+#include "obs/trace.h"
 
 namespace bento::kern {
 
@@ -88,6 +89,7 @@ Result<std::vector<ArrayPtr>> ResolveKeyColumns(
 
 Result<std::vector<int64_t>> ArgSort(const TablePtr& table,
                                      const std::vector<SortKey>& keys) {
+  BENTO_TRACE_SPAN(kKernel, "sort.argsort");
   if (keys.empty()) return Status::Invalid("ArgSort requires at least one key");
   BENTO_ASSIGN_OR_RETURN(auto columns, ResolveKeyColumns(table, keys));
   std::vector<int64_t> indices(static_cast<size_t>(table->num_rows()));
@@ -102,6 +104,7 @@ Result<std::vector<int64_t>> ArgSort(const TablePtr& table,
 Result<std::vector<int64_t>> ArgSortParallel(
     const TablePtr& table, const std::vector<SortKey>& keys,
     const sim::ParallelOptions& options) {
+  BENTO_TRACE_SPAN(kKernel, "sort.argsort_parallel");
   if (keys.empty()) return Status::Invalid("ArgSort requires at least one key");
   BENTO_ASSIGN_OR_RETURN(auto columns, ResolveKeyColumns(table, keys));
   const int64_t n = table->num_rows();

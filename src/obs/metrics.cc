@@ -1,0 +1,65 @@
+#include "obs/metrics.h"
+
+namespace bento::obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked: instruments are referenced from function-local statics in
+  // instrumented code and must survive static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
+int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second->value() : 0;
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, counter] : counters_) {
+    counters.Set(name, JsonValue::Int(static_cast<int64_t>(counter->value())));
+  }
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.Set(name, JsonValue::Int(gauge->value()));
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("counters", std::move(counters));
+  doc.Set("gauges", std::move(gauges));
+  return doc;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+}
+
+}  // namespace bento::obs

@@ -1,0 +1,300 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace bento::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+namespace {
+
+double SteadyClockSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+}
+
+std::atomic<double (*)()> g_clock{&SteadyClockSeconds};
+std::atomic<double (*)()> g_credit_hook{nullptr};
+
+double Now() { return g_clock.load(std::memory_order_relaxed)(); }
+
+double CurrentCredit() {
+  double (*hook)() = g_credit_hook.load(std::memory_order_relaxed);
+  return hook != nullptr ? hook() : 0.0;
+}
+
+/// One buffered event: a complete span ('X') or a counter sample ('C').
+struct TraceEvent {
+  const char* static_name = nullptr;
+  std::string name;  // used when static_name == nullptr
+  Category cat = Category::kKernel;
+  char phase = 'X';
+  double ts_us = 0.0;
+  double dur_us = 0.0;   // X only
+  double vdur_us = 0.0;  // X only: virtual (credit-adjusted) duration
+  double value = 0.0;    // C only
+
+  std::string_view Name() const {
+    return static_name != nullptr ? std::string_view(static_name)
+                                  : std::string_view(name);
+  }
+};
+
+/// Per-thread event buffer. The owning thread appends under `mu` (always
+/// uncontended except during an export), the collector drains under the
+/// same mutex, so exports while workers are mid-span are race-free.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+  std::string thread_name;
+};
+
+class Collector {
+ public:
+  static Collector& Get() {
+    // Leaked: thread buffers registered from pool workers must stay valid
+    // through static destruction.
+    static Collector* collector = new Collector();
+    return *collector;
+  }
+
+  ThreadBuffer* BufferForThisThread() {
+    thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+    if (t_buffer == nullptr) {
+      t_buffer = std::make_shared<ThreadBuffer>();
+      std::lock_guard<std::mutex> lk(mu_);
+      t_buffer->tid = next_tid_++;
+      buffers_.push_back(t_buffer);
+    }
+    return t_buffer.get();
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> blk(buffer->mu);
+      buffer->events.clear();
+    }
+    start_wall_.store(Now(), std::memory_order_relaxed);
+  }
+
+  double start_wall() const {
+    return start_wall_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of every buffer's events plus track metadata.
+  struct Snapshot {
+    struct Track {
+      uint32_t tid;
+      std::string name;
+      std::vector<TraceEvent> events;
+    };
+    std::vector<Track> tracks;
+  };
+
+  Snapshot Take() {
+    Snapshot snap;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> blk(buffer->mu);
+      Snapshot::Track track;
+      track.tid = buffer->tid;
+      track.name = buffer->thread_name;
+      track.events = buffer->events;
+      snap.tracks.push_back(std::move(track));
+    }
+    return snap;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_tid_ = 0;
+  std::atomic<double> start_wall_{0.0};
+};
+
+void Append(TraceEvent event) {
+  ThreadBuffer* buffer = Collector::Get().BufferForThisThread();
+  std::lock_guard<std::mutex> lk(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+}  // namespace
+
+const char* CategoryName(Category cat) {
+  switch (cat) {
+    case Category::kIo:
+      return "io";
+    case Category::kKernel:
+      return "kernel";
+    case Category::kEngine:
+      return "engine";
+    case Category::kStage:
+      return "stage";
+    case Category::kPreparator:
+      return "preparator";
+    case Category::kSim:
+      return "sim";
+    case Category::kMemory:
+      return "memory";
+  }
+  return "?";
+}
+
+void StartTracing() {
+  Collector::Get().Clear();
+  internal::g_tracing_enabled.store(true, std::memory_order_release);
+}
+
+void StopTracing() {
+  internal::g_tracing_enabled.store(false, std::memory_order_release);
+}
+
+void SetCurrentThreadName(std::string name) {
+  ThreadBuffer* buffer = Collector::Get().BufferForThisThread();
+  std::lock_guard<std::mutex> lk(buffer->mu);
+  buffer->thread_name = std::move(name);
+}
+
+void EmitCounter(std::string_view track, double value) {
+  if (!TracingEnabled()) return;
+  TraceEvent event;
+  event.name.assign(track.data(), track.size());
+  event.cat = Category::kMemory;
+  event.phase = 'C';
+  event.ts_us = (Now() - Collector::Get().start_wall()) * 1e6;
+  event.value = value;
+  Append(std::move(event));
+}
+
+void SetVirtualCreditHook(double (*hook)()) {
+  g_credit_hook.store(hook, std::memory_order_relaxed);
+}
+
+void TraceSpan::Begin(Category cat, const char* static_name) {
+  active_ = true;
+  cat_ = cat;
+  static_name_ = static_name;
+  credit_start_ = CurrentCredit();
+  wall_start_ = Now();
+}
+
+void TraceSpan::End() {
+  const double wall_end = Now();
+  const double credit_delta = CurrentCredit() - credit_start_;
+  TraceEvent event;
+  event.static_name = static_name_;
+  if (static_name_ == nullptr) event.name = std::move(dyn_name_);
+  event.cat = cat_;
+  event.phase = 'X';
+  event.ts_us = (wall_start_ - Collector::Get().start_wall()) * 1e6;
+  event.dur_us = (wall_end - wall_start_) * 1e6;
+  double vdur_us = event.dur_us - credit_delta * 1e6;
+  event.vdur_us = vdur_us > 0.0 ? vdur_us : 0.0;
+  Append(std::move(event));
+}
+
+JsonValue TraceToJson() {
+  Collector::Snapshot snap = Collector::Get().Take();
+
+  JsonValue events = JsonValue::Array();
+  for (const auto& track : snap.tracks) {
+    if (!track.name.empty()) {
+      JsonValue meta = JsonValue::Object();
+      meta.Set("name", JsonValue::Str("thread_name"));
+      meta.Set("ph", JsonValue::Str("M"));
+      meta.Set("pid", JsonValue::Int(1));
+      meta.Set("tid", JsonValue::Int(track.tid));
+      JsonValue args = JsonValue::Object();
+      args.Set("name", JsonValue::Str(track.name));
+      meta.Set("args", std::move(args));
+      events.Append(std::move(meta));
+    }
+    for (const TraceEvent& e : track.events) {
+      JsonValue j = JsonValue::Object();
+      j.Set("name", JsonValue::Str(std::string(e.Name())));
+      j.Set("ph", JsonValue::Str(std::string(1, e.phase)));
+      j.Set("pid", JsonValue::Int(1));
+      j.Set("tid", JsonValue::Int(track.tid));
+      j.Set("ts", JsonValue::Number(e.ts_us));
+      if (e.phase == 'X') {
+        j.Set("cat", JsonValue::Str(CategoryName(e.cat)));
+        j.Set("dur", JsonValue::Number(e.dur_us));
+        JsonValue args = JsonValue::Object();
+        args.Set("vdur_us", JsonValue::Number(e.vdur_us));
+        j.Set("args", std::move(args));
+      } else {
+        JsonValue args = JsonValue::Object();
+        args.Set("value", JsonValue::Number(e.value));
+        j.Set("args", std::move(args));
+      }
+      events.Append(std::move(j));
+    }
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("displayTimeUnit", JsonValue::Str("ms"));
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("metrics", MetricsRegistry::Global().ToJson());
+  return doc;
+}
+
+Status WriteTrace(const std::string& path) {
+  const std::string text = TraceToJson().Dump(0);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output ", path, " for writing");
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return Status::OK();
+}
+
+TraceEnvScope::TraceEnvScope(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) {
+    const char* env = std::getenv("BENTO_TRACE");
+    if (env != nullptr) path_ = env;
+  }
+  if (path_.empty()) return;
+  if (TracingEnabled()) {
+    // An enclosing scope owns the trace; this one is a passive observer.
+    path_.clear();
+    return;
+  }
+  StartTracing();
+  owns_ = true;
+}
+
+TraceEnvScope::~TraceEnvScope() {
+  if (!owns_) return;
+  StopTracing();
+  Status st = WriteTrace(path_);
+  if (!st.ok()) {
+    BENTO_LOG(Error) << "failed to write trace: " << st.ToString();
+  } else {
+    BENTO_LOG(Info) << "trace written to " << path_;
+  }
+}
+
+namespace testing {
+
+void SetClockForTest(double (*clock)()) {
+  g_clock.store(clock != nullptr ? clock : &SteadyClockSeconds,
+                std::memory_order_relaxed);
+}
+
+}  // namespace testing
+
+}  // namespace bento::obs

@@ -1,0 +1,163 @@
+#ifndef BENTO_OBS_TRACE_H_
+#define BENTO_OBS_TRACE_H_
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace bento::obs {
+
+/// \brief Span taxonomy: which layer of the stack a trace span belongs to.
+///
+/// The nesting the runner produces is stage ⊃ preparator ⊃ engine ⊃ kernel,
+/// with io spans under the I/O stage and sim spans (parallel fan-outs, pool
+/// tasks, modeled transfers) wherever the simulator does work. Memory
+/// timelines are counter tracks, not spans.
+enum class Category {
+  kIo,          ///< file ingest/egest (csv, bcf, spill)
+  kKernel,      ///< shared compute kernels (join, group-by, sort, ...)
+  kEngine,      ///< engine dispatch + execution-core op application
+  kStage,       ///< pipeline stages (IO/EDA/DT/DC) from the runner
+  kPreparator,  ///< one Table-II preparator as the runner times it
+  kSim,         ///< simulator machinery: ParallelFor, pool tasks, transfers
+  kMemory,      ///< memory-timeline counter samples
+};
+
+const char* CategoryName(Category cat);
+
+namespace internal {
+
+/// The single runtime toggle: one relaxed atomic load gates every
+/// instrumentation site, so a disabled build path costs one predictable
+/// branch and performs no allocation.
+extern std::atomic<bool> g_tracing_enabled;
+
+}  // namespace internal
+
+/// \brief True while a trace is being collected. Relaxed load: callers use
+/// it only to skip instrumentation work, never for synchronization.
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// \brief Clears previously collected events and starts collecting.
+void StartTracing();
+
+/// \brief Stops collecting. Already-buffered events survive until the next
+/// StartTracing and can still be exported.
+void StopTracing();
+
+/// \brief Chrome trace_event document ({"traceEvents": [...]}) of every
+/// buffered event plus a snapshot of the MetricsRegistry. Loadable in
+/// chrome://tracing and Perfetto.
+JsonValue TraceToJson();
+
+/// \brief Serializes TraceToJson() to `path`.
+Status WriteTrace(const std::string& path);
+
+/// \brief Names the calling thread's track in exported traces (the thread
+/// pool labels its workers). Cheap; callable before tracing starts.
+void SetCurrentThreadName(std::string name);
+
+/// \brief Emits one counter sample (Chrome "C" phase) on the calling
+/// thread's track — the memory-timeline mechanism. No-op when disabled.
+void EmitCounter(std::string_view track, double value);
+
+/// \brief Installs the virtual-time hook: returns the calling thread's
+/// accumulated sim time credits in seconds. Installed once by sim::Session
+/// so spans can report virtual durations without obs depending on sim.
+void SetVirtualCreditHook(double (*hook)());
+
+/// \brief RAII span. When tracing is disabled, construction is a single
+/// branch and allocates nothing. Records wall duration and virtual duration
+/// (wall minus sim time credits accrued inside the span, so simulated
+/// parallel overlap shrinks it and modeled penalties grow it).
+class TraceSpan {
+ public:
+  TraceSpan(Category cat, const char* name) {
+    if (TracingEnabled()) Begin(cat, name);
+  }
+  /// Dynamic-name spans: callers must only build the name when tracing is
+  /// enabled (see BENTO_TRACE_SPAN_DYN); an empty name deactivates the span.
+  TraceSpan(Category cat, std::string name) {
+    if (TracingEnabled() && !name.empty()) {
+      dyn_name_ = std::move(name);
+      Begin(cat, nullptr);
+    }
+  }
+  ~TraceSpan() {
+    if (active_) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(Category cat, const char* static_name);
+  void End();
+
+  bool active_ = false;
+  Category cat_ = Category::kKernel;
+  const char* static_name_ = nullptr;
+  std::string dyn_name_;
+  double wall_start_ = 0.0;
+  double credit_start_ = 0.0;
+};
+
+/// \brief RAII trace session bound to an output file. Resolves the path
+/// from the constructor argument or, when empty, the BENTO_TRACE environment
+/// variable; inert when neither is set or when an enclosing scope already
+/// owns the trace (so a per-run scope inside a per-process scope is a
+/// no-op and the outer scope writes one combined file).
+class TraceEnvScope {
+ public:
+  explicit TraceEnvScope(std::string path = "");
+  ~TraceEnvScope();
+
+  TraceEnvScope(const TraceEnvScope&) = delete;
+  TraceEnvScope& operator=(const TraceEnvScope&) = delete;
+
+  bool owns() const { return owns_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  bool owns_ = false;
+};
+
+namespace testing {
+
+/// \brief Replaces the trace clock (seconds; nullptr restores the steady
+/// clock). Exported timestamps become deterministic for golden tests.
+void SetClockForTest(double (*clock)());
+
+}  // namespace testing
+
+}  // namespace bento::obs
+
+#define BENTO_OBS_CONCAT_(a, b) a##b
+#define BENTO_OBS_CONCAT(a, b) BENTO_OBS_CONCAT_(a, b)
+
+// Compile-time kill switch: -DBENTO_OBS_DISABLED removes every span site
+// from the binary; the runtime atomic handles the common enabled/disabled
+// case with one branch.
+#if defined(BENTO_OBS_DISABLED)
+#define BENTO_TRACE_SPAN(category, name)
+#define BENTO_TRACE_SPAN_DYN(category, name_expr)
+#else
+/// Scoped span with a static (string-literal or otherwise immortal) name.
+#define BENTO_TRACE_SPAN(category, name)                             \
+  ::bento::obs::TraceSpan BENTO_OBS_CONCAT(bento_trace_, __LINE__)(  \
+      ::bento::obs::Category::category, name)
+/// Scoped span whose name expression is evaluated only when tracing.
+#define BENTO_TRACE_SPAN_DYN(category, name_expr)                    \
+  ::bento::obs::TraceSpan BENTO_OBS_CONCAT(bento_trace_, __LINE__)(  \
+      ::bento::obs::Category::category,                              \
+      ::bento::obs::TracingEnabled() ? std::string(name_expr)        \
+                                     : std::string())
+#endif
+
+#endif  // BENTO_OBS_TRACE_H_

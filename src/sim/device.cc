@@ -1,5 +1,7 @@
 #include "sim/device.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/parallel.h"
 
 namespace bento::sim {
@@ -32,6 +34,7 @@ Status DeviceKernel(KernelClass cls, const std::function<Status()>& fn) {
   const GpuSpec* gpu = ActiveGpu();
   if (gpu == nullptr) return fn();
 
+  BENTO_TRACE_SPAN(kSim, "device_kernel");
   double t0 = NowSeconds();
   Status st = fn();
   double host_seconds = NowSeconds() - t0;
@@ -47,6 +50,10 @@ Status DeviceKernel(KernelClass cls, const std::function<Status()>& fn) {
 void DeviceTransfer(uint64_t bytes) {
   const GpuSpec* gpu = ActiveGpu();
   if (gpu == nullptr || bytes == 0) return;
+  BENTO_TRACE_SPAN(kSim, "pcie_transfer");
+  static obs::Counter* pcie_bytes =
+      obs::MetricsRegistry::Global().counter("device.pcie_bytes");
+  pcie_bytes->Add(bytes);
   double seconds = static_cast<double>(bytes) /
                    (gpu->pcie_gbps * 1024.0 * 1024.0 * 1024.0);
   ChargePenalty(seconds);

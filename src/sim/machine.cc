@@ -4,12 +4,20 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "sim/parallel.h"
 
 namespace bento::sim {
 
 namespace {
 thread_local Session* t_session = nullptr;
+
+/// obs virtual-time hook: accumulated credits of the calling thread's
+/// session, so trace spans report credit-adjusted (virtual) durations.
+double CurrentSessionCredit() {
+  Session* s = Session::Current();
+  return s != nullptr ? s->credit_seconds() : 0.0;
+}
 
 ExecutionMode DefaultExecutionMode() {
   static const ExecutionMode mode = [] {
@@ -63,6 +71,7 @@ Session::Session(MachineSpec spec)
       previous_(t_session),
       execution_mode_(DefaultExecutionMode()) {
   t_session = this;
+  obs::SetVirtualCreditHook(&CurrentSessionCredit);
 }
 
 Session::~Session() { t_session = previous_; }

@@ -1,5 +1,7 @@
 #include "sim/memory.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace bento::sim {
@@ -7,6 +9,21 @@ namespace bento::sim {
 namespace {
 thread_local MemoryPool* t_current_pool = nullptr;
 }  // namespace
+
+MemoryPool::State::State(std::string pool_name, uint64_t budget_bytes)
+    : name(std::move(pool_name)),
+      budget(budget_bytes),
+      track_name("mem:" + name),
+      reserved_counter(obs::MetricsRegistry::Global().counter(
+          "mem." + name + ".reserved_bytes")),
+      released_counter(obs::MetricsRegistry::Global().counter(
+          "mem." + name + ".released_bytes")),
+      hwm_gauge(
+          obs::MetricsRegistry::Global().gauge("mem." + name + ".peak_bytes")) {
+}
+
+MemoryPool::MemoryPool(std::string name, uint64_t budget_bytes)
+    : state_(std::make_shared<State>(std::move(name), budget_bytes)) {}
 
 MemoryPool* MemoryPool::Default() {
   // Intentionally leaked: trivially-destructible access at shutdown.
@@ -18,26 +35,34 @@ MemoryPool* MemoryPool::Current() {
   return t_current_pool != nullptr ? t_current_pool : Default();
 }
 
-Status MemoryPool::Reserve(uint64_t bytes) {
-  uint64_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-  if (budget_ != 0 && now > budget_) {
-    current_.fetch_sub(bytes, std::memory_order_relaxed);
-    return Status::OutOfMemory("pool '", name_, "' budget ",
-                               HumanBytes(budget_), " exceeded: in use ",
-                               HumanBytes(now - bytes), ", requested ",
-                               HumanBytes(bytes));
+Status MemoryPool::State::Reserve(uint64_t bytes) {
+  uint64_t now = current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget != 0 && now > budget) {
+    current.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::OutOfMemory("pool '", name, "' budget ", HumanBytes(budget),
+                               " exceeded: in use ", HumanBytes(now - bytes),
+                               ", requested ", HumanBytes(bytes));
   }
   // Update peak watermark.
-  uint64_t prev_peak = peak_.load(std::memory_order_relaxed);
+  uint64_t prev_peak = peak.load(std::memory_order_relaxed);
   while (now > prev_peak &&
-         !peak_.compare_exchange_weak(prev_peak, now,
-                                      std::memory_order_relaxed)) {
+         !peak.compare_exchange_weak(prev_peak, now,
+                                     std::memory_order_relaxed)) {
+  }
+  reserved_counter->Add(bytes);
+  hwm_gauge->UpdateMax(static_cast<int64_t>(now));
+  if (obs::TracingEnabled()) {
+    obs::EmitCounter(track_name, static_cast<double>(now));
   }
   return Status::OK();
 }
 
-void MemoryPool::Release(uint64_t bytes) {
-  current_.fetch_sub(bytes, std::memory_order_relaxed);
+void MemoryPool::State::Release(uint64_t bytes) {
+  uint64_t now = current.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  released_counter->Add(bytes);
+  if (obs::TracingEnabled()) {
+    obs::EmitCounter(track_name, static_cast<double>(now));
+  }
 }
 
 MemoryScope::MemoryScope(MemoryPool* pool) : previous_(t_current_pool) {

@@ -3,10 +3,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "util/result.h"
 #include "util/status.h"
+
+namespace bento::obs {
+class Counter;
+class Gauge;
+}  // namespace bento::obs
 
 namespace bento::sim {
 
@@ -18,12 +24,38 @@ namespace bento::sim {
 /// allocation fails with StatusCode::kOutOfMemory, which engines surface as
 /// the OoM outcomes of Figures 3/8 and Table V.
 ///
+/// The accounting lives in a shared State co-owned by every buffer charged
+/// against the pool: a table that escapes its session (cached test fixtures,
+/// results compared across runs) can still release its bytes safely after
+/// the pool object itself is gone.
+///
 /// Thread-safe; counters are atomics.
 class MemoryPool {
  public:
+  /// Reference-counted accounting core. Reserve/Release mirror the pool's;
+  /// buffers call Release through their shared_ptr at destruction.
+  class State {
+   public:
+    State(std::string name, uint64_t budget_bytes);
+
+    Status Reserve(uint64_t bytes);
+    void Release(uint64_t bytes);
+
+    std::string name;
+    uint64_t budget;
+    std::atomic<uint64_t> current{0};
+    std::atomic<uint64_t> peak{0};
+    // Allocation-timeline instrumentation, resolved once at construction:
+    // cumulative reserve/release byte counters, a high-water-mark gauge, and
+    // the "mem:<name>" counter track sampled while tracing is enabled.
+    std::string track_name;
+    obs::Counter* reserved_counter;
+    obs::Counter* released_counter;
+    obs::Gauge* hwm_gauge;
+  };
+
   /// budget_bytes == 0 means unbounded.
-  explicit MemoryPool(std::string name = "pool", uint64_t budget_bytes = 0)
-      : name_(std::move(name)), budget_(budget_bytes) {}
+  explicit MemoryPool(std::string name = "pool", uint64_t budget_bytes = 0);
 
   MemoryPool(const MemoryPool&) = delete;
   MemoryPool& operator=(const MemoryPool&) = delete;
@@ -36,26 +68,31 @@ class MemoryPool {
   static MemoryPool* Current();
 
   /// \brief Charges `bytes`; fails with OutOfMemory when over budget.
-  Status Reserve(uint64_t bytes);
+  Status Reserve(uint64_t bytes) { return state_->Reserve(bytes); }
 
   /// \brief Returns previously reserved bytes.
-  void Release(uint64_t bytes);
+  void Release(uint64_t bytes) { state_->Release(bytes); }
 
-  uint64_t bytes_allocated() const { return current_.load(std::memory_order_relaxed); }
-  uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
-  uint64_t budget() const { return budget_; }
-  const std::string& name() const { return name_; }
+  uint64_t bytes_allocated() const {
+    return state_->current.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_bytes() const {
+    return state_->peak.load(std::memory_order_relaxed);
+  }
+  uint64_t budget() const { return state_->budget; }
+  const std::string& name() const { return state_->name; }
 
-  void set_budget(uint64_t bytes) { budget_ = bytes; }
+  void set_budget(uint64_t bytes) { state_->budget = bytes; }
 
   /// \brief Resets the peak watermark to the current usage (between runs).
-  void ResetPeak() { peak_.store(current_.load()); }
+  void ResetPeak() { state_->peak.store(state_->current.load()); }
+
+  /// \brief The shared accounting state; buffers keep it alive past the
+  /// pool so their destructors never release into freed memory.
+  const std::shared_ptr<State>& state() const { return state_; }
 
  private:
-  std::string name_;
-  uint64_t budget_;
-  std::atomic<uint64_t> current_{0};
-  std::atomic<uint64_t> peak_{0};
+  std::shared_ptr<State> state_;
 };
 
 /// \brief RAII installation of a pool as MemoryPool::Current() for this

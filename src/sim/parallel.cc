@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/thread_pool.h"
 
 namespace bento::sim {
@@ -71,10 +73,18 @@ Status ParallelFor(int64_t n, const std::function<Status(int64_t)>& fn,
   if (session != nullptr) workers = std::min(workers, session->cores());
 
   if (n > 1 && workers > 1 && UseRealExecution(options, session)) {
+    BENTO_TRACE_SPAN(kSim, "parallel_for.real");
+    static obs::Counter* real_tasks =
+        obs::MetricsRegistry::Global().counter("sim.parallel_for.real_tasks");
+    real_tasks->Add(static_cast<uint64_t>(n));
     return ThreadPool::Shared()->ParallelFor(n, fn, workers,
                                              MemoryPool::Current());
   }
 
+  BENTO_TRACE_SPAN(kSim, "parallel_for.sim");
+  static obs::Counter* sim_tasks =
+      obs::MetricsRegistry::Global().counter("sim.parallel_for.sim_tasks");
+  sim_tasks->Add(static_cast<uint64_t>(n > 0 ? n : 0));
   std::vector<double> durations;
   durations.reserve(static_cast<size_t>(n));
   Status first_error;

@@ -6,6 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bento::sim {
 
 namespace {
@@ -25,6 +28,9 @@ Result<std::unique_ptr<SpillFile>> SpillFile::Create(const std::string& dir) {
   if (f == nullptr) {
     return Status::IOError("cannot create spill file at ", path);
   }
+  static obs::Counter* spill_files =
+      obs::MetricsRegistry::Global().counter("spill.files");
+  spill_files->Increment();
   return std::unique_ptr<SpillFile>(new SpillFile(f, std::move(path)));
 }
 
@@ -34,6 +40,10 @@ SpillFile::~SpillFile() {
 }
 
 Result<uint64_t> SpillFile::Write(const void* data, uint64_t size) {
+  BENTO_TRACE_SPAN(kIo, "spill.write");
+  static obs::Counter* spill_bytes =
+      obs::MetricsRegistry::Global().counter("spill.bytes_written");
+  spill_bytes->Add(size);
   if (std::fseek(file_, 0, SEEK_END) != 0) {
     return Status::IOError("spill seek failed");
   }
@@ -47,6 +57,10 @@ Result<uint64_t> SpillFile::Write(const void* data, uint64_t size) {
 }
 
 Status SpillFile::Read(uint64_t offset, uint64_t size, void* out) {
+  BENTO_TRACE_SPAN(kIo, "spill.read");
+  static obs::Counter* spill_read_bytes =
+      obs::MetricsRegistry::Global().counter("spill.bytes_read");
+  spill_read_bytes->Add(size);
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
     return Status::IOError("spill seek failed");
   }

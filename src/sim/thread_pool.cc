@@ -3,6 +3,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bento::sim {
 
@@ -54,6 +58,9 @@ void ThreadPool::Submit(std::function<void()> task) {
     workers_[static_cast<size_t>(target)]->tasks.push_back(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_release);
+  static obs::Counter* submits =
+      obs::MetricsRegistry::Global().counter("pool.submits");
+  submits->Increment();
   wake_cv_.notify_one();
 }
 
@@ -81,6 +88,9 @@ bool ThreadPool::PopOrSteal(int self, std::function<void()>* out) {
       *out = std::move(victim.tasks.front());
       victim.tasks.pop_front();
       queued_.fetch_sub(1, std::memory_order_acquire);
+      static obs::Counter* steals =
+          obs::MetricsRegistry::Global().counter("pool.steals");
+      steals->Increment();
       return true;
     }
   }
@@ -89,9 +99,11 @@ bool ThreadPool::PopOrSteal(int self, std::function<void()>* out) {
 
 void ThreadPool::WorkerLoop(int self) {
   t_worker_index = self;
+  obs::SetCurrentThreadName("pool-worker-" + std::to_string(self));
   std::function<void()> task;
   for (;;) {
     if (PopOrSteal(self, &task)) {
+      BENTO_TRACE_SPAN(kSim, "pool.task");
       task();
       task = nullptr;
       continue;
@@ -158,6 +170,9 @@ Status ThreadPool::ParallelFor(int64_t n,
     }
   };
 
+  static obs::Counter* dispatches =
+      obs::MetricsRegistry::Global().counter("pool.parallel_for.dispatches");
+  dispatches->Add(static_cast<uint64_t>(parallelism > 0 ? parallelism : 0));
   for (int r = 0; r < parallelism - 1; ++r) {
     Submit([&group, run] {
       run(&group);

@@ -1,12 +1,48 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 
 namespace bento {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+/// BENTO_LOG accepts level names (debug, info, warning, error, fatal; any
+/// case, "warn" works) or the numeric enum value. Unset or unrecognized
+/// values keep the kWarning default.
+int LevelFromEnv() {
+  const char* env = std::getenv("BENTO_LOG");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  std::string v;
+  for (const char* p = env; *p; ++p) {
+    v.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (v == "debug" || v == "0") return static_cast<int>(LogLevel::kDebug);
+  if (v == "info" || v == "1") return static_cast<int>(LogLevel::kInfo);
+  if (v == "warning" || v == "warn" || v == "2") {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (v == "error" || v == "3") return static_cast<int>(LogLevel::kError);
+  if (v == "fatal" || v == "4") return static_cast<int>(LogLevel::kFatal);
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+// -1 = not yet initialized from the environment; resolved lazily so the
+// first log site works regardless of static-init order.
+std::atomic<int> g_min_level{-1};
+
+int MinLevel() {
+  int v = g_min_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = LevelFromEnv();
+    g_min_level.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -27,13 +63,13 @@ const char* LevelName(LogLevel level) {
 
 void SetLogLevel(LogLevel level) { g_min_level = static_cast<int>(level); }
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(MinLevel()); }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level),
-      enabled_(static_cast<int>(level) >= g_min_level.load() ||
+      enabled_(static_cast<int>(level) >= MinLevel() ||
                level == LogLevel::kFatal) {
   if (enabled_) {
     const char* base = file;

@@ -5,6 +5,7 @@
 #include <utility>
 #include <variant>
 
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace bento {
@@ -63,9 +64,9 @@ class Result {
 
  private:
   [[noreturn]] void Abort() const {
-    std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
-                 std::get<Status>(var_).ToString().c_str());
-    std::abort();
+    BENTO_LOG(Fatal) << "Result::ValueOrDie on error: "
+                     << std::get<Status>(var_).ToString();
+    std::abort();  // unreachable: Fatal aborts after flushing
   }
 
   std::variant<Status, T> var_;

@@ -19,6 +19,7 @@
 #include "datagen/datasets.h"
 #include "frame/engine.h"
 #include "kernels/selection.h"
+#include "obs/trace.h"
 #include "sim/machine.h"
 #include "sim/parallel.h"
 #include "tests/test_util.h"
@@ -242,6 +243,31 @@ TEST_P(EngineDifferentialTest, RealExecutionMatchesSimulated) {
       ExpectActionsEqual(sim_run.action, real_run.action);
     } else {
       test::ExpectTablesEqual(sim_run.table, real_run.table);
+    }
+  }
+}
+
+// Invariant 3: obs tracing is an observer, never a participant — results
+// with a trace collecting are bit-identical to results without, in both
+// execution modes (spans and counters must not perturb engine logic).
+TEST_P(EngineDifferentialTest, TracingDoesNotChangeResults) {
+  const std::string id = GetParam();
+  for (const auto mode :
+       {sim::ExecutionMode::kSimulated, sim::ExecutionMode::kReal}) {
+    for (const OpCase& c : AllOpCases()) {
+      SCOPED_TRACE(c.name);
+      RunOutcome plain = RunOne(id, mode, c);
+      obs::StartTracing();
+      RunOutcome traced = RunOne(id, mode, c);
+      obs::StopTracing();
+      ASSERT_EQ(plain.status.code(), traced.status.code())
+          << plain.status.ToString() << " vs " << traced.status.ToString();
+      if (!plain.status.ok()) continue;
+      if (plain.is_action) {
+        ExpectActionsEqual(plain.action, traced.action);
+      } else {
+        test::ExpectTablesEqual(plain.table, traced.table);
+      }
     }
   }
 }

@@ -1,0 +1,374 @@
+// bento::obs unit + integration suite: metrics aggregation under
+// contention, golden Chrome-trace export on a fake clock, virtual-time
+// spans, zero-allocation disabled paths, span collection across real pool
+// workers, the memory-timeline counter track, and a full function-core
+// runner trace validated against the schema in tests/trace_schema.h.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bento/pipeline.h"
+#include "bento/runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/machine.h"
+#include "sim/thread_pool.h"
+#include "tests/test_util.h"
+#include "tests/trace_schema.h"
+
+// Process-wide allocation counter backing the disabled-path test: obs
+// instrumentation must not allocate while tracing is off.
+static std::atomic<uint64_t> g_allocations{0};
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace bento::obs {
+namespace {
+
+double g_fake_now = 0.0;
+double FakeClock() { return g_fake_now; }
+
+/// Tracing state is process-global; every test leaves it stopped.
+class TraceTest : public ::testing::Test {
+ protected:
+  ~TraceTest() override {
+    StopTracing();
+    testing::SetClockForTest(nullptr);
+  }
+};
+
+int CountEvents(const JsonValue& doc, const std::string& ph,
+                const std::string& name = "") {
+  int n = 0;
+  const JsonValue& events = doc.Get("traceEvents");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    if (e.GetString("ph") != ph) continue;
+    if (!name.empty() && e.GetString("name") != name) continue;
+    ++n;
+  }
+  return n;
+}
+
+const JsonValue* FindSpan(const JsonValue& doc, const std::string& name) {
+  const JsonValue& events = doc.Get("traceEvents");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    if (e.GetString("ph") == "X" && e.GetString("name") == name) {
+      return &events.at(i);
+    }
+  }
+  return nullptr;
+}
+
+TEST(MetricsTest, CounterGaugeAndRegistry) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c = reg.counter("obs_test.basic");
+  // Find-or-create: the address is stable, so hot sites may cache it.
+  ASSERT_EQ(c, reg.counter("obs_test.basic"));
+  c->Reset();
+  c->Add(41);
+  c->Increment();
+  EXPECT_EQ(c->value(), 42u);
+  EXPECT_EQ(reg.CounterValue("obs_test.basic"), 42u);
+
+  Gauge* g = reg.gauge("obs_test.hwm");
+  g->Reset();
+  g->UpdateMax(10);
+  g->UpdateMax(7);  // lower: no change
+  EXPECT_EQ(g->value(), 10);
+  g->Set(3);
+  EXPECT_EQ(g->value(), 3);
+
+  c->Add(0);
+  JsonValue snapshot = reg.ToJson();
+  EXPECT_EQ(snapshot.Get("counters").GetInt("obs_test.basic"), 42);
+  EXPECT_EQ(snapshot.Get("gauges").GetInt("obs_test.hwm"), 3);
+}
+
+TEST(MetricsTest, ConcurrentCounterAggregation) {
+  Counter* c = MetricsRegistry::Global().counter("obs_test.concurrent");
+  c->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      // Each thread resolves the counter itself: lookup must be
+      // thread-safe and return the same instrument.
+      Counter* mine = MetricsRegistry::Global().counter("obs_test.concurrent");
+      for (int i = 0; i < kAdds; ++i) mine->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST_F(TraceTest, GoldenNestedSpansOnFakeClock) {
+  g_fake_now = 100.0;
+  testing::SetClockForTest(&FakeClock);
+  StartTracing();
+  {
+    TraceSpan outer(Category::kStage, "stage.EDA");
+    g_fake_now = 100.001;  // 1000us in
+    {
+      TraceSpan inner(Category::kKernel, "groupby");
+      g_fake_now = 100.0015;  // inner: 500us
+    }
+    g_fake_now = 100.002;  // outer: 2000us
+  }
+  StopTracing();
+  JsonValue doc = TraceToJson();
+
+  const JsonValue* outer = FindSpan(doc, "stage.EDA");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->GetString("cat"), "stage");
+  EXPECT_DOUBLE_EQ(outer->GetNumber("ts"), 0.0);
+  EXPECT_NEAR(outer->GetNumber("dur"), 2000.0, 1e-6);
+  EXPECT_NEAR(outer->Get("args").GetNumber("vdur_us"), 2000.0, 1e-6);
+
+  const JsonValue* inner = FindSpan(doc, "groupby");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->GetString("cat"), "kernel");
+  EXPECT_NEAR(inner->GetNumber("ts"), 1000.0, 1e-6);
+  EXPECT_NEAR(inner->GetNumber("dur"), 500.0, 1e-6);
+
+  // The golden document is schema-valid and the nesting is visible to the
+  // same validator CI runs on real traces.
+  EXPECT_OK(test::ValidateTraceDocument(doc, nullptr));
+}
+
+TEST_F(TraceTest, VirtualDurationSubtractsSessionCredits) {
+  sim::Session session(sim::MachineSpec::Laptop());
+  g_fake_now = 10.0;
+  testing::SetClockForTest(&FakeClock);
+  StartTracing();
+  {
+    TraceSpan span(Category::kKernel, "credited");
+    g_fake_now = 10.004;                 // 4000us of wall time
+    session.AddTimeCredit(0.003);        // 3000us overlapped away
+  }
+  {
+    TraceSpan span(Category::kKernel, "over_credited");
+    g_fake_now = 10.005;                 // 1000us of wall time
+    session.AddTimeCredit(0.002);        // more credit than wall: clamp to 0
+  }
+  StopTracing();
+  JsonValue doc = TraceToJson();
+
+  const JsonValue* credited = FindSpan(doc, "credited");
+  ASSERT_NE(credited, nullptr);
+  EXPECT_NEAR(credited->GetNumber("dur"), 4000.0, 1e-6);
+  EXPECT_NEAR(credited->Get("args").GetNumber("vdur_us"), 1000.0, 1e-6);
+
+  const JsonValue* clamped = FindSpan(doc, "over_credited");
+  ASSERT_NE(clamped, nullptr);
+  EXPECT_DOUBLE_EQ(clamped->Get("args").GetNumber("vdur_us"), 0.0);
+}
+
+TEST_F(TraceTest, CounterTrackGolden) {
+  g_fake_now = 5.0;
+  testing::SetClockForTest(&FakeClock);
+  StartTracing();
+  EmitCounter("mem:test", 128.0);
+  g_fake_now = 5.001;
+  EmitCounter("mem:test", 64.0);
+  StopTracing();
+  JsonValue doc = TraceToJson();
+
+  ASSERT_EQ(CountEvents(doc, "C", "mem:test"), 2);
+  const JsonValue& events = doc.Get("traceEvents");
+  std::vector<std::pair<double, double>> samples;  // (ts, value)
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    if (e.GetString("ph") == "C" && e.GetString("name") == "mem:test") {
+      samples.emplace_back(e.GetNumber("ts"), e.Get("args").GetNumber("value"));
+    }
+  }
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0].first, 0.0);
+  EXPECT_DOUBLE_EQ(samples[0].second, 128.0);
+  EXPECT_NEAR(samples[1].first, 1000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(samples[1].second, 64.0);
+}
+
+TEST_F(TraceTest, SpansCollectedAcrossPoolWorkers) {
+  StartTracing();
+  sim::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  Status st = pool.ParallelFor(
+      64,
+      [&](int64_t) {
+        BENTO_TRACE_SPAN(kKernel, "worker_body");
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      },
+      4, nullptr);
+  ASSERT_OK(st);
+  EXPECT_EQ(ran.load(), 64);
+  StopTracing();
+  JsonValue doc = TraceToJson();
+
+  // Every body span arrived in the collector regardless of which worker
+  // (or the caller, who participates) ran it.
+  EXPECT_EQ(CountEvents(doc, "X", "worker_body"), 64);
+  // Workers named their tracks; the names survive into the export.
+  bool saw_worker_name = false;
+  const JsonValue& events = doc.Get("traceEvents");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    if (e.GetString("ph") == "M" &&
+        e.Get("args").GetString("name").rfind("pool-worker-", 0) == 0) {
+      saw_worker_name = true;
+    }
+  }
+  EXPECT_TRUE(saw_worker_name);
+  EXPECT_OK(test::ValidateTraceDocument(doc, nullptr));
+}
+
+TEST_F(TraceTest, DisabledPathAllocatesNothingAndRecordsNothing) {
+  StopTracing();
+  ASSERT_FALSE(TracingEnabled());
+  Counter* counter = MetricsRegistry::Global().counter("obs_test.disabled");
+  const int before_events = CountEvents(TraceToJson(), "X");
+
+  const uint64_t allocs_before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    BENTO_TRACE_SPAN(kKernel, "never_recorded");
+    BENTO_TRACE_SPAN_DYN(kEngine, std::string("expensive_") + "name");
+    EmitCounter("mem:never", 1.0);
+    counter->Increment();  // metrics stay live when tracing is off
+  }
+  const uint64_t allocs_after = g_allocations.load();
+
+  EXPECT_EQ(allocs_after, allocs_before);
+  EXPECT_EQ(CountEvents(TraceToJson(), "X"), before_events);
+  EXPECT_GE(counter->value(), 1000u);
+}
+
+TEST_F(TraceTest, TraceEnvScopeOwnershipAndNesting) {
+  const std::string path =
+      "/tmp/bento_obs_scope_" + std::to_string(::getpid()) + ".json";
+  {
+    TraceEnvScope outer(path);
+    ASSERT_TRUE(outer.owns());
+    EXPECT_TRUE(TracingEnabled());
+    {
+      // A nested scope must not steal the trace or truncate the file.
+      TraceEnvScope inner("/tmp/should_not_be_written.json");
+      EXPECT_FALSE(inner.owns());
+      BENTO_TRACE_SPAN(kKernel, "inside_nested_scope");
+    }
+    EXPECT_TRUE(TracingEnabled());
+  }
+  EXPECT_FALSE(TracingEnabled());
+
+  auto doc = ReadJsonFile(path);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(CountEvents(doc.ValueOrDie(), "X", "inside_nested_scope"), 1);
+  EXPECT_OK(test::ValidateTraceDocument(doc.ValueOrDie(), nullptr));
+  std::remove(path.c_str());
+
+  // Empty path and no BENTO_TRACE: completely inert.
+  ::unsetenv("BENTO_TRACE");
+  TraceEnvScope inert;
+  EXPECT_FALSE(inert.owns());
+  EXPECT_FALSE(TracingEnabled());
+}
+
+TEST_F(TraceTest, MemoryPoolEmitsTimelineAndMetrics) {
+  sim::Session session(sim::MachineSpec::Laptop());
+  StartTracing();
+  ASSERT_OK(session.host_pool()->Reserve(1 << 20));
+  session.host_pool()->Release(1 << 20);
+  StopTracing();
+  JsonValue doc = TraceToJson();
+
+  // One sample at 1 MiB, one back at the starting level, on a "mem:" track.
+  double max_seen = -1.0;
+  const JsonValue& events = doc.Get("traceEvents");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    if (e.GetString("ph") == "C" && e.GetString("name").rfind("mem:", 0) == 0) {
+      max_seen = std::max(max_seen, e.Get("args").GetNumber("value"));
+    }
+  }
+  EXPECT_GE(max_seen, static_cast<double>(1 << 20));
+
+  // The registry tracked the traffic and the high-water mark too.
+  const std::string pool_name = "host:" + session.spec().name;
+  EXPECT_GE(MetricsRegistry::Global().CounterValue("mem." + pool_name +
+                                                   ".reserved_bytes"),
+            static_cast<uint64_t>(1 << 20));
+  EXPECT_GE(MetricsRegistry::Global().GaugeValue("mem." + pool_name +
+                                                 ".peak_bytes"),
+            static_cast<int64_t>(1 << 20));
+}
+
+/// The acceptance-shaped integration test: a function-core Loan run with a
+/// trace path produces a Chrome trace with ≥1 span per executed
+/// preparator, stage ⊃ preparator ⊃ engine/kernel nesting, and a memory
+/// counter track — checked by the same validator the CI trace job uses.
+TEST_F(TraceTest, FunctionCoreLoanRunEmitsValidPipelineTrace) {
+  const std::string dir =
+      "/tmp/bento_obs_runner_" + std::to_string(::getpid());
+  const std::string trace_path = dir + "/loan_trace.json";
+  {
+    run::Runner runner(dir, 0.001);
+    auto pipeline = run::PipelineFor("loan").ValueOrDie();
+    run::RunConfig config;
+    config.engine_id = "pandas";
+    config.mode = run::RunMode::kFunctionCore;
+    config.trace_path = trace_path;
+    auto report = runner.Run(config, pipeline, "loan");
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ASSERT_TRUE(report.ValueOrDie().status.ok())
+        << report.ValueOrDie().status.ToString();
+    EXPECT_FALSE(TracingEnabled());  // scope closed with the run
+
+    auto doc = ReadJsonFile(trace_path);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_OK(test::ValidatePipelineShape(
+        doc.ValueOrDie(),
+        static_cast<int>(report.ValueOrDie().ops.size())));
+
+    // Function-core mode also filled the per-op peak column.
+    bool any_peak = false;
+    for (const auto& op : report.ValueOrDie().ops) {
+      if (op.peak_bytes > 0) any_peak = true;
+    }
+    EXPECT_TRUE(any_peak);
+    EXPECT_GT(report.ValueOrDie().peak_host_bytes, 0u);
+  }
+  std::string cmd = "rm -rf " + dir;
+  (void)!system(cmd.c_str());
+}
+
+}  // namespace
+}  // namespace bento::obs

@@ -1,0 +1,198 @@
+#ifndef BENTO_TESTS_TRACE_SCHEMA_H_
+#define BENTO_TESTS_TRACE_SCHEMA_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace bento::test {
+
+/// What a Chrome trace_event document produced by obs::TraceToJson contained,
+/// filled in by ValidateTraceDocument.
+struct TraceStats {
+  int span_count = 0;        ///< 'X' complete events
+  int counter_samples = 0;   ///< 'C' counter samples
+  int thread_metadata = 0;   ///< 'M' thread_name records
+  std::map<std::string, int> spans_by_category;
+  std::set<std::string> counter_tracks;
+  std::set<std::string> span_names;
+};
+
+namespace trace_schema_internal {
+
+inline const std::set<std::string>& KnownCategories() {
+  static const std::set<std::string> cats = {
+      "io", "kernel", "engine", "stage", "preparator", "sim", "memory"};
+  return cats;
+}
+
+/// One parsed 'X' event, for containment checks.
+struct SpanRec {
+  std::string name;
+  std::string cat;
+  int64_t tid = 0;
+  double ts = 0.0;
+  double dur = 0.0;
+  bool Contains(const SpanRec& inner) const {
+    // Timestamps are doubles rounded through JSON; allow 1us of slack.
+    const double eps = 1.0;
+    return inner.tid == tid && inner.ts >= ts - eps &&
+           inner.ts + inner.dur <= ts + dur + eps;
+  }
+};
+
+}  // namespace trace_schema_internal
+
+/// Validates the structural schema of an obs trace document: a
+/// {"traceEvents": [...]} object where every event is a well-formed 'X'
+/// (complete span with a known category, non-negative dur, and a
+/// non-negative virtual-duration arg), 'C' (counter sample with a numeric
+/// value), or 'M' (thread_name metadata). Returns the first violation; on
+/// success fills `stats` (which may be null).
+inline Status ValidateTraceDocument(const JsonValue& doc, TraceStats* stats) {
+  if (!doc.is_object()) return Status::Invalid("trace: root is not an object");
+  const JsonValue& events = doc.Get("traceEvents");
+  if (!events.is_array()) {
+    return Status::Invalid("trace: missing traceEvents array");
+  }
+  TraceStats local;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    const std::string where = "trace event " + std::to_string(i);
+    if (!e.is_object()) return Status::Invalid(where, ": not an object");
+    const std::string name = e.GetString("name");
+    if (name.empty()) return Status::Invalid(where, ": empty name");
+    const std::string ph = e.GetString("ph");
+    if (!e.Get("pid").is_number() || !e.Get("tid").is_number()) {
+      return Status::Invalid(where, " (", name, "): missing pid/tid");
+    }
+    if (ph == "M") {
+      if (name != "thread_name" || !e.Get("args").Get("name").is_string()) {
+        return Status::Invalid(where, ": malformed thread_name metadata");
+      }
+      ++local.thread_metadata;
+      continue;
+    }
+    if (!e.Get("ts").is_number() || e.GetNumber("ts") < 0) {
+      return Status::Invalid(where, " (", name, "): bad ts");
+    }
+    if (ph == "X") {
+      const std::string cat = e.GetString("cat");
+      if (trace_schema_internal::KnownCategories().count(cat) == 0) {
+        return Status::Invalid(where, " (", name, "): unknown cat '", cat,
+                               "'");
+      }
+      const double dur = e.GetNumber("dur", -1.0);
+      if (dur < 0) return Status::Invalid(where, " (", name, "): bad dur");
+      // vdur may exceed dur: negative time credits (modeled penalties such
+      // as PCIe transfers or lazy-planning overheads) grow virtual time
+      // beyond wall time. Only negative values are malformed.
+      const JsonValue& vdur = e.Get("args").Get("vdur_us");
+      if (!vdur.is_number() || vdur.number_value() < 0) {
+        return Status::Invalid(where, " (", name,
+                               "): vdur_us missing or negative");
+      }
+      ++local.span_count;
+      ++local.spans_by_category[cat];
+      local.span_names.insert(name);
+    } else if (ph == "C") {
+      if (!e.Get("args").Get("value").is_number()) {
+        return Status::Invalid(where, " (", name, "): counter without value");
+      }
+      ++local.counter_samples;
+      local.counter_tracks.insert(name);
+    } else {
+      return Status::Invalid(where, " (", name, "): unknown phase '", ph,
+                             "'");
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+/// Validates the pipeline shape a function-core runner trace must have:
+/// at least one stage span, at least one preparator span nested inside a
+/// stage span, at least one engine/kernel/io span nested inside a
+/// preparator span, and a memory-timeline counter track ("mem:..."). When
+/// `expected_preparators` > 0, also requires at least that many preparator
+/// spans (one per executed preparator).
+inline Status ValidatePipelineShape(const JsonValue& doc,
+                                    int expected_preparators = 0) {
+  using trace_schema_internal::SpanRec;
+  TraceStats stats;
+  Status st = ValidateTraceDocument(doc, &stats);
+  if (!st.ok()) return st;
+
+  std::vector<SpanRec> stages, preparators, leaves;
+  const JsonValue& events = doc.Get("traceEvents");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    if (e.GetString("ph") != "X") continue;
+    SpanRec rec;
+    rec.name = e.GetString("name");
+    rec.cat = e.GetString("cat");
+    rec.tid = e.GetInt("tid");
+    rec.ts = e.GetNumber("ts");
+    rec.dur = e.GetNumber("dur");
+    if (rec.cat == "stage") {
+      stages.push_back(rec);
+    } else if (rec.cat == "preparator") {
+      preparators.push_back(rec);
+    } else if (rec.cat == "engine" || rec.cat == "kernel" ||
+               rec.cat == "io") {
+      leaves.push_back(rec);
+    }
+  }
+
+  if (stages.empty()) return Status::Invalid("trace: no stage spans");
+  if (preparators.empty()) {
+    return Status::Invalid("trace: no preparator spans");
+  }
+  if (expected_preparators > 0 &&
+      static_cast<int>(preparators.size()) < expected_preparators) {
+    return Status::Invalid("trace: ", preparators.size(),
+                           " preparator spans, expected at least ",
+                           expected_preparators);
+  }
+  int nested_preparators = 0;
+  for (const SpanRec& p : preparators) {
+    for (const SpanRec& s : stages) {
+      if (s.Contains(p)) {
+        ++nested_preparators;
+        break;
+      }
+    }
+  }
+  if (nested_preparators == 0) {
+    return Status::Invalid("trace: no preparator span inside a stage span");
+  }
+  int nested_leaves = 0;
+  for (const SpanRec& l : leaves) {
+    for (const SpanRec& p : preparators) {
+      if (p.Contains(l)) {
+        ++nested_leaves;
+        break;
+      }
+    }
+  }
+  if (nested_leaves == 0) {
+    return Status::Invalid(
+        "trace: no engine/kernel/io span inside a preparator span");
+  }
+  bool has_memory_track = false;
+  for (const std::string& track : stats.counter_tracks) {
+    if (track.rfind("mem:", 0) == 0) has_memory_track = true;
+  }
+  if (!has_memory_track) {
+    return Status::Invalid("trace: no memory-timeline counter track (mem:*)");
+  }
+  return Status::OK();
+}
+
+}  // namespace bento::test
+
+#endif  // BENTO_TESTS_TRACE_SCHEMA_H_

@@ -1,0 +1,73 @@
+// Standalone validator for obs trace files, used by the CI trace job:
+//
+//   trace_schema_check trace.json                  # structural schema only
+//   trace_schema_check --expect-pipeline trace.json
+//   trace_schema_check --expect-pipeline --min-preparators 20 trace.json
+//
+// --expect-pipeline additionally requires the runner's nesting shape
+// (stage ⊃ preparator ⊃ engine/kernel/io) and a memory-timeline counter
+// track. Exits 0 on a valid trace, 1 otherwise, printing a short summary.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tests/trace_schema.h"
+#include "util/json.h"
+
+int main(int argc, char** argv) {
+  bool expect_pipeline = false;
+  int min_preparators = 0;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--expect-pipeline") == 0) {
+      expect_pipeline = true;
+    } else if (std::strcmp(argv[i], "--min-preparators") == 0 &&
+               i + 1 < argc) {
+      min_preparators = std::atoi(argv[++i]);
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_schema_check [--expect-pipeline] "
+                 "[--min-preparators N] trace.json\n");
+    return 1;
+  }
+
+  auto doc = bento::ReadJsonFile(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+
+  bento::test::TraceStats stats;
+  bento::Status st =
+      bento::test::ValidateTraceDocument(doc.ValueOrDie(), &stats);
+  if (st.ok() && expect_pipeline) {
+    st = bento::test::ValidatePipelineShape(doc.ValueOrDie(),
+                                            min_preparators);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s: OK — %d spans, %d counter samples, %d named threads\n",
+              path.c_str(), stats.span_count, stats.counter_samples,
+              stats.thread_metadata);
+  for (const auto& [cat, n] : stats.spans_by_category) {
+    std::printf("  %-11s %d\n", cat.c_str(), n);
+  }
+  if (!stats.counter_tracks.empty()) {
+    std::printf("  counter tracks:");
+    for (const std::string& track : stats.counter_tracks) {
+      std::printf(" %s", track.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
