@@ -4,6 +4,8 @@
 // partitioned group-by).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <map>
 #include <unordered_map>
 
 #include "bench/bench_common.h"
@@ -279,6 +281,95 @@ BENCHMARK(BM_GroupByBuildNodeMap)
     ->Args({1000000, 1000})
     ->Args({1000000, 100000});
 
+// --- morsel-kernel ablations (1 vs 4 real workers) ------------------------
+//
+// The pairs below isolate the three morsel-driven parallel kernels this
+// repo's real execution mode runs: thread-local group-by states, the
+// prefix-sum join probe, and the splitter-based run merge. The /1 variant
+// is the serial fallback of the same entry point, so each pair is a direct
+// parallel-vs-serial A/B on identical data.
+
+void BM_GroupByMorsel(benchmark::State& state) {
+  // High cardinality (~100k groups at 1M rows): per-partition groupers stay
+  // hot in cache while the merge handles a non-trivial group count.
+  Rng rng(7);
+  col::Int64Builder keys;
+  col::Float64Builder values;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    keys.Append(rng.UniformInt(0, 100000));
+    values.Append(rng.UniformDouble(0, 100));
+  }
+  std::vector<col::Field> fields = {{"k", col::TypeId::kInt64},
+                                    {"v", col::TypeId::kFloat64}};
+  auto t = col::Table::Make(
+               std::make_shared<col::Schema>(std::move(fields)),
+               {keys.Finish().ValueOrDie(), values.Finish().ValueOrDie()})
+               .ValueOrDie();
+  std::vector<kern::AggSpec> aggs = {{"v", kern::AggKind::kSum, "s"},
+                                     {"v", kern::AggKind::kCount, "n"}};
+  auto opts = RealOptions(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto grouped = kern::GroupByPartitioned(t, {"k"}, aggs, opts);
+    benchmark::DoNotOptimize(grouped);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByMorsel)->Args({1000000, 1})->Args({1000000, 4});
+
+void BM_JoinProbeParallel(benchmark::State& state) {
+  // ~1:1 join: 1M probe rows against 100k build keys, so probe + pair
+  // emission + output gather dominate over the build.
+  auto left = KeyTable(state.range(0), 100000);
+  Rng rng(11);
+  col::Int64Builder keys;
+  col::Float64Builder payload;
+  for (int64_t k = 0; k < 100000; ++k) {
+    keys.Append(k);
+    payload.Append(rng.UniformDouble());
+  }
+  std::vector<col::Field> fields = {{"k", col::TypeId::kInt64},
+                                    {"p", col::TypeId::kFloat64}};
+  auto right = col::Table::Make(
+                   std::make_shared<col::Schema>(std::move(fields)),
+                   {keys.Finish().ValueOrDie(), payload.Finish().ValueOrDie()})
+                   .ValueOrDie();
+  auto opts = RealOptions(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto joined = kern::HashJoinParallel(left, right, "k", "k", {}, opts);
+    benchmark::DoNotOptimize(joined);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinProbeParallel)->Args({1000000, 1})->Args({1000000, 4});
+
+void BM_SortMerge(benchmark::State& state) {
+  // Pre-sorted runs built outside the timing loop: measures only
+  // MergeSortedRuns (the phase the seed ran as a serial heap).
+  auto t = BenchTable(state.range(0));
+  std::vector<kern::SortKey> sort_keys = {{"k", true}};
+  const int64_t n = t->num_rows();
+  const int nruns = 4;
+  std::vector<std::vector<int64_t>> runs;
+  for (int r = 0; r < nruns; ++r) {
+    const int64_t b = n * r / nruns;
+    const int64_t e = n * (r + 1) / nruns;
+    std::vector<int64_t> run(static_cast<size_t>(e - b));
+    for (int64_t i = b; i < e; ++i) run[static_cast<size_t>(i - b)] = i;
+    auto key = t->GetColumn("k").ValueOrDie();
+    std::stable_sort(run.begin(), run.end(), [&](int64_t i, int64_t j) {
+      return key->int64_data()[i] < key->int64_data()[j];
+    });
+    runs.push_back(std::move(run));
+  }
+  auto opts = RealOptions(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto merged = kern::MergeSortedRuns(t, sort_keys, runs, opts);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortMerge)->Args({1000000, 1})->Args({1000000, 4});
+
 void BM_JoinReal(benchmark::State& state) {
   auto left = BenchTable(state.range(0));
   // Build side: one payload row per key value.
@@ -326,20 +417,72 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
       if (it != run.counters.end()) rows_per_second = it->second;
       writer_.Add(run.benchmark_name(), run.iterations, ns_per_op,
                   rows_per_second);
+      wall_ns_[run.benchmark_name()] = ns_per_op;
     }
     benchmark::ConsoleReporter::ReportRuns(runs);
   }
 
   const bento::bench::BenchJsonWriter& writer() const { return writer_; }
 
+  /// Wall-clock ns/op by benchmark name, for post-run scaling assertions.
+  const std::map<std::string, double>& wall_ns() const { return wall_ns_; }
+
  private:
   bento::bench::BenchJsonWriter writer_;
+  std::map<std::string, double> wall_ns_;
 };
+
+/// Strips a bare `--check-scaling` flag from argv; returns whether present.
+bool ParseCheckScalingArg(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--check-scaling") {
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The multi-worker regression gate: the 4-worker morsel kernels must not
+/// run slower (wall clock) than their serial 1-worker twins on identical
+/// data — the seed's partitioned group-by was 4.5x *slower*, which this
+/// check would have caught. A small tolerance absorbs timer noise on
+/// single-core hosts, where the best possible wall ratio is ~1.0.
+int CheckScaling(const std::map<std::string, double>& wall_ns) {
+  constexpr double kTolerance = 1.10;
+  const std::pair<const char*, const char*> pairs[] = {
+      {"BM_GroupByReal/1000000/4", "BM_GroupByReal/1000000/1"},
+      {"BM_JoinReal/1000000/4", "BM_JoinReal/1000000/1"},
+  };
+  int failures = 0;
+  for (const auto& [parallel, serial] : pairs) {
+    auto p = wall_ns.find(parallel);
+    auto s = wall_ns.find(serial);
+    if (p == wall_ns.end() || s == wall_ns.end()) {
+      std::fprintf(stderr, "check-scaling: missing %s or %s in this run\n",
+                   parallel, serial);
+      ++failures;
+      continue;
+    }
+    const double ratio = p->second / s->second;
+    std::fprintf(stderr, "check-scaling: %s / %s = %.3f\n", parallel, serial,
+                 ratio);
+    if (ratio > kTolerance) {
+      std::fprintf(stderr,
+                   "check-scaling: FAIL — %s is %.2fx slower than %s\n",
+                   parallel, ratio, serial);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string json_path = bento::bench::ParseJsonPathArg(&argc, argv);
+  const bool check_scaling = ParseCheckScalingArg(&argc, argv);
   bento::obs::TraceEnvScope trace_scope(
       bento::bench::ParseTraceArg(&argc, argv));
   benchmark::Initialize(&argc, argv);
@@ -354,5 +497,6 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (check_scaling) return CheckScaling(reporter.wall_ns());
   return 0;
 }

@@ -83,7 +83,7 @@ Result<TablePtr> DoSort(const TablePtr& table, const Op& op,
     BENTO_ASSIGN_OR_RETURN(
         auto indices,
         kern::ArgSortParallel(table, op.sort_keys, policy.parallel_options));
-    return kern::TakeTable(table, indices);
+    return kern::TakeTableParallel(table, indices, policy.parallel_options);
   }
   return kern::SortTable(table, op.sort_keys);
 }
@@ -266,6 +266,11 @@ Result<col::TablePtr> ExecTransform(const col::TablePtr& table, const Op& op,
                                      }),
                        policy);
     case OpKind::kDropDuplicates:
+      if (policy.parallel) {
+        return MaybeCopy(kern::DropDuplicatesParallel(table, op.columns,
+                                                      policy.parallel_options),
+                         policy);
+      }
       return MaybeCopy(kern::DropDuplicates(table, op.columns), policy);
     case OpKind::kFillNa:
       return MaybeCopy(

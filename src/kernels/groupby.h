@@ -9,6 +9,63 @@
 
 namespace bento::kern {
 
+/// \brief Accumulator for one (group, aggregation) pair. Tracks the moment
+/// sums plus min/max/count so every AggKind can be finalized from one
+/// struct; `rows` counts all rows routed to the group (kCount semantics
+/// track non-null inputs through `count` instead).
+///
+/// Public so the morsel-parallel group-by's merge step and its property
+/// tests can compose partial states directly.
+struct AggState {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int64_t count = 0;  // non-null inputs seen
+  int64_t rows = 0;   // all rows seen (for kCount)
+
+  void Add(double v) {
+    if (count == 0) {
+      min = v;
+      max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    sum += v;
+    sum_sq += v * v;
+    ++count;
+  }
+
+  /// \brief Folds `other` into this state, where `other` accumulated rows
+  /// that all come after this state's rows. min/max/count/rows compose
+  /// exactly; sum and sum_sq compose by addition, which is bit-identical to
+  /// serial accumulation whenever the operands are exactly representable
+  /// (integer-valued inputs) and within 1 ulp per merge otherwise — the
+  /// production group-by only merges states of disjoint key partitions
+  /// (exactly one contributor per group), so its output never depends on
+  /// this rounding.
+  void Merge(const AggState& other) {
+    if (other.count > 0) {
+      if (count == 0) {
+        min = other.min;
+        max = other.max;
+      } else {
+        if (other.min < min) min = other.min;
+        if (other.max > max) max = other.max;
+      }
+    }
+    sum += other.sum;
+    sum_sq += other.sum_sq;
+    count += other.count;
+    rows += other.rows;
+  }
+
+  /// \brief Finalized value for `kind`; sets *is_null for empty groups
+  /// (kStd additionally needs count >= 2).
+  double Result(AggKind kind, bool* is_null) const;
+};
+
 /// \brief Hash group-by: groups `table` on `keys` and computes `aggs`.
 ///
 /// Output schema: the key columns (one representative row per group, in
@@ -19,10 +76,15 @@ Result<TablePtr> GroupBy(const TablePtr& table,
                          const std::vector<std::string>& keys,
                          const std::vector<AggSpec>& aggs);
 
-/// \brief Partition-parallel group-by: rows are hash-partitioned on the
-/// keys, each partition groups independently (through sim::ParallelFor),
-/// and the disjoint partial results are concatenated. The shape used by the
-/// multithreaded engines (Modin/Polars/DataTable/Spark).
+/// \brief Morsel-driven parallel group-by: rows are radix-partitioned on
+/// the top key-hash bits (disjoint keys per partition), every partition
+/// aggregates into a thread-local FlatGrouper + flat AggState table over
+/// sim::ParallelFor, and a single-threaded merge restores dense first-seen
+/// group ids. No partition tables are materialized. Output is row-for-row
+/// bit-identical to GroupBy for any worker count and in both execution
+/// modes: per-group accumulation follows global row order and groups are
+/// emitted in global first-seen order. The shape used by the multithreaded
+/// engines (Modin/Polars/DataTable/Spark).
 Result<TablePtr> GroupByPartitioned(const TablePtr& table,
                                     const std::vector<std::string>& keys,
                                     const std::vector<AggSpec>& aggs,

@@ -1,22 +1,19 @@
 #include "kernels/join.h"
 
+#include <algorithm>
+
 #include "kernels/flat_index.h"
 #include "kernels/row_hash.h"
 #include "kernels/selection.h"
+#include "obs/metrics.h"
 
 namespace bento::kern {
 
 namespace {
 
-Result<TablePtr> AssembleJoin(const TablePtr& left, const TablePtr& right,
-                              const std::string& right_key,
-                              const std::vector<int64_t>& left_rows,
-                              const std::vector<int64_t>& right_rows,
-                              const std::string& right_suffix) {
-  BENTO_ASSIGN_OR_RETURN(auto left_out, TakeTable(left, left_rows));
-  BENTO_ASSIGN_OR_RETURN(auto right_sel, right->DropColumns({right_key}));
-  BENTO_ASSIGN_OR_RETURN(auto right_out, TakeTable(right_sel, right_rows));
-
+Result<TablePtr> SpliceJoinColumns(const TablePtr& left_out,
+                                   const TablePtr& right_out,
+                                   const std::string& right_suffix) {
   std::vector<col::Field> fields = left_out->schema()->fields();
   std::vector<ArrayPtr> columns = left_out->columns();
   for (int c = 0; c < right_out->num_columns(); ++c) {
@@ -27,6 +24,35 @@ Result<TablePtr> AssembleJoin(const TablePtr& left, const TablePtr& right,
   }
   return Table::Make(std::make_shared<col::Schema>(std::move(fields)),
                      std::move(columns));
+}
+
+Result<TablePtr> AssembleJoin(const TablePtr& left, const TablePtr& right,
+                              const std::string& right_key,
+                              const std::vector<int64_t>& left_rows,
+                              const std::vector<int64_t>& right_rows,
+                              const std::string& right_suffix) {
+  BENTO_ASSIGN_OR_RETURN(auto left_out, TakeTable(left, left_rows));
+  BENTO_ASSIGN_OR_RETURN(auto right_sel, right->DropColumns({right_key}));
+  BENTO_ASSIGN_OR_RETURN(auto right_out, TakeTable(right_sel, right_rows));
+  return SpliceJoinColumns(left_out, right_out, right_suffix);
+}
+
+/// Parallel twin of AssembleJoin: the gathers run as sized-output morsel
+/// copies (TakeTableParallel), so the result materializes without builder
+/// growth and without serializing on one thread.
+Result<TablePtr> AssembleJoinParallel(const TablePtr& left,
+                                      const TablePtr& right,
+                                      const std::string& right_key,
+                                      const std::vector<int64_t>& left_rows,
+                                      const std::vector<int64_t>& right_rows,
+                                      const std::string& right_suffix,
+                                      const sim::ParallelOptions& parallel) {
+  BENTO_ASSIGN_OR_RETURN(auto left_out,
+                         TakeTableParallel(left, left_rows, parallel));
+  BENTO_ASSIGN_OR_RETURN(auto right_sel, right->DropColumns({right_key}));
+  BENTO_ASSIGN_OR_RETURN(auto right_out,
+                         TakeTableParallel(right_sel, right_rows, parallel));
+  return SpliceJoinColumns(left_out, right_out, right_suffix);
 }
 
 /// Probes rows [begin, end) of the left table against the build index and
@@ -90,14 +116,11 @@ Result<TablePtr> HashJoinParallel(const TablePtr& left, const TablePtr& right,
                                   const JoinOptions& options,
                                   const sim::ParallelOptions& parallel) {
   BENTO_TRACE_SPAN(kKernel, "join.hash_parallel");
-  int workers = parallel.max_workers;
-  if (workers <= 0) {
-    workers = sim::Session::Current() != nullptr
-                  ? sim::Session::Current()->cores()
-                  : 1;
-  }
-  auto ranges = sim::SplitRange(left->num_rows(), workers, 8192);
-  if (ranges.size() <= 1 &&
+  const int workers = sim::ResolveWorkers(parallel);
+  // Morsel-sized probe chunks: task count follows the data, not n/workers,
+  // so the pool can steal across skewed match densities.
+  auto ranges = sim::MorselRanges(left->num_rows(), workers);
+  if ((workers <= 1 || ranges.size() <= 1) &&
       FlatIndex::PlanPartitions(right->num_rows(), parallel) <= 1) {
     return HashJoin(left, right, left_key, right_key, options);
   }
@@ -127,6 +150,10 @@ Result<TablePtr> HashJoinParallel(const TablePtr& left, const TablePtr& right,
       static_cast<int64_t>(ranges.size()),
       [&](int64_t r) {
         auto [b, e] = ranges[static_cast<size_t>(r)];
+        // ~1 match per probe row is the common shape; over-reserve slightly
+        // so the emit loop rarely reallocates.
+        chunk_left[static_cast<size_t>(r)].reserve(static_cast<size_t>(e - b));
+        chunk_right[static_cast<size_t>(r)].reserve(static_cast<size_t>(e - b));
         ProbeRange(index, left_hashes, *left_key_col, equal, options.type, b, e,
                    &chunk_left[static_cast<size_t>(r)],
                    &chunk_right[static_cast<size_t>(r)]);
@@ -134,15 +161,32 @@ Result<TablePtr> HashJoinParallel(const TablePtr& left, const TablePtr& right,
       },
       parallel));
 
-  std::vector<int64_t> left_rows;
-  std::vector<int64_t> right_rows;
+  // Prefix-sum the per-chunk match counts, then copy every chunk into its
+  // disjoint slice of the exact-size pair vectors in parallel. Chunk order =
+  // left-row order, so the output ordering matches the serial probe.
+  std::vector<size_t> offsets(ranges.size() + 1, 0);
   for (size_t r = 0; r < ranges.size(); ++r) {
-    left_rows.insert(left_rows.end(), chunk_left[r].begin(), chunk_left[r].end());
-    right_rows.insert(right_rows.end(), chunk_right[r].begin(),
-                      chunk_right[r].end());
+    offsets[r + 1] = offsets[r] + chunk_left[r].size();
   }
-  return AssembleJoin(left, right, right_key, left_rows, right_rows,
-                      options.right_suffix);
+  std::vector<int64_t> left_rows(offsets.back());
+  std::vector<int64_t> right_rows(offsets.back());
+  BENTO_RETURN_NOT_OK(sim::ParallelFor(
+      static_cast<int64_t>(ranges.size()),
+      [&](int64_t r) {
+        const auto& cl = chunk_left[static_cast<size_t>(r)];
+        const auto& cr = chunk_right[static_cast<size_t>(r)];
+        std::copy(cl.begin(), cl.end(),
+                  left_rows.begin() + static_cast<int64_t>(offsets[static_cast<size_t>(r)]));
+        std::copy(cr.begin(), cr.end(),
+                  right_rows.begin() + static_cast<int64_t>(offsets[static_cast<size_t>(r)]));
+        return Status::OK();
+      },
+      parallel));
+  static obs::Counter* c_pairs =
+      obs::MetricsRegistry::Global().counter("join.probe.pairs");
+  c_pairs->Add(static_cast<uint64_t>(offsets.back()));
+  return AssembleJoinParallel(left, right, right_key, left_rows, right_rows,
+                              options.right_suffix, parallel);
 }
 
 }  // namespace bento::kern

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "kernels/common.h"
+#include "sim/parallel.h"
 
 namespace bento::kern {
 
@@ -19,6 +20,21 @@ Result<ArrayPtr> Take(const ArrayPtr& values,
                       const std::vector<int64_t>& indices);
 Result<TablePtr> TakeTable(const TablePtr& table,
                            const std::vector<int64_t>& indices);
+
+/// \brief Sized two-pass gather: output buffers are allocated to their exact
+/// final size up front (prefix-summed byte totals for strings) and morsel
+/// tasks copy disjoint output ranges — no growth-amortized builder appends.
+/// Bit-identical to Take (including -1 -> null and the null/validity
+/// layout); falls back to the serial builder path for small inputs. Used by
+/// the parallel join/sort/dedup/group-by assembly stages; in kSimulated mode
+/// the copy morsels run serially and earn makespan credit like any other
+/// ParallelFor.
+Result<ArrayPtr> TakeParallel(const ArrayPtr& values,
+                              const std::vector<int64_t>& indices,
+                              const sim::ParallelOptions& options = {});
+Result<TablePtr> TakeTableParallel(const TablePtr& table,
+                                   const std::vector<int64_t>& indices,
+                                   const sim::ParallelOptions& options = {});
 
 }  // namespace bento::kern
 

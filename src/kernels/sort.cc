@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "kernels/selection.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/thread_pool.h"
 
 namespace bento::kern {
 
@@ -109,11 +110,12 @@ Result<std::vector<int64_t>> ArgSortParallel(
   BENTO_ASSIGN_OR_RETURN(auto columns, ResolveKeyColumns(table, keys));
   const int64_t n = table->num_rows();
 
-  int workers = options.max_workers;
-  if (workers <= 0) {
-    workers = sim::Session::Current() != nullptr
-                  ? sim::Session::Current()->cores()
-                  : 1;
+  int workers = sim::ResolveWorkers(options);
+  // Runs beyond the physical thread count cannot sort concurrently and only
+  // deepen the merge tree, so real mode caps the fan-out at the hardware
+  // (simulated mode keeps one run per virtual worker for the makespan model).
+  if (sim::WouldUseRealExecution(options)) {
+    workers = std::min(workers, sim::ThreadPool::HardwareParallelism());
   }
   auto ranges = sim::SplitRange(n, workers, /*min_rows_per_chunk=*/4096);
   if (ranges.size() <= 1) return ArgSort(table, keys);
@@ -131,36 +133,92 @@ Result<std::vector<int64_t>> ArgSortParallel(
         return Status::OK();
       },
       options));
+  return MergeSortedRuns(table, keys, std::move(runs), options);
+}
 
-  // Serial k-way merge of the sorted runs. Stability across runs follows
-  // from run order being row order and the heap tie-breaking on run id.
-  struct HeapItem {
-    int64_t row;
-    size_t run;
-    size_t pos;
-  };
-  auto heap_cmp = [&](const HeapItem& a, const HeapItem& b) {
-    if (cmp(b.row, a.row)) return true;
-    if (cmp(a.row, b.row)) return false;
-    return a.run > b.run;
-  };
-  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(heap_cmp)> heap(
-      heap_cmp);
-  for (size_t r = 0; r < runs.size(); ++r) {
-    if (!runs[r].empty()) heap.push({runs[r][0], r, 0});
+Result<std::vector<int64_t>> MergeSortedRuns(
+    const TablePtr& table, const std::vector<SortKey>& keys,
+    std::vector<std::vector<int64_t>> runs,
+    const sim::ParallelOptions& options) {
+  BENTO_TRACE_SPAN(kKernel, "sort.merge_runs");
+  if (keys.empty()) {
+    return Status::Invalid("MergeSortedRuns requires at least one key");
   }
-  std::vector<int64_t> out;
-  out.reserve(static_cast<size_t>(n));
-  while (!heap.empty()) {
-    HeapItem top = heap.top();
-    heap.pop();
-    out.push_back(top.row);
-    size_t next = top.pos + 1;
-    if (next < runs[top.run].size()) {
-      heap.push({runs[top.run][next], top.run, next});
+  BENTO_ASSIGN_OR_RETURN(auto columns, ResolveKeyColumns(table, keys));
+  Comparator cmp{&columns, &keys};
+  const int workers = sim::ResolveWorkers(options);
+
+  runs.erase(std::remove_if(runs.begin(), runs.end(),
+                            [](const std::vector<int64_t>& r) {
+                              return r.empty();
+                            }),
+             runs.end());
+  if (runs.empty()) return std::vector<int64_t>{};
+
+  // One [a0,a1) x [b0,b1) -> out[off..) linear merge of a run pair's slice.
+  struct Segment {
+    const std::vector<int64_t>* a;
+    const std::vector<int64_t>* b;
+    int64_t a0, a1, b0, b1;
+    std::vector<int64_t>* out;
+    int64_t off;
+  };
+
+  int64_t total_segments = 0;
+  while (runs.size() > 1) {
+    std::vector<std::vector<int64_t>> next((runs.size() + 1) / 2);
+    std::vector<Segment> segments;
+    for (size_t p = 0; p + 1 < runs.size(); p += 2) {
+      const auto& a = runs[p];
+      const auto& b = runs[p + 1];
+      auto& out = next[p / 2];
+      out.resize(a.size() + b.size());
+      const int64_t la = static_cast<int64_t>(a.size());
+      const int64_t lb = static_cast<int64_t>(b.size());
+      // Balanced splitters: cut A evenly, align B by binary search. Every
+      // B row < the pivot merges in an earlier segment; B rows equal to the
+      // pivot stay in the pivot's segment, where the merge takes A first —
+      // ties across runs resolve to the lower (earlier-rows) run, exactly
+      // like one serial stable sort.
+      int64_t nseg = std::min<int64_t>((la + lb) / sim::kMorselRows + 1,
+                                       static_cast<int64_t>(workers) * 4);
+      if (nseg < 1) nseg = 1;
+      int64_t prev_a = 0;
+      int64_t prev_b = 0;
+      for (int64_t s = 1; s <= nseg; ++s) {
+        const int64_t a1 = s == nseg ? la : la * s / nseg;
+        const int64_t b1 =
+            s == nseg ? lb
+                      : std::lower_bound(b.begin(), b.end(),
+                                         a[static_cast<size_t>(a1)], cmp) -
+                            b.begin();
+        if (a1 > prev_a || b1 > prev_b) {
+          segments.push_back(
+              {&a, &b, prev_a, a1, prev_b, b1, &out, prev_a + prev_b});
+        }
+        prev_a = a1;
+        prev_b = b1;
+      }
     }
+    if (runs.size() % 2 == 1) next.back() = std::move(runs.back());
+    total_segments += static_cast<int64_t>(segments.size());
+    BENTO_RETURN_NOT_OK(sim::ParallelFor(
+        static_cast<int64_t>(segments.size()),
+        [&](int64_t s) {
+          const Segment& seg = segments[static_cast<size_t>(s)];
+          // std::merge takes from B only when strictly smaller: A-on-tie.
+          std::merge(seg.a->begin() + seg.a0, seg.a->begin() + seg.a1,
+                     seg.b->begin() + seg.b0, seg.b->begin() + seg.b1,
+                     seg.out->begin() + seg.off, cmp);
+          return Status::OK();
+        },
+        options));
+    runs = std::move(next);
   }
-  return out;
+  static obs::Counter* c_segments =
+      obs::MetricsRegistry::Global().counter("sort.merge.segments");
+  c_segments->Add(static_cast<uint64_t>(total_segments));
+  return std::move(runs[0]);
 }
 
 Result<TablePtr> SortTable(const TablePtr& table,

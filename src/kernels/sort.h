@@ -14,11 +14,27 @@ namespace bento::kern {
 Result<std::vector<int64_t>> ArgSort(const TablePtr& table,
                                      const std::vector<SortKey>& keys);
 
-/// \brief Chunked argsort + k-way merge: the shape multithreaded engines
-/// use. Per-chunk sorts run through sim::ParallelFor so the machine
-/// simulator credits their overlap; the merge is serial.
+/// \brief Chunked argsort + parallel run merge: the shape multithreaded
+/// engines use. Per-chunk sorts run through sim::ParallelFor, then the
+/// sorted runs merge through MergeSortedRuns — every level of the merge
+/// tree fans out too, so no serial O(n log k) heap remains. In real mode
+/// the run count is capped at the physical thread count (extra runs only
+/// add merge levels). Output equals ArgSort exactly (stable, nulls last).
 Result<std::vector<int64_t>> ArgSortParallel(
     const TablePtr& table, const std::vector<SortKey>& keys,
+    const sim::ParallelOptions& options = {});
+
+/// \brief Stable merge of pre-sorted index runs over `table`'s sort keys.
+/// Requirements: each run is sorted under `keys`, and run i's row ids all
+/// precede run i+1's (the chunked-argsort shape) — ties then resolve to the
+/// lower run, which makes the result identical to one serial stable sort.
+/// Adjacent runs merge pairwise per level; each pair is cut into balanced
+/// segments by binary-searched splitters (split A evenly, align B with
+/// lower_bound) and all segments of a level merge in one ParallelFor.
+/// Exposed for the sort ablation benchmarks.
+Result<std::vector<int64_t>> MergeSortedRuns(
+    const TablePtr& table, const std::vector<SortKey>& keys,
+    std::vector<std::vector<int64_t>> runs,
     const sim::ParallelOptions& options = {});
 
 /// \brief Materializes the sorted table (argsort + take).

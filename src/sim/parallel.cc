@@ -115,6 +115,41 @@ void ChargePenalty(double seconds) {
   if (session != nullptr) session->AddTimeCredit(-seconds);
 }
 
+std::vector<std::pair<int64_t, int64_t>> MorselRanges(int64_t n, int workers) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  if (n <= 0) return out;
+  if (workers < 1) workers = 1;
+  int64_t chunks = (n + kMorselRows - 1) / kMorselRows;
+  const int64_t cap = static_cast<int64_t>(workers) * 32;
+  if (chunks > cap) chunks = cap;
+  if (chunks < 1) chunks = 1;
+  out.reserve(static_cast<size_t>(chunks));
+  for (int64_t c = 0; c < chunks; ++c) {
+    // Round boundaries down to 64-row multiples: 64 rows = 8 validity-bitmap
+    // bytes, so concurrent writers of bit-packed outputs stay byte-disjoint.
+    int64_t b = (n * c / chunks) & ~int64_t{63};
+    int64_t e = c + 1 == chunks ? n : (n * (c + 1) / chunks) & ~int64_t{63};
+    if (e > b) out.emplace_back(b, e);
+  }
+  static obs::Counter* ranges =
+      obs::MetricsRegistry::Global().counter("pool.morsel.ranges");
+  static obs::Counter* rows =
+      obs::MetricsRegistry::Global().counter("pool.morsel.rows");
+  ranges->Add(static_cast<uint64_t>(out.size()));
+  rows->Add(static_cast<uint64_t>(n));
+  return out;
+}
+
+int ResolveWorkers(const ParallelOptions& options) {
+  if (options.max_workers > 0) return options.max_workers;
+  Session* session = Session::Current();
+  return session != nullptr ? session->cores() : 1;
+}
+
+bool WouldUseRealExecution(const ParallelOptions& options) {
+  return UseRealExecution(options, Session::Current());
+}
+
 std::vector<std::pair<int64_t, int64_t>> SplitRange(int64_t n, int max_chunks,
                                                     int64_t min_rows_per_chunk) {
   std::vector<std::pair<int64_t, int64_t>> out;

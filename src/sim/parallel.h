@@ -80,6 +80,30 @@ void ChargePenalty(double seconds);
 std::vector<std::pair<int64_t, int64_t>> SplitRange(int64_t n, int max_chunks,
                                                     int64_t min_rows_per_chunk);
 
+/// Target rows per morsel for data-parallel kernel fan-outs. Sized so a
+/// morsel's working set stays cache-friendly while the per-task dispatch
+/// cost (~µs) is amortized over tens of thousands of rows; small inputs
+/// produce few (or one) morsels instead of paying an n/workers fan-out.
+inline constexpr int64_t kMorselRows = 65536;
+
+/// \brief Splits `n` rows into ~kMorselRows-sized morsels (not n/workers):
+/// chunk count scales with the data, capped at 32 tasks per worker so huge
+/// inputs cannot flood the pool. Chunk boundaries are multiples of 64 rows
+/// (except the final end), so tasks that write validity bitmaps touch
+/// disjoint bytes. Emits pool.morsel.{ranges,rows} counters.
+std::vector<std::pair<int64_t, int64_t>> MorselRanges(int64_t n, int workers);
+
+/// \brief Worker count `options` resolves to: max_workers when positive,
+/// else the active session's core count, else 1.
+int ResolveWorkers(const ParallelOptions& options);
+
+/// \brief True when a ParallelFor issued right now with `options` would
+/// dispatch onto the real thread pool (kReal requested, session permitting,
+/// not already on a worker thread). Kernels use this to size fan-outs for
+/// the physical machine in real mode while keeping the virtual-core fan-out
+/// in simulated mode.
+bool WouldUseRealExecution(const ParallelOptions& options);
+
 }  // namespace bento::sim
 
 #endif  // BENTO_SIM_PARALLEL_H_

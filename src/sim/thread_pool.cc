@@ -42,6 +42,9 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   stop_.store(true, std::memory_order_release);
+  // Same publish-under-mutex handshake as Submit, so no worker can check
+  // stop_ and then sleep through this notify.
+  { std::lock_guard<std::mutex> lk(wake_mu_); }
   wake_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
@@ -61,6 +64,12 @@ void ThreadPool::Submit(std::function<void()> task) {
   static obs::Counter* submits =
       obs::MetricsRegistry::Global().counter("pool.submits");
   submits->Increment();
+  // Publish the queued increment under wake_mu_ before notifying: a sleeper
+  // re-checks queued_ while holding wake_mu_, so taking the mutex here (even
+  // empty) closes the window where a worker observes queued_ == 0, a submit
+  // lands, and the notify fires before the worker reaches wait_for — the
+  // lost wakeup that previously degraded into 50ms backstop stalls.
+  { std::lock_guard<std::mutex> lk(wake_mu_); }
   wake_cv_.notify_one();
 }
 
@@ -111,8 +120,9 @@ void ThreadPool::WorkerLoop(int self) {
     std::unique_lock<std::mutex> lk(wake_mu_);
     if (queued_.load(std::memory_order_acquire) > 0) continue;
     if (stop_.load(std::memory_order_acquire)) break;  // drained: exit
-    // Timed wait as a lost-wakeup backstop: Submit may interleave between
-    // the empty scan above and this wait.
+    // Submit/shutdown publish their state change under wake_mu_ before
+    // notifying, so this wait cannot miss a wakeup; the timeout is a pure
+    // defensive backstop, never on the latency path.
     wake_cv_.wait_for(lk, std::chrono::milliseconds(50));
   }
   t_worker_index = -1;
@@ -193,5 +203,14 @@ ThreadPool* ThreadPool::Shared() {
 }
 
 bool ThreadPool::OnWorkerThread() { return t_worker_index >= 0; }
+
+int ThreadPool::HardwareParallelism() {
+  if (const char* env = std::getenv("BENTO_POOL_THREADS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
 
 }  // namespace bento::sim

@@ -70,6 +70,13 @@ class ThreadPool {
   /// fan-out, no deadlock).
   static bool OnWorkerThread();
 
+  /// \brief Physical parallelism available to real execution:
+  /// BENTO_POOL_THREADS when set, else hardware_concurrency (min 1). Unlike
+  /// Shared()'s sizing there is no floor of 4 — kernels use this to cap
+  /// hash-partition fan-out in real mode, where partitions beyond the
+  /// physical core count only amplify memory traffic.
+  static int HardwareParallelism();
+
  private:
   struct Worker {
     std::mutex mu;

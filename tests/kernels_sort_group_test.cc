@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "kernels/dedup.h"
+#include "kernels/flat_index.h"
 #include "kernels/groupby.h"
 #include "kernels/join.h"
 #include "kernels/row_hash.h"
+#include "kernels/selection.h"
 #include "kernels/sort.h"
 #include "tests/test_util.h"
 #include "util/random.h"
@@ -69,6 +74,95 @@ TEST(SortTest, ParallelMatchesSerialProperty) {
   auto parallel = ArgSortParallel(t, keys, opts).ValueOrDie();
   // Both must produce the identical stable order.
   EXPECT_EQ(serial, parallel);
+}
+
+TEST(SortTest, ParallelMatchesSerialWorkerSweep) {
+  Rng rng(101);
+  col::Int64Builder kb;
+  col::Float64Builder vb;
+  const int64_t n = 30000;
+  for (int64_t i = 0; i < n; ++i) {
+    kb.AppendMaybe(rng.UniformInt(0, 40), !rng.Bernoulli(0.05));  // many ties
+    vb.Append(rng.UniformDouble());
+  }
+  auto t = MakeTable({{"k", kb.Finish().ValueOrDie()},
+                      {"v", vb.Finish().ValueOrDie()}});
+  std::vector<SortKey> keys = {{"k", false}};
+  auto serial = ArgSort(t, keys).ValueOrDie();
+  for (int workers : {1, 2, 3, 5, 8}) {
+    sim::ParallelOptions opts;
+    opts.max_workers = workers;
+    auto parallel = ArgSortParallel(t, keys, opts).ValueOrDie();
+    EXPECT_EQ(serial, parallel) << "workers=" << workers;
+  }
+}
+
+TEST(SortTest, MergeSortedRunsMatchesArgSort) {
+  Rng rng(102);
+  col::Int64Builder kb;
+  const int64_t n = 25000;
+  for (int64_t i = 0; i < n; ++i) kb.Append(rng.UniformInt(0, 30));
+  auto t = MakeTable({{"k", kb.Finish().ValueOrDie()}});
+  std::vector<SortKey> keys = {{"k", true}};
+  auto expected = ArgSort(t, keys).ValueOrDie();
+  auto columns = std::vector<col::ArrayPtr>{t->column(0)};
+  // Pre-sorted runs over contiguous (uneven, incl. empty) row ranges: the
+  // shape the chunked argsort produces.
+  for (int nruns : {2, 3, 7}) {
+    std::vector<std::vector<int64_t>> runs;
+    int64_t b = 0;
+    for (int r = 0; r < nruns; ++r) {
+      int64_t e = r + 1 == nruns ? n : std::min<int64_t>(n, b + n / nruns + r * 37);
+      std::vector<int64_t> run;
+      for (int64_t i = b; i < e; ++i) run.push_back(i);
+      std::stable_sort(run.begin(), run.end(), [&](int64_t i, int64_t j) {
+        return t->column(0)->int64_data()[i] < t->column(0)->int64_data()[j];
+      });
+      runs.push_back(std::move(run));
+      b = e;
+    }
+    sim::ParallelOptions opts;
+    opts.max_workers = 4;
+    auto merged = MergeSortedRuns(t, keys, runs, opts).ValueOrDie();
+    EXPECT_EQ(expected, merged) << "nruns=" << nruns;
+  }
+}
+
+TEST(TakeTest, ParallelMatchesSerial) {
+  Rng rng(103);
+  col::Int64Builder ib;
+  col::Float64Builder fb;
+  col::StringBuilder sb;
+  col::BoolBuilder bb;
+  const int64_t n = 20000;
+  for (int64_t i = 0; i < n; ++i) {
+    ib.AppendMaybe(rng.UniformInt(-100, 100), !rng.Bernoulli(0.1));
+    fb.AppendMaybe(rng.UniformDouble(), !rng.Bernoulli(0.1));
+    sb.AppendMaybe(std::string(static_cast<size_t>(rng.UniformInt(0, 20)), 'x'),
+                   !rng.Bernoulli(0.1));
+    bb.Append(rng.Bernoulli(0.5));
+  }
+  auto t = MakeTable({{"i", ib.Finish().ValueOrDie()},
+                      {"f", fb.Finish().ValueOrDie()},
+                      {"s", sb.Finish().ValueOrDie()},
+                      {"b", bb.Finish().ValueOrDie()}});
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < n; ++i) {
+    indices.push_back(rng.Bernoulli(0.05) ? -1 : rng.UniformInt(0, n - 1));
+  }
+  auto serial = TakeTable(t, indices).ValueOrDie();
+  sim::ParallelOptions opts;
+  opts.max_workers = 6;
+  auto parallel = TakeTableParallel(t, indices, opts).ValueOrDie();
+  test::ExpectTablesEqual(serial, parallel);
+  // Out-of-bounds index: both paths must fail with the same message.
+  std::vector<int64_t> bad = indices;
+  bad[12345] = n + 7;
+  auto serial_err = TakeTable(t, bad);
+  auto parallel_err = TakeTableParallel(t, bad, opts);
+  ASSERT_FALSE(serial_err.ok());
+  ASSERT_FALSE(parallel_err.ok());
+  EXPECT_EQ(serial_err.status().ToString(), parallel_err.status().ToString());
 }
 
 TEST(SortTest, UnknownKeyFails) {
@@ -173,8 +267,159 @@ TEST(GroupByTest, PartitionedMatchesSerialProperty) {
   sim::ParallelOptions opts;
   opts.max_workers = 5;
   auto partitioned = GroupByPartitioned(t, {"k"}, aggs, opts).ValueOrDie();
-  EXPECT_EQ(serial->num_rows(), partitioned->num_rows());
-  test::ExpectTablesEquivalent(serial, partitioned, {"k"});
+  // Positional: the morsel kernel restores global first-seen group order,
+  // and per-group accumulation follows global row order, so the output is
+  // row-for-row identical to serial — not just equivalent up to reordering.
+  test::ExpectTablesEqual(serial, partitioned);
+}
+
+/// Builds the randomized group-by property input: int64 keys (some null),
+/// a float64 value column with nulls and NaNs, and a bool column.
+TablePtr GroupPropertyTable(uint64_t seed, int64_t n, int64_t cardinality) {
+  Rng rng(seed);
+  col::Int64Builder kb;
+  col::Float64Builder vb;
+  col::BoolBuilder bb;
+  for (int64_t i = 0; i < n; ++i) {
+    kb.AppendMaybe(rng.UniformInt(0, cardinality), !rng.Bernoulli(0.02));
+    double v = rng.UniformDouble(-50, 50);
+    if (rng.Bernoulli(0.02)) v = std::nan("");
+    vb.AppendMaybe(v, !rng.Bernoulli(0.1));
+    bb.Append(rng.Bernoulli(0.5));
+  }
+  return MakeTable({{"k", kb.Finish().ValueOrDie()},
+                    {"v", vb.Finish().ValueOrDie()},
+                    {"b", bb.Finish().ValueOrDie()}});
+}
+
+std::vector<AggSpec> AllAggs() {
+  return {{"v", AggKind::kSum, "s"},   {"v", AggKind::kMean, "m"},
+          {"v", AggKind::kMin, "lo"},  {"v", AggKind::kMax, "hi"},
+          {"v", AggKind::kStd, "sd"},  {"v", AggKind::kCount, "n"},
+          {"b", AggKind::kSum, "bs"}};
+}
+
+TEST(GroupByTest, PartitionedBitIdenticalAcrossWorkerCounts) {
+  auto t = GroupPropertyTable(31, 20000, 97);
+  auto aggs = AllAggs();
+  auto serial = GroupBy(t, {"k"}, aggs).ValueOrDie();
+  for (int workers = 1; workers <= 8; ++workers) {
+    sim::ParallelOptions opts;
+    opts.max_workers = workers;
+    auto partitioned = GroupByPartitioned(t, {"k"}, aggs, opts).ValueOrDie();
+    // Every group lives in exactly one partition and its rows accumulate in
+    // global row order, so even float aggregates (kStd included) are
+    // bit-identical to serial for every worker count.
+    test::ExpectTablesEqual(serial, partitioned);
+  }
+}
+
+TEST(GroupByTest, PartitionedRealModeMatchesSerial) {
+  auto t = GroupPropertyTable(32, 30000, 251);
+  auto aggs = AllAggs();
+  auto serial = GroupBy(t, {"k"}, aggs).ValueOrDie();
+  sim::ParallelOptions opts;
+  opts.max_workers = 4;
+  opts.mode = sim::ExecutionMode::kReal;  // genuine pool threads
+  auto partitioned = GroupByPartitioned(t, {"k"}, aggs, opts).ValueOrDie();
+  test::ExpectTablesEqual(serial, partitioned);
+}
+
+TEST(GroupByTest, PartitionedForcedHashCollisions) {
+  // All keys hash to one constant: every row lands in one partition and the
+  // grouper resolves groups purely through the equality fallback.
+  auto t = GroupPropertyTable(33, 9000, 23);
+  auto aggs = AllAggs();
+  ScopedForcedHashCollisions forced;
+  auto serial = GroupBy(t, {"k"}, aggs).ValueOrDie();
+  sim::ParallelOptions opts;
+  opts.max_workers = 6;
+  auto partitioned = GroupByPartitioned(t, {"k"}, aggs, opts).ValueOrDie();
+  test::ExpectTablesEqual(serial, partitioned);
+}
+
+TEST(AggStateTest, MergeMatchesSerialOnIntegerData) {
+  // Integer-valued doubles: the moment sums are exact, so any split of the
+  // sequence must merge to the bit-identical state.
+  Rng rng(44);
+  std::vector<double> values;
+  for (int i = 0; i < 3000; ++i) {
+    values.push_back(static_cast<double>(rng.UniformInt(-1000, 1000)));
+  }
+  AggState serial;
+  for (double v : values) {
+    serial.rows += 1;
+    serial.Add(v);
+  }
+  // Skewed splits: 1 | n-1, n-1 | 1, and several random cut sets.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<size_t> cuts = {0, values.size()};
+    if (trial == 0) cuts.insert(cuts.begin() + 1, 1);
+    else if (trial == 1) cuts.insert(cuts.begin() + 1, values.size() - 1);
+    else {
+      for (int c = 0; c < trial % 5 + 1; ++c) {
+        cuts.push_back(static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(values.size()))));
+      }
+      std::sort(cuts.begin(), cuts.end());
+    }
+    AggState merged;
+    for (size_t s = 0; s + 1 < cuts.size(); ++s) {
+      AggState part;
+      for (size_t i = cuts[s]; i < cuts[s + 1]; ++i) {
+        part.rows += 1;
+        part.Add(values[i]);
+      }
+      merged.Merge(part);
+    }
+    EXPECT_EQ(serial.count, merged.count);
+    EXPECT_EQ(serial.rows, merged.rows);
+    EXPECT_EQ(serial.sum, merged.sum);
+    EXPECT_EQ(serial.sum_sq, merged.sum_sq);
+    EXPECT_EQ(serial.min, merged.min);
+    EXPECT_EQ(serial.max, merged.max);
+    for (AggKind kind : {AggKind::kSum, AggKind::kMean, AggKind::kMin,
+                         AggKind::kMax, AggKind::kStd, AggKind::kCount}) {
+      bool sn = false, mn = false;
+      EXPECT_EQ(serial.Result(kind, &sn), merged.Result(kind, &mn));
+      EXPECT_EQ(sn, mn);
+    }
+  }
+}
+
+TEST(AggStateTest, MergeNumericallyStableOnRealData) {
+  // Arbitrary doubles: sum/sum_sq compose by addition (tolerance-checked);
+  // min/max/count stay exact under any split, including empty segments.
+  Rng rng(45);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.UniformDouble(-1e6, 1e6));
+  AggState serial;
+  for (double v : values) {
+    serial.rows += 1;
+    serial.Add(v);
+  }
+  AggState merged;
+  merged.Merge(AggState());  // empty-segment merge is a no-op
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t len = static_cast<size_t>(rng.UniformInt(0, 400));
+    AggState part;
+    for (size_t j = i; j < std::min(values.size(), i + len); ++j) {
+      part.rows += 1;
+      part.Add(values[j]);
+    }
+    merged.Merge(part);
+    i += len;
+  }
+  EXPECT_EQ(serial.count, merged.count);
+  EXPECT_EQ(serial.min, merged.min);
+  EXPECT_EQ(serial.max, merged.max);
+  EXPECT_NEAR(serial.sum, merged.sum, 1e-9 * std::abs(serial.sum) + 1e-4);
+  EXPECT_NEAR(serial.sum_sq, merged.sum_sq, 1e-10 * serial.sum_sq);
+  bool sn = false, mn = false;
+  EXPECT_NEAR(serial.Result(AggKind::kStd, &sn),
+              merged.Result(AggKind::kStd, &mn), 1e-6);
+  EXPECT_EQ(sn, mn);
 }
 
 TEST(JoinTest, InnerJoin) {
@@ -265,6 +510,93 @@ TEST(UniqueTest, DistinctNonNull) {
   ASSERT_EQ(u->length(), 2);
   EXPECT_EQ(u->GetView(0), "b");
   EXPECT_EQ(u->GetView(1), "a");
+}
+
+TEST(DedupTest, ParallelMatchesSerialAcrossWorkerCounts) {
+  Rng rng(61);
+  col::Int64Builder ab;
+  col::Int64Builder bb;
+  const int64_t n = 20000;
+  for (int64_t i = 0; i < n; ++i) {
+    ab.AppendMaybe(rng.UniformInt(0, 60), !rng.Bernoulli(0.05));
+    bb.Append(rng.UniformInt(0, 7));
+  }
+  auto t = MakeTable({{"a", ab.Finish().ValueOrDie()},
+                      {"b", bb.Finish().ValueOrDie()}});
+  auto serial = DropDuplicates(t).ValueOrDie();
+  auto serial_a = DropDuplicates(t, {"a"}).ValueOrDie();
+  for (int workers = 1; workers <= 8; ++workers) {
+    sim::ParallelOptions opts;
+    opts.max_workers = workers;
+    auto parallel = DropDuplicatesParallel(t, {}, opts).ValueOrDie();
+    test::ExpectTablesEqual(serial, parallel);  // same rows, same order
+    auto parallel_a = DropDuplicatesParallel(t, {"a"}, opts).ValueOrDie();
+    test::ExpectTablesEqual(serial_a, parallel_a);
+  }
+}
+
+TEST(DedupTest, ParallelForcedHashCollisions) {
+  Rng rng(62);
+  col::Int64Builder ab;
+  for (int64_t i = 0; i < 9000; ++i) ab.Append(rng.UniformInt(0, 25));
+  auto t = MakeTable({{"a", ab.Finish().ValueOrDie()}});
+  ScopedForcedHashCollisions forced;
+  auto serial = DropDuplicates(t).ValueOrDie();
+  sim::ParallelOptions opts;
+  opts.max_workers = 4;
+  auto parallel = DropDuplicatesParallel(t, {}, opts).ValueOrDie();
+  test::ExpectTablesEqual(serial, parallel);
+}
+
+TEST(UniqueTest, ParallelMatchesSerial) {
+  Rng rng(63);
+  col::Float64Builder vb;
+  const int64_t n = 20000;
+  for (int64_t i = 0; i < n; ++i) {
+    vb.AppendMaybe(static_cast<double>(rng.UniformInt(0, 300)) / 4.0,
+                   !rng.Bernoulli(0.1));
+  }
+  auto v = vb.Finish().ValueOrDie();
+  auto serial = Unique(v).ValueOrDie();
+  for (int workers : {1, 3, 8}) {
+    sim::ParallelOptions opts;
+    opts.max_workers = workers;
+    auto parallel = UniqueParallel(v, opts).ValueOrDie();
+    ASSERT_EQ(serial->length(), parallel->length()) << "workers=" << workers;
+    for (int64_t i = 0; i < serial->length(); ++i) {
+      EXPECT_EQ(serial->float64_data()[i], parallel->float64_data()[i]);
+    }
+  }
+}
+
+TEST(JoinTest, ParallelMatchesSerialWorkerSweep) {
+  Rng rng(64);
+  col::Int64Builder lk, rk, lid, rid;
+  const int64_t ln = 20000;
+  for (int64_t i = 0; i < ln; ++i) {
+    lk.AppendMaybe(rng.UniformInt(0, 900), !rng.Bernoulli(0.03));
+    lid.Append(i);
+  }
+  for (int64_t i = 0; i < 1200; ++i) {
+    rk.AppendMaybe(rng.UniformInt(0, 900), !rng.Bernoulli(0.03));
+    rid.Append(i);
+  }
+  auto left = MakeTable({{"k", lk.Finish().ValueOrDie()},
+                         {"lid", lid.Finish().ValueOrDie()}});
+  auto right = MakeTable({{"k", rk.Finish().ValueOrDie()},
+                          {"rid", rid.Finish().ValueOrDie()}});
+  for (JoinType type : {JoinType::kInner, JoinType::kLeft}) {
+    JoinOptions jopts;
+    jopts.type = type;
+    auto serial = HashJoin(left, right, "k", "k", jopts).ValueOrDie();
+    for (int workers : {1, 2, 4, 8}) {
+      sim::ParallelOptions popts;
+      popts.max_workers = workers;
+      auto parallel =
+          HashJoinParallel(left, right, "k", "k", jopts, popts).ValueOrDie();
+      test::ExpectTablesEqual(serial, parallel);
+    }
+  }
 }
 
 }  // namespace
