@@ -52,22 +52,31 @@ class CsvChunkStream : public ChunkStream {
   std::unique_ptr<io::CsvChunkReader> reader_;
 };
 
-/// \brief Streams row groups from a BCF file with column projection.
+/// \brief Streams row groups from a BCF file with column projection and
+/// zone-map row-group skipping: groups whose statistics prove no row can
+/// satisfy every `predicate` are never read. The residual filter still runs
+/// downstream, so predicates only prune, never decide.
 class BcfChunkStream : public ChunkStream {
  public:
   static Result<std::unique_ptr<BcfChunkStream>> Open(
-      const std::string& path, std::vector<std::string> projection = {});
+      const std::string& path, std::vector<std::string> projection = {},
+      std::vector<io::ScanPredicate> predicates = {});
 
   Result<col::TablePtr> Next() override;
 
  private:
   BcfChunkStream(std::unique_ptr<io::BcfReader> reader,
-                 std::vector<std::string> projection)
-      : reader_(std::move(reader)), projection_(std::move(projection)) {}
+                 std::vector<std::string> projection,
+                 std::vector<io::ScanPredicate> predicates)
+      : reader_(std::move(reader)),
+        projection_(std::move(projection)),
+        predicates_(std::move(predicates)) {}
 
   std::unique_ptr<io::BcfReader> reader_;
   std::vector<std::string> projection_;
+  std::vector<io::ScanPredicate> predicates_;
   int group_ = 0;
+  bool delivered_any_ = false;
 };
 
 /// \brief Applies a per-chunk transformation to an inner stream (the

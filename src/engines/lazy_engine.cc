@@ -1,6 +1,8 @@
 #include "engines/lazy_engine.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <set>
 
 #include "engines/streaming_ops.h"
@@ -9,7 +11,7 @@
 #include "obs/trace.h"
 #include "kernels/join.h"
 #include "kernels/null_ops.h"
-#include "expr/parser.h"
+#include "plan/logical_plan.h"
 
 namespace bento::eng {
 
@@ -40,6 +42,13 @@ bool IsStreamable(const Op& op) {
       return true;
     case OpKind::kFillNa:
       return !op.fill_with_mean;  // global mean needs a full pass
+    case OpKind::kFusedColumn:
+      // A fused chain streams only if every component step does (a chain
+      // holding catcodes needs the global dictionary pass).
+      for (const Op& step : op.fused) {
+        if (!IsStreamable(step)) return false;
+      }
+      return true;
     default:
       return false;
   }
@@ -47,139 +56,96 @@ bool IsStreamable(const Op& op) {
 
 namespace {
 
-/// Columns an op reads or writes (false when the op touches the whole row,
-/// i.e. is opaque to column analysis).
-bool OpColumnFootprint(const Op& op, std::set<std::string>* touched) {
-  switch (op.kind) {
-    case OpKind::kCast:
-    case OpKind::kStrLower:
-    case OpKind::kRound:
-    case OpKind::kFillNa:
-    case OpKind::kReplace:
-    case OpKind::kToDatetime:
-      touched->insert(op.column);
-      return true;
-    case OpKind::kApplyExpr: {
-      auto parsed = expr::ParseExpr(op.text);
-      if (!parsed.ok()) return false;
-      parsed.ValueOrDie()->CollectColumns(touched);
-      touched->insert(op.new_name);
-      return true;
+/// Stable lineage signature for common-subplan elimination: equal strings
+/// must imply value-identical Collect() results. Opaque frames (non-lazy,
+/// row_fn anywhere in the lineage, already-fused plans) return nullopt.
+std::optional<std::string> LazySubplanSignature(
+    const std::shared_ptr<frame::DataFrame>& df) {
+  auto* lazy = dynamic_cast<LazyFrame*>(df.get());
+  if (lazy == nullptr) return std::nullopt;
+  std::string sig;
+  const LazySource& src = lazy->source();
+  switch (src.kind) {
+    case LazySource::Kind::kTable: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "tbl:%p",
+                    static_cast<const void*>(src.table.get()));
+      sig += buf;
+      break;
     }
-    case OpKind::kDropColumns:
-      touched->insert(op.columns.begin(), op.columns.end());
-      return true;
-    case OpKind::kSortValues:
-      for (const auto& key : op.sort_keys) touched->insert(key.column);
-      return true;
-    case OpKind::kDropNa:
-      if (op.columns.empty()) return false;  // inspects every column
-      touched->insert(op.columns.begin(), op.columns.end());
-      return true;
-    default:
-      return false;
+    case LazySource::Kind::kCsv:
+      sig += "csv:" + src.path;
+      for (const std::string& d : src.csv_options.drop_columns) {
+        sig += "!" + d;
+      }
+      break;
+    case LazySource::Kind::kBcf:
+      sig += "bcf:" + src.path;
+      break;
   }
-}
-
-std::set<std::string> QueryReferences(const Op& query) {
-  std::set<std::string> refs;
-  auto parsed = expr::ParseExpr(query.text);
-  if (parsed.ok()) parsed.ValueOrDie()->CollectColumns(&refs);
-  return refs;
-}
-
-bool Intersects(const std::set<std::string>& a,
-                const std::set<std::string>& b) {
-  for (const std::string& x : a) {
-    if (b.count(x) > 0) return true;
+  for (const Op& op : lazy->plan()) {
+    switch (op.kind) {
+      case OpKind::kApplyRow:
+      case OpKind::kFusedColumn:
+        return std::nullopt;  // row_fn is opaque; fused args aren't rendered
+      case OpKind::kMerge: {
+        auto inner = LazySubplanSignature(op.other);
+        if (!inner.has_value()) return std::nullopt;
+        sig += "|merge(" + *inner + ";" + op.left_key + "=" + op.right_key +
+               ";" + (op.join_type == kern::JoinType::kInner ? "i" : "l") + ")";
+        break;
+      }
+      default:
+        sig += "|" + plan::OpSummary(op);
+        // The display string collapses scalar kinds (Int(0) and Double(0)
+        // both render "0"); tag them so the signature doesn't.
+        if (op.kind == OpKind::kFillNa || op.kind == OpKind::kReplace) {
+          sig += "#" + std::to_string(static_cast<int>(op.scalar_a.kind())) +
+                 "," + std::to_string(static_cast<int>(op.scalar_b.kind()));
+        }
+    }
   }
-  return false;
-}
-
-/// Can `query` (a kQuery op) hop before `prev`? Sound rules only: the swap
-/// must preserve both results.
-bool QueryCanHopBefore(const Op& query, const Op& prev,
-                       const std::set<std::string>& refs) {
-  switch (prev.kind) {
-    case OpKind::kSortValues:
-      return true;  // content-based filter commutes with reordering
-    case OpKind::kDropNa:
-      return true;  // two row filters commute
-    case OpKind::kCast:
-    case OpKind::kStrLower:
-    case OpKind::kRound:
-    case OpKind::kToDatetime:
-    case OpKind::kReplace:
-      return refs.count(prev.column) == 0;
-    case OpKind::kFillNa:
-      // fillna changes null rows; safe only when the filter ignores the
-      // column entirely (and fillna-with-mean depends on the row set the
-      // filter would change).
-      return !prev.fill_with_mean && refs.count(prev.column) == 0;
-    case OpKind::kApplyExpr:
-      return refs.count(prev.new_name) == 0;
-    case OpKind::kApplyRow:
-      return refs.count(prev.new_name) == 0;
-    case OpKind::kDropColumns:
-      // Filter first, then drop: always fine (the filter's columns exist
-      // before the drop; if the drop removed one of them the original plan
-      // was invalid anyway).
-      return true;
-    default:
-      return false;
-  }
+  return sig;
 }
 
 }  // namespace
 
-std::vector<Op> LazyEngineBase::Optimize(std::vector<Op> plan) const {
-  if (EnablePredicatePushdown()) {
-    // Bubble each filter toward the source through ops it commutes with.
-    for (size_t i = 1; i < plan.size(); ++i) {
-      if (plan[i].kind != OpKind::kQuery) continue;
-      std::set<std::string> refs = QueryReferences(plan[i]);
-      size_t j = i;
-      while (j > 0 && QueryCanHopBefore(plan[j], plan[j - 1], refs)) {
-        std::swap(plan[j], plan[j - 1]);
-        --j;
-      }
-    }
+plan::OptimizerPolicy LazyEngineBase::PlanPolicy() const {
+  plan::OptimizerPolicy policy;
+  policy.predicate_pushdown = EnablePredicatePushdown();
+  policy.projection_pushdown = EnableProjectionPushdown();
+  policy.filter_reorder = policy.predicate_pushdown;
+  return policy;
+}
+
+std::vector<Op> LazyEngineBase::Optimize(std::vector<Op> ops) const {
+  if (!optimizer_enabled_) return ops;
+  plan::LogicalPlan lp;
+  lp.ops = std::move(ops);
+  plan::PlanContext ctx;
+  ctx.subplan_signature = LazySubplanSignature;
+  const plan::RuleDriver driver(PlanPolicy());
+  const bool explain = std::getenv("BENTO_EXPLAIN") != nullptr;
+  std::string before;
+  if (explain) before = plan::Explain(lp.ops);
+  lp = driver.Run(std::move(lp), ctx);
+  if (explain) {
+    std::fprintf(stderr,
+                 "== %s: plan before ==\n%s== %s: plan after ==\n%s",
+                 info().id.c_str(), before.c_str(), info().id.c_str(),
+                 plan::Explain(lp.ops).c_str());
   }
-  if (EnableProjectionPushdown()) {
-    // Pull column drops toward the source past ops that don't touch the
-    // dropped columns.
-    for (size_t i = 1; i < plan.size(); ++i) {
-      if (plan[i].kind != OpKind::kDropColumns) continue;
-      std::set<std::string> dropped(plan[i].columns.begin(),
-                                    plan[i].columns.end());
-      size_t j = i;
-      while (j > 0) {
-        const Op& prev = plan[j - 1];
-        if (prev.kind == OpKind::kQuery) {
-          if (Intersects(QueryReferences(prev), dropped)) break;
-        } else {
-          std::set<std::string> touched;
-          if (!OpColumnFootprint(prev, &touched)) break;
-          if (Intersects(touched, dropped)) break;
-        }
-        std::swap(plan[j], plan[j - 1]);
-        --j;
-      }
-    }
-  }
-  return plan;
+  return std::move(lp.ops);
 }
 
 Result<std::unique_ptr<ChunkStream>> LazyEngineBase::OpenStream(
-    const LazySource& source,
-    const std::vector<std::string>& projection) const {
+    const LazySource& source, const ScanSpec& scan) const {
   switch (source.kind) {
     case LazySource::Kind::kTable: {
       col::TablePtr table = source.table;
-      if (!projection.empty()) {
-        // Complement-projection: keep everything except what the pushed
-        // drop removed — `projection` is the keep list.
-        BENTO_ASSIGN_OR_RETURN(table, table->SelectColumns(projection));
+      if (!scan.drop_columns.empty()) {
+        // Same semantics as the drop op this replaces, KeyError included.
+        BENTO_ASSIGN_OR_RETURN(table, table->DropColumns(scan.drop_columns));
       }
       return std::unique_ptr<ChunkStream>(
           std::make_unique<TableChunkStream>(table, ChunkRows()));
@@ -187,13 +153,41 @@ Result<std::unique_ptr<ChunkStream>> LazyEngineBase::OpenStream(
     case LazySource::Kind::kCsv: {
       io::CsvReadOptions options = source.csv_options;
       options.chunk_rows = ChunkRows();
+      options.drop_columns.insert(options.drop_columns.end(),
+                                  scan.drop_columns.begin(),
+                                  scan.drop_columns.end());
       BENTO_ASSIGN_OR_RETURN(auto stream,
                              CsvChunkStream::Open(source.path, options));
       return std::unique_ptr<ChunkStream>(std::move(stream));
     }
     case LazySource::Kind::kBcf: {
-      BENTO_ASSIGN_OR_RETURN(auto stream,
-                             BcfChunkStream::Open(source.path, projection));
+      std::vector<std::string> keep;
+      if (!scan.drop_columns.empty()) {
+        BENTO_ASSIGN_OR_RETURN(auto reader, io::BcfReader::Open(source.path));
+        std::set<std::string> dropped(scan.drop_columns.begin(),
+                                      scan.drop_columns.end());
+        for (const std::string& name : scan.drop_columns) {
+          if (reader->schema()->IndexOf(name) < 0) {
+            return Status::KeyError("no column named '", name, "'");
+          }
+        }
+        for (const col::Field& f : reader->schema()->fields()) {
+          if (dropped.count(f.name) == 0) keep.push_back(f.name);
+        }
+        if (keep.empty()) {
+          // Every column dropped: an empty keep-list means "all" to the
+          // reader, so emit the degenerate zero-width frame directly.
+          BENTO_ASSIGN_OR_RETURN(
+              auto empty, col::Table::MakeEmpty(std::make_shared<col::Schema>(
+                              std::vector<col::Field>{})));
+          return std::unique_ptr<ChunkStream>(
+              std::make_unique<TableChunkStream>(std::move(empty),
+                                                 ChunkRows()));
+        }
+      }
+      BENTO_ASSIGN_OR_RETURN(
+          auto stream,
+          BcfChunkStream::Open(source.path, std::move(keep), scan.predicates));
       return std::unique_ptr<ChunkStream>(std::move(stream));
     }
   }
@@ -292,21 +286,36 @@ Result<col::TablePtr> LazyEngineBase::Execute(
   std::vector<Op> ops = Optimize(plan);
   const ExecPolicy policy = ExecutionPolicy();
 
-  // Translate a leading column drop into a real projection when the source
-  // format can skip bytes (BCF).
-  std::vector<std::string> projection;
+  // Bind the plan's leading ops into the physical scan: a leading drop
+  // becomes a column-skipping read (the scan never materializes those
+  // columns), and a leading filter over a BCF source contributes zone-map
+  // predicates that prune whole row groups. The filter itself stays in the
+  // plan — statistics only prune, the residual query still decides rows.
+  ScanSpec scan;
   size_t start = 0;
-  if (!ops.empty() && ops[0].kind == OpKind::kDropColumns &&
-      source.kind == LazySource::Kind::kBcf && EnableProjectionPushdown()) {
-    BENTO_ASSIGN_OR_RETURN(auto reader, io::BcfReader::Open(source.path));
-    std::set<std::string> dropped(ops[0].columns.begin(), ops[0].columns.end());
-    for (const col::Field& f : reader->schema()->fields()) {
-      if (dropped.count(f.name) == 0) projection.push_back(f.name);
+  if (optimizer_enabled_) {
+    const plan::OptimizerPolicy flags = PlanPolicy();
+    if (flags.scan_pushdown && flags.projection_pushdown && !ops.empty() &&
+        ops[0].kind == OpKind::kDropColumns) {
+      scan.drop_columns = ops[0].columns;
+      start = 1;
+      static obs::Counter* bound =
+          obs::MetricsRegistry::Global().counter("plan.rewrite.scan_projection");
+      bound->Increment();
     }
-    start = 1;
+    if (flags.scan_pushdown && flags.predicate_pushdown &&
+        source.kind == LazySource::Kind::kBcf && start < ops.size() &&
+        ops[start].kind == OpKind::kQuery) {
+      scan.predicates = plan::ExtractScanPredicates(ops[start].text);
+      if (!scan.predicates.empty()) {
+        static obs::Counter* bound = obs::MetricsRegistry::Global().counter(
+            "plan.rewrite.scan_predicates");
+        bound->Increment();
+      }
+    }
   }
 
-  BENTO_ASSIGN_OR_RETURN(auto stream, OpenStream(source, projection));
+  BENTO_ASSIGN_OR_RETURN(auto stream, OpenStream(source, scan));
   const bool stream_breakers = StreamsBreakers() && MemoryTight(source);
 
   // Streaming loop: breakers either stream (bounded memory) and hand the
@@ -499,7 +508,7 @@ Result<ActionResult> LazyEngineBase::ExecuteAction(
 
   if (PlanOverheadSeconds() > 0) sim::ChargePenalty(PlanOverheadSeconds());
   std::vector<Op> ops = Optimize(plan);
-  BENTO_ASSIGN_OR_RETURN(auto stream, OpenStream(source, {}));
+  BENTO_ASSIGN_OR_RETURN(auto stream, OpenStream(source, ScanSpec{}));
   TransformingStream transformed(stream.get(), ops.data(), ops.size(), &policy,
                                  PerChunkOverheadSeconds());
 

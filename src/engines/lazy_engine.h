@@ -9,6 +9,7 @@
 #include "frame/capabilities.h"
 #include "frame/engine.h"
 #include "frame/exec.h"
+#include "plan/rules.h"
 
 namespace bento::eng {
 
@@ -46,6 +47,7 @@ class LazyFrame : public frame::DataFrame,
   Result<col::TablePtr> Collect() override;
 
   const std::vector<frame::Op>& plan() const { return plan_; }
+  const LazySource& source() const { return source_; }
 
  private:
   LazySource source_;
@@ -92,6 +94,17 @@ class LazyEngineBase : public frame::Engine {
   virtual bool EnableProjectionPushdown() const { return true; }
   virtual bool EnablePredicatePushdown() const { return true; }
 
+  /// Rule families this engine model applies. The default maps the two
+  /// legacy toggles onto the full catalog (filter reordering rides the
+  /// predicate-pushdown toggle: both model the same Catalyst/Polars
+  /// filter-placement machinery). Override for finer-grained models.
+  virtual plan::OptimizerPolicy PlanPolicy() const;
+
+  /// Master switch: when false, plans execute exactly as written (the
+  /// `_noopt` registry variants used as the A/B baseline in Fig. 7 runs).
+  void set_optimizer_enabled(bool enabled) { optimizer_enabled_ = enabled; }
+  bool optimizer_enabled() const { return optimizer_enabled_; }
+
   // --- execution shape ---
   virtual int64_t ChunkRows() const { return ScaledBatchRows(128 * 1024); }
   /// Fixed virtual-time cost charged once per plan execution (plan
@@ -119,14 +132,29 @@ class LazyEngineBase : public frame::Engine {
     return source;
   }
 
-  /// Plan optimization (pushdowns); exposed for tests and plan display.
+  /// Runs the rewrite-rule driver over `plan` under this engine's
+  /// PlanPolicy(); identity when the optimizer is disabled. Exposed for
+  /// tests and plan display. Set BENTO_EXPLAIN=1 to dump the plan before
+  /// and after to stderr.
   std::vector<frame::Op> Optimize(std::vector<frame::Op> plan) const;
 
+  /// Scan-level bindings the executor pushed into the source read: columns
+  /// the scan never materializes and zone-map predicates that prune BCF row
+  /// groups. The residual plan still re-checks every filter.
+  struct ScanSpec {
+    std::vector<std::string> drop_columns;
+    std::vector<io::ScanPredicate> predicates;
+  };
+
  protected:
-  /// Opens the chunk stream for a source, applying `projection` when the
-  /// format supports it (BCF).
-  Result<std::unique_ptr<ChunkStream>> OpenStream(
-      const LazySource& source, const std::vector<std::string>& projection) const;
+  /// Opens the chunk stream for a source, applying the parts of `scan` the
+  /// format supports (CSV: column skipping; BCF: column projection and
+  /// row-group skipping; tables: column selection).
+  Result<std::unique_ptr<ChunkStream>> OpenStream(const LazySource& source,
+                                                  const ScanSpec& scan) const;
+
+ private:
+  bool optimizer_enabled_ = true;
 };
 
 /// \brief True when `op` can run chunk-at-a-time without global state.

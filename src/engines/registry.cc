@@ -2,6 +2,7 @@
 
 #include "engines/cudf.h"
 #include "engines/datatable.h"
+#include "engines/lazy_engine.h"
 #include "engines/modin.h"
 #include "engines/pandas.h"
 #include "engines/polars.h"
@@ -31,6 +32,18 @@ Result<EnginePtr> CreateEngine(const std::string& id) {
   }
   if (id == "spark_pd_eager") {
     return EnginePtr(std::make_shared<SparkPdEngine>(false));
+  }
+  // Optimizer-off variants of the lazy engines: plans run exactly as
+  // written. The A/B baseline for the plan-rewrite benchmarks and the
+  // reference arm of the differential plan fuzzer.
+  if (id == "polars_noopt" || id == "spark_sql_noopt" ||
+      id == "spark_pd_noopt" || id == "vaex_noopt") {
+    BENTO_ASSIGN_OR_RETURN(EnginePtr inner,
+                           CreateEngine(id.substr(0, id.size() - 6)));
+    auto* lazy = dynamic_cast<eng::LazyEngineBase*>(inner.get());
+    if (lazy == nullptr) return Status::Invalid("'", id, "' is not lazy");
+    lazy->set_optimizer_enabled(false);
+    return inner;
   }
   return Status::KeyError("unknown engine '", id, "'");
 }

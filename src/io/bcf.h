@@ -29,6 +29,18 @@ struct BcfWriteOptions {
   bool compression = true;
 };
 
+/// \brief One zone-map-prunable conjunct of a scan filter:
+/// `column <cmp> value` over a numeric column. Readers use per-row-group
+/// min/max statistics to skip groups that cannot contain a matching row;
+/// the full predicate always re-runs on the rows that are read, so stats
+/// are an accelerator, never a correctness carrier.
+struct ScanPredicate {
+  enum class Cmp { kLt, kLe, kGt, kGe, kEq };
+  std::string column;
+  Cmp cmp = Cmp::kEq;
+  double value = 0.0;
+};
+
 Status WriteBcf(const col::TablePtr& table, const std::string& path,
                 const BcfWriteOptions& options = {});
 
@@ -86,6 +98,11 @@ class BcfReader {
   /// Concatenation of all row groups.
   Result<col::TablePtr> ReadAll(const std::vector<std::string>& columns = {});
 
+  /// True unless the group's zone-map statistics prove no row can satisfy
+  /// `pred`. Unknown columns and chunks without statistics (string columns,
+  /// all-null chunks, files written before stats existed) return true.
+  bool GroupMayMatch(int group, const ScanPredicate& pred) const;
+
  private:
   struct ColumnChunk {
     uint64_t validity_offset = 0;
@@ -96,6 +113,10 @@ class BcfReader {
     Encoding encoding = Encoding::kPlain;
     bool compressed = false;
     int64_t null_count = 0;
+    /// Zone map over the chunk's valid values (numeric columns only).
+    bool has_stats = false;
+    double min = 0.0;
+    double max = 0.0;
   };
   struct RowGroup {
     int64_t num_rows = 0;

@@ -21,6 +21,10 @@ struct CsvReadOptions {
   int64_t chunk_rows = 64 * 1024;
   /// Explicit schema; skips inference when set. Column count must match.
   col::SchemaPtr schema;
+  /// Columns to skip at parse time (scan-level projection pushdown): dropped
+  /// fields are split but never type-decoded or materialized, and the result
+  /// schema omits them. Unknown names are a KeyError, matching frame Drop.
+  std::vector<std::string> drop_columns;
 };
 
 struct CsvWriteOptions {
@@ -64,6 +68,8 @@ class CsvChunkReader {
   std::FILE* file_ = nullptr;
   CsvReadOptions options_;
   col::SchemaPtr schema_;
+  /// Kept-column -> raw-field index when drop_columns is set (else empty).
+  std::vector<size_t> field_map_;
   std::string carry_;   // partial record between buffered reads
   bool eof_ = false;
 };

@@ -5,6 +5,7 @@
 
 #include <charconv>
 #include <cstring>
+#include <set>
 
 #include "columnar/builder.h"
 #include "io/csv.h"
@@ -254,9 +255,15 @@ class ColumnDecoder {
   col::StringBuilder strings_;
 };
 
+/// Parses `body` into `schema`'s columns. When `field_map` is non-null,
+/// `schema` is a projection of the file and `(*field_map)[c]` gives the
+/// record field index backing column `c`; unmapped fields are split but
+/// never decoded (the column-skipping read path).
 Result<col::TablePtr> ParseRecords(std::string_view body,
                                    const col::SchemaPtr& schema,
-                                   const CsvReadOptions& options) {
+                                   const CsvReadOptions& options,
+                                   const std::vector<size_t>* field_map =
+                                       nullptr) {
   std::vector<ColumnDecoder> decoders;
   decoders.reserve(static_cast<size_t>(schema->num_fields()));
   for (const col::Field& f : schema->fields()) {
@@ -269,8 +276,9 @@ Result<col::TablePtr> ParseRecords(std::string_view body,
   ForEachRecord(body, /*allow_partial_tail=*/false, [&](std::string_view line) {
     SplitRecord(line, options.delimiter, &fields, &scratch, &quoted);
     for (size_t c = 0; c < decoders.size(); ++c) {
-      if (c < fields.size()) {
-        decoders[c].Append(fields[c], quoted[c]);
+      const size_t f = field_map != nullptr ? (*field_map)[c] : c;
+      if (f < fields.size()) {
+        decoders[c].Append(fields[f], quoted[f]);
       } else {
         decoders[c].AppendNull();
       }
@@ -282,6 +290,41 @@ Result<col::TablePtr> ParseRecords(std::string_view body,
     columns.push_back(std::move(a));
   }
   return col::Table::Make(schema, std::move(columns));
+}
+
+/// Resolved form of CsvReadOptions::drop_columns: the projected schema and,
+/// per kept column, the index of its field in the raw record.
+struct CsvProjection {
+  col::SchemaPtr schema;
+  std::vector<size_t> field_map;
+  bool active = false;
+};
+
+Result<CsvProjection> ResolveDropColumns(const col::SchemaPtr& full,
+                                         const CsvReadOptions& options) {
+  CsvProjection proj;
+  proj.schema = full;
+  if (options.drop_columns.empty()) return proj;
+  std::set<std::string> drop;
+  for (const std::string& name : options.drop_columns) {
+    if (full->IndexOf(name) < 0) {
+      return Status::KeyError("no column named '", name, "'");
+    }
+    drop.insert(name);
+  }
+  std::vector<col::Field> fields;
+  for (int c = 0; c < full->num_fields(); ++c) {
+    const col::Field& f = full->fields()[static_cast<size_t>(c)];
+    if (drop.count(f.name) != 0) continue;
+    fields.push_back(f);
+    proj.field_map.push_back(static_cast<size_t>(c));
+  }
+  proj.schema = std::make_shared<col::Schema>(std::move(fields));
+  proj.active = true;
+  static obs::Counter* skipped =
+      obs::MetricsRegistry::Global().counter("io.csv.columns_skipped");
+  skipped->Add(static_cast<int64_t>(drop.size()));
+  return proj;
 }
 
 struct HeaderInfo {
@@ -361,7 +404,10 @@ Result<col::TablePtr> ReadCsv(const std::string& path,
     return Status::Invalid("explicit schema has ", schema->num_fields(),
                            " fields, file has ", header.names.size());
   }
-  return ParseRecords(body, schema, options);
+  BENTO_ASSIGN_OR_RETURN(CsvProjection proj,
+                         ResolveDropColumns(schema, options));
+  return ParseRecords(body, proj.schema, options,
+                      proj.active ? &proj.field_map : nullptr);
 }
 
 Result<col::TablePtr> ReadCsvMmap(const std::string& path,
@@ -398,6 +444,11 @@ Result<col::TablePtr> ReadCsvMmap(const std::string& path,
   std::string_view body = text.substr(header.body_offset);
   col::SchemaPtr schema = options.schema;
   if (schema == nullptr) schema = InferFromBody(body, header.names, options);
+  BENTO_ASSIGN_OR_RETURN(CsvProjection proj,
+                         ResolveDropColumns(schema, options));
+  schema = proj.schema;
+  const std::vector<size_t>* field_map =
+      proj.active ? &proj.field_map : nullptr;
 
   // Split at record boundaries (newline scan; quoted newlines are not
   // supported on this parallel path, matching mmap readers' restrictions).
@@ -440,7 +491,7 @@ Result<col::TablePtr> ReadCsvMmap(const std::string& path,
         }
         BENTO_ASSIGN_OR_RETURN(parts[static_cast<size_t>(i)],
                                ParseRecords(body.substr(b, e - b), schema,
-                                            options));
+                                            options, field_map));
         return Status::OK();
       },
       parallel));
@@ -467,9 +518,13 @@ Result<std::unique_ptr<CsvChunkReader>> CsvChunkReader::Open(
   prefix.resize(got);
   HeaderInfo header = ReadHeader(prefix, options);
   std::string_view body = std::string_view(prefix).substr(header.body_offset);
-  reader->schema_ = options.schema != nullptr
-                        ? options.schema
-                        : InferFromBody(body, header.names, options);
+  col::SchemaPtr full = options.schema != nullptr
+                            ? options.schema
+                            : InferFromBody(body, header.names, options);
+  BENTO_ASSIGN_OR_RETURN(CsvProjection proj,
+                         ResolveDropColumns(full, options));
+  reader->schema_ = proj.schema;
+  if (proj.active) reader->field_map_ = std::move(proj.field_map);
   if (std::fseek(f, static_cast<long>(header.body_offset), SEEK_SET) != 0) {
     return Status::IOError("seek failed for ", path);
   }
@@ -548,7 +603,8 @@ Result<col::TablePtr> CsvChunkReader::Next() {
     eof_ = true;
     return col::TablePtr(nullptr);
   }
-  return ParseRecords(chunk_text, schema_, options_);
+  return ParseRecords(chunk_text, schema_, options_,
+                      field_map_.empty() ? nullptr : &field_map_);
 }
 
 }  // namespace bento::io

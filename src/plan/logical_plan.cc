@@ -1,0 +1,224 @@
+#include "plan/logical_plan.h"
+
+#include "expr/parser.h"
+
+namespace bento::plan {
+
+using frame::Op;
+using frame::OpKind;
+
+namespace {
+
+using kern::AggName;
+
+std::string JoinList(const std::vector<std::string>& names) {
+  if (names.empty()) return "*";
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string OpSummary(const Op& op) {
+  std::string s = frame::OpKindName(op.kind);
+  s += "[";
+  switch (op.kind) {
+    case OpKind::kQuery:
+    case OpKind::kSearchPattern:
+      s += op.text;
+      break;
+    case OpKind::kSortValues:
+      for (size_t i = 0; i < op.sort_keys.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += op.sort_keys[i].column;
+        s += op.sort_keys[i].ascending ? " asc" : " desc";
+      }
+      break;
+    case OpKind::kCast:
+      s += op.column;
+      s += " -> ";
+      s += col::TypeName(op.type);
+      break;
+    case OpKind::kDropColumns:
+    case OpKind::kDropNa:
+    case OpKind::kDropDuplicates:
+      s += JoinList(op.columns);
+      break;
+    case OpKind::kRename:
+      for (size_t i = 0; i < op.renames.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += op.renames[i].first;
+        s += " -> ";
+        s += op.renames[i].second;
+      }
+      break;
+    case OpKind::kApplyExpr:
+      s += op.new_name;
+      s += " = ";
+      s += op.text;
+      break;
+    case OpKind::kMerge:
+      s += op.left_key;
+      s += " = ";
+      s += op.right_key;
+      s += op.join_type == kern::JoinType::kLeft ? ", left" : ", inner";
+      break;
+    case OpKind::kGroupByAgg: {
+      s += JoinList(op.columns);
+      s += " | ";
+      for (size_t i = 0; i < op.aggs.size(); ++i) {
+        if (i > 0) s += ", ";
+        const kern::AggSpec& a = op.aggs[i];
+        s += a.output_name.empty() ? a.column + "_" + AggName(a.kind)
+                                   : a.output_name;
+        s += " = ";
+        s += AggName(a.kind);
+        s += "(";
+        s += a.column;
+        s += ")";
+      }
+      break;
+    }
+    case OpKind::kPivot:
+      s += op.pivot_index;
+      s += " x ";
+      s += op.pivot_columns;
+      s += " : ";
+      s += AggName(op.pivot_agg);
+      s += "(";
+      s += op.pivot_values;
+      s += ")";
+      break;
+    case OpKind::kRound:
+      s += op.column;
+      s += ", ";
+      s += std::to_string(op.decimals);
+      break;
+    case OpKind::kFillNa:
+      s += op.column;
+      s += " = ";
+      s += op.fill_with_mean ? std::string("mean") : op.scalar_a.ToString();
+      break;
+    case OpKind::kReplace:
+      s += op.column;
+      s += ": ";
+      s += op.scalar_a.ToString();
+      s += " -> ";
+      s += op.scalar_b.ToString();
+      break;
+    case OpKind::kApplyRow:
+      s += op.new_name;
+      break;
+    case OpKind::kFusedColumn: {
+      s += op.column;
+      s += ": ";
+      for (size_t i = 0; i < op.fused.size(); ++i) {
+        if (i > 0) s += "; ";
+        s += frame::OpKindName(op.fused[i].kind);
+      }
+      break;
+    }
+    default:
+      // Single-column ops (lower, catenc, onehot, chdate, outlier) and
+      // column-less actions.
+      s += op.column;
+      break;
+  }
+  s += "]";
+  return s;
+}
+
+std::string Explain(const std::vector<Op>& ops) {
+  std::string out;
+  for (const Op& op : ops) {
+    out += OpSummary(op);
+    out += "\n";
+  }
+  return out;
+}
+
+bool OpColumnFootprint(const Op& op, std::set<std::string>* touched) {
+  switch (op.kind) {
+    case OpKind::kCast:
+    case OpKind::kStrLower:
+    case OpKind::kRound:
+    case OpKind::kFillNa:
+    case OpKind::kReplace:
+    case OpKind::kToDatetime:
+    case OpKind::kCatCodes:
+    case OpKind::kFusedColumn:
+      touched->insert(op.column);
+      return true;
+    case OpKind::kApplyExpr: {
+      auto parsed = expr::ParseExpr(op.text);
+      if (!parsed.ok()) return false;
+      parsed.ValueOrDie()->CollectColumns(touched);
+      touched->insert(op.new_name);
+      return true;
+    }
+    case OpKind::kDropColumns:
+      touched->insert(op.columns.begin(), op.columns.end());
+      return true;
+    case OpKind::kSortValues:
+      for (const auto& key : op.sort_keys) touched->insert(key.column);
+      return true;
+    case OpKind::kDropNa:
+      if (op.columns.empty()) return false;  // inspects every column
+      touched->insert(op.columns.begin(), op.columns.end());
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::set<std::string> QueryReferences(const Op& query) {
+  std::set<std::string> refs;
+  auto parsed = expr::ParseExpr(query.text);
+  if (parsed.ok()) parsed.ValueOrDie()->CollectColumns(&refs);
+  return refs;
+}
+
+bool Intersects(const std::set<std::string>& a,
+                const std::set<std::string>& b) {
+  for (const std::string& x : a) {
+    if (b.count(x) > 0) return true;
+  }
+  return false;
+}
+
+bool IsOrderObliviousRowOp(const Op& op) {
+  switch (op.kind) {
+    // Per-row maps: each output row is a function of its input row alone
+    // (fillna-with-mean additionally reads the column multiset, which is
+    // also order-independent). Row filters keep a row based on its own
+    // values and preserve relative order.
+    case OpKind::kQuery:
+    case OpKind::kDropNa:
+    case OpKind::kCast:
+    case OpKind::kStrLower:
+    case OpKind::kRound:
+    case OpKind::kReplace:
+    case OpKind::kToDatetime:
+    case OpKind::kFillNa:
+    case OpKind::kApplyExpr:
+    case OpKind::kApplyRow:
+      return true;
+    case OpKind::kFusedColumn:
+      for (const Op& step : op.fused) {
+        if (!IsOrderObliviousRowOp(step)) return false;
+      }
+      return true;
+    // Everything else either reorders rows (sort), keeps first-seen rows
+    // (dedup, groupby emission order), renames/drops columns a later sort
+    // key may reference, or multiplies rows (merge, dummies widen is fine
+    // but stay conservative).
+    default:
+      return false;
+  }
+}
+
+}  // namespace bento::plan

@@ -1,0 +1,47 @@
+#ifndef BENTO_PLAN_LOGICAL_PLAN_H_
+#define BENTO_PLAN_LOGICAL_PLAN_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "frame/op.h"
+
+namespace bento::plan {
+
+/// \brief A logical plan: the ordered transform sequence a lazy frame
+/// accumulated between its source and the forcing action. Rewrite rules
+/// mutate `ops` in place; the executor runs whatever remains.
+struct LogicalPlan {
+  std::vector<frame::Op> ops;
+};
+
+/// \brief One-line rendering of a single op for plan dumps and golden
+/// tests, e.g. "query[age >= 20]" or "fused[v: fillna; astype; round]".
+std::string OpSummary(const frame::Op& op);
+
+/// \brief Multi-line plan dump (one OpSummary per line, source to sink).
+/// This is the `--explain` text form; golden plan-snapshot tests compare
+/// these strings before/after optimization.
+std::string Explain(const std::vector<frame::Op>& ops);
+
+// --- column-footprint analysis shared by the rewrite rules -----------------
+
+/// \brief Columns `op` reads or writes. Returns false when the op touches
+/// the whole row (opaque to column analysis); `touched` is then meaningless.
+bool OpColumnFootprint(const frame::Op& op, std::set<std::string>* touched);
+
+/// \brief Columns referenced by a kQuery predicate (empty on parse failure).
+std::set<std::string> QueryReferences(const frame::Op& query);
+
+/// \brief True when the two sets share at least one element.
+bool Intersects(const std::set<std::string>& a, const std::set<std::string>& b);
+
+/// \brief True when `op` is a pure per-row map or filter: it neither
+/// reorders rows nor depends on row order, so it commutes with sorting for
+/// the purpose of redundant-sort elimination.
+bool IsOrderObliviousRowOp(const frame::Op& op);
+
+}  // namespace bento::plan
+
+#endif  // BENTO_PLAN_LOGICAL_PLAN_H_
