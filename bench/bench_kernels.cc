@@ -10,7 +10,12 @@
 
 #include "bench/bench_common.h"
 #include "columnar/builder.h"
+#include "kernels/compare.h"
+#include "kernels/dedup.h"
+#include "kernels/encode.h"
 #include "kernels/flat_index.h"
+#include "kernels/selection.h"
+#include "simd/simd.h"
 #include "kernels/groupby.h"
 #include "kernels/join.h"
 #include "kernels/null_ops.h"
@@ -370,6 +375,117 @@ void BM_SortMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_SortMerge)->Args({1000000, 1})->Args({1000000, 4});
 
+// --- SIMD kernel ablations ------------------------------------------------
+//
+// The benchmarks below sit directly on the kernels the portable SIMD layer
+// rewired: null-bitmap popcount, vectorized compare, and filter
+// mask->index materialization. A/B against the scalar fallback by running
+// the same binary twice, the second time with BENTO_SIMD=off (the level is
+// fixed at process start, so the toggle must be an environment variable,
+// not a benchmark arg). BM_GroupByDictString pairs measure the
+// dictionary-encoded string path against plain strings on identical data.
+
+void BM_NullCountSimd(benchmark::State& state) {
+  auto t = BenchTable(state.range(0));
+  auto v = t->GetColumn("v").ValueOrDie();
+  const uint8_t* bits = v->validity_bits();
+  const int64_t n = v->length();
+  for (auto _ : state) {
+    int64_t set = bento::simd::PopcountBits(bits, n);
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NullCountSimd)->Arg(1000000);
+
+void BM_CompareSimd(benchmark::State& state) {
+  auto t = BenchTable(state.range(0));
+  auto v = t->GetColumn("v").ValueOrDie();
+  for (auto _ : state) {
+    auto mask =
+        kern::CompareScalar(v, kern::CompareOp::kGt, col::Scalar::Double(50.0));
+    benchmark::DoNotOptimize(mask);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompareSimd)->Arg(1000000);
+
+void BM_FilterSimd(benchmark::State& state) {
+  // Mask built outside the loop; fixed-width columns only, so the measured
+  // work is MaskToIndices + the typed gathers (the string gather is a
+  // builder loop the SIMD layer does not touch).
+  auto t = BenchTable(state.range(0))->DropColumns({"s"}).ValueOrDie();
+  auto v = t->GetColumn("v").ValueOrDie();
+  auto mask =
+      kern::CompareScalar(v, kern::CompareOp::kGt, col::Scalar::Double(50.0))
+          .ValueOrDie();
+  for (auto _ : state) {
+    auto filtered = kern::FilterTable(t, mask);
+    benchmark::DoNotOptimize(filtered);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FilterSimd)->Arg(1000000);
+
+col::TablePtr StringKeyTable(int64_t rows, int distinct, bool dict_encode) {
+  Rng rng(4321);
+  col::StringBuilder keys;
+  col::Float64Builder values;
+  for (int64_t i = 0; i < rows; ++i) {
+    keys.Append("team" + std::to_string(rng.UniformInt(0, distinct - 1)));
+    values.Append(rng.UniformDouble(0, 100));
+  }
+  auto k = keys.Finish().ValueOrDie();
+  if (dict_encode) k = kern::DictEncode(k).ValueOrDie();
+  std::vector<col::Field> fields = {{"k", k->type()},
+                                    {"v", col::TypeId::kFloat64}};
+  return col::Table::Make(std::make_shared<col::Schema>(std::move(fields)),
+                          {k, values.Finish().ValueOrDie()})
+      .ValueOrDie();
+}
+
+void BM_GroupByStringKey(benchmark::State& state) {
+  auto t = StringKeyTable(state.range(0), 1000, /*dict_encode=*/false);
+  std::vector<kern::AggSpec> aggs = {{"v", kern::AggKind::kSum, "s"}};
+  for (auto _ : state) {
+    auto grouped = kern::GroupBy(t, {"k"}, aggs);
+    benchmark::DoNotOptimize(grouped);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByStringKey)->Arg(1000000);
+
+void BM_GroupByDictString(benchmark::State& state) {
+  auto t = StringKeyTable(state.range(0), 1000, /*dict_encode=*/true);
+  std::vector<kern::AggSpec> aggs = {{"v", kern::AggKind::kSum, "s"}};
+  for (auto _ : state) {
+    auto grouped = kern::GroupBy(t, {"k"}, aggs);
+    benchmark::DoNotOptimize(grouped);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByDictString)->Arg(1000000);
+
+void BM_DedupStringKey(benchmark::State& state) {
+  auto t = StringKeyTable(state.range(0), 5000, /*dict_encode=*/false);
+  for (auto _ : state) {
+    auto deduped = kern::DropDuplicates(t, {"k"});
+    benchmark::DoNotOptimize(deduped);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DedupStringKey)->Arg(1000000);
+
+void BM_DedupDictString(benchmark::State& state) {
+  auto t = StringKeyTable(state.range(0), 5000, /*dict_encode=*/true);
+  for (auto _ : state) {
+    auto deduped = kern::DropDuplicates(t, {"k"});
+    benchmark::DoNotOptimize(deduped);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DedupDictString)->Arg(1000000);
+
 void BM_JoinReal(benchmark::State& state) {
   auto left = BenchTable(state.range(0));
   // Build side: one payload row per key value.
@@ -418,6 +534,7 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
       writer_.Add(run.benchmark_name(), run.iterations, ns_per_op,
                   rows_per_second);
       wall_ns_[run.benchmark_name()] = ns_per_op;
+      rows_per_s_[run.benchmark_name()] = rows_per_second;
     }
     benchmark::ConsoleReporter::ReportRuns(runs);
   }
@@ -427,9 +544,15 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
   /// Wall-clock ns/op by benchmark name, for post-run scaling assertions.
   const std::map<std::string, double>& wall_ns() const { return wall_ns_; }
 
+  /// Throughput by benchmark name, for the absolute floor assertions.
+  const std::map<std::string, double>& rows_per_s() const {
+    return rows_per_s_;
+  }
+
  private:
   bento::bench::BenchJsonWriter writer_;
   std::map<std::string, double> wall_ns_;
+  std::map<std::string, double> rows_per_s_;
 };
 
 /// Strips a bare `--check-scaling` flag from argv; returns whether present.
@@ -449,7 +572,8 @@ bool ParseCheckScalingArg(int* argc, char** argv) {
 /// data — the seed's partitioned group-by was 4.5x *slower*, which this
 /// check would have caught. A small tolerance absorbs timer noise on
 /// single-core hosts, where the best possible wall ratio is ~1.0.
-int CheckScaling(const std::map<std::string, double>& wall_ns) {
+int CheckScaling(const std::map<std::string, double>& wall_ns,
+                 const std::map<std::string, double>& rows_per_s) {
   constexpr double kTolerance = 1.10;
   const std::pair<const char*, const char*> pairs[] = {
       {"BM_GroupByReal/1000000/4", "BM_GroupByReal/1000000/1"},
@@ -475,6 +599,37 @@ int CheckScaling(const std::map<std::string, double>& wall_ns) {
       ++failures;
     }
   }
+  // Absolute single-thread throughput floors (rows/s). Set roughly 10x
+  // below the rates a 2020s x86 dev box reaches with SIMD active, so they
+  // tolerate slow CI hosts yet still catch order-of-magnitude regressions —
+  // an accidentally-scalarized hot loop, a quadratic slip, or a kernel
+  // silently falling back to a row-at-a-time path.
+  const std::pair<const char*, double> floors[] = {
+      {"BM_NullCountSimd/1000000", 5e9},    // bitmap popcount
+      {"BM_CompareSimd/1000000", 1e8},      // vectorized compare + alloc
+      {"BM_FilterSimd/1000000", 2e7},       // mask->indices + typed gathers
+      {"BM_IsNullScan/100000", 5e7},        // per-column validity scans
+      {"BM_SortSerial/50000", 5e5},         // serial multi-column sort
+      {"BM_GroupBySerial/50000", 2e6},      // serial hash group-by
+      {"BM_GroupByDictString/1000000", 5e6},  // code-hashed string group-by
+      {"BM_DedupDictString/1000000", 5e6},    // code-hashed dedup
+  };
+  for (const auto& [name, floor] : floors) {
+    auto it = rows_per_s.find(name);
+    if (it == rows_per_s.end()) {
+      std::fprintf(stderr, "check-scaling: missing %s in this run\n", name);
+      ++failures;
+      continue;
+    }
+    std::fprintf(stderr, "check-scaling: %s = %.3g rows/s (floor %.3g)\n",
+                 name, it->second, floor);
+    if (it->second < floor) {
+      std::fprintf(stderr,
+                   "check-scaling: FAIL — %s below the %.3g rows/s floor\n",
+                   name, floor);
+      ++failures;
+    }
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -497,6 +652,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (check_scaling) return CheckScaling(reporter.wall_ns());
+  if (check_scaling) {
+    return CheckScaling(reporter.wall_ns(), reporter.rows_per_s());
+  }
   return 0;
 }

@@ -1,28 +1,16 @@
 #include "columnar/bitmap.h"
 
-#include <bit>
 #include <cstring>
+
+#include "simd/simd.h"
 
 namespace bento::col {
 
 int64_t CountSetBits(const uint8_t* bitmap, int64_t length) {
   if (bitmap == nullptr) return length;
-  int64_t count = 0;
-  int64_t full_bytes = length >> 3;
-  // Word-at-a-time popcount over the aligned middle.
-  int64_t i = 0;
-  for (; i + 8 <= full_bytes; i += 8) {
-    uint64_t word;
-    std::memcpy(&word, bitmap + i, 8);
-    count += std::popcount(word);
-  }
-  for (; i < full_bytes; ++i) {
-    count += std::popcount(static_cast<unsigned>(bitmap[i]));
-  }
-  for (int64_t bit = full_bytes << 3; bit < length; ++bit) {
-    count += BitIsSet(bitmap, bit) ? 1 : 0;
-  }
-  return count;
+  // One shared word-wise popcount body: Array::null_count(), the validity
+  // kernels, and the SIMD layer all count through simd::PopcountBits.
+  return simd::PopcountBits(bitmap, length);
 }
 
 Result<BufferPtr> AllocateBitmap(int64_t bits, bool value) {
@@ -39,15 +27,39 @@ Result<BufferPtr> AllocateBitmap(int64_t bits, bool value) {
   return buf;
 }
 
+namespace {
+
+/// Clears the padding bits of the last byte so whole-byte scans stay exact.
+void ClearTrailingBits(uint8_t* bitmap, int64_t bits) {
+  for (int64_t i = bits; i < BitmapBytes(bits) * 8; ++i) ClearBit(bitmap, i);
+}
+
+}  // namespace
+
 Result<BufferPtr> BitmapAnd(const uint8_t* a, const uint8_t* b, int64_t bits) {
-  BENTO_ASSIGN_OR_RETURN(auto out, AllocateBitmap(bits, true));
-  uint8_t* dst = out->mutable_data();
   const int64_t nbytes = BitmapBytes(bits);
-  for (int64_t i = 0; i < nbytes; ++i) {
-    uint8_t av = a != nullptr ? a[i] : 0xFF;
-    uint8_t bv = b != nullptr ? b[i] : 0xFF;
-    dst[i] = static_cast<uint8_t>(dst[i] & av & bv);
+  if (a == nullptr && b == nullptr) return AllocateBitmap(bits, true);
+  BENTO_ASSIGN_OR_RETURN(auto out,
+                         Buffer::Allocate(static_cast<uint64_t>(nbytes)));
+  uint8_t* dst = out->mutable_data();
+  if (a == nullptr || b == nullptr) {
+    std::memcpy(dst, a != nullptr ? a : b, static_cast<size_t>(nbytes));
+  } else {
+    simd::AndBytes(a, b, dst, nbytes);
   }
+  ClearTrailingBits(dst, bits);
+  return out;
+}
+
+Result<BufferPtr> BitmapOr(const uint8_t* a, const uint8_t* b, int64_t bits) {
+  // A null input means "all valid", which saturates the OR.
+  if (a == nullptr || b == nullptr) return AllocateBitmap(bits, true);
+  const int64_t nbytes = BitmapBytes(bits);
+  BENTO_ASSIGN_OR_RETURN(auto out,
+                         Buffer::Allocate(static_cast<uint64_t>(nbytes)));
+  uint8_t* dst = out->mutable_data();
+  simd::OrBytes(a, b, dst, nbytes);
+  ClearTrailingBits(dst, bits);
   return out;
 }
 

@@ -235,11 +235,13 @@ Status WriteBcf(const col::TablePtr& table, const std::string& path,
   return writer->Finish();
 }
 
-Result<std::unique_ptr<BcfReader>> BcfReader::Open(const std::string& path) {
+Result<std::unique_ptr<BcfReader>> BcfReader::Open(
+    const std::string& path, const BcfReadOptions& options) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open ", path);
   auto reader = std::unique_ptr<BcfReader>(new BcfReader());
   reader->file_ = f;
+  reader->options_ = options;
 
   if (std::fseek(f, 0, SEEK_END) != 0) return Status::IOError("seek failed");
   const long file_size = std::ftell(f);
@@ -302,6 +304,19 @@ Result<std::unique_ptr<BcfReader>> BcfReader::Open(const std::string& path) {
     }
     reader->groups_.push_back(std::move(group));
   }
+
+  // A string column can surface as categorical only when every group's
+  // chunk is DICT-encoded; a single PLAIN chunk forces plain strings so
+  // concatenated groups keep one type.
+  const size_t n_fields = static_cast<size_t>(reader->schema_->num_fields());
+  reader->dict_everywhere_.assign(n_fields, !reader->groups_.empty());
+  for (const RowGroup& group : reader->groups_) {
+    for (size_t c = 0; c < n_fields; ++c) {
+      if (group.columns[c].encoding != Encoding::kDict) {
+        reader->dict_everywhere_[c] = false;
+      }
+    }
+  }
   return reader;
 }
 
@@ -357,12 +372,18 @@ Result<col::TablePtr> BcfReader::ReadRowGroup(
       BENTO_ASSIGN_OR_RETURN(
           data, LzDecompress(data.data(), data.size(), chunk.raw_size));
     }
+    col::Field field = schema_->field(c);
+    if (options_.strings_as_categorical && field.type == col::TypeId::kString &&
+        dict_everywhere_[static_cast<size_t>(c)]) {
+      // The DICT page's dictionary + codes become the column directly —
+      // no string materialization.
+      field.type = col::TypeId::kCategorical;
+    }
     BENTO_ASSIGN_OR_RETURN(
         auto array,
-        DecodeArray(schema_->field(c).type, chunk.encoding, data.data(),
-                    data.size(), g.num_rows, std::move(validity),
-                    chunk.null_count));
-    fields.push_back(schema_->field(c));
+        DecodeArray(field.type, chunk.encoding, data.data(), data.size(),
+                    g.num_rows, std::move(validity), chunk.null_count));
+    fields.push_back(field);
     out_columns.push_back(std::move(array));
   }
   return col::Table::Make(std::make_shared<col::Schema>(std::move(fields)),

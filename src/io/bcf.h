@@ -78,9 +78,19 @@ class BcfWriter {
   bool finished_ = false;
 };
 
+struct BcfReadOptions {
+  /// Surface string columns whose every chunk is DICT-encoded as
+  /// dictionary-encoded categoricals instead of materializing the strings —
+  /// the decoded page's codes become the column's codes directly. Columns
+  /// with any PLAIN chunk still decode as plain strings (mixed-encoding
+  /// groups cannot share one categorical type across a concat).
+  bool strings_as_categorical = false;
+};
+
 class BcfReader {
  public:
-  static Result<std::unique_ptr<BcfReader>> Open(const std::string& path);
+  static Result<std::unique_ptr<BcfReader>> Open(
+      const std::string& path, const BcfReadOptions& options = {});
 
   ~BcfReader();
   BcfReader(const BcfReader&) = delete;
@@ -128,9 +138,13 @@ class BcfReader {
   Result<std::vector<uint8_t>> ReadRange(uint64_t offset, uint64_t size);
 
   std::FILE* file_ = nullptr;
+  BcfReadOptions options_;
   col::SchemaPtr schema_;
   std::vector<RowGroup> groups_;
   int64_t num_rows_ = 0;
+  /// Per column: every row group's chunk is DICT-encoded (so the column can
+  /// surface as one categorical type under strings_as_categorical).
+  std::vector<bool> dict_everywhere_;
 };
 
 }  // namespace bento::io

@@ -25,6 +25,12 @@ struct CsvReadOptions {
   /// fields are split but never type-decoded or materialized, and the result
   /// schema omits them. Unknown names are a KeyError, matching frame Drop.
   std::vector<std::string> drop_columns;
+  /// Decode string columns as dictionary-encoded categoricals (int32 codes +
+  /// shared dictionary, interned at parse time). Applies to inferred string
+  /// columns; an explicit schema can request it per column with
+  /// TypeId::kCategorical. Chunk-parallel reads build per-chunk dictionaries
+  /// that ConcatTables unifies by value.
+  bool dictionary_encode_strings = false;
 };
 
 struct CsvWriteOptions {

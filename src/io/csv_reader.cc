@@ -9,6 +9,7 @@
 
 #include "columnar/builder.h"
 #include "io/csv.h"
+#include "kernels/flat_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
@@ -163,6 +164,9 @@ col::SchemaPtr InferSchema(const std::vector<std::string>& names,
         t = TypeId::kBool;
       }
     }
+    if (t == TypeId::kString && options.dictionary_encode_strings) {
+      t = TypeId::kCategorical;
+    }
     fields.push_back({names[c], t});
   }
   return std::make_shared<col::Schema>(std::move(fields));
@@ -212,6 +216,11 @@ class ColumnDecoder {
         }
         break;
       }
+      case TypeId::kCategorical:
+        // Intern at parse time: one copy per distinct value, int32 codes
+        // per row — the dictionary-encoded string column path.
+        cats_.Append(interner_.FindOrInsert(v));
+        break;
       default:
         strings_.Append(v);
     }
@@ -228,6 +237,9 @@ class ColumnDecoder {
       case TypeId::kBool:
         bools_.AppendNull();
         break;
+      case TypeId::kCategorical:
+        cats_.AppendNull();
+        break;
       default:
         strings_.AppendNull();
     }
@@ -241,6 +253,11 @@ class ColumnDecoder {
         return doubles_.Finish();
       case TypeId::kBool:
         return bools_.Finish();
+      case TypeId::kCategorical: {
+        auto dict =
+            std::make_shared<std::vector<std::string>>(interner_.ToStrings());
+        return cats_.Finish(std::move(dict));
+      }
       default:
         return strings_.Finish();
     }
@@ -253,6 +270,8 @@ class ColumnDecoder {
   col::Float64Builder doubles_;
   col::BoolBuilder bools_;
   col::StringBuilder strings_;
+  col::CategoricalBuilder cats_;
+  kern::StringInterner interner_;
 };
 
 /// Parses `body` into `schema`'s columns. When `field_map` is non-null,

@@ -1,6 +1,7 @@
 #include "kernels/compare.h"
 
 #include "columnar/builder.h"
+#include "simd/simd.h"
 
 namespace bento::kern {
 
@@ -25,6 +26,24 @@ bool ApplyOp(CompareOp op, const T& a, const T& b) {
   return false;
 }
 
+simd::Cmp ToSimdCmp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return simd::Cmp::kEq;
+    case CompareOp::kNe:
+      return simd::Cmp::kNe;
+    case CompareOp::kLt:
+      return simd::Cmp::kLt;
+    case CompareOp::kLe:
+      return simd::Cmp::kLe;
+    case CompareOp::kGt:
+      return simd::Cmp::kGt;
+    case CompareOp::kGe:
+      return simd::Cmp::kGe;
+  }
+  return simd::Cmp::kEq;
+}
+
 }  // namespace
 
 Result<ArrayPtr> CompareScalar(const ArrayPtr& values, CompareOp op,
@@ -41,21 +60,26 @@ Result<ArrayPtr> CompareScalar(const ArrayPtr& values, CompareOp op,
   switch (values->type()) {
     case TypeId::kInt64:
     case TypeId::kTimestamp: {
+      // Vectorized compare writing one 0/1 byte per row; the validity
+      // bitmap is shared with the input (nulls stay null).
       BENTO_ASSIGN_OR_RETURN(double rhs, literal.AsDouble());
-      const int64_t* data = values->int64_data();
-      for (int64_t i = 0; i < values->length(); ++i) {
-        out.AppendMaybe(ApplyOp(op, static_cast<double>(data[i]), rhs),
-                        values->IsValid(i));
-      }
-      break;
+      const int64_t n = values->length();
+      BENTO_ASSIGN_OR_RETURN(auto data,
+                             col::Buffer::Allocate(static_cast<uint64_t>(n)));
+      simd::CompareI64(values->int64_data(), n, ToSimdCmp(op), rhs,
+                       data->mutable_data());
+      return Array::MakeFixed(TypeId::kBool, n, std::move(data),
+                              values->validity_buffer(), values->null_count());
     }
     case TypeId::kFloat64: {
       BENTO_ASSIGN_OR_RETURN(double rhs, literal.AsDouble());
-      const double* data = values->float64_data();
-      for (int64_t i = 0; i < values->length(); ++i) {
-        out.AppendMaybe(ApplyOp(op, data[i], rhs), values->IsValid(i));
-      }
-      break;
+      const int64_t n = values->length();
+      BENTO_ASSIGN_OR_RETURN(auto data,
+                             col::Buffer::Allocate(static_cast<uint64_t>(n)));
+      simd::CompareF64(values->float64_data(), n, ToSimdCmp(op), rhs,
+                       data->mutable_data());
+      return Array::MakeFixed(TypeId::kBool, n, std::move(data),
+                              values->validity_buffer(), values->null_count());
     }
     case TypeId::kBool: {
       if (literal.kind() != Scalar::Kind::kBool) {
@@ -84,15 +108,21 @@ Result<ArrayPtr> CompareScalar(const ArrayPtr& values, CompareOp op,
         return Status::TypeError(
             "categorical column compared to non-string literal");
       }
+      // One string compare per dictionary entry, then an integer lookup per
+      // row — the dictionary is tiny next to the column.
       const auto& dict = values->dictionary();
       std::string_view rhs = literal.string_value();
+      std::vector<uint8_t> lut(dict->size());
+      for (size_t c = 0; c < dict->size(); ++c) {
+        lut[c] = ApplyOp<std::string_view>(op, (*dict)[c], rhs) ? 1 : 0;
+      }
+      const int32_t* codes = values->codes_data();
       for (int64_t i = 0; i < values->length(); ++i) {
         if (!values->IsValid(i)) {
           out.AppendNull();
           continue;
         }
-        std::string_view lhs = (*dict)[static_cast<size_t>(values->codes_data()[i])];
-        out.Append(ApplyOp(op, lhs, rhs));
+        out.Append(lut[static_cast<size_t>(codes[i])] != 0);
       }
       break;
     }
@@ -157,6 +187,20 @@ Result<ArrayPtr> BooleanBinary(const ArrayPtr& left, const ArrayPtr& right,
   if (left->length() != right->length()) {
     return Status::Invalid("boolean op length mismatch");
   }
+  if (left->null_count() == 0 && right->null_count() == 0) {
+    // Null-free inputs degenerate to plain byte-wise AND/OR.
+    const int64_t n = left->length();
+    BENTO_ASSIGN_OR_RETURN(auto data,
+                           col::Buffer::Allocate(static_cast<uint64_t>(n)));
+    if (is_and) {
+      simd::BoolAndBytes(left->bool_data(), right->bool_data(),
+                         data->mutable_data(), n);
+    } else {
+      simd::BoolOrBytes(left->bool_data(), right->bool_data(),
+                        data->mutable_data(), n);
+    }
+    return Array::MakeFixed(TypeId::kBool, n, std::move(data), nullptr, 0);
+  }
   col::BoolBuilder out;
   out.Reserve(left->length());
   for (int64_t i = 0; i < left->length(); ++i) {
@@ -200,12 +244,12 @@ Result<ArrayPtr> BooleanNot(const ArrayPtr& values) {
   if (values->type() != TypeId::kBool) {
     return Status::TypeError("NOT requires bool input");
   }
-  col::BoolBuilder out;
-  out.Reserve(values->length());
-  for (int64_t i = 0; i < values->length(); ++i) {
-    out.AppendMaybe(values->bool_data()[i] == 0, values->IsValid(i));
-  }
-  return out.Finish();
+  const int64_t n = values->length();
+  BENTO_ASSIGN_OR_RETURN(auto data,
+                         col::Buffer::Allocate(static_cast<uint64_t>(n)));
+  simd::BoolNotBytes(values->bool_data(), data->mutable_data(), n);
+  return Array::MakeFixed(TypeId::kBool, n, std::move(data),
+                          values->validity_buffer(), values->null_count());
 }
 
 }  // namespace bento::kern

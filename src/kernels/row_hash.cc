@@ -5,6 +5,7 @@
 
 #include "kernels/flat_index.h"
 #include "sim/parallel.h"
+#include "simd/simd.h"
 
 namespace bento::kern {
 
@@ -12,15 +13,12 @@ namespace {
 
 constexpr uint64_t kNullTag = 0x9AE16A3B2F90404FULL;
 
-inline uint64_t Mix(uint64_t h, uint64_t v) {
-  // 128-bit-free variant of the Murmur3 finalizer as a combiner.
-  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-  h ^= h >> 33;
-  h *= 0xFF51AFD7ED558CCDULL;
-  h ^= h >> 33;
-  return h;
-}
+/// Hash combiner (Murmur3-finalizer variant); the one definition lives in
+/// simd/hash.h so the vectorized mix kernels stay bit-identical.
+inline uint64_t Mix(uint64_t h, uint64_t v) { return simd::MixU64(h, v); }
 
+/// Reference cell hash: the semantic definition the SIMD fast paths below
+/// reproduce. Still the direct implementation for bool and string cells.
 inline uint64_t HashCell(const Array& a, int64_t i) {
   if (a.IsNull(i)) return kNullTag;
   switch (a.type()) {
@@ -51,13 +49,51 @@ inline uint64_t HashCell(const Array& a, int64_t i) {
   return 0;
 }
 
-/// Combines one column into the running row hashes for rows [begin, end).
-void HashColumnRange(const Array& a, int64_t begin, int64_t end,
-                     uint64_t* hashes) {
-  for (int64_t i = begin; i < end; ++i) {
-    hashes[i] = Mix(hashes[i], HashCell(a, i));
+/// One key column prepared for range mixing. Fixed-width columns route
+/// through the simd hash-mix kernels; categorical columns hash each
+/// dictionary entry once and mix by code lookup (the rows-much-greater-
+/// than-cardinality win), keeping cell hashes identical to hashing the
+/// decoded strings.
+struct ColumnHasher {
+  const Array* array = nullptr;
+  std::vector<uint64_t> code_hashes;
+
+  explicit ColumnHasher(const Array* a) : array(a) {
+    if (a->type() == TypeId::kCategorical) {
+      const auto& dict = *a->dictionary();
+      code_hashes.resize(dict.size());
+      for (size_t c = 0; c < dict.size(); ++c) {
+        code_hashes[c] = Hash64(dict[c].data(), dict[c].size());
+      }
+    }
   }
-}
+
+  /// Combines this column into the running row hashes for [begin, end).
+  void MixRange(int64_t begin, int64_t end, uint64_t* hashes) const {
+    const Array& a = *array;
+    const uint8_t* validity = a.validity_bits();
+    switch (a.type()) {
+      case TypeId::kInt64:
+      case TypeId::kTimestamp:
+        simd::HashMixU64(hashes,
+                         reinterpret_cast<const uint64_t*>(a.int64_data()),
+                         validity, begin, end, kNullTag);
+        return;
+      case TypeId::kFloat64:
+        simd::HashMixF64(hashes, a.float64_data(), validity, begin, end,
+                         kNullTag);
+        return;
+      case TypeId::kCategorical:
+        simd::HashMixCodes(hashes, a.codes_data(), validity, begin, end,
+                           code_hashes.data(), kNullTag);
+        return;
+      default:
+        for (int64_t i = begin; i < end; ++i) {
+          hashes[i] = Mix(hashes[i], HashCell(a, i));
+        }
+    }
+  }
+};
 
 Result<std::vector<ArrayPtr>> ResolveColumns(
     const TablePtr& table, const std::vector<std::string>& columns) {
@@ -70,6 +106,13 @@ Result<std::vector<ArrayPtr>> ResolveColumns(
   return cols;
 }
 
+std::vector<ColumnHasher> PrepareHashers(const std::vector<ArrayPtr>& cols) {
+  std::vector<ColumnHasher> hashers;
+  hashers.reserve(cols.size());
+  for (const ArrayPtr& c : cols) hashers.emplace_back(c.get());
+  return hashers;
+}
+
 }  // namespace
 
 Result<std::vector<uint64_t>> HashRows(
@@ -78,8 +121,9 @@ Result<std::vector<uint64_t>> HashRows(
   std::vector<uint64_t> hashes(static_cast<size_t>(table->num_rows()),
                                0x8445D61A4E774912ULL);
   if (detail::ForcedHashCollisionsActive()) return hashes;  // all rows collide
-  for (const ArrayPtr& c : cols) {
-    HashColumnRange(*c, 0, c->length(), hashes.data());
+  const auto hashers = PrepareHashers(cols);
+  for (const ColumnHasher& h : hashers) {
+    h.MixRange(0, h.array->length(), hashes.data());
   }
   return hashes;
 }
@@ -92,6 +136,7 @@ Result<std::vector<uint64_t>> HashRowsParallel(
   std::vector<uint64_t> hashes(static_cast<size_t>(n),
                                0x8445D61A4E774912ULL);
   if (detail::ForcedHashCollisionsActive()) return hashes;  // all rows collide
+  const auto hashers = PrepareHashers(cols);
   int workers = options.max_workers;
   if (workers <= 0) {
     workers = sim::Session::Current() != nullptr
@@ -100,8 +145,8 @@ Result<std::vector<uint64_t>> HashRowsParallel(
   }
   auto ranges = sim::SplitRange(n, workers, 8192);
   if (ranges.size() <= 1) {
-    for (const ArrayPtr& c : cols) {
-      HashColumnRange(*c, 0, n, hashes.data());
+    for (const ColumnHasher& h : hashers) {
+      h.MixRange(0, n, hashes.data());
     }
     return hashes;
   }
@@ -111,8 +156,8 @@ Result<std::vector<uint64_t>> HashRowsParallel(
       static_cast<int64_t>(ranges.size()),
       [&](int64_t r) {
         auto [b, e] = ranges[static_cast<size_t>(r)];
-        for (const ArrayPtr& c : cols) {
-          HashColumnRange(*c, b, e, hashes.data());
+        for (const ColumnHasher& h : hashers) {
+          h.MixRange(b, e, hashes.data());
         }
         return Status::OK();
       },
@@ -140,6 +185,12 @@ Result<RowEquality> RowEquality::Make(
       return Status::TypeError("key type mismatch: ", col::TypeName(lc->type()),
                                " vs ", col::TypeName(rc->type()));
     }
+    // Same-dictionary categorical pairs compare by integer code: dictionary
+    // entries are unique (interner-built), so code equality is string
+    // equality. Cross-dictionary pairs still compare decoded strings.
+    eq.same_dict_.push_back(lc->type() == TypeId::kCategorical &&
+                            rc->type() == TypeId::kCategorical &&
+                            lc->dictionary() == rc->dictionary());
     eq.left_.push_back(std::move(lc));
     eq.right_.push_back(std::move(rc));
   }
@@ -185,7 +236,19 @@ bool CellEqual(const Array& l, int64_t i, const Array& r, int64_t j) {
 
 bool RowEquality::Equal(int64_t i, int64_t j) const {
   for (size_t k = 0; k < left_.size(); ++k) {
-    if (!CellEqual(*left_[k], i, *right_[k], j)) return false;
+    const Array& l = *left_[k];
+    const Array& r = *right_[k];
+    if (same_dict_[k]) {
+      const bool ln = l.IsNull(i);
+      const bool rn = r.IsNull(j);
+      if (ln || rn) {
+        if (ln && rn) continue;
+        return false;
+      }
+      if (l.codes_data()[i] != r.codes_data()[j]) return false;
+      continue;
+    }
+    if (!CellEqual(l, i, r, j)) return false;
   }
   return true;
 }

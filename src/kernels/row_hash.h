@@ -38,6 +38,9 @@ class RowEquality {
   RowEquality() = default;
   std::vector<ArrayPtr> left_;
   std::vector<ArrayPtr> right_;
+  /// Per pair: both categorical sharing one dictionary object, enabling the
+  /// integer-code equality fast path.
+  std::vector<bool> same_dict_;
 };
 
 }  // namespace bento::kern

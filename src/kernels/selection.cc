@@ -4,6 +4,7 @@
 
 #include "columnar/builder.h"
 #include "obs/trace.h"
+#include "simd/simd.h"
 
 namespace bento::kern {
 
@@ -16,20 +17,45 @@ using col::Float64Builder;
 using col::Int64Builder;
 using col::StringBuilder;
 
-template <typename Builder, typename Getter>
-Result<ArrayPtr> FilterFixed(const ArrayPtr& values, const ArrayPtr& mask,
-                             Builder builder, Getter get) {
-  const uint8_t* mdata = mask->bool_data();
-  for (int64_t i = 0; i < values->length(); ++i) {
-    if (mask->IsValid(i) && mdata[i] != 0) {
-      if (values->IsValid(i)) {
-        builder.Append(get(i));
-      } else {
-        builder.AppendNull();
-      }
+/// Sized gather of pre-materialized filter indices into a fixed-width
+/// column: exact-size output buffer, no builder growth. Null slots keep the
+/// zero-initialized payload — the same bytes the builder's AppendNull
+/// staged, so results stay bit-identical to the old per-row builder loop.
+template <typename T>
+struct FilteredFixed {
+  col::BufferPtr data;
+  col::BufferPtr validity;  // nullptr when no output slot is null
+  int64_t null_count = 0;
+};
+
+template <typename T>
+Result<FilteredFixed<T>> FilterGatherFixed(const ArrayPtr& values,
+                                           const T* src,
+                                           const int64_t* idx,
+                                           int64_t count) {
+  FilteredFixed<T> out;
+  BENTO_ASSIGN_OR_RETURN(
+      out.data, col::Buffer::Allocate(static_cast<uint64_t>(count) * sizeof(T)));
+  T* dst = out.data->template mutable_data_as<T>();
+  const uint8_t* src_valid = values->validity_bits();
+  if (src_valid == nullptr) {
+    for (int64_t k = 0; k < count; ++k) dst[k] = src[idx[k]];
+    return out;
+  }
+  BENTO_ASSIGN_OR_RETURN(auto validity, col::AllocateBitmap(count, false));
+  uint8_t* vbits = validity->mutable_data();
+  int64_t valid = 0;
+  for (int64_t k = 0; k < count; ++k) {
+    const int64_t i = idx[k];
+    if (col::BitIsSet(src_valid, i)) {
+      dst[k] = src[i];
+      col::SetBit(vbits, k);
+      ++valid;
     }
   }
-  return builder.Finish();
+  out.null_count = count - valid;
+  if (out.null_count > 0) out.validity = std::move(validity);
+  return out;
 }
 
 template <typename Builder, typename Getter>
@@ -64,48 +90,56 @@ Result<ArrayPtr> Filter(const ArrayPtr& values, const ArrayPtr& mask) {
     return Status::Invalid("mask length ", mask->length(),
                            " != values length ", values->length());
   }
+  // Vectorized mask scan: materialize the selected row indices once, then
+  // gather into exact-size output buffers.
+  const int64_t n = values->length();
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  const int64_t count =
+      simd::MaskToIndices(mask->bool_data(), mask->validity_bits(), n,
+                          idx.data());
   switch (values->type()) {
     case TypeId::kInt64:
-      return FilterFixed(values, mask, Int64Builder(),
-                         [&](int64_t i) { return values->int64_data()[i]; });
-    case TypeId::kTimestamp:
-      return RetypeTimestamp(
-          FilterFixed(values, mask, Int64Builder(),
-                      [&](int64_t i) { return values->int64_data()[i]; }));
-    case TypeId::kFloat64:
-      return FilterFixed(values, mask, Float64Builder(),
-                         [&](int64_t i) { return values->float64_data()[i]; });
-    case TypeId::kBool:
-      return FilterFixed(values, mask, BoolBuilder(), [&](int64_t i) {
-        return values->bool_data()[i] != 0;
-      });
+    case TypeId::kTimestamp: {
+      BENTO_ASSIGN_OR_RETURN(
+          auto g, FilterGatherFixed<int64_t>(values, values->int64_data(),
+                                             idx.data(), count));
+      return Array::MakeFixed(values->type(), count, std::move(g.data),
+                              std::move(g.validity), g.null_count);
+    }
+    case TypeId::kFloat64: {
+      BENTO_ASSIGN_OR_RETURN(
+          auto g, FilterGatherFixed<double>(values, values->float64_data(),
+                                            idx.data(), count));
+      return Array::MakeFixed(TypeId::kFloat64, count, std::move(g.data),
+                              std::move(g.validity), g.null_count);
+    }
+    case TypeId::kBool: {
+      BENTO_ASSIGN_OR_RETURN(
+          auto g, FilterGatherFixed<uint8_t>(values, values->bool_data(),
+                                             idx.data(), count));
+      return Array::MakeFixed(TypeId::kBool, count, std::move(g.data),
+                              std::move(g.validity), g.null_count);
+    }
     case TypeId::kString: {
       StringBuilder builder;
-      const uint8_t* mdata = mask->bool_data();
-      for (int64_t i = 0; i < values->length(); ++i) {
-        if (mask->IsValid(i) && mdata[i] != 0) {
-          if (values->IsValid(i)) {
-            builder.Append(values->GetView(i));
-          } else {
-            builder.AppendNull();
-          }
+      builder.Reserve(count);
+      for (int64_t k = 0; k < count; ++k) {
+        const int64_t i = idx[static_cast<size_t>(k)];
+        if (values->IsValid(i)) {
+          builder.Append(values->GetView(i));
+        } else {
+          builder.AppendNull();
         }
       }
       return builder.Finish();
     }
     case TypeId::kCategorical: {
-      CategoricalBuilder builder;
-      const uint8_t* mdata = mask->bool_data();
-      for (int64_t i = 0; i < values->length(); ++i) {
-        if (mask->IsValid(i) && mdata[i] != 0) {
-          if (values->IsValid(i)) {
-            builder.Append(values->codes_data()[i]);
-          } else {
-            builder.AppendNull();
-          }
-        }
-      }
-      return builder.Finish(values->dictionary());
+      BENTO_ASSIGN_OR_RETURN(
+          auto g, FilterGatherFixed<int32_t>(values, values->codes_data(),
+                                             idx.data(), count));
+      return Array::MakeCategorical(count, std::move(g.data),
+                                    values->dictionary(), std::move(g.validity),
+                                    g.null_count);
     }
   }
   return Status::Invalid("unsupported type in Filter");

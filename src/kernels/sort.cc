@@ -12,8 +12,33 @@ namespace bento::kern {
 
 namespace {
 
+/// One resolved sort key column. Categorical keys precompute a
+/// code -> lexicographic-rank table once per dictionary (an argsort of the
+/// dictionary entries), so row comparisons become two int loads instead of
+/// string compares. Ranks order identically to the entry strings, and
+/// dictionary entries are unique (interner-built), so equal rank means
+/// equal string — results are bit-identical to comparing decoded strings.
+struct KeyColumn {
+  ArrayPtr array;
+  std::vector<int32_t> ranks;  // per dictionary code; empty unless categorical
+};
+
+std::vector<int32_t> DictionaryRanks(const std::vector<std::string>& dict) {
+  std::vector<int32_t> order(dict.size());
+  for (size_t k = 0; k < dict.size(); ++k) order[k] = static_cast<int32_t>(k);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return dict[static_cast<size_t>(a)] < dict[static_cast<size_t>(b)];
+  });
+  std::vector<int32_t> ranks(dict.size());
+  for (size_t r = 0; r < order.size(); ++r) {
+    ranks[static_cast<size_t>(order[r])] = static_cast<int32_t>(r);
+  }
+  return ranks;
+}
+
 /// Three-way comparison of one cell pair under a key; nulls last.
-int CompareCell(const Array& a, int64_t i, int64_t j, bool ascending) {
+int CompareCell(const KeyColumn& key, int64_t i, int64_t j, bool ascending) {
+  const Array& a = *key.array;
   const bool in = a.IsNull(i);
   const bool jn = a.IsNull(j);
   if (in || jn) {
@@ -35,9 +60,8 @@ int CompareCell(const Array& a, int64_t i, int64_t j, bool ascending) {
       break;
     }
     case TypeId::kCategorical: {
-      const auto& dict = *a.dictionary();
-      const std::string& l = dict[static_cast<size_t>(a.codes_data()[i])];
-      const std::string& r = dict[static_cast<size_t>(a.codes_data()[j])];
+      const int32_t l = key.ranks[static_cast<size_t>(a.codes_data()[i])];
+      const int32_t r = key.ranks[static_cast<size_t>(a.codes_data()[j])];
       cmp = l < r ? -1 : (l > r ? 1 : 0);
       break;
     }
@@ -64,24 +88,29 @@ int CompareCell(const Array& a, int64_t i, int64_t j, bool ascending) {
 }
 
 struct Comparator {
-  const std::vector<ArrayPtr>* columns;
+  const std::vector<KeyColumn>* columns;
   const std::vector<SortKey>* keys;
 
   bool operator()(int64_t i, int64_t j) const {
     for (size_t k = 0; k < keys->size(); ++k) {
-      int cmp = CompareCell(*(*columns)[k], i, j, (*keys)[k].ascending);
+      int cmp = CompareCell((*columns)[k], i, j, (*keys)[k].ascending);
       if (cmp != 0) return cmp < 0;
     }
     return false;
   }
 };
 
-Result<std::vector<ArrayPtr>> ResolveKeyColumns(
+Result<std::vector<KeyColumn>> ResolveKeyColumns(
     const TablePtr& table, const std::vector<SortKey>& keys) {
-  std::vector<ArrayPtr> columns;
+  std::vector<KeyColumn> columns;
   for (const SortKey& key : keys) {
     BENTO_ASSIGN_OR_RETURN(auto c, table->GetColumn(key.column));
-    columns.push_back(std::move(c));
+    KeyColumn kc;
+    if (c->type() == TypeId::kCategorical) {
+      kc.ranks = DictionaryRanks(*c->dictionary());
+    }
+    kc.array = std::move(c);
+    columns.push_back(std::move(kc));
   }
   return columns;
 }

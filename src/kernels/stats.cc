@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "columnar/builder.h"
+#include "simd/simd.h"
 
 namespace bento::kern {
 
@@ -68,12 +69,37 @@ double CellValue(const Array& a, int64_t i) {
 }
 
 Moments ComputeMoments(const Array& a, int64_t begin, int64_t end) {
+  // Numeric columns run through the SIMD moments kernels, whose fixed
+  // 4-lane striped summation makes every level (and every worker split)
+  // produce the identical floating-point result.
+  simd::MomentsPart p;
+  switch (a.type()) {
+    case TypeId::kFloat64:
+      p = simd::MomentsF64(a.float64_data(), a.validity_bits(), begin, end);
+      break;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      p = simd::MomentsI64(a.int64_data(), a.validity_bits(), begin, end);
+      break;
+    default: {
+      // kBool (and anything else CellValue understands) stays scalar.
+      Moments m;
+      for (int64_t i = begin; i < end; ++i) {
+        if (!a.IsValid(i)) continue;
+        double v = CellValue(a, i);
+        if (std::isnan(v)) continue;
+        m.Add(v);
+      }
+      return m;
+    }
+  }
   Moments m;
-  for (int64_t i = begin; i < end; ++i) {
-    if (!a.IsValid(i)) continue;
-    double v = CellValue(a, i);
-    if (std::isnan(v)) continue;
-    m.Add(v);
+  m.sum = p.sum;
+  m.sum_sq = p.sum_sq;
+  m.count = p.count;
+  if (p.count > 0) {
+    m.min = p.min;
+    m.max = p.max;
   }
   return m;
 }

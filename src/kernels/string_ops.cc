@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "columnar/builder.h"
+#include "kernels/flat_index.h"
 #include "util/string_util.h"
 
 namespace bento::kern {
@@ -10,7 +11,8 @@ namespace bento::kern {
 namespace {
 
 Status CheckString(const ArrayPtr& values, const char* op) {
-  if (values->type() != TypeId::kString) {
+  if (values->type() != TypeId::kString &&
+      values->type() != TypeId::kCategorical) {
     return Status::TypeError(op, " requires a string column, got ",
                              col::TypeName(values->type()));
   }
@@ -33,6 +35,33 @@ bool ContainsCaseInsensitive(std::string_view hay, std::string_view needle) {
   return false;
 }
 
+// Apply a per-entry transform to a categorical column's dictionary and keep
+// the codes. A transform can collapse distinct entries ("US"/"us" under
+// lowercasing), so transformed entries re-intern into a fresh unique
+// dictionary and the codes remap through it — preserving the
+// entries-are-unique invariant the code-equality fast paths rely on.
+template <typename Fn>
+Result<ArrayPtr> TransformDictionary(const ArrayPtr& values, Fn&& transform) {
+  const auto& dict = *values->dictionary();
+  StringInterner interner;
+  std::vector<int32_t> remap(dict.size());
+  for (size_t c = 0; c < dict.size(); ++c) {
+    remap[c] = interner.FindOrInsert(transform(dict[c]));
+  }
+  col::CategoricalBuilder out;
+  const int32_t* codes = values->codes_data();
+  for (int64_t i = 0; i < values->length(); ++i) {
+    if (!values->IsValid(i)) {
+      out.AppendNull();
+      continue;
+    }
+    out.Append(remap[static_cast<size_t>(codes[i])]);
+  }
+  auto entries =
+      std::make_shared<std::vector<std::string>>(interner.ToStrings());
+  return out.Finish(std::move(entries));
+}
+
 }  // namespace
 
 Result<ArrayPtr> Contains(const ArrayPtr& values, const std::string& pattern,
@@ -40,6 +69,26 @@ Result<ArrayPtr> Contains(const ArrayPtr& values, const std::string& pattern,
   BENTO_RETURN_NOT_OK(CheckString(values, "contains"));
   col::BoolBuilder out;
   out.Reserve(values->length());
+  if (values->type() == TypeId::kCategorical) {
+    // One substring search per dictionary entry, one lookup per row.
+    const auto& dict = *values->dictionary();
+    std::vector<uint8_t> lut(dict.size());
+    for (size_t c = 0; c < dict.size(); ++c) {
+      lut[c] = (case_sensitive ? StrContains(dict[c], pattern)
+                               : ContainsCaseInsensitive(dict[c], pattern))
+                   ? 1
+                   : 0;
+    }
+    const int32_t* codes = values->codes_data();
+    for (int64_t i = 0; i < values->length(); ++i) {
+      if (!values->IsValid(i)) {
+        out.AppendNull();
+        continue;
+      }
+      out.Append(lut[static_cast<size_t>(codes[i])] != 0);
+    }
+    return out.Finish();
+  }
   for (int64_t i = 0; i < values->length(); ++i) {
     if (!values->IsValid(i)) {
       out.AppendNull();
@@ -64,6 +113,10 @@ Result<ArrayPtr> Contains(const ArrayPtr& values, const std::string& pattern,
 
 Result<ArrayPtr> Lower(const ArrayPtr& values, StringEngine engine) {
   BENTO_RETURN_NOT_OK(CheckString(values, "lower"));
+  if (values->type() == TypeId::kCategorical) {
+    return TransformDictionary(
+        values, [](const std::string& s) { return AsciiToLower(s); });
+  }
   col::StringBuilder out;
   out.Reserve(values->length());
   for (int64_t i = 0; i < values->length(); ++i) {
@@ -86,28 +139,32 @@ Result<ArrayPtr> ReplaceSubstring(const ArrayPtr& values,
                                   const std::string& to) {
   BENTO_RETURN_NOT_OK(CheckString(values, "replace"));
   if (from.empty()) return Status::Invalid("empty 'from' pattern");
+  auto replace_all = [&from, &to](std::string_view v) {
+    std::string result;
+    size_t pos = 0;
+    while (pos < v.size()) {
+      size_t hit = v.find(from, pos);
+      if (hit == std::string_view::npos) {
+        result.append(v.substr(pos));
+        break;
+      }
+      result.append(v.substr(pos, hit - pos));
+      result.append(to);
+      pos = hit + from.size();
+    }
+    return result;
+  };
+  if (values->type() == TypeId::kCategorical) {
+    return TransformDictionary(values, replace_all);
+  }
   col::StringBuilder out;
   out.Reserve(values->length());
-  std::string scratch;
   for (int64_t i = 0; i < values->length(); ++i) {
     if (!values->IsValid(i)) {
       out.AppendNull();
       continue;
     }
-    std::string_view v = values->GetView(i);
-    scratch.clear();
-    size_t pos = 0;
-    while (pos < v.size()) {
-      size_t hit = v.find(from, pos);
-      if (hit == std::string_view::npos) {
-        scratch.append(v.substr(pos));
-        break;
-      }
-      scratch.append(v.substr(pos, hit - pos));
-      scratch.append(to);
-      pos = hit + from.size();
-    }
-    out.Append(scratch);
+    out.Append(replace_all(values->GetView(i)));
   }
   return out.Finish();
 }
@@ -116,6 +173,21 @@ Result<ArrayPtr> StringLength(const ArrayPtr& values) {
   BENTO_RETURN_NOT_OK(CheckString(values, "length"));
   col::Int64Builder out;
   out.Reserve(values->length());
+  if (values->type() == TypeId::kCategorical) {
+    // One length per dictionary entry, one lookup per row.
+    const auto& dict = *values->dictionary();
+    std::vector<int64_t> lengths(dict.size());
+    for (size_t c = 0; c < dict.size(); ++c) {
+      lengths[c] = static_cast<int64_t>(dict[c].size());
+    }
+    const int32_t* codes = values->codes_data();
+    for (int64_t i = 0; i < values->length(); ++i) {
+      const bool valid = values->IsValid(i);
+      out.AppendMaybe(valid ? lengths[static_cast<size_t>(codes[i])] : 0,
+                      valid);
+    }
+    return out.Finish();
+  }
   const int64_t* offsets = values->offsets_data();
   for (int64_t i = 0; i < values->length(); ++i) {
     out.AppendMaybe(offsets[i + 1] - offsets[i], values->IsValid(i));

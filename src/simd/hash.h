@@ -1,0 +1,102 @@
+#ifndef BENTO_SIMD_HASH_H_
+#define BENTO_SIMD_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace bento::simd {
+
+/// Scalar hashing primitives shared by the kernel layer (flat_index,
+/// row_hash) and the vectorized hash-mix kernels in simd.cc. The vector
+/// implementations emulate these bit for bit; simd_kernels_test locks the
+/// equivalence down. Keeping the one true definition here means a constant
+/// tweak cannot silently fork the scalar and SIMD hash spaces.
+
+inline uint64_t Load64(const void* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline uint32_t Load32(const void* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+/// 64x64 -> 128 multiply folded to 64 bits: the wyhash "mum" mixer.
+inline uint64_t Mum(uint64_t a, uint64_t b) {
+  __uint128_t r = static_cast<__uint128_t>(a) * b;
+  return static_cast<uint64_t>(r) ^ static_cast<uint64_t>(r >> 64);
+}
+
+inline constexpr uint64_t kWySecret0 = 0x2D358DCCAA6C78A5ULL;
+inline constexpr uint64_t kWySecret1 = 0x8BB84B93962EACC9ULL;
+inline constexpr uint64_t kWySecret2 = 0x4B33A62ED433D4A3ULL;
+
+/// \brief 64-bit hash of one machine word (the fixed-width column fast
+/// path: int64 / double bit patterns, categorical dictionary ids). Two
+/// chained mum rounds: one round leaves visible structure in the low bits
+/// on sequential keys, which linear probing punishes.
+inline uint64_t HashWord64(uint64_t v) {
+  return Mum(v ^ kWySecret0, Mum(v ^ kWySecret1, kWySecret2));
+}
+
+/// \brief Word-at-a-time 64-bit hash of an arbitrary byte range
+/// (wyhash-style: two 64-bit lanes, 128-bit multiply mixing). Replaces the
+/// byte-at-a-time FNV-1a previously used for row hashing: ~8x fewer data
+/// dependencies on string keys, same-or-better distribution.
+inline uint64_t Hash64(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t seed = kWySecret0 ^ Mum(static_cast<uint64_t>(len), kWySecret1);
+  uint64_t a = 0, b = 0;
+  if (len >= 16) {
+    uint64_t see1 = seed;
+    size_t i = len;
+    while (i >= 32) {
+      seed = Mum(Load64(p) ^ kWySecret1, Load64(p + 8) ^ seed);
+      see1 = Mum(Load64(p + 16) ^ kWySecret2, Load64(p + 24) ^ see1);
+      p += 32;
+      i -= 32;
+    }
+    seed ^= see1;
+    while (i > 16) {
+      seed = Mum(Load64(p) ^ kWySecret1, Load64(p + 8) ^ seed);
+      p += 16;
+      i -= 16;
+    }
+    // Final (possibly overlapping) 16 bytes.
+    a = Load64(p + i - 16);
+    b = Load64(p + i - 8);
+  } else if (len >= 4) {
+    a = (static_cast<uint64_t>(Load32(p)) << 32) |
+        Load32(p + (len >> 3) * 4);
+    b = (static_cast<uint64_t>(Load32(p + len - 4)) << 32) |
+        Load32(p + len - 4 - (len >> 3) * 4);
+  } else if (len > 0) {
+    // 1..3 bytes: first, middle, last.
+    a = (static_cast<uint64_t>(p[0]) << 16) |
+        (static_cast<uint64_t>(p[len >> 1]) << 8) | p[len - 1];
+    b = 0;
+  }
+  return Mum(kWySecret1 ^ static_cast<uint64_t>(len),
+             Mum(a ^ kWySecret2, b ^ seed));
+}
+
+inline uint64_t Hash64(std::string_view s) { return Hash64(s.data(), s.size()); }
+
+/// \brief Hash combiner used for multi-column row hashing: a 128-bit-free
+/// variant of the Murmur3 finalizer. `MixU64(h, cell_hash)` folds one
+/// column's cell hash into the running row hash.
+inline uint64_t MixU64(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace bento::simd
+
+#endif  // BENTO_SIMD_HASH_H_

@@ -1,0 +1,1137 @@
+#include "simd/simd.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "simd/hash.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define BENTO_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define BENTO_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace bento::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Level selection
+// ---------------------------------------------------------------------------
+
+bool EnvForcesScalar() {
+  const char* v = std::getenv("BENTO_SIMD");
+  if (v == nullptr) return false;
+  char buf[8] = {};
+  for (int i = 0; i < 7 && v[i] != '\0'; ++i) {
+    buf[i] = v[i] >= 'A' && v[i] <= 'Z' ? static_cast<char>(v[i] + 32) : v[i];
+  }
+  return std::strcmp(buf, "off") == 0 || std::strcmp(buf, "0") == 0 ||
+         std::strcmp(buf, "false") == 0 || std::strcmp(buf, "scalar") == 0;
+}
+
+Level DetectLevel() {
+  if (EnvForcesScalar()) return Level::kScalar;
+#if BENTO_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+#if BENTO_SIMD_NEON
+  return Level::kNeon;  // NEON is baseline on aarch64
+#endif
+  return Level::kScalar;
+}
+
+#if BENTO_SIMD_X86
+/// int64 -> double lane conversion needs AVX-512DQ; checked separately so
+/// plain-AVX2 machines still vectorize everything else.
+bool HasAvx512Dq() {
+  static const bool has =
+      __builtin_cpu_supports("avx512dq") && __builtin_cpu_supports("avx512vl");
+  return has;
+}
+#endif
+
+inline bool ValidityBit(const uint8_t* validity, int64_t i) {
+  return (validity[i >> 3] >> (i & 7)) & 1;
+}
+
+inline bool ApplyCmp(double a, Cmp op, double b) {
+  switch (op) {
+    case Cmp::kEq:
+      return a == b;
+    case Cmp::kNe:
+      return a != b;
+    case Cmp::kLt:
+      return a < b;
+    case Cmp::kLe:
+      return a <= b;
+    case Cmp::kGt:
+      return a > b;
+    case Cmp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernel bodies — the semantic definition every level reproduces
+// ---------------------------------------------------------------------------
+
+namespace sc {
+
+int64_t PopcountBits(const uint8_t* bitmap, int64_t num_bits) {
+  int64_t count = 0;
+  const int64_t full_bytes = num_bits >> 3;
+  int64_t i = 0;
+  for (; i + 8 <= full_bytes; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, bitmap + i, 8);
+    count += std::popcount(word);
+  }
+  for (; i < full_bytes; ++i) {
+    count += std::popcount(static_cast<unsigned>(bitmap[i]));
+  }
+  for (int64_t bit = full_bytes << 3; bit < num_bits; ++bit) {
+    count += (bitmap[bit >> 3] >> (bit & 7)) & 1;
+  }
+  return count;
+}
+
+void AndBytes(const uint8_t* a, const uint8_t* b, uint8_t* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(a[i] & b[i]);
+}
+
+void OrBytes(const uint8_t* a, const uint8_t* b, uint8_t* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(a[i] | b[i]);
+}
+
+void BoolAndBytes(const uint8_t* a, const uint8_t* b, uint8_t* out,
+                  int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = (a[i] != 0 && b[i] != 0) ? 1 : 0;
+  }
+}
+
+void BoolOrBytes(const uint8_t* a, const uint8_t* b, uint8_t* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = (a[i] != 0 || b[i] != 0) ? 1 : 0;
+  }
+}
+
+void BoolNotBytes(const uint8_t* values, uint8_t* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = values[i] == 0 ? 1 : 0;
+}
+
+void CompareF64(const double* data, int64_t n, Cmp op, double rhs,
+                uint8_t* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = ApplyCmp(data[i], op, rhs) ? 1 : 0;
+}
+
+void CompareI64(const int64_t* data, int64_t n, Cmp op, double rhs,
+                uint8_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = ApplyCmp(static_cast<double>(data[i]), op, rhs) ? 1 : 0;
+  }
+}
+
+int64_t MaskToIndices(const uint8_t* mask, const uint8_t* validity, int64_t n,
+                      int64_t* out) {
+  int64_t count = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (mask[i] != 0 && (validity == nullptr || ValidityBit(validity, i))) {
+      out[count++] = i;
+    }
+  }
+  return count;
+}
+
+/// Four-lane striped accumulator: the one moments algorithm. Element at
+/// relative position r contributes to lane r & 3; lanes combine as
+/// (l0+l1)+(l2+l3) for sums and a lane-order scan for min/max. Vector
+/// implementations reproduce exactly this association order.
+struct LaneAcc {
+  double sum[4] = {0.0, 0.0, 0.0, 0.0};
+  double sum_sq[4] = {0.0, 0.0, 0.0, 0.0};
+  double mn[4];
+  double mx[4];
+  int64_t count = 0;
+
+  LaneAcc() {
+    for (int j = 0; j < 4; ++j) {
+      mn[j] = std::numeric_limits<double>::infinity();
+      mx[j] = -std::numeric_limits<double>::infinity();
+    }
+  }
+
+  inline void Add(int64_t rel, double v) {
+    const int lane = static_cast<int>(rel & 3);
+    sum[lane] += v;
+    sum_sq[lane] += v * v;
+    if (v < mn[lane]) mn[lane] = v;
+    if (v > mx[lane]) mx[lane] = v;
+    ++count;
+  }
+
+  MomentsPart Finish() const {
+    MomentsPart m;
+    m.count = count;
+    if (count == 0) return m;
+    m.sum = (sum[0] + sum[1]) + (sum[2] + sum[3]);
+    m.sum_sq = (sum_sq[0] + sum_sq[1]) + (sum_sq[2] + sum_sq[3]);
+    m.min = mn[0];
+    m.max = mx[0];
+    for (int j = 1; j < 4; ++j) {
+      if (mn[j] < m.min) m.min = mn[j];
+      if (mx[j] > m.max) m.max = mx[j];
+    }
+    return m;
+  }
+};
+
+MomentsPart MomentsF64(const double* data, const uint8_t* validity,
+                       int64_t begin, int64_t end) {
+  LaneAcc acc;
+  for (int64_t i = begin; i < end; ++i) {
+    if (validity != nullptr && !ValidityBit(validity, i)) continue;
+    const double v = data[i];
+    if (std::isnan(v)) continue;
+    acc.Add(i - begin, v);
+  }
+  return acc.Finish();
+}
+
+MomentsPart MomentsI64(const int64_t* data, const uint8_t* validity,
+                       int64_t begin, int64_t end) {
+  LaneAcc acc;
+  for (int64_t i = begin; i < end; ++i) {
+    if (validity != nullptr && !ValidityBit(validity, i)) continue;
+    acc.Add(i - begin, static_cast<double>(data[i]));
+  }
+  return acc.Finish();
+}
+
+void HashMixU64(uint64_t* hashes, const uint64_t* words,
+                const uint8_t* validity, int64_t begin, int64_t end,
+                uint64_t null_tag) {
+  for (int64_t i = begin; i < end; ++i) {
+    const uint64_t cell = validity == nullptr || ValidityBit(validity, i)
+                              ? HashWord64(words[i])
+                              : null_tag;
+    hashes[i] = MixU64(hashes[i], cell);
+  }
+}
+
+inline uint64_t HashCellF64(double v, uint64_t null_tag) {
+  if (v == 0.0) v = 0.0;  // normalize -0.0
+  if (std::isnan(v)) return null_tag ^ 1;
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  return HashWord64(bits);
+}
+
+void HashMixF64(uint64_t* hashes, const double* values,
+                const uint8_t* validity, int64_t begin, int64_t end,
+                uint64_t null_tag) {
+  for (int64_t i = begin; i < end; ++i) {
+    const uint64_t cell = validity == nullptr || ValidityBit(validity, i)
+                              ? HashCellF64(values[i], null_tag)
+                              : null_tag;
+    hashes[i] = MixU64(hashes[i], cell);
+  }
+}
+
+void HashMixCodes(uint64_t* hashes, const int32_t* codes,
+                  const uint8_t* validity, int64_t begin, int64_t end,
+                  const uint64_t* code_hashes, uint64_t null_tag) {
+  for (int64_t i = begin; i < end; ++i) {
+    const uint64_t cell = validity == nullptr || ValidityBit(validity, i)
+                              ? code_hashes[codes[i]]
+                              : null_tag;
+    hashes[i] = MixU64(hashes[i], cell);
+  }
+}
+
+}  // namespace sc
+
+// ---------------------------------------------------------------------------
+// AVX2 implementations (x86). Function-level target attributes keep the
+// rest of the build free of -mavx2, so the binary still runs (through the
+// scalar path) on pre-AVX2 machines.
+// ---------------------------------------------------------------------------
+
+#if BENTO_SIMD_X86
+
+namespace avx2 {
+
+__attribute__((target("avx2"))) int64_t PopcountBits(const uint8_t* bitmap,
+                                                     int64_t num_bits) {
+  const int64_t full_bytes = num_bits >> 3;
+  int64_t count = 0;
+  int64_t i = 0;
+  // Nibble-LUT vertical popcount, 32 bytes per step, accumulated through
+  // SAD into four u64 lanes.
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_nibble = _mm256_set1_epi8(0x0F);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  for (; i + 32 <= full_bytes; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bitmap + i));
+    const __m256i lo = _mm256_and_si256(v, low_nibble);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_nibble);
+    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                        _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, zero));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  count = static_cast<int64_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; i < full_bytes; ++i) {
+    count += std::popcount(static_cast<unsigned>(bitmap[i]));
+  }
+  for (int64_t bit = full_bytes << 3; bit < num_bits; ++bit) {
+    count += (bitmap[bit >> 3] >> (bit & 7)) & 1;
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) void AndBytes(const uint8_t* a,
+                                              const uint8_t* b, uint8_t* out,
+                                              int64_t n) {
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; i < n; ++i) out[i] = static_cast<uint8_t>(a[i] & b[i]);
+}
+
+__attribute__((target("avx2"))) void OrBytes(const uint8_t* a,
+                                             const uint8_t* b, uint8_t* out,
+                                             int64_t n) {
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_or_si256(va, vb));
+  }
+  for (; i < n; ++i) out[i] = static_cast<uint8_t>(a[i] | b[i]);
+}
+
+__attribute__((target("avx2"))) void BoolAndBytes(const uint8_t* a,
+                                                  const uint8_t* b,
+                                                  uint8_t* out, int64_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi8(1);
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i az = _mm256_cmpeq_epi8(va, zero);
+    const __m256i bz = _mm256_cmpeq_epi8(vb, zero);
+    const __m256i res =
+        _mm256_andnot_si256(_mm256_or_si256(az, bz), one);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), res);
+  }
+  for (; i < n; ++i) out[i] = (a[i] != 0 && b[i] != 0) ? 1 : 0;
+}
+
+__attribute__((target("avx2"))) void BoolOrBytes(const uint8_t* a,
+                                                 const uint8_t* b,
+                                                 uint8_t* out, int64_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi8(1);
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i nz = _mm256_cmpeq_epi8(_mm256_or_si256(va, vb), zero);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_andnot_si256(nz, one));
+  }
+  for (; i < n; ++i) out[i] = (a[i] != 0 || b[i] != 0) ? 1 : 0;
+}
+
+__attribute__((target("avx2"))) void BoolNotBytes(const uint8_t* values,
+                                                  uint8_t* out, int64_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi8(1);
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_and_si256(_mm256_cmpeq_epi8(v, zero), one));
+  }
+  for (; i < n; ++i) out[i] = values[i] == 0 ? 1 : 0;
+}
+
+/// 4-bit compare mask -> four 0/1 output bytes, little-endian (byte j is
+/// mask bit j).
+constexpr uint32_t kMask4ToBytes[16] = {
+    0x00000000u, 0x00000001u, 0x00000100u, 0x00000101u,
+    0x00010000u, 0x00010001u, 0x00010100u, 0x00010101u,
+    0x01000000u, 0x01000001u, 0x01000100u, 0x01000101u,
+    0x01010000u, 0x01010001u, 0x01010100u, 0x01010101u,
+};
+
+template <int kPred>
+__attribute__((target("avx2"))) void CompareF64Pred(const double* data,
+                                                    int64_t n, Cmp op,
+                                                    double rhs, uint8_t* out) {
+  const __m256d vrhs = _mm256_set1_pd(rhs);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(data + i);
+    const int m = _mm256_movemask_pd(_mm256_cmp_pd(v, vrhs, kPred));
+    std::memcpy(out + i, &kMask4ToBytes[m], 4);
+  }
+  for (; i < n; ++i) out[i] = ApplyCmp(data[i], op, rhs) ? 1 : 0;
+}
+
+__attribute__((target("avx2"))) void CompareF64(const double* data, int64_t n,
+                                                Cmp op, double rhs,
+                                                uint8_t* out) {
+  switch (op) {
+    case Cmp::kEq:
+      CompareF64Pred<_CMP_EQ_OQ>(data, n, op, rhs, out);
+      return;
+    case Cmp::kNe:
+      CompareF64Pred<_CMP_NEQ_UQ>(data, n, op, rhs, out);
+      return;
+    case Cmp::kLt:
+      CompareF64Pred<_CMP_LT_OQ>(data, n, op, rhs, out);
+      return;
+    case Cmp::kLe:
+      CompareF64Pred<_CMP_LE_OQ>(data, n, op, rhs, out);
+      return;
+    case Cmp::kGt:
+      CompareF64Pred<_CMP_GT_OQ>(data, n, op, rhs, out);
+      return;
+    case Cmp::kGe:
+      CompareF64Pred<_CMP_GE_OQ>(data, n, op, rhs, out);
+      return;
+  }
+}
+
+template <int kPred>
+__attribute__((target("avx2,avx512dq,avx512vl"))) void CompareI64Pred(
+    const int64_t* data, int64_t n, Cmp op, double rhs, uint8_t* out) {
+  const __m256d vrhs = _mm256_set1_pd(rhs);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i raw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256d v = _mm256_cvtepi64_pd(raw);
+    const int m = _mm256_movemask_pd(_mm256_cmp_pd(v, vrhs, kPred));
+    std::memcpy(out + i, &kMask4ToBytes[m], 4);
+  }
+  for (; i < n; ++i) {
+    out[i] = ApplyCmp(static_cast<double>(data[i]), op, rhs) ? 1 : 0;
+  }
+}
+
+__attribute__((target("avx2,avx512dq,avx512vl"))) void CompareI64(
+    const int64_t* data, int64_t n, Cmp op, double rhs, uint8_t* out) {
+  switch (op) {
+    case Cmp::kEq:
+      CompareI64Pred<_CMP_EQ_OQ>(data, n, op, rhs, out);
+      return;
+    case Cmp::kNe:
+      CompareI64Pred<_CMP_NEQ_UQ>(data, n, op, rhs, out);
+      return;
+    case Cmp::kLt:
+      CompareI64Pred<_CMP_LT_OQ>(data, n, op, rhs, out);
+      return;
+    case Cmp::kLe:
+      CompareI64Pred<_CMP_LE_OQ>(data, n, op, rhs, out);
+      return;
+    case Cmp::kGt:
+      CompareI64Pred<_CMP_GT_OQ>(data, n, op, rhs, out);
+      return;
+    case Cmp::kGe:
+      CompareI64Pred<_CMP_GE_OQ>(data, n, op, rhs, out);
+      return;
+  }
+}
+
+__attribute__((target("avx2"))) int64_t MaskToIndices(const uint8_t* mask,
+                                                      const uint8_t* validity,
+                                                      int64_t n,
+                                                      int64_t* out) {
+  const __m256i zero = _mm256_setzero_si256();
+  int64_t count = 0;
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    uint32_t m = ~static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+    if (validity != nullptr) {
+      uint32_t bits;
+      std::memcpy(&bits, validity + (i >> 3), 4);
+      m &= bits;
+    }
+    while (m != 0) {
+      const int j = std::countr_zero(m);
+      out[count++] = i + j;
+      m &= m - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (mask[i] != 0 && (validity == nullptr || ValidityBit(validity, i))) {
+      out[count++] = i;
+    }
+  }
+  return count;
+}
+
+// --- moments -----------------------------------------------------------
+
+/// Shared lane-combine: identical to sc::LaneAcc::Finish over the four
+/// vector lanes (lane j = element rel & 3).
+inline MomentsPart CombineLanes(const double sum[4], const double sum_sq[4],
+                                const double mn[4], const double mx[4],
+                                int64_t count) {
+  MomentsPart m;
+  m.count = count;
+  if (count == 0) return m;
+  m.sum = (sum[0] + sum[1]) + (sum[2] + sum[3]);
+  m.sum_sq = (sum_sq[0] + sum_sq[1]) + (sum_sq[2] + sum_sq[3]);
+  m.min = mn[0];
+  m.max = mx[0];
+  for (int j = 1; j < 4; ++j) {
+    if (mn[j] < m.min) m.min = mn[j];
+    if (mx[j] > m.max) m.max = mx[j];
+  }
+  return m;
+}
+
+/// Running vector-lane accumulators of a moments pass. Every element —
+/// full blocks, partial validity nibbles, and tails — flows through the
+/// same four lane chains in index order, so the floating-point addition
+/// order is exactly sc::LaneAcc's. (A separate scalar spillover accumulator
+/// would reorder additions whenever full and partial blocks interleave.)
+/// Dropped lanes (null / NaN / past-the-end) contribute the exact additive
+/// identities instead: -0.0 to sum (x + -0.0 == x bitwise for every x),
+/// its square +0.0 to sum_sq (which is never -0.0), and +inf / -inf
+/// candidates that lose every min/max comparison.
+struct MomentsAcc {
+  __m256d vsum;
+  __m256d vsumsq;
+  __m256d vmin;
+  __m256d vmax;
+  int64_t count;
+};
+
+__attribute__((target("avx2"))) inline void MomentsAccInit(MomentsAcc* acc) {
+  acc->vsum = _mm256_setzero_pd();
+  acc->vsumsq = _mm256_setzero_pd();
+  acc->vmin = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  acc->vmax = _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+  acc->count = 0;
+}
+
+/// One 4-lane step. `keep` lanes (all-ones bit patterns) participate; NaN
+/// lanes are additionally dropped, matching the scalar skip rule.
+__attribute__((target("avx2"))) inline void MomentsStep(MomentsAcc* acc,
+                                                        __m256d v,
+                                                        __m256d keep) {
+  keep = _mm256_and_pd(keep, _mm256_cmp_pd(v, v, _CMP_ORD_Q));
+  const __m256d vm = _mm256_blendv_pd(_mm256_set1_pd(-0.0), v, keep);
+  acc->vsum = _mm256_add_pd(acc->vsum, vm);
+  // The register barrier keeps fp-contract=fast from fusing the square into
+  // an FMA: single rounding would drift 1 ULP from the scalar two-step spec.
+  __m256d sq = _mm256_mul_pd(vm, vm);
+  asm("" : "+x"(sq));
+  acc->vsumsq = _mm256_add_pd(acc->vsumsq, sq);
+  const __m256d mn_c = _mm256_blendv_pd(
+      _mm256_set1_pd(std::numeric_limits<double>::infinity()), v, keep);
+  const __m256d mx_c = _mm256_blendv_pd(
+      _mm256_set1_pd(-std::numeric_limits<double>::infinity()), v, keep);
+  acc->vmin = _mm256_blendv_pd(acc->vmin, mn_c,
+                               _mm256_cmp_pd(mn_c, acc->vmin, _CMP_LT_OQ));
+  acc->vmax = _mm256_blendv_pd(acc->vmax, mx_c,
+                               _mm256_cmp_pd(mx_c, acc->vmax, _CMP_GT_OQ));
+  acc->count +=
+      std::popcount(static_cast<unsigned>(_mm256_movemask_pd(keep) & 0xF));
+}
+
+/// Lane-mask vector from 4 validity bits (bit j selects lane j).
+__attribute__((target("avx2"))) inline __m256d LaneMask4(unsigned bits) {
+  return _mm256_castsi256_pd(
+      _mm256_set_epi64x(-static_cast<int64_t>((bits >> 3) & 1),
+                        -static_cast<int64_t>((bits >> 2) & 1),
+                        -static_cast<int64_t>((bits >> 1) & 1),
+                        -static_cast<int64_t>(bits & 1)));
+}
+
+__attribute__((target("avx2"))) inline MomentsPart MomentsAccFinish(
+    const MomentsAcc& acc) {
+  alignas(32) double v_sum[4], v_sumsq[4], v_mn[4], v_mx[4];
+  _mm256_storeu_pd(v_sum, acc.vsum);
+  _mm256_storeu_pd(v_sumsq, acc.vsumsq);
+  _mm256_storeu_pd(v_mn, acc.vmin);
+  _mm256_storeu_pd(v_mx, acc.vmax);
+  return CombineLanes(v_sum, v_sumsq, v_mn, v_mx, acc.count);
+}
+
+__attribute__((target("avx2"))) MomentsPart MomentsF64(const double* data,
+                                                       const uint8_t* validity,
+                                                       int64_t begin,
+                                                       int64_t end) {
+  if (end - begin <= 0) return MomentsPart{};
+  // Bitmap nibbles only line up with vector blocks when begin is 8-aligned;
+  // the parallel moments path hands us arbitrary splits, which fall back.
+  if (validity != nullptr && (begin & 7) != 0) {
+    return sc::MomentsF64(data, validity, begin, end);
+  }
+  const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  MomentsAcc acc;
+  MomentsAccInit(&acc);
+  int64_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    if (validity == nullptr) {
+      MomentsStep(&acc, _mm256_loadu_pd(data + i), all);
+      continue;
+    }
+    // begin is 8-aligned, so each 4-lane block reads one nibble.
+    const unsigned bits = (validity[i >> 3] >> (i & 7)) & 0xF;
+    if (bits == 0) continue;  // all-null block: nothing to add
+    MomentsStep(&acc, _mm256_loadu_pd(data + i),
+                bits == 0xF ? all : LaneMask4(bits));
+  }
+  if (i < end) {
+    // Tail (< 4 rows): gather into a padded block so the tail joins the
+    // same lane chains as everything before it.
+    alignas(32) double buf[4] = {0.0, 0.0, 0.0, 0.0};
+    unsigned bits = 0;
+    for (int64_t k = i; k < end; ++k) {
+      buf[k - i] = data[k];
+      if (validity == nullptr || ValidityBit(validity, k)) {
+        bits |= 1u << (k - i);
+      }
+    }
+    if (bits != 0) MomentsStep(&acc, _mm256_load_pd(buf), LaneMask4(bits));
+  }
+  return MomentsAccFinish(acc);
+}
+
+__attribute__((target("avx2,avx512dq,avx512vl"))) MomentsPart MomentsI64(
+    const int64_t* data, const uint8_t* validity, int64_t begin, int64_t end) {
+  if (end - begin <= 0) return MomentsPart{};
+  if (validity != nullptr && (begin & 7) != 0) {
+    return sc::MomentsI64(data, validity, begin, end);
+  }
+  const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  MomentsAcc acc;
+  MomentsAccInit(&acc);
+  int64_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    __m256d keep = all;
+    if (validity != nullptr) {
+      const unsigned bits = (validity[i >> 3] >> (i & 7)) & 0xF;
+      if (bits == 0) continue;
+      if (bits != 0xF) keep = LaneMask4(bits);
+    }
+    const __m256i raw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    MomentsStep(&acc, _mm256_cvtepi64_pd(raw), keep);
+  }
+  if (i < end) {
+    alignas(32) int64_t buf[4] = {0, 0, 0, 0};
+    unsigned bits = 0;
+    for (int64_t k = i; k < end; ++k) {
+      buf[k - i] = data[k];
+      if (validity == nullptr || ValidityBit(validity, k)) {
+        bits |= 1u << (k - i);
+      }
+    }
+    if (bits != 0) {
+      const __m256i raw =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(buf));
+      MomentsStep(&acc, _mm256_cvtepi64_pd(raw), LaneMask4(bits));
+    }
+  }
+  return MomentsAccFinish(acc);
+}
+
+// --- hash mixing -------------------------------------------------------
+
+/// Low 64 bits of a 64x64 multiply per lane.
+__attribute__((target("avx2"))) inline __m256i MulLo64(__m256i a, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i mid =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                       _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(mid, 32));
+}
+
+/// Full 64x64 -> 128 multiply, folded lo ^ hi: the vector twin of
+/// simd::Mum. Schoolbook 32-bit limbs with explicit carry propagation.
+__attribute__((target("avx2"))) inline __m256i Mum256(__m256i a, __m256i b) {
+  const __m256i lo32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i a1 = _mm256_srli_epi64(a, 32);
+  const __m256i b1 = _mm256_srli_epi64(b, 32);
+  const __m256i a0b0 = _mm256_mul_epu32(a, b);
+  const __m256i a1b0 = _mm256_mul_epu32(a1, b);
+  const __m256i a0b1 = _mm256_mul_epu32(a, b1);
+  const __m256i a1b1 = _mm256_mul_epu32(a1, b1);
+  const __m256i mid1 = _mm256_add_epi64(a1b0, _mm256_srli_epi64(a0b0, 32));
+  const __m256i mid2 = _mm256_add_epi64(a0b1, _mm256_and_si256(mid1, lo32));
+  const __m256i hi = _mm256_add_epi64(
+      _mm256_add_epi64(a1b1, _mm256_srli_epi64(mid1, 32)),
+      _mm256_srli_epi64(mid2, 32));
+  const __m256i lo = _mm256_or_si256(_mm256_slli_epi64(mid2, 32),
+                                     _mm256_and_si256(a0b0, lo32));
+  return _mm256_xor_si256(lo, hi);
+}
+
+__attribute__((target("avx2"))) inline __m256i HashWord64x4(__m256i v) {
+  const __m256i s0 = _mm256_set1_epi64x(static_cast<int64_t>(kWySecret0));
+  const __m256i s1 = _mm256_set1_epi64x(static_cast<int64_t>(kWySecret1));
+  const __m256i s2 = _mm256_set1_epi64x(static_cast<int64_t>(kWySecret2));
+  return Mum256(_mm256_xor_si256(v, s0),
+                Mum256(_mm256_xor_si256(v, s1), s2));
+}
+
+__attribute__((target("avx2"))) inline __m256i Mix256(__m256i h, __m256i v) {
+  const __m256i golden =
+      _mm256_set1_epi64x(static_cast<int64_t>(0x9E3779B97F4A7C15ULL));
+  const __m256i mult =
+      _mm256_set1_epi64x(static_cast<int64_t>(0xFF51AFD7ED558CCDULL));
+  h = _mm256_xor_si256(
+      h, _mm256_add_epi64(
+             _mm256_add_epi64(v, golden),
+             _mm256_add_epi64(_mm256_slli_epi64(h, 6),
+                              _mm256_srli_epi64(h, 2))));
+  h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 33));
+  h = MulLo64(h, mult);
+  h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 33));
+  return h;
+}
+
+__attribute__((target("avx2"))) inline void HashMixU64Block4(
+    uint64_t* hashes, const uint64_t* words) {
+  const __m256i w =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words));
+  __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes));
+  h = Mix256(h, HashWord64x4(w));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(hashes), h);
+}
+
+__attribute__((target("avx2"))) void HashMixU64(uint64_t* hashes,
+                                                const uint64_t* words,
+                                                const uint8_t* validity,
+                                                int64_t begin, int64_t end,
+                                                uint64_t null_tag) {
+  if (validity != nullptr && (begin & 7) != 0) {
+    sc::HashMixU64(hashes, words, validity, begin, end, null_tag);
+    return;
+  }
+  int64_t i = begin;
+  if (validity == nullptr) {
+    for (; i + 4 <= end; i += 4) HashMixU64Block4(hashes + i, words + i);
+  } else {
+    for (; i + 8 <= end; i += 8) {
+      if (validity[i >> 3] != 0xFF) {
+        sc::HashMixU64(hashes, words, validity, i, i + 8, null_tag);
+        continue;
+      }
+      HashMixU64Block4(hashes + i, words + i);
+      HashMixU64Block4(hashes + i + 4, words + i + 4);
+    }
+  }
+  if (i < end) sc::HashMixU64(hashes, words, validity, i, end, null_tag);
+}
+
+__attribute__((target("avx2"))) inline void HashMixF64Block4(
+    uint64_t* hashes, const double* values, uint64_t null_tag) {
+  const __m256d v = _mm256_loadu_pd(values);
+  __m256i bits =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values));
+  // ±0.0 lanes -> +0.0 bit pattern (all-zero word).
+  const __m256i is_zero = _mm256_castpd_si256(
+      _mm256_cmp_pd(v, _mm256_setzero_pd(), _CMP_EQ_OQ));
+  bits = _mm256_andnot_si256(is_zero, bits);
+  const __m256i is_nan =
+      _mm256_castpd_si256(_mm256_cmp_pd(v, v, _CMP_UNORD_Q));
+  __m256i cell = HashWord64x4(bits);
+  cell = _mm256_blendv_epi8(
+      cell, _mm256_set1_epi64x(static_cast<int64_t>(null_tag ^ 1)), is_nan);
+  __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes));
+  h = Mix256(h, cell);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(hashes), h);
+}
+
+__attribute__((target("avx2"))) void HashMixF64(uint64_t* hashes,
+                                                const double* values,
+                                                const uint8_t* validity,
+                                                int64_t begin, int64_t end,
+                                                uint64_t null_tag) {
+  if (validity != nullptr && (begin & 7) != 0) {
+    sc::HashMixF64(hashes, values, validity, begin, end, null_tag);
+    return;
+  }
+  int64_t i = begin;
+  if (validity == nullptr) {
+    for (; i + 4 <= end; i += 4) {
+      HashMixF64Block4(hashes + i, values + i, null_tag);
+    }
+  } else {
+    for (; i + 8 <= end; i += 8) {
+      if (validity[i >> 3] != 0xFF) {
+        sc::HashMixF64(hashes, values, validity, i, i + 8, null_tag);
+        continue;
+      }
+      HashMixF64Block4(hashes + i, values + i, null_tag);
+      HashMixF64Block4(hashes + i + 4, values + i + 4, null_tag);
+    }
+  }
+  if (i < end) sc::HashMixF64(hashes, values, validity, i, end, null_tag);
+}
+
+}  // namespace avx2
+
+#endif  // BENTO_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON implementations (aarch64). Baseline on every aarch64 core, so no
+// runtime detection beyond the BENTO_SIMD toggle. Only the byte-parallel
+// kernels are vectorized; the rest share the scalar bodies.
+// ---------------------------------------------------------------------------
+
+#if BENTO_SIMD_NEON
+
+namespace neon {
+
+int64_t PopcountBits(const uint8_t* bitmap, int64_t num_bits) {
+  const int64_t full_bytes = num_bits >> 3;
+  int64_t count = 0;
+  int64_t i = 0;
+  for (; i + 16 <= full_bytes; i += 16) {
+    const uint8x16_t v = vld1q_u8(bitmap + i);
+    count += vaddvq_u8(vcntq_u8(v));
+  }
+  for (; i < full_bytes; ++i) {
+    count += std::popcount(static_cast<unsigned>(bitmap[i]));
+  }
+  for (int64_t bit = full_bytes << 3; bit < num_bits; ++bit) {
+    count += (bitmap[bit >> 3] >> (bit & 7)) & 1;
+  }
+  return count;
+}
+
+void AndBytes(const uint8_t* a, const uint8_t* b, uint8_t* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(out + i, vandq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+  }
+  for (; i < n; ++i) out[i] = static_cast<uint8_t>(a[i] & b[i]);
+}
+
+void OrBytes(const uint8_t* a, const uint8_t* b, uint8_t* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(out + i, vorrq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+  }
+  for (; i < n; ++i) out[i] = static_cast<uint8_t>(a[i] | b[i]);
+}
+
+void BoolAndBytes(const uint8_t* a, const uint8_t* b, uint8_t* out,
+                  int64_t n) {
+  const uint8x16_t one = vdupq_n_u8(1);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t nz =
+        vandq_u8(vtstq_u8(vld1q_u8(a + i), vld1q_u8(a + i)),
+                 vtstq_u8(vld1q_u8(b + i), vld1q_u8(b + i)));
+    vst1q_u8(out + i, vandq_u8(nz, one));
+  }
+  for (; i < n; ++i) out[i] = (a[i] != 0 && b[i] != 0) ? 1 : 0;
+}
+
+void BoolOrBytes(const uint8_t* a, const uint8_t* b, uint8_t* out, int64_t n) {
+  const uint8x16_t one = vdupq_n_u8(1);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vorrq_u8(vld1q_u8(a + i), vld1q_u8(b + i));
+    vst1q_u8(out + i, vandq_u8(vtstq_u8(v, v), one));
+  }
+  for (; i < n; ++i) out[i] = (a[i] != 0 || b[i] != 0) ? 1 : 0;
+}
+
+void BoolNotBytes(const uint8_t* values, uint8_t* out, int64_t n) {
+  const uint8x16_t one = vdupq_n_u8(1);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vld1q_u8(values + i);
+    vst1q_u8(out + i, vandq_u8(vmvnq_u8(vtstq_u8(v, v)), one));
+  }
+  for (; i < n; ++i) out[i] = values[i] == 0 ? 1 : 0;
+}
+
+void CompareF64(const double* data, int64_t n, Cmp op, double rhs,
+                uint8_t* out) {
+  const float64x2_t vrhs = vdupq_n_f64(rhs);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t v = vld1q_f64(data + i);
+    uint64x2_t m;
+    switch (op) {
+      case Cmp::kEq:
+        m = vceqq_f64(v, vrhs);
+        break;
+      case Cmp::kNe:
+        m = vreinterpretq_u64_u32(
+            vmvnq_u32(vreinterpretq_u32_u64(vceqq_f64(v, vrhs))));
+        break;
+      case Cmp::kLt:
+        m = vcltq_f64(v, vrhs);
+        break;
+      case Cmp::kLe:
+        m = vcleq_f64(v, vrhs);
+        break;
+      case Cmp::kGt:
+        m = vcgtq_f64(v, vrhs);
+        break;
+      case Cmp::kGe:
+        m = vcgeq_f64(v, vrhs);
+        break;
+    }
+    out[i] = vgetq_lane_u64(m, 0) != 0 ? 1 : 0;
+    out[i + 1] = vgetq_lane_u64(m, 1) != 0 ? 1 : 0;
+  }
+  for (; i < n; ++i) out[i] = ApplyCmp(data[i], op, rhs) ? 1 : 0;
+}
+
+}  // namespace neon
+
+#endif  // BENTO_SIMD_NEON
+
+}  // namespace
+
+Level ActiveLevel() {
+  static const Level level = DetectLevel();
+  return level;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kNeon:
+      return "neon";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+int64_t PopcountBits(const uint8_t* bitmap, int64_t num_bits) {
+#if BENTO_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    return avx2::PopcountBits(bitmap, num_bits);
+  }
+#endif
+#if BENTO_SIMD_NEON
+  if (ActiveLevel() == Level::kNeon) {
+    return neon::PopcountBits(bitmap, num_bits);
+  }
+#endif
+  return sc::PopcountBits(bitmap, num_bits);
+}
+
+void AndBytes(const uint8_t* a, const uint8_t* b, uint8_t* out,
+              int64_t num_bytes) {
+#if BENTO_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    avx2::AndBytes(a, b, out, num_bytes);
+    return;
+  }
+#endif
+#if BENTO_SIMD_NEON
+  if (ActiveLevel() == Level::kNeon) {
+    neon::AndBytes(a, b, out, num_bytes);
+    return;
+  }
+#endif
+  sc::AndBytes(a, b, out, num_bytes);
+}
+
+void OrBytes(const uint8_t* a, const uint8_t* b, uint8_t* out,
+             int64_t num_bytes) {
+#if BENTO_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    avx2::OrBytes(a, b, out, num_bytes);
+    return;
+  }
+#endif
+#if BENTO_SIMD_NEON
+  if (ActiveLevel() == Level::kNeon) {
+    neon::OrBytes(a, b, out, num_bytes);
+    return;
+  }
+#endif
+  sc::OrBytes(a, b, out, num_bytes);
+}
+
+void BoolAndBytes(const uint8_t* a, const uint8_t* b, uint8_t* out,
+                  int64_t n) {
+#if BENTO_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    avx2::BoolAndBytes(a, b, out, n);
+    return;
+  }
+#endif
+#if BENTO_SIMD_NEON
+  if (ActiveLevel() == Level::kNeon) {
+    neon::BoolAndBytes(a, b, out, n);
+    return;
+  }
+#endif
+  sc::BoolAndBytes(a, b, out, n);
+}
+
+void BoolOrBytes(const uint8_t* a, const uint8_t* b, uint8_t* out, int64_t n) {
+#if BENTO_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    avx2::BoolOrBytes(a, b, out, n);
+    return;
+  }
+#endif
+#if BENTO_SIMD_NEON
+  if (ActiveLevel() == Level::kNeon) {
+    neon::BoolOrBytes(a, b, out, n);
+    return;
+  }
+#endif
+  sc::BoolOrBytes(a, b, out, n);
+}
+
+void BoolNotBytes(const uint8_t* values, uint8_t* out, int64_t n) {
+#if BENTO_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    avx2::BoolNotBytes(values, out, n);
+    return;
+  }
+#endif
+#if BENTO_SIMD_NEON
+  if (ActiveLevel() == Level::kNeon) {
+    neon::BoolNotBytes(values, out, n);
+    return;
+  }
+#endif
+  sc::BoolNotBytes(values, out, n);
+}
+
+void CompareF64(const double* data, int64_t n, Cmp op, double rhs,
+                uint8_t* out) {
+#if BENTO_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    avx2::CompareF64(data, n, op, rhs, out);
+    return;
+  }
+#endif
+#if BENTO_SIMD_NEON
+  if (ActiveLevel() == Level::kNeon) {
+    neon::CompareF64(data, n, op, rhs, out);
+    return;
+  }
+#endif
+  sc::CompareF64(data, n, op, rhs, out);
+}
+
+void CompareI64(const int64_t* data, int64_t n, Cmp op, double rhs,
+                uint8_t* out) {
+#if BENTO_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2 && HasAvx512Dq()) {
+    avx2::CompareI64(data, n, op, rhs, out);
+    return;
+  }
+#endif
+  sc::CompareI64(data, n, op, rhs, out);
+}
+
+int64_t MaskToIndices(const uint8_t* mask, const uint8_t* validity, int64_t n,
+                      int64_t* out) {
+#if BENTO_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    return avx2::MaskToIndices(mask, validity, n, out);
+  }
+#endif
+  return sc::MaskToIndices(mask, validity, n, out);
+}
+
+MomentsPart MomentsF64(const double* data, const uint8_t* validity,
+                       int64_t begin, int64_t end) {
+#if BENTO_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    return avx2::MomentsF64(data, validity, begin, end);
+  }
+#endif
+  return sc::MomentsF64(data, validity, begin, end);
+}
+
+MomentsPart MomentsI64(const int64_t* data, const uint8_t* validity,
+                       int64_t begin, int64_t end) {
+#if BENTO_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2 && HasAvx512Dq()) {
+    return avx2::MomentsI64(data, validity, begin, end);
+  }
+#endif
+  return sc::MomentsI64(data, validity, begin, end);
+}
+
+void HashMixU64(uint64_t* hashes, const uint64_t* words,
+                const uint8_t* validity, int64_t begin, int64_t end,
+                uint64_t null_tag) {
+#if BENTO_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    avx2::HashMixU64(hashes, words, validity, begin, end, null_tag);
+    return;
+  }
+#endif
+  sc::HashMixU64(hashes, words, validity, begin, end, null_tag);
+}
+
+void HashMixF64(uint64_t* hashes, const double* values,
+                const uint8_t* validity, int64_t begin, int64_t end,
+                uint64_t null_tag) {
+#if BENTO_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    avx2::HashMixF64(hashes, values, validity, begin, end, null_tag);
+    return;
+  }
+#endif
+  sc::HashMixF64(hashes, values, validity, begin, end, null_tag);
+}
+
+void HashMixCodes(uint64_t* hashes, const int32_t* codes,
+                  const uint8_t* validity, int64_t begin, int64_t end,
+                  const uint64_t* code_hashes, uint64_t null_tag) {
+  // Table lookups gather-dominate; the scalar body is the fast path on
+  // every level (the win over raw strings is the per-code memoization).
+  sc::HashMixCodes(hashes, codes, validity, begin, end, code_hashes, null_tag);
+}
+
+}  // namespace bento::simd

@@ -1,0 +1,144 @@
+#ifndef BENTO_SIMD_SIMD_H_
+#define BENTO_SIMD_SIMD_H_
+
+#include <cstdint>
+
+namespace bento::simd {
+
+/// \brief Portable SIMD kernel layer.
+///
+/// Each operation has exactly one semantic definition — the scalar kernel
+/// body in simd.cc — and optional vector implementations (AVX2 on x86,
+/// NEON on aarch64) that reproduce it bit for bit. The active level is
+/// selected once at process start from runtime CPU detection, and the
+/// `BENTO_SIMD=off` environment toggle forces the scalar fallback so
+/// SIMD-vs-scalar identity is directly testable (simd_kernels_test runs
+/// both; CI runs the whole suite under BENTO_SIMD=off).
+///
+/// Layering: this library depends on nothing else in the repo. Callers
+/// (columnar bitmaps, kernels) route their hot inner loops here; cold and
+/// semantic-heavy paths stay in the calling layer.
+enum class Level {
+  kScalar,
+  kNeon,
+  kAvx2,
+};
+
+/// Runtime-selected level: AVX2 when the CPU supports it, NEON on aarch64,
+/// scalar otherwise or when BENTO_SIMD is set to off/0/false/scalar.
+Level ActiveLevel();
+
+const char* LevelName(Level level);
+
+// ---------------------------------------------------------------------------
+// Bitmap kernels (LSB-first, Arrow convention)
+// ---------------------------------------------------------------------------
+
+/// \brief Number of set bits in the first `num_bits` bits of `bitmap`.
+/// The word-wise popcount helper shared by Array::null_count() and the
+/// validity-bitmap kernels. `bitmap` must not be null.
+int64_t PopcountBits(const uint8_t* bitmap, int64_t num_bits);
+
+/// \brief out[i] = a[i] & b[i] over `num_bytes` bytes.
+void AndBytes(const uint8_t* a, const uint8_t* b, uint8_t* out,
+              int64_t num_bytes);
+
+/// \brief out[i] = a[i] | b[i] over `num_bytes` bytes.
+void OrBytes(const uint8_t* a, const uint8_t* b, uint8_t* out,
+             int64_t num_bytes);
+
+// ---------------------------------------------------------------------------
+// Byte-wise boolean kernels (one uint8 per value, the kBool layout)
+// ---------------------------------------------------------------------------
+
+/// \brief out[i] = (a[i] != 0 && b[i] != 0) ? 1 : 0.
+void BoolAndBytes(const uint8_t* a, const uint8_t* b, uint8_t* out, int64_t n);
+
+/// \brief out[i] = (a[i] != 0 || b[i] != 0) ? 1 : 0.
+void BoolOrBytes(const uint8_t* a, const uint8_t* b, uint8_t* out, int64_t n);
+
+/// \brief out[i] = (values[i] == 0) ? 1 : 0.
+void BoolNotBytes(const uint8_t* values, uint8_t* out, int64_t n);
+
+// ---------------------------------------------------------------------------
+// Comparison kernels: column vs scalar, writing one 0/1 byte per row
+// ---------------------------------------------------------------------------
+
+enum class Cmp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// \brief out[i] = (data[i] <op> rhs) ? 1 : 0 with IEEE double semantics
+/// (every op except kNe is false on NaN; kNe is true on NaN) — exactly the
+/// C++ comparison operators.
+void CompareF64(const double* data, int64_t n, Cmp op, double rhs,
+                uint8_t* out);
+
+/// \brief out[i] = (double(data[i]) <op> rhs) ? 1 : 0 — the int64-column
+/// compare path, which widens each element to double first (matching the
+/// scalar kernel in kernels/compare.cc).
+void CompareI64(const int64_t* data, int64_t n, Cmp op, double rhs,
+                uint8_t* out);
+
+// ---------------------------------------------------------------------------
+// Filter mask -> selected row indices
+// ---------------------------------------------------------------------------
+
+/// \brief Appends to `out` every row i in [0, n) where mask[i] != 0 and
+/// (validity == nullptr or validity bit i is set), in ascending order.
+/// `out` must have room for n entries; returns the number written.
+int64_t MaskToIndices(const uint8_t* mask, const uint8_t* validity, int64_t n,
+                      int64_t* out);
+
+// ---------------------------------------------------------------------------
+// Moments aggregation (sum / sum of squares / min / max / count)
+// ---------------------------------------------------------------------------
+
+/// \brief Partial moments over one range. Summation uses a fixed 4-lane
+/// striped order (element i accumulates into lane i & 3, lanes combine as
+/// (l0+l1)+(l2+l3)) so every level — scalar fallback included — produces
+/// the identical floating-point result. min/max follow the strict
+/// `if (v < m) m = v` rule per lane, so NaNs never win and the first seen
+/// value survives ties (signed-zero behaviour matches the scalar rule).
+struct MomentsPart {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int64_t count = 0;  // valid, non-NaN elements
+};
+
+/// \brief Moments of data[begin, end). `validity` may be null (all valid);
+/// bit i of `validity` corresponds to data[i]. NaNs are skipped.
+MomentsPart MomentsF64(const double* data, const uint8_t* validity,
+                       int64_t begin, int64_t end);
+
+/// \brief Moments of double(data[i]) for i in [begin, end).
+MomentsPart MomentsI64(const int64_t* data, const uint8_t* validity,
+                       int64_t begin, int64_t end);
+
+// ---------------------------------------------------------------------------
+// Row-hash mixing (see simd/hash.h for the scalar definitions)
+// ---------------------------------------------------------------------------
+
+/// \brief hashes[i] = MixU64(hashes[i], cell) for i in [begin, end), where
+/// cell = HashWord64(words[i]) when valid and `null_tag` when the validity
+/// bit is clear. `validity` may be null (all valid).
+void HashMixU64(uint64_t* hashes, const uint64_t* words,
+                const uint8_t* validity, int64_t begin, int64_t end,
+                uint64_t null_tag);
+
+/// \brief Float64-column hash mixing: cell = HashWord64(bits(v)) with -0.0
+/// normalized to +0.0, NaN hashing to null_tag ^ 1, and nulls to null_tag.
+void HashMixF64(uint64_t* hashes, const double* values,
+                const uint8_t* validity, int64_t begin, int64_t end,
+                uint64_t null_tag);
+
+/// \brief Dictionary-code hash mixing: cell = code_hashes[codes[i]] when
+/// valid (a per-dictionary table of the entry-string hashes) else null_tag.
+/// Keeps categorical cell hashes identical to hashing the decoded string.
+void HashMixCodes(uint64_t* hashes, const int32_t* codes,
+                  const uint8_t* validity, int64_t begin, int64_t end,
+                  const uint64_t* code_hashes, uint64_t null_tag);
+
+}  // namespace bento::simd
+
+#endif  // BENTO_SIMD_SIMD_H_

@@ -18,6 +18,7 @@
 #include "columnar/builder.h"
 #include "datagen/datasets.h"
 #include "frame/engine.h"
+#include "kernels/encode.h"
 #include "kernels/selection.h"
 #include "obs/trace.h"
 #include "sim/machine.h"
@@ -68,6 +69,29 @@ TablePtr TestTable() {
 
 TablePtr RegionsTable() {
   static const TablePtr table = gen::GenerateRegionsTable(7).ValueOrDie();
+  return table;
+}
+
+/// `table` with the listed string columns dictionary-encoded (the shape a
+/// CSV read with dictionary_encode_strings produces).
+TablePtr DictEncodeColumns(TablePtr table,
+                           const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    auto a = table->GetColumn(name).ValueOrDie();
+    table =
+        table->SetColumn(name, kern::DictEncode(a).ValueOrDie()).ValueOrDie();
+  }
+  return table;
+}
+
+TablePtr DictTestTable() {
+  static const TablePtr table =
+      DictEncodeColumns(TestTable(), {"sex", "team", "noc", "season"});
+  return table;
+}
+
+TablePtr DictRegionsTable() {
+  static const TablePtr table = DictEncodeColumns(RegionsTable(), {"noc"});
   return table;
 }
 
@@ -173,17 +197,18 @@ void StripIndexFromAction(ActionResult* a) {
 }
 
 RunOutcome RunOne(const std::string& engine_id, sim::ExecutionMode mode,
-                  const OpCase& op_case) {
+                  const OpCase& op_case, const TablePtr& source,
+                  const TablePtr& regions) {
   sim::Session session(sim::MachineSpec::Server());
   session.set_execution_mode(mode);
   RunOutcome out;
   auto engine = frame::CreateEngine(engine_id).ValueOrDie();
-  auto frame_r = engine->FromTable(TestTable());
+  auto frame_r = engine->FromTable(source);
   if (!frame_r.ok()) {
     out.status = frame_r.status();
     return out;
   }
-  Op op = op_case.build(engine, RegionsTable());
+  Op op = op_case.build(engine, regions);
   out.is_action = frame::IsAction(op.kind);
   if (out.is_action) {
     auto action = frame_r.ValueOrDie()->RunAction(op);
@@ -214,6 +239,11 @@ RunOutcome RunOne(const std::string& engine_id, sim::ExecutionMode mode,
     out.table = out.table->DropColumns(index_cols).ValueOrDie();
   }
   return out;
+}
+
+RunOutcome RunOne(const std::string& engine_id, sim::ExecutionMode mode,
+                  const OpCase& op_case) {
+  return RunOne(engine_id, mode, op_case, TestTable(), RegionsTable());
 }
 
 void ExpectActionsEqual(const ActionResult& a, const ActionResult& b) {
@@ -298,6 +328,57 @@ TEST_P(EngineDifferentialTest, AgreesWithEagerReference) {
                                    c.equivalence_keys);
     } else {
       test::ExpectTablesEqual(expect.table, got.table);
+    }
+  }
+}
+
+// Invariant 4: dictionary-encoded string columns are a representation, not
+// a semantic — every preparator that touches an encoded column produces
+// value-identical results to the plain-string run (categorical outputs
+// compare decoded). Covers the CSV dictionary_encode_strings /
+// BCF strings_as_categorical read paths end to end through each engine.
+TEST_P(EngineDifferentialTest, DictEncodedStringsMatchPlain) {
+  const std::string id = GetParam();
+  auto plain_src = [](Op op) {
+    return [op](const frame::EnginePtr&, const TablePtr&) { return op; };
+  };
+  std::vector<OpCase> cases;
+  cases.push_back(
+      {"sort_team", plain_src(Op::SortValues({{"team", true}, {"id", true}}))});
+  cases.push_back({"groupby_team",
+                   plain_src(Op::GroupByAgg(
+                       {"team"}, {{"weight", kern::AggKind::kSum, "w"},
+                                  {"age", kern::AggKind::kMean, "m"},
+                                  {"id", kern::AggKind::kCount, "n"}})),
+                   {"team"}});
+  cases.push_back({"dedup", plain_src(Op::DropDuplicates({"noc", "season"}))});
+  cases.push_back({"strlower", plain_src(Op::StrLower("team"))});
+  cases.push_back({"srchptn", plain_src(Op::SearchPattern("team", "a"))});
+  cases.push_back({"catcodes", plain_src(Op::CatCodes("sex"))});
+  cases.push_back({"dummies", plain_src(Op::GetDummies("season"))});
+  cases.push_back({"merge",
+                   [](const frame::EnginePtr& engine, const TablePtr& regions) {
+                     auto other = engine->FromTable(regions).ValueOrDie();
+                     return Op::Merge(other, "noc", "noc",
+                                      kern::JoinType::kInner);
+                   }});
+  cases.push_back({"isna", plain_src(Op::IsNa())});
+  for (const OpCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    RunOutcome plain = RunOne(id, sim::ExecutionMode::kReal, c, TestTable(),
+                              RegionsTable());
+    RunOutcome dict = RunOne(id, sim::ExecutionMode::kReal, c, DictTestTable(),
+                             DictRegionsTable());
+    ASSERT_EQ(plain.status.code(), dict.status.code())
+        << plain.status.ToString() << " vs " << dict.status.ToString();
+    if (!plain.status.ok()) continue;  // same NotImplemented both ways
+    if (plain.is_action) {
+      ExpectActionsEqual(plain.action, dict.action);
+    } else if (!c.equivalence_keys.empty()) {
+      test::ExpectTablesEquivalent(plain.table, dict.table,
+                                   c.equivalence_keys);
+    } else {
+      test::ExpectTablesEqual(plain.table, dict.table);
     }
   }
 }

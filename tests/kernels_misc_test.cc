@@ -67,6 +67,36 @@ TEST(StringOpsTest, Length) {
   EXPECT_EQ(out->int64_data()[1], 3);
 }
 
+// Every string op accepts dictionary-encoded input and matches the plain
+// string result row for row (categorical outputs compare decoded).
+TEST(StringOpsTest, CategoricalInputMatchesPlainString) {
+  auto plain = Str({"aXbXc", "US", "us", "", "none", "US"},
+                   {true, true, true, true, false, true});
+  auto dict = DictEncode(plain).ValueOrDie();
+  ASSERT_EQ(dict->type(), TypeId::kCategorical);
+
+  auto expect_rows_equal = [&](const col::ArrayPtr& a, const col::ArrayPtr& b) {
+    ASSERT_EQ(a->length(), b->length());
+    for (int64_t i = 0; i < a->length(); ++i) {
+      EXPECT_EQ(a->ValueToString(i), b->ValueToString(i)) << "row " << i;
+    }
+  };
+
+  expect_rows_equal(Lower(plain).ValueOrDie(), Lower(dict).ValueOrDie());
+  expect_rows_equal(ReplaceSubstring(plain, "X", "--").ValueOrDie(),
+                    ReplaceSubstring(dict, "X", "--").ValueOrDie());
+  expect_rows_equal(StringLength(plain).ValueOrDie(),
+                    StringLength(dict).ValueOrDie());
+  expect_rows_equal(Contains(plain, "us", false).ValueOrDie(),
+                    Contains(dict, "us", false).ValueOrDie());
+
+  // Lowercasing merges "US"/"us" — the transformed dictionary must re-intern
+  // to unique entries, not carry duplicates.
+  auto lowered = Lower(dict).ValueOrDie();
+  ASSERT_EQ(lowered->type(), TypeId::kCategorical);
+  EXPECT_EQ(lowered->dictionary()->size(), 3u);  // {"axbxc", "us", ""}
+}
+
 // --- cast / replace ---
 
 TEST(CastTest, NumericLadder) {

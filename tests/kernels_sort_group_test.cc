@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "kernels/dedup.h"
+#include "kernels/encode.h"
 #include "kernels/flat_index.h"
 #include "kernels/groupby.h"
 #include "kernels/join.h"
@@ -597,6 +598,159 @@ TEST(JoinTest, ParallelMatchesSerialWorkerSweep) {
       test::ExpectTablesEqual(serial, parallel);
     }
   }
+}
+
+// --- dictionary-encoded (categorical) string keys -------------------------
+
+/// The same logical table twice: `plain` carries the string key column as
+/// kString, `dict` carries its DictEncode as kCategorical codes. Kernels
+/// must produce value-identical results on both representations.
+struct DictTables {
+  TablePtr plain;
+  TablePtr dict;
+};
+
+DictTables DictPropertyTables(uint64_t seed, int64_t n, int cardinality) {
+  Rng rng(seed);
+  col::StringBuilder sb;
+  col::Float64Builder vb;
+  for (int64_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.04)) {
+      sb.AppendNull();
+    } else {
+      sb.Append("team" + std::to_string(rng.UniformInt(0, cardinality)));
+    }
+    vb.AppendMaybe(rng.UniformDouble(-50, 50), !rng.Bernoulli(0.05));
+  }
+  auto s = sb.Finish().ValueOrDie();
+  auto v = vb.Finish().ValueOrDie();
+  auto cat = DictEncode(s).ValueOrDie();
+  return {MakeTable({{"k", s}, {"v", v}}),
+          MakeTable({{"k", cat}, {"v", v}})};
+}
+
+std::vector<AggSpec> DictAggs() {
+  return {{"v", AggKind::kSum, "s"},  {"v", AggKind::kMean, "m"},
+          {"v", AggKind::kMin, "lo"}, {"v", AggKind::kMax, "hi"},
+          {"v", AggKind::kStd, "sd"}, {"v", AggKind::kCount, "n"}};
+}
+
+TEST(GroupByTest, DictKeysMatchStringKeysAcrossWorkerCounts) {
+  auto tables = DictPropertyTables(71, 15000, 40);
+  auto aggs = DictAggs();
+  // Value-identical to the string-key group-by (code hashing routes through
+  // the per-dictionary entry hashes, so grouping decisions cannot differ).
+  auto from_strings = GroupBy(tables.plain, {"k"}, aggs).ValueOrDie();
+  auto serial = GroupBy(tables.dict, {"k"}, aggs).ValueOrDie();
+  test::ExpectTablesEqual(from_strings, serial);
+  for (int workers = 1; workers <= 8; ++workers) {
+    sim::ParallelOptions opts;
+    opts.max_workers = workers;
+    auto partitioned =
+        GroupByPartitioned(tables.dict, {"k"}, aggs, opts).ValueOrDie();
+    test::ExpectTablesEqual(serial, partitioned);
+  }
+}
+
+TEST(GroupByTest, DictKeysForcedHashCollisionsWorkerSweep) {
+  auto tables = DictPropertyTables(72, 6000, 17);
+  auto aggs = DictAggs();
+  ScopedForcedHashCollisions forced;
+  auto serial = GroupBy(tables.dict, {"k"}, aggs).ValueOrDie();
+  test::ExpectTablesEqual(GroupBy(tables.plain, {"k"}, aggs).ValueOrDie(),
+                          serial);
+  for (int workers = 1; workers <= 8; ++workers) {
+    sim::ParallelOptions opts;
+    opts.max_workers = workers;
+    auto partitioned =
+        GroupByPartitioned(tables.dict, {"k"}, aggs, opts).ValueOrDie();
+    test::ExpectTablesEqual(serial, partitioned);
+  }
+}
+
+TEST(DedupTest, DictKeysWorkerSweep) {
+  auto tables = DictPropertyTables(73, 12000, 30);
+  auto from_strings = DropDuplicates(tables.plain, {"k"}).ValueOrDie();
+  auto serial = DropDuplicates(tables.dict, {"k"}).ValueOrDie();
+  ASSERT_EQ(from_strings->num_rows(), serial->num_rows());
+  for (int workers = 1; workers <= 8; ++workers) {
+    sim::ParallelOptions opts;
+    opts.max_workers = workers;
+    auto parallel =
+        DropDuplicatesParallel(tables.dict, {"k"}, opts).ValueOrDie();
+    test::ExpectTablesEqual(serial, parallel);
+  }
+}
+
+TEST(DedupTest, DictKeysForcedHashCollisions) {
+  auto tables = DictPropertyTables(74, 5000, 12);
+  ScopedForcedHashCollisions forced;
+  auto serial = DropDuplicates(tables.dict, {"k"}).ValueOrDie();
+  for (int workers : {1, 4, 8}) {
+    sim::ParallelOptions opts;
+    opts.max_workers = workers;
+    auto parallel =
+        DropDuplicatesParallel(tables.dict, {"k"}, opts).ValueOrDie();
+    test::ExpectTablesEqual(serial, parallel);
+  }
+}
+
+TEST(JoinTest, DictKeysMatchStringKeysWorkerSweep) {
+  // Left and right get independent DictEncode dictionaries (different
+  // first-appearance orders), so the cross-dictionary equality path is
+  // exercised, not just same-dict code equality.
+  auto left_t = DictPropertyTables(75, 8000, 50);
+  Rng rng(76);
+  col::StringBuilder rk;
+  col::Int64Builder rid;
+  for (int64_t i = 0; i < 400; ++i) {
+    if (rng.Bernoulli(0.03)) {
+      rk.AppendNull();
+    } else {
+      rk.Append("team" + std::to_string(rng.UniformInt(0, 50)));
+    }
+    rid.Append(i);
+  }
+  auto rks = rk.Finish().ValueOrDie();
+  auto right_plain = MakeTable(
+      {{"k", rks}, {"rid", rid.Finish().ValueOrDie()}});
+  auto right_dict =
+      MakeTable({{"k", DictEncode(rks).ValueOrDie()},
+                 {"rid", right_plain->GetColumn("rid").ValueOrDie()}});
+  for (JoinType type : {JoinType::kInner, JoinType::kLeft}) {
+    JoinOptions jopts;
+    jopts.type = type;
+    auto from_strings =
+        HashJoin(left_t.plain, right_plain, "k", "k", jopts).ValueOrDie();
+    auto serial =
+        HashJoin(left_t.dict, right_dict, "k", "k", jopts).ValueOrDie();
+    test::ExpectTablesEqual(from_strings, serial);
+    for (int workers : {1, 3, 8}) {
+      sim::ParallelOptions popts;
+      popts.max_workers = workers;
+      auto parallel =
+          HashJoinParallel(left_t.dict, right_dict, "k", "k", jopts, popts)
+              .ValueOrDie();
+      test::ExpectTablesEqual(serial, parallel);
+    }
+  }
+}
+
+TEST(SortTest, DictKeysMatchStringKeys) {
+  // The rank cache must order codes exactly like the decoded strings, with
+  // stable tie-breaking over the payload column preserved.
+  auto tables = DictPropertyTables(77, 10000, 35);
+  for (bool ascending : {true, false}) {
+    auto from_strings =
+        SortTable(tables.plain, {{"k", ascending}}).ValueOrDie();
+    auto from_codes = SortTable(tables.dict, {{"k", ascending}}).ValueOrDie();
+    test::ExpectTablesEqual(from_strings, from_codes);
+  }
+  auto multi_strings =
+      SortTable(tables.plain, {{"k", true}, {"v", false}}).ValueOrDie();
+  auto multi_codes =
+      SortTable(tables.dict, {{"k", true}, {"v", false}}).ValueOrDie();
+  test::ExpectTablesEqual(multi_strings, multi_codes);
 }
 
 }  // namespace
