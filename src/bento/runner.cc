@@ -55,7 +55,14 @@ Result<std::string> Runner::EnsureBcf(const std::string& dataset,
   if (FileExists(path)) return path;
   BENTO_ASSIGN_OR_RETURN(auto table,
                          gen::GenerateDataset(dataset, scale_ * sample, seed_));
-  BENTO_RETURN_NOT_OK(io::WriteBcf(table, path));
+  // Scale the row-group size with the dataset so a scaled run sees the same
+  // group structure (groups per file, bytes per group relative to the RAM
+  // budget) as the full-size run. An unscaled 64 Ki group would swallow a
+  // 0.1%-scale dataset whole and decode as one frame-sized page.
+  io::BcfWriteOptions wopts;
+  wopts.row_group_rows = std::max<int64_t>(
+      2048, static_cast<int64_t>(64.0 * 1024.0 * scale_));
+  BENTO_RETURN_NOT_OK(io::WriteBcf(table, path, wopts));
   return path;
 }
 

@@ -32,6 +32,13 @@ std::shared_ptr<Buffer> Buffer::Wrap(const void* data, uint64_t size) {
                  /*owned=*/false, nullptr));
 }
 
+std::shared_ptr<Buffer> Buffer::WrapOwned(const void* data, uint64_t size,
+                                          std::shared_ptr<void> owner) {
+  auto buf = Wrap(data, size);
+  buf->owner_ = std::move(owner);
+  return buf;
+}
+
 std::shared_ptr<Buffer> Buffer::Slice(const std::shared_ptr<Buffer>& parent,
                                       uint64_t offset, uint64_t size) {
   auto view = std::shared_ptr<Buffer>(

@@ -32,6 +32,13 @@ class Buffer {
   /// region for the Vaex/DataTable engines); nothing is charged or freed.
   static std::shared_ptr<Buffer> Wrap(const void* data, uint64_t size);
 
+  /// Wrap() plus a keep-alive: `owner` (e.g. the mmap region object backing
+  /// `data`) stays alive for the lifetime of the buffer and every slice of
+  /// it. File-backed bytes are pageable, so nothing is charged to any pool —
+  /// the Vaex property that lets columns bigger than RAM exist.
+  static std::shared_ptr<Buffer> WrapOwned(const void* data, uint64_t size,
+                                           std::shared_ptr<void> owner);
+
   /// Copies `size` bytes into a newly allocated buffer.
   static Result<std::shared_ptr<Buffer>> CopyOf(const void* data,
                                                 uint64_t size);
@@ -67,6 +74,7 @@ class Buffer {
   // makes the destructor's Release safe even after the pool is gone.
   std::shared_ptr<sim::MemoryPool::State> pool_;
   std::shared_ptr<Buffer> parent_;  // keep-alive for sliced views
+  std::shared_ptr<void> owner_;     // keep-alive for wrapped regions (mmap)
 };
 
 using BufferPtr = std::shared_ptr<Buffer>;

@@ -5,15 +5,16 @@
 namespace bento::eng {
 
 Result<col::TablePtr> TableChunkStream::Next() {
-  if (position_ >= table_->num_rows()) {
-    // Emit one empty chunk for empty tables so schemas propagate.
-    if (table_->num_rows() == 0 && position_ == 0) {
-      position_ = 1;
-      return table_;
-    }
-    return col::TablePtr(nullptr);
+  const int64_t total = table_->num_rows();
+  if (position_ == 0 && chunk_rows_ >= total) {
+    // One-shot stream: covers empty tables (a single zero-row chunk so the
+    // schema still propagates downstream) and chunk sizes at or beyond the
+    // table, where slicing would only add a needless view layer.
+    position_ = total > 0 ? total : 1;
+    return table_;
   }
-  const int64_t n = std::min(chunk_rows_, table_->num_rows() - position_);
+  if (position_ >= total) return col::TablePtr(nullptr);
+  const int64_t n = std::min(chunk_rows_, total - position_);
   BENTO_ASSIGN_OR_RETURN(auto chunk, table_->Slice(position_, n));
   position_ += n;
   return chunk;
@@ -27,8 +28,9 @@ Result<std::unique_ptr<CsvChunkStream>> CsvChunkStream::Open(
 
 Result<std::unique_ptr<BcfChunkStream>> BcfChunkStream::Open(
     const std::string& path, std::vector<std::string> projection,
-    std::vector<io::ScanPredicate> predicates) {
-  BENTO_ASSIGN_OR_RETURN(auto reader, io::BcfReader::Open(path));
+    std::vector<io::ScanPredicate> predicates,
+    const io::BcfReadOptions& options) {
+  BENTO_ASSIGN_OR_RETURN(auto reader, io::BcfReader::Open(path, options));
   return std::unique_ptr<BcfChunkStream>(new BcfChunkStream(
       std::move(reader), std::move(projection), std::move(predicates)));
 }
@@ -49,6 +51,11 @@ Result<col::TablePtr> BcfChunkStream::Next() {
       groups_skipped->Increment();
       continue;
     }
+    // Streaming consumes groups front to back; tell the kernel the pages
+    // behind us are cold so an mmap'ed scan larger than RAM never pins more
+    // than ~one group of page cache. No-op for buffered readers.
+    if (last_delivered_ >= 0) reader_->DoneWithGroup(last_delivered_);
+    last_delivered_ = group;
     delivered_any_ = true;
     return reader_->ReadRowGroup(group, projection_);
   }

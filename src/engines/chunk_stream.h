@@ -60,7 +60,8 @@ class BcfChunkStream : public ChunkStream {
  public:
   static Result<std::unique_ptr<BcfChunkStream>> Open(
       const std::string& path, std::vector<std::string> projection = {},
-      std::vector<io::ScanPredicate> predicates = {});
+      std::vector<io::ScanPredicate> predicates = {},
+      const io::BcfReadOptions& options = {});
 
   Result<col::TablePtr> Next() override;
 
@@ -76,6 +77,7 @@ class BcfChunkStream : public ChunkStream {
   std::vector<std::string> projection_;
   std::vector<io::ScanPredicate> predicates_;
   int group_ = 0;
+  int last_delivered_ = -1;  // previous group, madvise'd cold on advance
   bool delivered_any_ = false;
 };
 

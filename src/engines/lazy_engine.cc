@@ -21,6 +21,13 @@ using frame::Op;
 using frame::OpKind;
 
 int64_t ScaledBatchRows(int64_t full_scale_rows, int64_t min_rows) {
+  // BENTO_CHUNK_ROWS pins the batch size outright (read per call, so tests
+  // can sweep chunk sizes — including degenerate ones below the usual
+  // minimum — without rebuilding engines).
+  if (const char* env = std::getenv("BENTO_CHUNK_ROWS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<int64_t>(v);
+  }
   const double scaled = static_cast<double>(full_scale_rows) * sim::CostScale();
   const int64_t rows = static_cast<int64_t>(scaled);
   return rows < min_rows ? min_rows : rows;
@@ -185,9 +192,11 @@ Result<std::unique_ptr<ChunkStream>> LazyEngineBase::OpenStream(
                                                  ChunkRows()));
         }
       }
+      io::BcfReadOptions ropts;
+      ropts.use_mmap = MapsBcfSource();
       BENTO_ASSIGN_OR_RETURN(
-          auto stream,
-          BcfChunkStream::Open(source.path, std::move(keep), scan.predicates));
+          auto stream, BcfChunkStream::Open(source.path, std::move(keep),
+                                            scan.predicates, ropts));
       return std::unique_ptr<ChunkStream>(std::move(stream));
     }
   }
@@ -315,8 +324,34 @@ Result<col::TablePtr> LazyEngineBase::Execute(
     }
   }
 
+  // Nothing to do: chaining from a materialized frame with an empty plan
+  // (common in per-op modes) must not re-chunk and re-concat the table —
+  // that would double its footprint for no work.
+  if (start >= ops.size() && source.kind == LazySource::Kind::kTable &&
+      scan.drop_columns.empty() && source.table != nullptr) {
+    return source.table;
+  }
+
   BENTO_ASSIGN_OR_RETURN(auto stream, OpenStream(source, scan));
   const bool stream_breakers = StreamsBreakers() && MemoryTight(source);
+
+  // Under memory pressure a streaming engine materializes results
+  // file-backed: anything bigger than a slice of the remaining budget
+  // spills, compacts, and comes back as zero-copy mmap views that charge
+  // nothing while resident (the Vaex memory-mapped frame / Spark on-disk
+  // stage-output model).
+  auto drain = [&](ChunkStream* s) -> Result<col::TablePtr> {
+    if (stream_breakers) {
+      sim::Session* session = sim::Session::Current();
+      const uint64_t headroom =
+          session != nullptr ? session->host_pool()->HeadroomBytes()
+                             : UINT64_MAX;
+      if (headroom != UINT64_MAX) {
+        return MaterializeStreamMapped(s, headroom / 4);
+      }
+    }
+    return DrainStream(s);
+  };
 
   // Streaming loop: breakers either stream (bounded memory) and hand the
   // pipeline a new stream, or materialize and hand it a table stream.
@@ -333,7 +368,7 @@ Result<col::TablePtr> LazyEngineBase::Execute(
         stream.get(), ops.data() + i, j - i, &policy,
         PerChunkOverheadSeconds());
     if (j >= ops.size()) {
-      BENTO_ASSIGN_OR_RETURN(current, DrainStream(transformed.get()));
+      BENTO_ASSIGN_OR_RETURN(current, drain(transformed.get()));
       i = j;
       break;
     }
@@ -442,6 +477,26 @@ Result<col::TablePtr> LazyEngineBase::Execute(
             return Status::Invalid("merge without right side");
           }
           BENTO_ASSIGN_OR_RETURN(auto right, breaker.other->Collect());
+          // A build side that would eat a large slice of the remaining
+          // budget (its hash table costs a few multiples of the table)
+          // takes the grace path: both sides hash-partition to spill and
+          // join partition-by-partition.
+          sim::Session* session = sim::Session::Current();
+          const uint64_t headroom =
+              session != nullptr ? session->host_pool()->HeadroomBytes()
+                                 : UINT64_MAX;
+          if (headroom != UINT64_MAX && right->ByteSize() * 3 > headroom) {
+            kern::JoinOptions jopts;
+            jopts.type = breaker.join_type;
+            BENTO_ASSIGN_OR_RETURN(
+                stage_table,
+                GraceHashJoin(transformed.get(), right, breaker.left_key,
+                              breaker.right_key, jopts));
+            stream =
+                std::make_unique<TableChunkStream>(stage_table, ChunkRows());
+            i = j + 1;
+            continue;
+          }
           // Drain into a temp spill so the probe side never materializes.
           BENTO_ASSIGN_OR_RETURN(std::string path,
                                  SpillStreamToFile(transformed.get()));
@@ -467,7 +522,7 @@ Result<col::TablePtr> LazyEngineBase::Execute(
       }
     }
     // Materialize-then-execute breaker; subsequent ops go whole-table.
-    BENTO_ASSIGN_OR_RETURN(current, DrainStream(transformed.get()));
+    BENTO_ASSIGN_OR_RETURN(current, drain(transformed.get()));
     BENTO_ASSIGN_OR_RETURN(current,
                            frame::ExecTransform(current, breaker, policy));
     i = j + 1;

@@ -114,9 +114,15 @@ class LazyEngineBase : public frame::Engine {
   /// dispatch overheads; Vaex sets this).
   virtual double PerChunkOverheadSeconds() const { return 0.0; }
   /// When true, pipeline breakers use the bounded-memory streaming
-  /// implementations (partial aggregation, external sort) instead of
-  /// materialize-then-execute. The SparkSQL model.
+  /// implementations (partial aggregation with spill, external sort, grace
+  /// join) instead of materialize-then-execute. The SparkSQL model, also
+  /// adopted by the Vaex and Polars streaming paths.
   virtual bool StreamsBreakers() const { return false; }
+
+  /// When true, BCF sources are served through mmap with zero-copy plain
+  /// pages (the Vaex memory model: file-backed columns charge nothing
+  /// against the RAM budget).
+  virtual bool MapsBcfSource() const { return false; }
 
   /// Extra virtual-time cost of running action `op` against `table`;
   /// Vaex charges its per-row expression-graph dispatch here (the paper's

@@ -23,6 +23,9 @@ class PolarsEngine : public LazyEngineBase {
     // ~0.2 s of plan optimization at full scale.
     return 0.2 * sim::CostScale();
   }
+  /// The lazy configuration maps onto Polars' streaming engine, whose
+  /// breakers spill when memory is tight; eager mode materializes.
+  bool StreamsBreakers() const override { return lazy_; }
 
  private:
   bool lazy_;

@@ -3,18 +3,23 @@
 #include <cmath>
 #include <functional>
 #include <cstdio>
+#include <limits>
 #include <queue>
 #include <unistd.h>
 #include <unordered_set>
 
 #include "columnar/builder.h"
+#include "engines/spill_frames.h"
 #include "kernels/apply.h"
 #include "kernels/groupby.h"
+#include "kernels/join.h"
 #include "kernels/pivot.h"
 #include "kernels/row_hash.h"
 #include "kernels/selection.h"
 #include "kernels/sort.h"
 #include "kernels/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bento::eng {
 
@@ -171,12 +176,58 @@ Result<TablePtr> FinalizeAggs(const TablePtr& merged,
   return out;
 }
 
+/// Hidden column carrying each row's global stream index. Aggregated with
+/// min it names a group's first-seen position, which is exactly the order
+/// kern::GroupBy emits groups in — so spilled partitions can be stitched
+/// back into the order the in-memory path would have produced.
+constexpr const char* kSeqColumn = "__seq";
+
+Result<TablePtr> AttachSeqColumn(const TablePtr& chunk, int64_t base) {
+  col::Int64Builder b;
+  b.Reserve(chunk->num_rows());
+  for (int64_t i = 0; i < chunk->num_rows(); ++i) b.Append(base + i);
+  BENTO_ASSIGN_OR_RETURN(auto seq, b.Finish());
+  return chunk->SetColumn(kSeqColumn, std::move(seq));
+}
+
+/// Splits `table` into `partitions` row subsets by key hash. Rows with equal
+/// keys (nulls included — they hash to a fixed tag) always land in the same
+/// partition, and relative row order is preserved within each.
+Result<std::vector<TablePtr>> HashPartitionTable(
+    const TablePtr& table, const std::vector<std::string>& keys,
+    int partitions) {
+  BENTO_ASSIGN_OR_RETURN(auto hashes, kern::HashRows(table, keys));
+  std::vector<TablePtr> out;
+  for (int p = 0; p < partitions; ++p) {
+    col::BoolBuilder mask;
+    mask.Reserve(table->num_rows());
+    for (int64_t i = 0; i < table->num_rows(); ++i) {
+      mask.Append(hashes[static_cast<size_t>(i)] %
+                      static_cast<uint64_t>(partitions) ==
+                  static_cast<uint64_t>(p));
+    }
+    BENTO_ASSIGN_OR_RETURN(auto m, mask.Finish());
+    BENTO_ASSIGN_OR_RETURN(auto part, kern::FilterTable(table, m));
+    out.push_back(std::move(part));
+  }
+  return out;
+}
+
+/// Reorders `table` ascending by the hidden sequence column and drops it.
+Result<TablePtr> RestoreSeqOrder(const TablePtr& table) {
+  BENTO_ASSIGN_OR_RETURN(
+      auto indices, kern::ArgSort(table, {kern::SortKey{kSeqColumn, true}}));
+  BENTO_ASSIGN_OR_RETURN(auto sorted, kern::TakeTable(table, indices));
+  return sorted->DropColumns({kSeqColumn});
+}
+
 }  // namespace
 
 Result<TablePtr> StreamingGroupBy(ChunkStream* input,
                                   const std::vector<std::string>& keys,
                                   const std::vector<AggSpec>& aggs,
-                                  const ExecPolicy& policy) {
+                                  const ExecPolicy& policy,
+                                  const StreamingGroupByOptions& options) {
   auto decomposed = DecomposeAggs(aggs);
   std::vector<AggSpec> partial_specs;
   std::vector<AggSpec> merge_specs;
@@ -207,24 +258,102 @@ Result<TablePtr> StreamingGroupBy(ChunkStream* input,
     return partial;
   };
 
+  // The first-seen-order column rides along in every mode so spill can
+  // engage mid-stream; FinalizeAggs drops it (it only selects keys+outputs).
+  partial_specs.push_back(AggSpec{kSeqColumn, AggKind::kMin, kSeqColumn});
+  merge_specs.push_back(AggSpec{kSeqColumn, AggKind::kMin, kSeqColumn});
+
+  int64_t spill_threshold = options.spill_threshold_bytes;
+  if (spill_threshold < 0) {
+    spill_threshold = std::numeric_limits<int64_t>::max();
+    sim::Session* session = sim::Session::Current();
+    if (session != nullptr && session->host_pool()->budget() > 0) {
+      spill_threshold =
+          static_cast<int64_t>(session->host_pool()->budget() / 8);
+    }
+  }
+  const int n_partitions = std::max(options.spill_partitions, 1);
+
+  std::unique_ptr<SpillFrameStore> store;  // non-null once spilling
+  auto spill_partial = [&](const TablePtr& partial) -> Status {
+    BENTO_ASSIGN_OR_RETURN(auto parts,
+                           HashPartitionTable(partial, keys, n_partitions));
+    for (int p = 0; p < n_partitions; ++p) {
+      BENTO_RETURN_NOT_OK(store->Append(p, parts[static_cast<size_t>(p)]));
+    }
+    return Status::OK();
+  };
+
   std::vector<TablePtr> partials;
+  int64_t partial_bytes = 0;
+  int64_t seq_base = 0;
   constexpr size_t kCompactEvery = 16;
   while (true) {
     BENTO_ASSIGN_OR_RETURN(auto chunk, input->Next());
     if (chunk == nullptr) break;
     if (chunk->num_rows() == 0) continue;
+    BENTO_ASSIGN_OR_RETURN(chunk, AttachSeqColumn(chunk, seq_base));
+    seq_base += chunk->num_rows();
     BENTO_ASSIGN_OR_RETURN(auto partial,
                            kern::GroupBy(chunk, keys, partial_specs));
     BENTO_ASSIGN_OR_RETURN(partial, normalize(std::move(partial)));
+    if (store != nullptr) {
+      BENTO_RETURN_NOT_OK(spill_partial(partial));
+      continue;
+    }
+    partial_bytes += static_cast<int64_t>(partial->ByteSize());
     partials.push_back(std::move(partial));
+    if (partial_bytes >= spill_threshold) {
+      // The group state itself no longer fits: compact what we hold, fan it
+      // out to hash partitions on disk, and spill every later partial.
+      static obs::Counter* spilled =
+          obs::MetricsRegistry::Global().counter("groupby.spill_engaged");
+      spilled->Increment();
+      BENTO_ASSIGN_OR_RETURN(auto concat, col::ConcatTablesReleasing(&partials));
+      BENTO_ASSIGN_OR_RETURN(auto compacted,
+                             kern::GroupBy(concat, keys, merge_specs));
+      concat.reset();
+      BENTO_ASSIGN_OR_RETURN(store, SpillFrameStore::Create(n_partitions));
+      BENTO_RETURN_NOT_OK(spill_partial(compacted));
+      partial_bytes = 0;
+      continue;
+    }
     if (partials.size() >= kCompactEvery) {
       BENTO_ASSIGN_OR_RETURN(auto concat, col::ConcatTables(partials));
       BENTO_ASSIGN_OR_RETURN(auto compacted,
                              kern::GroupBy(concat, keys, merge_specs));
       partials.clear();
+      partial_bytes = static_cast<int64_t>(compacted->ByteSize());
       partials.push_back(std::move(compacted));
     }
   }
+
+  if (store != nullptr) {
+    // Per-partition exact merge; a group's partials all share one partition
+    // (hash of its key), so merging partitions independently is exact. The
+    // hidden min-sequence column then restores global first-seen order.
+    BENTO_TRACE_SPAN(kEngine, "groupby.spill_merge");
+    std::vector<TablePtr> merged_parts;
+    for (int p = 0; p < n_partitions; ++p) {
+      BENTO_ASSIGN_OR_RETURN(auto chunks, store->ReadPartition(p));
+      if (chunks.empty()) continue;
+      BENTO_ASSIGN_OR_RETURN(auto concat, col::ConcatTablesReleasing(&chunks));
+      if (concat->num_rows() == 0) continue;
+      BENTO_ASSIGN_OR_RETURN(auto merged,
+                             kern::GroupBy(concat, keys, merge_specs));
+      merged_parts.push_back(std::move(merged));
+    }
+    store.reset();
+    if (merged_parts.empty()) {
+      return Status::Invalid("streaming group-by over an empty stream");
+    }
+    BENTO_ASSIGN_OR_RETURN(auto all, col::ConcatTablesReleasing(&merged_parts));
+    BENTO_ASSIGN_OR_RETURN(
+        auto indices, kern::ArgSort(all, {kern::SortKey{kSeqColumn, true}}));
+    BENTO_ASSIGN_OR_RETURN(auto ordered, kern::TakeTable(all, indices));
+    return FinalizeAggs(ordered, keys, decomposed);
+  }
+
   if (partials.empty()) {
     return Status::Invalid("streaming group-by over an empty stream");
   }
@@ -243,32 +372,25 @@ Result<std::string> TempBcfPath() {
          std::to_string(counter.fetch_add(1)) + ".bcf";
 }
 
-/// Cursor over one spilled sorted run.
+/// Cursor over one spilled sorted run (a SpillFrameStore partition).
 struct RunCursor {
-  std::unique_ptr<io::BcfReader> reader;
-  std::string path;
+  std::unique_ptr<ChunkStream> stream;
   TablePtr chunk;
-  int group = 0;
   int64_t row = 0;
-
-  ~RunCursor() {
-    reader.reset();
-    if (!path.empty()) std::remove(path.c_str());
-  }
 
   Status Advance() {
     ++row;
     if (chunk != nullptr && row < chunk->num_rows()) return Status::OK();
     row = 0;
     chunk = nullptr;
-    while (group < reader->num_row_groups()) {
-      BENTO_ASSIGN_OR_RETURN(auto next, reader->ReadRowGroup(group++));
+    while (true) {
+      BENTO_ASSIGN_OR_RETURN(auto next, stream->Next());
+      if (next == nullptr) return Status::OK();  // exhausted: chunk stays null
       if (next->num_rows() > 0) {
         chunk = std::move(next);
         return Status::OK();
       }
     }
-    return Status::OK();  // exhausted: chunk stays null
   }
 
   bool exhausted() const { return chunk == nullptr; }
@@ -278,21 +400,51 @@ struct RunCursor {
 
 namespace {
 
+/// Bytes a chunk would occupy if copied out. Slices of a larger table share
+/// whole buffers (a string slice keeps the full chars buffer), so
+/// Table::ByteSize() wildly overcounts string-heavy slices — bad when the
+/// count decides spill thresholds.
+uint64_t OwnedChunkBytes(const TablePtr& t) {
+  uint64_t total = 0;
+  for (int c = 0; c < t->num_columns(); ++c) {
+    const col::ArrayPtr& a = t->column(c);
+    const int64_t n = a->length();
+    total += static_cast<uint64_t>((n + 7) / 8);  // validity upper bound
+    switch (a->type()) {
+      case col::TypeId::kString: {
+        const int64_t* off = a->offsets_data();
+        total += static_cast<uint64_t>(n + 1) * 8 +
+                 static_cast<uint64_t>(off[n] - off[0]);
+        break;
+      }
+      case col::TypeId::kCategorical:
+        total += static_cast<uint64_t>(n) * 4;
+        break;
+      default:
+        total += static_cast<uint64_t>(n) *
+                 static_cast<uint64_t>(col::ByteWidth(a->type()));
+    }
+  }
+  return total;
+}
+
 /// Shared core of the external sort: sorted runs spill to temp BCF files;
 /// the k-way merge emits ordered output chunks to `sink`.
 Status ExternalSortImpl(ChunkStream* input,
                         const std::vector<kern::SortKey>& keys,
                         const ExecPolicy& policy, int64_t run_rows,
                         const std::function<Status(TablePtr)>& sink) {
-  // Phase 1: build sorted runs, spilling each to its own temp BCF file.
-  // Runs are bounded both by rows and by bytes (one run plus its sorted
-  // copy must fit comfortably inside the machine budget).
+  // Phase 1: build sorted runs, spilling each as one partition of a shared
+  // SpillFrameStore. Runs are bounded both by rows and by bytes (one run
+  // plus its sorted copy must fit comfortably inside the machine budget).
   uint64_t run_budget_bytes = 64ULL << 20;
   if (sim::Session::Current() != nullptr &&
       sim::Session::Current()->host_pool()->budget() > 0) {
     run_budget_bytes = std::max<uint64_t>(
         sim::Session::Current()->host_pool()->budget() / 8, 128 << 10);
   }
+  // The store outlives the cursors below (declaration order matters).
+  BENTO_ASSIGN_OR_RETURN(auto store, SpillFrameStore::Create(0));
   std::vector<std::unique_ptr<RunCursor>> runs;
   std::vector<TablePtr> pending;
   int64_t pending_rows = 0;
@@ -314,15 +466,24 @@ Status ExternalSortImpl(ChunkStream* input,
       BENTO_ASSIGN_OR_RETURN(sorted, kern::SortTable(run_table, keys));
     }
     run_table.reset();
-    BENTO_ASSIGN_OR_RETURN(std::string path, TempBcfPath());
-    io::BcfWriteOptions wopts;
-    wopts.row_group_rows = 2048;  // cursors hold one group per run
-    wopts.compression = false;    // spill prioritizes speed over size
-    BENTO_RETURN_NOT_OK(io::WriteBcf(sorted, path, wopts));
+    const int partition = store->AddPartition();
+    // During the k-way merge every run keeps one frame resident, so frames
+    // are bounded in BYTES (a small fraction of the run budget), not rows —
+    // N cursors together must stay well under a single run's footprint.
+    const uint64_t row_bytes = std::max<uint64_t>(
+        1, sorted->ByteSize() / static_cast<uint64_t>(
+                                    std::max<int64_t>(sorted->num_rows(), 1)));
+    const int64_t run_frame_rows = std::clamp<int64_t>(
+        static_cast<int64_t>(run_budget_bytes / 64 / row_bytes), 64, 8192);
+    for (int64_t begin = 0; begin < sorted->num_rows();
+         begin += run_frame_rows) {
+      const int64_t n = std::min(run_frame_rows, sorted->num_rows() - begin);
+      BENTO_ASSIGN_OR_RETURN(auto frame, sorted->Slice(begin, n));
+      BENTO_RETURN_NOT_OK(store->Append(partition, frame));
+    }
     sorted.reset();
     auto cursor = std::make_unique<RunCursor>();
-    BENTO_ASSIGN_OR_RETURN(cursor->reader, io::BcfReader::Open(path));
-    cursor->path = path;
+    BENTO_ASSIGN_OR_RETURN(cursor->stream, store->OpenPartition(partition));
     cursor->row = -1;
     BENTO_RETURN_NOT_OK(cursor->Advance());
     runs.push_back(std::move(cursor));
@@ -335,7 +496,7 @@ Status ExternalSortImpl(ChunkStream* input,
     if (schema == nullptr) schema = chunk->schema();
     if (chunk->num_rows() == 0) continue;
     pending_rows += chunk->num_rows();
-    pending_bytes += chunk->ByteSize();
+    pending_bytes += OwnedChunkBytes(chunk);
     pending.push_back(std::move(chunk));
     if (pending_rows >= run_rows || pending_bytes >= run_budget_bytes) {
       BENTO_RETURN_NOT_OK(flush_run());
@@ -512,6 +673,90 @@ Result<TablePtr> StreamingPivot(ChunkStream* input, const frame::Op& op,
                               : kern::AggKind::kMean);
 }
 
+Result<TablePtr> GraceHashJoin(ChunkStream* probe, const TablePtr& build,
+                               const std::string& left_key,
+                               const std::string& right_key,
+                               const kern::JoinOptions& options,
+                               int partitions) {
+  BENTO_TRACE_SPAN(kEngine, "join.grace");
+  static obs::Counter* grace_joins =
+      obs::MetricsRegistry::Global().counter("join.grace_runs");
+  grace_joins->Increment();
+  const int P = std::max(partitions, 1);
+  // One store, two halves: build partitions in [0, P), probe in [P, 2P).
+  BENTO_ASSIGN_OR_RETURN(auto store, SpillFrameStore::Create(2 * P));
+
+  {
+    // Partitioning the build side lets each per-partition hash table hold
+    // ~1/P of it; the full build table never needs a hash table at once.
+    BENTO_ASSIGN_OR_RETURN(auto parts,
+                           HashPartitionTable(build, {right_key}, P));
+    for (int p = 0; p < P; ++p) {
+      BENTO_RETURN_NOT_OK(store->Append(p, parts[static_cast<size_t>(p)]));
+    }
+  }
+
+  int64_t seq_base = 0;
+  TablePtr typed_empty_probe;  // zero-row probe chunk, for schema fallbacks
+  while (true) {
+    BENTO_ASSIGN_OR_RETURN(auto chunk, probe->Next());
+    if (chunk == nullptr) break;
+    BENTO_ASSIGN_OR_RETURN(auto with_seq, AttachSeqColumn(chunk, seq_base));
+    if (typed_empty_probe == nullptr) {
+      BENTO_ASSIGN_OR_RETURN(typed_empty_probe, with_seq->Slice(0, 0));
+    }
+    if (chunk->num_rows() == 0) continue;
+    seq_base += chunk->num_rows();
+    BENTO_ASSIGN_OR_RETURN(auto parts,
+                           HashPartitionTable(with_seq, {left_key}, P));
+    for (int p = 0; p < P; ++p) {
+      BENTO_RETURN_NOT_OK(
+          store->Append(P + p, parts[static_cast<size_t>(p)]));
+    }
+  }
+  if (typed_empty_probe == nullptr) {
+    return Status::Invalid("grace join over an empty stream");
+  }
+
+  std::vector<TablePtr> joined;
+  for (int p = 0; p < P; ++p) {
+    BENTO_ASSIGN_OR_RETURN(auto build_chunks, store->ReadPartition(p));
+    TablePtr build_part;
+    if (build_chunks.empty()) {
+      BENTO_ASSIGN_OR_RETURN(build_part, build->Slice(0, 0));
+    } else {
+      BENTO_ASSIGN_OR_RETURN(build_part,
+                             col::ConcatTablesReleasing(&build_chunks));
+    }
+    // Probe frames join one at a time, so per-partition memory stays at
+    // O(build/P + frame + matches).
+    BENTO_ASSIGN_OR_RETURN(auto probe_stream, store->OpenPartition(P + p));
+    while (true) {
+      BENTO_ASSIGN_OR_RETURN(auto frame, probe_stream->Next());
+      if (frame == nullptr) break;
+      if (frame->num_rows() == 0) continue;
+      BENTO_ASSIGN_OR_RETURN(auto out, kern::HashJoin(frame, build_part,
+                                                      left_key, right_key,
+                                                      options));
+      if (out->num_rows() > 0) joined.push_back(std::move(out));
+    }
+  }
+  store.reset();
+
+  if (joined.empty()) {
+    // Nothing matched (or the probe was all-empty): produce the join's
+    // output schema exactly as the one-shot HashJoin would.
+    BENTO_ASSIGN_OR_RETURN(
+        auto out, kern::HashJoin(typed_empty_probe, build, left_key,
+                                 right_key, options));
+    return out->DropColumns({kSeqColumn});
+  }
+  BENTO_ASSIGN_OR_RETURN(auto all, col::ConcatTablesReleasing(&joined));
+  // ArgSort is stable, so a probe row's multiple matches (equal __seq) keep
+  // their build-order — the exact row order HashJoin(probe, build) emits.
+  return RestoreSeqOrder(all);
+}
+
 Result<TablePtr> DrainStream(ChunkStream* input) {
   std::vector<TablePtr> chunks;
   while (true) {
@@ -522,6 +767,101 @@ Result<TablePtr> DrainStream(ChunkStream* input) {
   if (chunks.empty()) return Status::Invalid("drained an empty stream");
   // Releasing concat keeps the peak at one copy plus one column.
   return col::ConcatTablesReleasing(&chunks);
+}
+
+Result<TablePtr> MaterializeStreamMapped(ChunkStream* input,
+                                         uint64_t inline_limit_bytes) {
+  static obs::Counter* mapped_frames =
+      obs::MetricsRegistry::Global().counter("lazy.mapped_materializations");
+
+  // Buffer small results in memory: the file round-trip only pays for
+  // frames that would otherwise occupy a big slice of the budget.
+  std::vector<TablePtr> pending;
+  uint64_t pending_bytes = 0;
+  bool exhausted = false;
+  while (true) {
+    BENTO_ASSIGN_OR_RETURN(auto chunk, input->Next());
+    if (chunk == nullptr) {
+      exhausted = true;
+      break;
+    }
+    pending_bytes += OwnedChunkBytes(chunk);
+    pending.push_back(std::move(chunk));
+    if (pending_bytes > inline_limit_bytes) break;
+  }
+  if (exhausted) {
+    if (pending.empty()) return Status::Invalid("drained an empty stream");
+    return col::ConcatTablesReleasing(&pending);
+  }
+
+  // Pass 1: spill the stream chunk-at-a-time, one row group per chunk.
+  BENTO_ASSIGN_OR_RETURN(std::string spill_path, TempBcfPath());
+  auto spill = [&]() -> Status {
+    io::BcfWriteOptions wopts;
+    wopts.row_group_rows = 0;  // one group per appended chunk
+    wopts.compression = false;
+    BENTO_ASSIGN_OR_RETURN(auto writer, io::BcfWriter::Open(spill_path, wopts));
+    for (TablePtr& buffered : pending) {
+      BENTO_RETURN_NOT_OK(writer->Append(buffered));
+      buffered.reset();
+    }
+    pending.clear();
+    while (true) {
+      BENTO_ASSIGN_OR_RETURN(auto chunk, input->Next());
+      if (chunk == nullptr) break;
+      BENTO_RETURN_NOT_OK(writer->Append(chunk));
+    }
+    return writer->Finish();
+  };
+  Status st = spill();
+  if (!st.ok()) {
+    std::remove(spill_path.c_str());
+    return st;
+  }
+
+  // Pass 2: compact into ONE mappable row group. Column-at-a-time, so the
+  // peak is a single column (plus its chunk parts), never the frame.
+  BENTO_ASSIGN_OR_RETURN(std::string mapped_path, TempBcfPath());
+  auto compact = [&]() -> Status {
+    BENTO_ASSIGN_OR_RETURN(auto src, io::BcfReader::Open(spill_path));
+    io::BcfWriteOptions wopts;
+    wopts.compression = false;
+    wopts.align_pages = true;
+    wopts.mappable = true;
+    BENTO_ASSIGN_OR_RETURN(auto dst, io::BcfWriter::Open(mapped_path, wopts));
+    const col::SchemaPtr schema = src->schema();
+    BENTO_RETURN_NOT_OK(dst->AppendColumnGroup(
+        schema, src->num_rows(), [&](int c) -> Result<col::ArrayPtr> {
+          std::vector<col::TablePtr> parts;
+          parts.reserve(static_cast<size_t>(src->num_row_groups()));
+          for (int g = 0; g < src->num_row_groups(); ++g) {
+            BENTO_ASSIGN_OR_RETURN(
+                auto part, src->ReadRowGroup(g, {schema->field(c).name}));
+            parts.push_back(std::move(part));
+          }
+          BENTO_ASSIGN_OR_RETURN(auto column,
+                                 col::ConcatTablesReleasing(&parts));
+          return column->column(0);
+        }));
+    return dst->Finish();
+  };
+  st = compact();
+  std::remove(spill_path.c_str());
+  if (!st.ok()) {
+    std::remove(mapped_path.c_str());
+    return st;
+  }
+
+  // Pass 3: map the compacted frame back. Unlink immediately — the mapping
+  // (or the reader's open descriptor under BENTO_BCF_MMAP=off) keeps the
+  // bytes reachable until the last view is released.
+  io::BcfReadOptions ropts;
+  ropts.use_mmap = true;
+  auto reader = io::BcfReader::Open(mapped_path, ropts);
+  std::remove(mapped_path.c_str());
+  if (!reader.ok()) return reader.status();
+  mapped_frames->Increment();
+  return reader.ValueOrDie()->ReadRowGroup(0);
 }
 
 

@@ -1,11 +1,13 @@
 #ifndef BENTO_ENGINES_STREAMING_OPS_H_
 #define BENTO_ENGINES_STREAMING_OPS_H_
 
+#include <string>
 #include <vector>
 
 #include "engines/chunk_stream.h"
 #include "frame/exec.h"
 #include "kernels/common.h"
+#include "kernels/join.h"
 
 namespace bento::eng {
 
@@ -15,13 +17,28 @@ namespace bento::eng {
 /// O(dataset) — the property that lets SparkSQL finish the largest datasets
 /// on the laptop configuration (Table V).
 
+/// \brief Spill controls for the bounded-memory group-by.
+struct StreamingGroupByOptions {
+  /// Hash partitions the spilled partial state fans out to.
+  int spill_partitions = 16;
+  /// Spill once the in-memory partial state exceeds this many bytes.
+  /// Negative (default) derives the threshold from the session budget
+  /// (budget/8); 0 forces spill from the first chunk (tests); a huge value
+  /// keeps everything in memory.
+  int64_t spill_threshold_bytes = -1;
+};
+
 /// \brief Partial-aggregation group-by: per-chunk local aggregation into
 /// decomposed partials (sum/count/min/max/sumsq), periodic compaction, exact
-/// final merge. Peak memory O(#groups).
-Result<col::TablePtr> StreamingGroupBy(ChunkStream* input,
-                                       const std::vector<std::string>& keys,
-                                       const std::vector<kern::AggSpec>& aggs,
-                                       const frame::ExecPolicy& policy);
+/// final merge. Peak memory O(#groups) — and when even the group state
+/// outgrows the budget, partials hash-partition to a SpillFrameStore and
+/// merge per partition, restoring the stream's first-seen group order
+/// through a hidden min-row-index column. Bit-identical to the in-memory
+/// path in both modes.
+Result<col::TablePtr> StreamingGroupBy(
+    ChunkStream* input, const std::vector<std::string>& keys,
+    const std::vector<kern::AggSpec>& aggs, const frame::ExecPolicy& policy,
+    const StreamingGroupByOptions& options = {});
 
 /// \brief External merge sort: sorted runs of `run_rows` rows spill to
 /// temporary BCF files; a cursor-based k-way merge re-streams them. Peak
@@ -52,8 +69,33 @@ Result<col::TablePtr> StreamingPivot(ChunkStream* input,
                                      const frame::Op& op,
                                      const frame::ExecPolicy& policy);
 
+/// \brief Grace hash join: both sides hash-partition on their key into a
+/// SpillFrameStore, then each partition joins independently — peak memory is
+/// O(build/P + chunk + output) instead of O(build). Output rows are restored
+/// to exact probe-stream order (HashJoin semantics) via a hidden row-index
+/// column, so the result is bit-identical to HashJoin(probe, build).
+Result<col::TablePtr> GraceHashJoin(ChunkStream* probe,
+                                    const col::TablePtr& build,
+                                    const std::string& left_key,
+                                    const std::string& right_key,
+                                    const kern::JoinOptions& options,
+                                    int partitions = 16);
+
 /// \brief Drains a stream into one table (concat of its chunks).
 Result<col::TablePtr> DrainStream(ChunkStream* input);
+
+/// \brief Drains a stream into a FILE-BACKED table: results larger than
+/// `inline_limit_bytes` spill to a temp BCF chunk-at-a-time, get compacted
+/// into a single mappable row group (one column resident at a time), and
+/// come back as zero-copy mmap views. The returned frame's buffers are
+/// pageable file bytes, so a frame nearly the size of the memory budget
+/// charges (almost) nothing against the MemoryPool — the property that
+/// lets streaming engines hold full-dataset frames at stage boundaries on
+/// the laptop model. Results at or under the limit concat in memory and
+/// skip the round-trip. The temp files are unlinked before returning; the
+/// mapping keeps the bytes reachable until the last view dies.
+Result<col::TablePtr> MaterializeStreamMapped(ChunkStream* input,
+                                              uint64_t inline_limit_bytes);
 
 /// \brief Spills a stream to a temporary BCF file (bounded memory); the
 /// first half of the two-pass streaming operators. Caller owns the file.

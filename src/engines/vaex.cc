@@ -90,6 +90,8 @@ Result<LazySource> VaexEngine::PrepareSource(LazySource source) const {
   io::BcfWriteOptions wopts;
   wopts.row_group_rows = ChunkRows();
   wopts.compression = false;  // mmap store favors direct layout
+  wopts.align_pages = true;   // 8-byte pages so mapped reads are zero-copy
+  wopts.mappable = true;      // plain/strview pages: strings map too
   BENTO_ASSIGN_OR_RETURN(auto writer, io::BcfWriter::Open(store_path, wopts));
   bool wrote_any = false;
   while (true) {

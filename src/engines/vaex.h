@@ -19,6 +19,11 @@ class VaexEngine : public LazyEngineBase {
     return ScaledBatchRows(64 * 1024, 1024);
   }
   double PerChunkOverheadSeconds() const override { return 300e-6; }
+  /// Vaex memory-maps its converted store and keeps peak RAM O(chunk): the
+  /// out-of-core configuration the paper credits with finishing every
+  /// full-scale dataset on the laptop.
+  bool StreamsBreakers() const override { return true; }
+  bool MapsBcfSource() const override { return true; }
 
   Result<LazySource> PrepareSource(LazySource source) const override;
   double ActionPenaltySeconds(const frame::Op& op,

@@ -2,8 +2,10 @@
 #define BENTO_IO_BCF_H_
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "columnar/table.h"
@@ -27,6 +29,17 @@ namespace bento::io {
 struct BcfWriteOptions {
   int64_t row_group_rows = 64 * 1024;
   bool compression = true;
+  /// Pad every value page to an 8-byte file offset so mmap readers can hand
+  /// out zero-copy int64/float64 views without unaligned loads. Costs at
+  /// most 7 bytes per page; the Vaex engine's CSV->BCF conversion turns it
+  /// on so the converted store is fully mappable.
+  bool align_pages = false;
+  /// Write every page in the in-memory buffer layout (PLAIN fixed-width,
+  /// STRVIEW strings) instead of the compact DELTA/RLE encodings, so an
+  /// mmap reader serves the whole file zero-copy. Spill-materialized frames
+  /// use this: combined with align_pages and no compression, a re-mapped
+  /// frame charges (almost) nothing against the memory budget.
+  bool mappable = false;
 };
 
 /// \brief One zone-map-prunable conjunct of a scan filter:
@@ -60,6 +73,15 @@ class BcfWriter {
   /// Appends `table` as row groups; the schema is fixed by the first call.
   Status Append(const col::TablePtr& table);
 
+  /// Appends ONE row group of `num_rows` rows, fetching columns one at a
+  /// time through `column_at` (index into `schema`). Only a single column
+  /// needs to be resident at once, so a frame far larger than the memory
+  /// budget can be compacted into one row group — the shape that lets an
+  /// mmap reader serve the whole frame as zero-copy views later.
+  Status AppendColumnGroup(
+      const col::SchemaPtr& schema, int64_t num_rows,
+      const std::function<Result<col::ArrayPtr>(int)>& column_at);
+
   /// Writes the footer and closes the file. Must be called exactly once.
   Status Finish();
 
@@ -68,6 +90,7 @@ class BcfWriter {
   BcfWriter() = default;
 
   Status AppendGroup(const col::TablePtr& slice);
+  Status WriteColumnChunk(const col::ArrayPtr& column, GroupMeta* meta);
 
   std::FILE* file_ = nullptr;
   BcfWriteOptions options_;
@@ -85,7 +108,18 @@ struct BcfReadOptions {
   /// with any PLAIN chunk still decode as plain strings (mixed-encoding
   /// groups cannot share one categorical type across a concat).
   bool strings_as_categorical = false;
+  /// Map the whole file read-only and serve uncompressed PLAIN fixed-width
+  /// pages as zero-copy views into the mapping (the Vaex model: file-backed
+  /// bytes are pageable, so they charge nothing against the MemoryPool).
+  /// Encoded/compressed/misaligned pages fall back to the buffered decode
+  /// path. Overridable per-process via BENTO_BCF_MMAP=on/off.
+  bool use_mmap = false;
 };
+
+/// RAII read-only mapping of a whole BCF file (defined in bcf.cc). Zero-copy
+/// column buffers co-own the region, so the mapping outlives the reader if
+/// column views are still referenced.
+struct BcfMmapRegion;
 
 class BcfReader {
  public:
@@ -113,6 +147,15 @@ class BcfReader {
   /// all-null chunks, files written before stats existed) return true.
   bool GroupMayMatch(int group, const ScanPredicate& pred) const;
 
+  /// True when the file is served through an mmap region (zero-copy mode).
+  bool mmap_active() const { return map_ != nullptr; }
+
+  /// Streaming hint: the caller is done with `group`; its pages may be
+  /// dropped from the page cache (madvise DONTNEED). No-op when buffered or
+  /// out of range. Safe even if zero-copy views of the group are still
+  /// alive — the kernel faults the pages back in on next access.
+  void DoneWithGroup(int group);
+
  private:
   struct ColumnChunk {
     uint64_t validity_offset = 0;
@@ -136,8 +179,12 @@ class BcfReader {
   BcfReader() = default;
 
   Result<std::vector<uint8_t>> ReadRange(uint64_t offset, uint64_t size);
+  /// [first page byte, last page byte) span of a row group, for madvise.
+  std::pair<uint64_t, uint64_t> GroupByteRange(const RowGroup& g) const;
 
   std::FILE* file_ = nullptr;
+  std::shared_ptr<BcfMmapRegion> map_;
+  uint64_t data_end_ = 0;  // pages live in [4, data_end_); footer follows
   BcfReadOptions options_;
   col::SchemaPtr schema_;
   std::vector<RowGroup> groups_;

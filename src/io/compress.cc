@@ -47,7 +47,9 @@ std::vector<uint8_t> LzCompress(const uint8_t* data, size_t size) {
     head[h] = static_cast<uint32_t>(pos);
 
     size_t match_len = 0;
-    if (candidate != UINT32_MAX && pos - candidate <= kWindow &&
+    // Strictly less than the window: a distance of exactly kWindow (64 KiB)
+    // would wrap the 16-bit encoding to 0 and corrupt the stream.
+    if (candidate != UINT32_MAX && pos - candidate < kWindow &&
         pos - candidate > 0) {
       const uint8_t* a = data + candidate;
       const uint8_t* b = data + pos;

@@ -105,6 +105,35 @@ Result<std::vector<uint8_t>> EncodeRle(const ArrayPtr& a) {
   return out;
 }
 
+/// STRVIEW page: (n+1) little-endian int64 offsets rebased to zero, then the
+/// concatenated character bytes. Null slots repeat the previous offset. This
+/// is exactly the StringArray buffer pair, so aligned uncompressed pages can
+/// be wrapped instead of decoded.
+Result<std::vector<uint8_t>> EncodeStrView(const ArrayPtr& a) {
+  if (a->type() != TypeId::kString) {
+    return Status::Invalid("STRVIEW encoding requires string");
+  }
+  const int64_t n = a->length();
+  uint64_t char_bytes = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (a->IsValid(i)) char_bytes += a->GetView(i).size();
+  }
+  std::vector<uint8_t> out(static_cast<size_t>(n + 1) * 8 + char_bytes);
+  uint8_t* offsets = out.data();
+  uint8_t* chars = out.data() + static_cast<size_t>(n + 1) * 8;
+  int64_t off = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    std::memcpy(offsets + i * 8, &off, 8);
+    if (a->IsValid(i)) {
+      std::string_view v = a->GetView(i);
+      std::memcpy(chars + off, v.data(), v.size());
+      off += static_cast<int64_t>(v.size());
+    }
+  }
+  std::memcpy(offsets + n * 8, &off, 8);
+  return out;
+}
+
 Result<std::vector<uint8_t>> EncodeDict(const ArrayPtr& a) {
   std::vector<std::string_view> dict;
   std::vector<uint32_t> codes(static_cast<size_t>(a->length()), 0);
@@ -163,12 +192,23 @@ Encoding ChooseEncoding(const ArrayPtr& values) {
           static_cast<int64_t>(seen.size()) * 4 < sample) {
         return Encoding::kDict;
       }
-      return Encoding::kPlain;
+      return Encoding::kStrView;
     }
     case TypeId::kFloat64:
       return Encoding::kPlain;
   }
   return Encoding::kPlain;
+}
+
+Encoding MappableEncoding(const ArrayPtr& values) {
+  switch (values->type()) {
+    case TypeId::kString:
+      return Encoding::kStrView;
+    case TypeId::kCategorical:
+      return Encoding::kDict;
+    default:
+      return Encoding::kPlain;
+  }
 }
 
 Result<std::vector<uint8_t>> EncodeArray(const ArrayPtr& values,
@@ -182,8 +222,27 @@ Result<std::vector<uint8_t>> EncodeArray(const ArrayPtr& values,
       return EncodeDict(values);
     case Encoding::kRle:
       return EncodeRle(values);
+    case Encoding::kStrView:
+      return EncodeStrView(values);
   }
   return Status::Invalid("unknown encoding");
+}
+
+Status CheckStrViewOffsets(const uint8_t* data, size_t size, int64_t length) {
+  const size_t offsets_bytes = static_cast<size_t>(length + 1) * 8;
+  if (size < offsets_bytes) return Status::IOError("corrupt string page");
+  const size_t char_bytes = size - offsets_bytes;
+  int64_t prev = 0;
+  for (int64_t i = 0; i <= length; ++i) {
+    int64_t off;
+    std::memcpy(&off, data + static_cast<size_t>(i) * 8, 8);
+    if (off < prev || (i == 0 && off != 0) ||
+        off > static_cast<int64_t>(char_bytes)) {
+      return Status::IOError("corrupt string page");
+    }
+    prev = off;
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -300,6 +359,25 @@ Result<ArrayPtr> DecodeDict(TypeId type, const uint8_t* data, size_t size,
   return b.Finish();
 }
 
+Result<ArrayPtr> DecodeStrView(TypeId type, const uint8_t* data, size_t size,
+                               int64_t length, col::BufferPtr validity,
+                               int64_t null_count) {
+  if (type != TypeId::kString) {
+    return Status::IOError("STRVIEW page for non-string column");
+  }
+  BENTO_RETURN_NOT_OK(CheckStrViewOffsets(data, size, length));
+  const size_t offsets_bytes = static_cast<size_t>(length + 1) * 8;
+  int64_t char_bytes;
+  std::memcpy(&char_bytes, data + static_cast<size_t>(length) * 8, 8);
+  BENTO_ASSIGN_OR_RETURN(auto offsets,
+                         col::Buffer::CopyOf(data, offsets_bytes));
+  BENTO_ASSIGN_OR_RETURN(
+      auto chars, col::Buffer::CopyOf(data + offsets_bytes,
+                                      static_cast<size_t>(char_bytes)));
+  return Array::MakeString(length, std::move(offsets), std::move(chars),
+                           std::move(validity), null_count);
+}
+
 }  // namespace
 
 Result<ArrayPtr> DecodeArray(TypeId type, Encoding encoding,
@@ -317,6 +395,9 @@ Result<ArrayPtr> DecodeArray(TypeId type, Encoding encoding,
                         null_count);
     case Encoding::kRle:
       return DecodeRle(data, size, length, std::move(validity), null_count);
+    case Encoding::kStrView:
+      return DecodeStrView(type, data, size, length, std::move(validity),
+                           null_count);
   }
   return Status::Invalid("unknown encoding");
 }

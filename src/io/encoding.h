@@ -11,16 +11,24 @@ namespace bento::io {
 /// \brief Physical encodings of a BCF column page (the Parquet-like format's
 /// equivalent of PLAIN / RLE / DICTIONARY / DELTA_BINARY_PACKED).
 enum class Encoding : uint8_t {
-  kPlain = 0,  ///< raw values (fixed width) or len-prefixed strings
-  kDelta = 1,  ///< zigzag varint deltas (int64 / timestamp)
-  kDict = 2,   ///< dictionary + u32 codes (string / categorical)
-  kRle = 3,    ///< run-length (bool)
+  kPlain = 0,    ///< raw values (fixed width) or len-prefixed strings
+  kDelta = 1,    ///< zigzag varint deltas (int64 / timestamp)
+  kDict = 2,     ///< dictionary + u32 codes (string / categorical)
+  kRle = 3,      ///< run-length (bool)
+  kStrView = 4,  ///< (n+1) int64 offsets then chars: the in-memory string
+                 ///< layout, so aligned uncompressed pages mmap zero-copy
 };
 
 /// \brief Picks the default encoding for a column the way the BCF writer
 /// does: int64/timestamp -> DELTA, bool -> RLE, string/categorical -> DICT
-/// when the dictionary pays for itself, else PLAIN.
+/// when the dictionary pays for itself, else STRVIEW (strings) / PLAIN.
 Encoding ChooseEncoding(const col::ArrayPtr& values);
+
+/// \brief Picks the encoding that keeps the on-disk page bit-identical to
+/// the in-memory buffer layout, so an aligned uncompressed page can be
+/// served zero-copy from an mmap: PLAIN for fixed-width, STRVIEW for
+/// strings. Categoricals have no flat layout and stay DICT.
+Encoding MappableEncoding(const col::ArrayPtr& values);
 
 /// \brief Encodes the value payload of `values` (validity travels
 /// separately). Null slots encode as zero values / empty strings.
@@ -32,6 +40,11 @@ Result<col::ArrayPtr> DecodeArray(col::TypeId type, Encoding encoding,
                                   const uint8_t* data, size_t size,
                                   int64_t length, col::BufferPtr validity,
                                   int64_t null_count);
+
+/// \brief Validates the offsets block of a STRVIEW page (monotone,
+/// zero-based, in-bounds) so a corrupt page fails cleanly instead of
+/// producing wild string views — required before zero-copy wrapping.
+Status CheckStrViewOffsets(const uint8_t* data, size_t size, int64_t length);
 
 // Varint helpers shared with the BCF footer writer.
 void PutVarint(uint64_t v, std::vector<uint8_t>* out);

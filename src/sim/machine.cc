@@ -1,5 +1,6 @@
 #include "sim/machine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +18,21 @@ thread_local Session* t_session = nullptr;
 double CurrentSessionCredit() {
   Session* s = Session::Current();
   return s != nullptr ? s->credit_seconds() : 0.0;
+}
+
+/// BENTO_MEM_BUDGET=<bytes> clamps every session's host budget from the
+/// environment — the CI lever for running the out-of-core suites under a
+/// constrained RAM model regardless of the configured machine spec. A
+/// budget of 0 (unbounded) stays unbounded; the env only tightens.
+uint64_t ApplyBudgetEnv(uint64_t budget_bytes) {
+  static const uint64_t env_budget = [] {
+    const char* env = std::getenv("BENTO_MEM_BUDGET");
+    if (env == nullptr || env[0] == '\0') return static_cast<uint64_t>(0);
+    const double v = std::atof(env);
+    return v > 0 ? static_cast<uint64_t>(v) : static_cast<uint64_t>(0);
+  }();
+  if (env_budget == 0 || budget_bytes == 0) return budget_bytes;
+  return std::min(budget_bytes, env_budget);
 }
 
 ExecutionMode DefaultExecutionMode() {
@@ -59,7 +75,7 @@ MachineSpec MachineSpec::Scaled(double factor) const {
 
 Session::Session(MachineSpec spec)
     : spec_(std::move(spec)),
-      host_pool_("host:" + spec_.name, spec_.ram_bytes),
+      host_pool_("host:" + spec_.name, ApplyBudgetEnv(spec_.ram_bytes)),
       device_pool_(spec_.gpu.has_value()
                        ? std::make_unique<MemoryPool>(
                              "device:" + spec_.name,

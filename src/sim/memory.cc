@@ -1,5 +1,8 @@
 #include "sim/memory.h"
 
+#include <execinfo.h>
+#include <cstdlib>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
@@ -39,6 +42,11 @@ Status MemoryPool::State::Reserve(uint64_t bytes) {
   uint64_t now = current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   if (budget != 0 && now > budget) {
     current.fetch_sub(bytes, std::memory_order_relaxed);
+    if (std::getenv("BENTO_OOM_TRACE") != nullptr) {
+      void* frames[32];
+      int n = backtrace(frames, 32);
+      backtrace_symbols_fd(frames, n, 2);
+    }
     return Status::OutOfMemory("pool '", name, "' budget ", HumanBytes(budget),
                                " exceeded: in use ", HumanBytes(now - bytes),
                                ", requested ", HumanBytes(bytes));

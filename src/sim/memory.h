@@ -82,6 +82,16 @@ class MemoryPool {
   uint64_t budget() const { return state_->budget; }
   const std::string& name() const { return state_->name; }
 
+  /// \brief Admission headroom: bytes that can still be reserved before the
+  /// budget trips (UINT64_MAX when unbounded). Out-of-core operators consult
+  /// this to decide when to start spilling rather than waiting for a hard
+  /// OutOfMemory from the next allocation.
+  uint64_t HeadroomBytes() const {
+    if (state_->budget == 0) return UINT64_MAX;
+    const uint64_t current = state_->current.load(std::memory_order_relaxed);
+    return current >= state_->budget ? 0 : state_->budget - current;
+  }
+
   void set_budget(uint64_t bytes) { state_->budget = bytes; }
 
   /// \brief Resets the peak watermark to the current usage (between runs).

@@ -13,7 +13,30 @@ namespace bento::sim {
 
 namespace {
 std::atomic<uint64_t> g_spill_counter{0};
+constexpr uint64_t kFuseDisarmed = UINT64_MAX;
+std::atomic<uint64_t> g_write_fuse{kFuseDisarmed};
+std::atomic<uint64_t> g_read_fuse{kFuseDisarmed};
+
+/// Burns `size` bytes off a fuse; true when the fuse just blew (the caller
+/// must fail the operation cleanly instead of touching the file).
+bool FuseBlows(std::atomic<uint64_t>* fuse, uint64_t size) {
+  uint64_t remaining = fuse->load(std::memory_order_relaxed);
+  if (remaining == kFuseDisarmed) return false;
+  if (remaining < size) return true;
+  fuse->store(remaining - size, std::memory_order_relaxed);
+  return false;
+}
 }  // namespace
+
+void SpillFile::InjectFaults(uint64_t write_bytes, uint64_t read_bytes) {
+  g_write_fuse.store(write_bytes, std::memory_order_relaxed);
+  g_read_fuse.store(read_bytes, std::memory_order_relaxed);
+}
+
+void SpillFile::ClearFaults() {
+  g_write_fuse.store(kFuseDisarmed, std::memory_order_relaxed);
+  g_read_fuse.store(kFuseDisarmed, std::memory_order_relaxed);
+}
 
 Result<std::unique_ptr<SpillFile>> SpillFile::Create(const std::string& dir) {
   std::string base = dir;
@@ -44,6 +67,9 @@ Result<uint64_t> SpillFile::Write(const void* data, uint64_t size) {
   static obs::Counter* spill_bytes =
       obs::MetricsRegistry::Global().counter("spill.bytes_written");
   spill_bytes->Add(size);
+  if (FuseBlows(&g_write_fuse, size)) {
+    return Status::IOError("spill write failed (injected short write)");
+  }
   if (std::fseek(file_, 0, SEEK_END) != 0) {
     return Status::IOError("spill seek failed");
   }
@@ -61,6 +87,9 @@ Status SpillFile::Read(uint64_t offset, uint64_t size, void* out) {
   static obs::Counter* spill_read_bytes =
       obs::MetricsRegistry::Global().counter("spill.bytes_read");
   spill_read_bytes->Add(size);
+  if (FuseBlows(&g_read_fuse, size)) {
+    return Status::IOError("spill read failed (injected short read)");
+  }
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
     return Status::IOError("spill seek failed");
   }

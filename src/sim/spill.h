@@ -35,6 +35,14 @@ class SpillFile {
   uint64_t bytes_written() const { return bytes_written_; }
   const std::string& path() const { return path_; }
 
+  /// Test-only fault injection, process-wide: after `write_bytes` more bytes
+  /// have been written (resp. `read_bytes` read) across all spill files, the
+  /// next Write/Read fails with a clean IOError — the short-write/short-read
+  /// model for proving spill consumers never surface corrupt frames.
+  /// UINT64_MAX disarms a fuse.
+  static void InjectFaults(uint64_t write_bytes, uint64_t read_bytes);
+  static void ClearFaults();
+
  private:
   SpillFile(std::FILE* file, std::string path)
       : file_(file), path_(std::move(path)) {}

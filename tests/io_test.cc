@@ -115,6 +115,8 @@ TEST(EncodingTest, RoundTripPerEncoding) {
       {Str({"aa", "bb", "aa", ""}, {true, true, true, false}),
        Encoding::kPlain},
       {Str({"x", "y", "x", "x"}, {true, true, true, true}), Encoding::kDict},
+      {Str({"aa", "bb", "", "dddd"}, {true, true, false, true}),
+       Encoding::kStrView},
   };
   for (const Case& c : cases) {
     auto encoded = EncodeArray(c.array, c.encoding).ValueOrDie();
@@ -138,6 +140,10 @@ TEST(EncodingTest, ChooseEncodingHeuristics) {
   // Low-cardinality strings pick DICT.
   std::vector<std::string> repeated(100, "abc");
   EXPECT_EQ(ChooseEncoding(Str(repeated)), Encoding::kDict);
+  // High-cardinality strings pick the mmap-ready STRVIEW layout.
+  std::vector<std::string> unique(100);
+  for (int i = 0; i < 100; ++i) unique[i] = "s" + std::to_string(i);
+  EXPECT_EQ(ChooseEncoding(Str(unique)), Encoding::kStrView);
 }
 
 // --- CSV ---

@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bento/pipeline.h"
+#include "bento/runner.h"
+#include "engines/lazy_engine.h"
+#include "engines/polars.h"
+#include "engines/spark.h"
+#include "engines/streaming_ops.h"
+#include "engines/vaex.h"
+#include "frame/engine.h"
+#include "kernels/groupby.h"
+#include "kernels/join.h"
+#include "obs/metrics.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+// The out-of-core lock: every chunked / spilled / partitioned execution path
+// must be BIT-IDENTICAL to the in-memory eager result — same rows, same
+// order, same floats. Integer-valued numeric data makes float aggregation
+// exact, so any ordering or merge bug shows up as a hard mismatch instead of
+// an epsilon.
+
+namespace bento::eng {
+namespace {
+
+using col::TablePtr;
+using frame::Op;
+using kern::AggKind;
+using kern::AggSpec;
+using test::I64;
+using test::MakeTable;
+using test::Str;
+
+/// Random table whose numeric columns hold integer values (exact in
+/// float64 under any association), with nulls and a low-cardinality string.
+TablePtr IntValuedTable(int64_t rows, uint64_t seed, int64_t key_card = 23) {
+  Rng rng(seed);
+  col::Int64Builder k;
+  col::Float64Builder v;
+  col::Int64Builder n;
+  col::StringBuilder s;
+  for (int64_t i = 0; i < rows; ++i) {
+    k.Append(rng.UniformInt(0, key_card - 1));
+    v.AppendMaybe(static_cast<double>(rng.UniformInt(0, 1000)),
+                  !rng.Bernoulli(0.15));
+    n.AppendMaybe(rng.UniformInt(-50, 50), !rng.Bernoulli(0.05));
+    s.Append(std::string(1, static_cast<char>('a' + rng.Uniform(4))));
+  }
+  return MakeTable({{"k", k.Finish().ValueOrDie()},
+                    {"v", v.Finish().ValueOrDie()},
+                    {"n", n.Finish().ValueOrDie()},
+                    {"s", s.Finish().ValueOrDie()}});
+}
+
+/// Scoped BENTO_CHUNK_ROWS override (nullptr = unset).
+class ChunkRowsGuard {
+ public:
+  explicit ChunkRowsGuard(const char* value) {
+    if (value != nullptr) {
+      setenv("BENTO_CHUNK_ROWS", value, 1);
+    } else {
+      unsetenv("BENTO_CHUNK_ROWS");
+    }
+  }
+  ~ChunkRowsGuard() { unsetenv("BENTO_CHUNK_ROWS"); }
+};
+
+std::vector<AggSpec> TestAggs() {
+  return {{"v", AggKind::kSum, "v_sum"},   {"v", AggKind::kCount, "v_cnt"},
+          {"v", AggKind::kMean, "v_mean"}, {"n", AggKind::kMin, "n_min"},
+          {"n", AggKind::kMax, "n_max"},   {"v", AggKind::kStd, "v_std"}};
+}
+
+/// A pipeline that crosses every streaming breaker class: filter (streamable),
+/// one-hot + fillna-mean (two-pass), group-by (partial-agg), join (probe /
+/// grace), sort (external).
+///
+/// Accumulating aggregations (sum/mean/std) read only the all-integer column
+/// `n` here: FillNaMean fills `v` with a fractional mean (identical in both
+/// paths), but SUMMING fractional values chunk-wise legitimately differs
+/// from eager row-order summation by float association. `v` feeds only the
+/// order-independent min/max/count, keeping the whole plan bit-exact.
+std::vector<Op> BreakersPlan(const std::shared_ptr<frame::DataFrame>& labels) {
+  std::vector<AggSpec> aggs = {
+      {"n", AggKind::kSum, "n_sum"}, {"n", AggKind::kMean, "n_mean"},
+      {"n", AggKind::kStd, "n_std"}, {"v", AggKind::kMin, "v_min"},
+      {"v", AggKind::kMax, "v_max"}, {"v", AggKind::kCount, "v_cnt"}};
+  return {
+      Op::Query("k >= 2"),
+      Op::GetDummies("s"),
+      Op::FillNaMean("v"),
+      Op::GroupByAgg({"k"}, std::move(aggs)),
+      Op::Merge(labels, "k", "k", kern::JoinType::kLeft),
+      Op::SortValues({{"n_sum", false}, {"k", true}}),
+  };
+}
+
+TablePtr LabelsTable() {
+  std::vector<int64_t> keys;
+  std::vector<std::string> labels;
+  for (int64_t i = 0; i < 18; ++i) {  // keys 18..22 stay unmatched (left join)
+    keys.push_back(i);
+    labels.push_back("label_" + std::to_string(i));
+  }
+  return MakeTable({{"k", I64(keys)}, {"label", Str(labels)}});
+}
+
+/// Chunked execution under a tight budget must equal unbounded in-memory
+/// execution, for every streaming engine and for chunk sizes from degenerate
+/// (1 row) through larger-than-the-table (whole-table one-shot).
+TEST(StreamingDifferentialTest, TightBudgetMatchesUnboundedAcrossChunkSizes) {
+  auto t = IntValuedTable(2500, /*seed=*/101);
+
+  struct NamedEngine {
+    const char* name;
+    std::unique_ptr<LazyEngineBase> engine;
+  };
+  std::vector<NamedEngine> engines;
+  engines.push_back({"spark_sql", std::make_unique<SparkSqlEngine>()});
+  engines.push_back({"polars", std::make_unique<PolarsEngine>()});
+  engines.push_back({"vaex", std::make_unique<VaexEngine>()});
+
+  for (auto& [name, engine] : engines) {
+    SCOPED_TRACE(name);
+    ASSERT_TRUE(engine->StreamsBreakers()) << name;
+    auto labels = engine->FromTable(LabelsTable()).ValueOrDie();
+    std::vector<Op> plan = BreakersPlan(labels);
+    LazySource source;
+    source.kind = LazySource::Kind::kTable;
+    source.table = t;
+
+    TablePtr unbounded = engine->Execute(source, plan).ValueOrDie();
+
+    for (const char* chunk_rows : {"1", "7", "65536", "1073741824"}) {
+      SCOPED_TRACE(std::string("chunk_rows=") + chunk_rows);
+      ChunkRowsGuard guard(chunk_rows);
+      // Tight enough that MemoryTight() engages streaming (budget < 5x the
+      // source), loose enough for one widened chunk + breaker state.
+      sim::MachineSpec tight{"tight", 4,
+                             static_cast<uint64_t>(t->ByteSize() * 4),
+                             std::nullopt};
+      sim::Session session(tight);
+      auto streamed = engine->Execute(source, plan);
+      ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+      test::ExpectTablesEqual(unbounded, streamed.ValueOrDie());
+    }
+  }
+}
+
+/// Every registered engine must produce the same frame regardless of worker
+/// count and chunk-size override: parallel merges and chunked scans are
+/// deterministic, not just "equivalent".
+TEST(StreamingDifferentialTest, AllEnginesStableAcrossWorkersAndChunks) {
+  auto t = IntValuedTable(3000, /*seed=*/202);
+  std::vector<Op> plan = {
+      Op::Query("k >= 1"),
+      Op::GroupByAgg({"k", "s"}, TestAggs()),
+      Op::SortValues({{"v_sum", false}, {"k", true}, {"s", true}}),
+  };
+
+  for (const std::string& id : frame::EngineIds()) {
+    SCOPED_TRACE(id);
+    TablePtr baseline;
+    for (int cores : {1, 2, 4}) {
+      for (const char* chunk_rows :
+           {static_cast<const char*>(nullptr), "513"}) {
+        SCOPED_TRACE(std::string("cores=") + std::to_string(cores) +
+                     " chunk_rows=" +
+                     (chunk_rows != nullptr ? chunk_rows : "(default)"));
+        ChunkRowsGuard guard(chunk_rows);
+        sim::MachineSpec machine{"m", cores, 8ULL << 30, std::nullopt};
+        sim::Session session(machine);
+        auto engine = frame::CreateEngine(id).ValueOrDie();
+        auto frame = engine->FromTable(t).ValueOrDie();
+        for (const Op& op : plan) frame = frame->Apply(op).ValueOrDie();
+        auto result = frame->Collect().ValueOrDie();
+        if (baseline == nullptr) {
+          baseline = result;
+        } else {
+          test::ExpectTablesEqual(baseline, result);
+        }
+      }
+    }
+  }
+}
+
+/// Forced spill (threshold 0 spills the partial state from the first chunk)
+/// must still be bit-identical to the eager kernel, for any partition count.
+TEST(StreamingDifferentialTest, ForcedSpillGroupByBitIdentical) {
+  auto t = IntValuedTable(6000, /*seed=*/303, /*key_card=*/500);
+  auto aggs = TestAggs();
+  auto eager = kern::GroupBy(t, {"k"}, aggs).ValueOrDie();
+  frame::ExecPolicy policy;
+
+  static obs::Counter* engaged =
+      obs::MetricsRegistry::Global().counter("groupby.spill_engaged");
+  for (int partitions : {1, 3, 16}) {
+    SCOPED_TRACE(partitions);
+    const uint64_t engaged_before = engaged->value();
+    StreamingGroupByOptions options;
+    options.spill_partitions = partitions;
+    options.spill_threshold_bytes = 0;
+    TableChunkStream spilled_in(t, 257);
+    auto spilled =
+        StreamingGroupBy(&spilled_in, {"k"}, aggs, policy, options).ValueOrDie();
+    EXPECT_GT(engaged->value(), engaged_before);
+    test::ExpectTablesEqual(eager, spilled);
+
+    // And the default (never-spill without a session budget) path agrees.
+    TableChunkStream memory_in(t, 257);
+    auto in_memory =
+        StreamingGroupBy(&memory_in, {"k"}, aggs, policy).ValueOrDie();
+    test::ExpectTablesEqual(eager, in_memory);
+  }
+}
+
+/// Grace join must reproduce HashJoin exactly: same rows, same order, same
+/// right-side nulls — across partition counts, chunk sizes, join types, null
+/// keys, and empty inputs.
+TEST(StreamingDifferentialTest, GraceJoinMatchesHashJoin) {
+  Rng rng(404);
+  col::Int64Builder pk;
+  col::Float64Builder pv;
+  for (int64_t i = 0; i < 3000; ++i) {
+    pk.AppendMaybe(rng.UniformInt(0, 40), !rng.Bernoulli(0.1));
+    pv.Append(static_cast<double>(rng.UniformInt(0, 100)));
+  }
+  auto probe = MakeTable(
+      {{"k", pk.Finish().ValueOrDie()}, {"pv", pv.Finish().ValueOrDie()}});
+
+  std::vector<int64_t> bk;
+  std::vector<std::string> bl;
+  for (int64_t i = 0; i < 30; ++i) {  // keys 30..40 unmatched
+    bk.push_back(i);
+    bl.push_back("b" + std::to_string(i));
+  }
+  auto build = MakeTable({{"k", I64(bk)}, {"label", Str(bl)}});
+
+  for (kern::JoinType type : {kern::JoinType::kInner, kern::JoinType::kLeft}) {
+    kern::JoinOptions options;
+    options.type = type;
+    auto expected = kern::HashJoin(probe, build, "k", "k", options).ValueOrDie();
+    for (int partitions : {1, 2, 7}) {
+      for (int64_t chunk : {int64_t{1}, int64_t{311}, int64_t{1} << 30}) {
+        SCOPED_TRACE("type=" + std::to_string(static_cast<int>(type)) +
+                     " partitions=" + std::to_string(partitions) +
+                     " chunk=" + std::to_string(chunk));
+        TableChunkStream stream(probe, chunk);
+        auto grace =
+            GraceHashJoin(&stream, build, "k", "k", options, partitions)
+                .ValueOrDie();
+        test::ExpectTablesEqual(expected, grace);
+      }
+    }
+  }
+
+  // Empty probe and empty build keep HashJoin's schema semantics.
+  auto empty_probe = probe->Slice(0, 0).ValueOrDie();
+  auto empty_build = build->Slice(0, 0).ValueOrDie();
+  kern::JoinOptions inner;
+  inner.type = kern::JoinType::kInner;
+  {
+    TableChunkStream stream(empty_probe, 64);
+    auto grace = GraceHashJoin(&stream, build, "k", "k", inner, 4).ValueOrDie();
+    auto expected =
+        kern::HashJoin(empty_probe, build, "k", "k", inner).ValueOrDie();
+    test::ExpectTablesEqual(expected, grace);
+  }
+  {
+    TableChunkStream stream(probe, 64);
+    auto grace =
+        GraceHashJoin(&stream, empty_build, "k", "k", inner, 4).ValueOrDie();
+    auto expected =
+        kern::HashJoin(probe, empty_build, "k", "k", inner).ValueOrDie();
+    test::ExpectTablesEqual(expected, grace);
+  }
+}
+
+/// End-to-end through the engine: a budget too small for the partial-agg
+/// state forces the group-by to spill, the plan still completes, and the
+/// frame matches the unbounded run.
+TEST(StreamingDifferentialTest, EngineGroupBySpillsUnderTinyBudgetAndMatches) {
+  auto t = IntValuedTable(20000, /*seed=*/505, /*key_card=*/4000);
+  SparkSqlEngine engine;
+  LazySource source;
+  source.kind = LazySource::Kind::kTable;
+  source.table = t;
+  std::vector<Op> plan = {Op::GroupByAgg({"k"}, TestAggs())};
+
+  TablePtr unbounded = engine.Execute(source, plan).ValueOrDie();
+
+  static obs::Counter* engaged =
+      obs::MetricsRegistry::Global().counter("groupby.spill_engaged");
+  const uint64_t engaged_before = engaged->value();
+  sim::MachineSpec tight{"tight", 4,
+                         static_cast<uint64_t>(t->ByteSize() * 2),
+                         std::nullopt};
+  sim::Session session(tight);
+  auto streamed = engine.Execute(source, plan);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  EXPECT_GT(engaged->value(), engaged_before)
+      << "budget/8 should be below the 4000-group partial state";
+  test::ExpectTablesEqual(unbounded, streamed.ValueOrDie());
+}
+
+/// The paper-scale acceptance claim, shrunk by BENTO_SCALE: the patrol and
+/// taxi pipelines complete on the streaming engines under the (scaled)
+/// laptop RAM model, with the MemoryPool peak below the budget.
+TEST(OutOfCoreAcceptanceTest, PatrolAndTaxiFitTheLaptopBudget) {
+  const std::string dir =
+      "/tmp/bento_ooc_accept_" + std::to_string(::getpid());
+  run::Runner runner(dir, 0.001);
+  for (const char* dataset : {"patrol", "taxi"}) {
+    auto pipeline = run::PipelineFor(dataset).ValueOrDie();
+    for (const char* engine_id : {"vaex", "spark_sql", "polars"}) {
+      SCOPED_TRACE(std::string(dataset) + "/" + engine_id);
+      run::RunConfig config;
+      config.engine_id = engine_id;
+      config.machine = sim::MachineSpec::Laptop();
+      config.mode = run::RunMode::kPipelineStage;
+      config.use_bcf_source = std::string(engine_id) != "vaex";
+      auto report = runner.Run(config, pipeline, dataset).ValueOrDie();
+      EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+      EXPECT_GT(report.peak_host_bytes, 0u);
+      EXPECT_LE(report.peak_host_bytes,
+                runner.EffectiveMachine(config).ram_bytes);
+    }
+  }
+  const std::string cmd = "rm -rf " + dir;
+  (void)!system(cmd.c_str());
+}
+
+}  // namespace
+}  // namespace bento::eng

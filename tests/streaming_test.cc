@@ -38,6 +38,47 @@ TablePtr RandomTable(int64_t rows, uint64_t seed) {
                     {"s", s.Finish().ValueOrDie()}});
 }
 
+TEST(TableChunkStreamTest, TailChunkCoversEveryRow) {
+  auto t = RandomTable(10, 21);
+  for (int64_t chunk_rows : {3, 5, 7, 9}) {
+    SCOPED_TRACE(chunk_rows);
+    TableChunkStream stream(t, chunk_rows);
+    std::vector<TablePtr> chunks;
+    int64_t rows = 0;
+    while (true) {
+      auto chunk = stream.Next().ValueOrDie();
+      if (chunk == nullptr) break;
+      EXPECT_LE(chunk->num_rows(), chunk_rows);
+      rows += chunk->num_rows();
+      chunks.push_back(chunk);
+    }
+    EXPECT_EQ(rows, 10);
+    test::ExpectTablesEqual(t, col::ConcatTables(chunks).ValueOrDie());
+  }
+}
+
+TEST(TableChunkStreamTest, WholeTableChunkIsPassThrough) {
+  auto t = RandomTable(10, 22);
+  for (int64_t chunk_rows : {int64_t{10}, int64_t{11}, int64_t{1} << 40}) {
+    TableChunkStream stream(t, chunk_rows);
+    // Covering chunk sizes hand back the table itself (no slice copy)...
+    EXPECT_EQ(stream.Next().ValueOrDie().get(), t.get());
+    // ...exactly once.
+    EXPECT_EQ(stream.Next().ValueOrDie(), nullptr);
+    EXPECT_EQ(stream.Next().ValueOrDie(), nullptr);
+  }
+}
+
+TEST(TableChunkStreamTest, EmptyTableYieldsOneTypedChunk) {
+  auto t = RandomTable(5, 23)->Slice(0, 0).ValueOrDie();
+  TableChunkStream stream(t, 100);
+  auto chunk = stream.Next().ValueOrDie();
+  ASSERT_NE(chunk, nullptr);
+  EXPECT_EQ(chunk->num_rows(), 0);
+  EXPECT_EQ(chunk->schema()->names(), t->schema()->names());
+  EXPECT_EQ(stream.Next().ValueOrDie(), nullptr);
+}
+
 TEST(ConcatReleasingTest, MatchesPlainConcat) {
   auto t = RandomTable(5000, 1);
   std::vector<TablePtr> a, b;
