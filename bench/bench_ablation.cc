@@ -10,6 +10,7 @@
 #include "kernels/null_ops.h"
 #include "kernels/stats.h"
 #include "kernels/string_ops.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "sim/machine.h"
 
@@ -43,6 +44,8 @@ class NoStreamingSpark : public eng::SparkSqlEngine {
 int main(int argc, char** argv) {
   bento::obs::TraceEnvScope trace_scope(
       bento::bench::ParseTraceArg(&argc, argv));
+  bento::obs::ResourceReportScope report_scope(
+      bento::bench::ParseReportArg(&argc, argv));
   using frame::Op;
   bench::PrintHeader("Ablations", "one mechanism toggled at a time");
 

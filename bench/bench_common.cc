@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -149,9 +151,48 @@ std::string ParseTraceArg(int* argc, char** argv) {
   return ParseFlagWithValue("--trace", argc, argv);
 }
 
+bool ParseReportArg(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0) {
+      for (int j = i + 1; j < *argc; ++j) argv[j - 1] = argv[j];
+      *argc -= 1;
+      return true;
+    }
+  }
+  return false;
+}
+
 void BenchJsonWriter::Add(const std::string& name, int64_t iterations,
                           double ns_per_op, double rows_per_second) {
-  rows_.push_back({name, iterations, ns_per_op, rows_per_second});
+  rows_.push_back({name, iterations, ns_per_op, rows_per_second, {}, {}, {}});
+}
+
+void BenchJsonWriter::AddSamples(const std::string& name, int64_t iterations,
+                                 const std::vector<double>& ns_samples,
+                                 double rows_per_second) {
+  double best = ns_samples.empty() ? 0.0 : ns_samples.front();
+  for (double s : ns_samples) best = std::min(best, s);
+  rows_.push_back(
+      {name, iterations, best, rows_per_second, ns_samples, {}, {}});
+}
+
+BenchJsonWriter::Row* BenchJsonWriter::FindRow(const std::string& name) {
+  for (auto it = rows_.rbegin(); it != rows_.rend(); ++it) {
+    if (it->name == name) return &*it;
+  }
+  return nullptr;
+}
+
+void BenchJsonWriter::Annotate(const std::string& name, const std::string& key,
+                               double value) {
+  if (Row* row = FindRow(name)) row->num_extras.emplace_back(key, value);
+}
+
+void BenchJsonWriter::Annotate(const std::string& name, const std::string& key,
+                               std::string value) {
+  if (Row* row = FindRow(name)) {
+    row->str_extras.emplace_back(key, std::move(value));
+  }
 }
 
 void BenchJsonWriter::SetContext(const std::string& key, std::string value) {
@@ -186,6 +227,30 @@ Status BenchJsonWriter::WriteTo(const std::string& path) const {
     b.Set("iterations", JsonValue::Int(row.iterations));
     b.Set("ns_per_op", JsonValue::Number(row.ns_per_op));
     b.Set("rows_per_second", JsonValue::Number(row.rows_per_second));
+    if (!row.samples_ns.empty()) {
+      JsonValue samples = JsonValue::Array();
+      std::vector<double> sorted = row.samples_ns;
+      std::sort(sorted.begin(), sorted.end());
+      double mean = 0.0;
+      for (double s : row.samples_ns) {
+        samples.Append(JsonValue::Number(s));
+        mean += s;
+      }
+      mean /= static_cast<double>(row.samples_ns.size());
+      double var = 0.0;
+      for (double s : row.samples_ns) var += (s - mean) * (s - mean);
+      var /= static_cast<double>(row.samples_ns.size());
+      b.Set("samples_ns", std::move(samples));
+      b.Set("min_ns", JsonValue::Number(sorted.front()));
+      b.Set("median_ns", JsonValue::Number(sorted[sorted.size() / 2]));
+      b.Set("stddev_ns", JsonValue::Number(std::sqrt(var)));
+    }
+    for (const auto& [key, value] : row.num_extras) {
+      b.Set(key, JsonValue::Number(value));
+    }
+    for (const auto& [key, value] : row.str_extras) {
+      b.Set(key, JsonValue::Str(value));
+    }
     benchmarks.Append(std::move(b));
   }
   doc.Set("benchmarks", std::move(benchmarks));

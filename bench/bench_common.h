@@ -46,6 +46,11 @@ std::string ParseJsonPathArg(int* argc, char** argv);
 /// which also honors the BENTO_TRACE environment variable.
 std::string ParseTraceArg(int* argc, char** argv);
 
+/// \brief Extracts and strips a valueless `--report` flag from argv.
+/// Returns true when present — pass the result to obs::ResourceReportScope,
+/// which also honors the BENTO_REPORT environment variable.
+bool ParseReportArg(int* argc, char** argv);
+
 /// \brief Machine-readable benchmark report: one row per benchmark with
 /// name, iterations, ns/op, and rows/s, serialized as JSON so perf
 /// trajectories can be tracked across PRs (see BENCH_kernels.json).
@@ -53,6 +58,21 @@ class BenchJsonWriter {
  public:
   void Add(const std::string& name, int64_t iterations, double ns_per_op,
            double rows_per_second);
+
+  /// Records every repetition: the row's headline ns_per_op is the minimum
+  /// of `ns_samples` (best-of-N, the convention Add callers already follow)
+  /// and the serialized row additionally carries a "samples_ns" array plus
+  /// "min_ns"/"median_ns"/"stddev_ns" so run-to-run noise is inspectable
+  /// from the JSON alone. Headline fields stay byte-compatible with Add.
+  void AddSamples(const std::string& name, int64_t iterations,
+                  const std::vector<double>& ns_samples,
+                  double rows_per_second);
+
+  /// Attaches an extra numeric/string field to the named row (e.g. the
+  /// energy arm's "joules" and "energy_source"). No-op for unknown names.
+  void Annotate(const std::string& name, const std::string& key, double value);
+  void Annotate(const std::string& name, const std::string& key,
+                std::string value);
 
   /// Adds or overrides a context entry (e.g. the machine spec name of a
   /// sweep). Standard metadata — git sha, BENTO_SCALE, BENTO_EXECUTION,
@@ -69,7 +89,11 @@ class BenchJsonWriter {
     int64_t iterations;
     double ns_per_op;
     double rows_per_second;
+    std::vector<double> samples_ns;  ///< empty for plain Add rows
+    std::vector<std::pair<std::string, double>> num_extras;
+    std::vector<std::pair<std::string, std::string>> str_extras;
   };
+  Row* FindRow(const std::string& name);
   std::vector<Row> rows_;
   std::vector<std::pair<std::string, std::string>> extra_context_;
 };

@@ -4,11 +4,14 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 int main(int argc, char** argv) {
   bento::obs::TraceEnvScope trace_scope(
       bento::bench::ParseTraceArg(&argc, argv));
+  bento::obs::ResourceReportScope report_scope(
+      bento::bench::ParseReportArg(&argc, argv));
   using namespace bento;
   bench::PrintHeader("Figure 3",
                      "per-preparator speedup over Pandas (Patrol, Taxi)");

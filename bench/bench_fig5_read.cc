@@ -4,12 +4,15 @@
 
 #include "bench/bench_common.h"
 #include "frame/engine.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "sim/machine.h"
 
 int main(int argc, char** argv) {
   bento::obs::TraceEnvScope trace_scope(
       bento::bench::ParseTraceArg(&argc, argv));
+  bento::obs::ResourceReportScope report_scope(
+      bento::bench::ParseReportArg(&argc, argv));
   using namespace bento;
   bench::PrintHeader("Figure 5", "read runtime, CSV vs columnar (BCF)");
   run::Runner runner = bench::MakeRunner();

@@ -2,14 +2,18 @@
 // pipeline per engine per dataset, with the lazy-vs-eager deltas for the
 // engines supporting lazy evaluation (SparkPD, SparkSQL, Polars) plus the
 // optimizer A/B: each lazy engine also runs as its `_noopt` registry
-// variant, which executes the plan exactly as written. `--json <path>`
-// records every arm (BENCH_pipeline.json); `--explain` dumps each optimized
-// plan before/after rewriting to stderr (sets BENTO_EXPLAIN=1).
+// variant, which executes the plan exactly as written, and an energy arm
+// measuring joules per pipeline (RAPL when readable, cycles×watts model
+// otherwise). `--json <path>` records every arm (BENCH_pipeline.json);
+// `--report` prints the resource/energy rollup table; `--explain` dumps
+// each optimized plan before/after rewriting to stderr (BENTO_EXPLAIN=1).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
 
@@ -31,6 +35,8 @@ bool ParseExplainArg(int* argc, char** argv) {
 int main(int argc, char** argv) {
   bento::obs::TraceEnvScope trace_scope(
       bento::bench::ParseTraceArg(&argc, argv));
+  bento::obs::ResourceReportScope report_scope(
+      bento::bench::ParseReportArg(&argc, argv));
   const std::string json_path = bento::bench::ParseJsonPathArg(&argc, argv);
   if (ParseExplainArg(&argc, argv)) setenv("BENTO_EXPLAIN", "1", 1);
   using namespace bento;
@@ -52,6 +58,7 @@ int main(int argc, char** argv) {
       run::RunConfig config;
       config.engine_id = id;
       config.mode = run::RunMode::kPipelineFull;
+      std::vector<double> samples_ns;
       double best = -1.0;
       for (int rep = 0; rep < kReps; ++rep) {
         auto report = runner.Run(config, pipeline, dataset);
@@ -62,9 +69,11 @@ int main(int argc, char** argv) {
         *status_out = report.ValueOrDie().status;
         if (!status_out->ok()) return -1.0;
         const double seconds = report.ValueOrDie().total_seconds;
+        samples_ns.push_back(seconds * 1e9);
         if (best < 0 || seconds < best) best = seconds;
       }
-      json.Add(std::string(dataset) + "/" + id, kReps, best * 1e9, 0.0);
+      json.AddSamples(std::string(dataset) + "/" + id, kReps, samples_ns,
+                      0.0);
       return best;
     };
 
@@ -140,6 +149,63 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("--- out-of-core (laptop budget, per-stage collect) ---\n%s\n",
+                table.ToString().c_str());
+  }
+
+  // --- energy arm ---
+  // Joules per full pipeline: every dataset against the three archetypal
+  // engines (eager pandas, lazy-columnar polars, plan-optimizing spark_sql),
+  // one sampled run each. Energy is RAPL when the host exposes readable
+  // powercap counters and the calibrated cycles×watts model otherwise; the
+  // source is labelled per row in the table and the JSON. Per-stage p50/p99
+  // span latencies ride into the JSON rows alongside the joules. Each run
+  // resets the process-wide aggregation window, so under --report the final
+  // rollup table covers only the last run of this arm.
+  {
+    run::TextTable table({"engine", "dataset", "pipeline", "joules",
+                          "source"});
+    for (const char* dataset : {"athlete", "loan", "patrol", "taxi"}) {
+      auto pipeline = run::PipelineFor(dataset).ValueOrDie();
+      for (const char* id : {"pandas", "polars", "spark_sql"}) {
+        run::RunConfig config;
+        config.engine_id = id;
+        config.mode = run::RunMode::kPipelineStage;
+        const bool owns_tracing = !obs::TracingEnabled();
+        if (owns_tracing) obs::StartTracing();
+        const bool owns_sampling = !obs::ResourceSamplingEnabled();
+        obs::ResetResourceAggregation();
+        if (owns_sampling) obs::EnableResourceSampling();
+        auto report = runner.Run(config, pipeline, dataset);
+        if (owns_sampling) obs::DisableResourceSampling();
+        obs::ResourceReport resources = obs::SnapshotResourceReport();
+        if (owns_tracing) obs::StopTracing();
+
+        Status status = report.ok() ? report.ValueOrDie().status
+                                    : report.status();
+        double seconds =
+            status.ok() ? report.ValueOrDie().total_seconds : -1.0;
+        char joules_cell[32] = "-";
+        if (status.ok()) {
+          std::snprintf(joules_cell, sizeof(joules_cell), "%.4g",
+                        resources.total_joules);
+          const std::string name = std::string(dataset) + "/" + id +
+                                   "_energy";
+          json.Add(name, 1, seconds * 1e9, 0.0);
+          json.Annotate(name, "joules", resources.total_joules);
+          json.Annotate(name, "energy_source", resources.energy_source);
+          const std::string context = std::string(dataset) + "/" + id;
+          for (const auto& row : resources.rows) {
+            if (row.category != "stage" || row.context != context) continue;
+            json.Annotate(name, row.name + ".p50_us", row.p50_us);
+            json.Annotate(name, row.name + ".p99_us", row.p99_us);
+          }
+        }
+        table.AddRow({id, dataset, bench::OutcomeCell(status, seconds),
+                      joules_cell, resources.energy_source});
+      }
+    }
+    std::printf("--- energy per pipeline (RAPL or cycles×watts model) "
+                "---\n%s\n",
                 table.ToString().c_str());
   }
 

@@ -22,6 +22,7 @@
 #include "kernels/row_hash.h"
 #include "kernels/sort.h"
 #include "kernels/string_ops.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "sim/parallel.h"
 #include "util/random.h"
@@ -640,6 +641,8 @@ int main(int argc, char** argv) {
   const bool check_scaling = ParseCheckScalingArg(&argc, argv);
   bento::obs::TraceEnvScope trace_scope(
       bento::bench::ParseTraceArg(&argc, argv));
+  bento::obs::ResourceReportScope report_scope(
+      bento::bench::ParseReportArg(&argc, argv));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonCapturingReporter reporter;

@@ -4,11 +4,14 @@
 
 #include "bench/bench_common.h"
 #include "frame/capabilities.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 int main(int argc, char** argv) {
   bento::obs::TraceEnvScope trace_scope(
       bento::bench::ParseTraceArg(&argc, argv));
+  bento::obs::ResourceReportScope report_scope(
+      bento::bench::ParseReportArg(&argc, argv));
   using namespace bento;
   bench::PrintHeader("Table II",
                      "compatibility of dataframe libraries with Pandas API");

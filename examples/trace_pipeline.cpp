@@ -3,12 +3,15 @@
 // forced and timed, as in the paper's per-operation measurements) with
 // tracing on, then prints where to load the result.
 //
-//   $ ./build/examples/trace_pipeline [--trace out.json] [dataset] [engine]
+//   $ ./build/examples/trace_pipeline [--trace out.json] [--report] \
+//       [dataset] [engine]
 //
 // Defaults: loan pipeline, polars engine, trace written to
 // bento_trace.json (or $BENTO_TRACE when set). Open the file at
 // https://ui.perfetto.dev or chrome://tracing; see README.md for the
-// recipe and DESIGN.md for the span taxonomy.
+// recipe and DESIGN.md for the span taxonomy. `--report` (or BENTO_REPORT=1)
+// additionally samples per-span hardware counters and prints the
+// resource/energy rollup table after the run.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,10 +27,13 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string dataset = "loan";
   std::string engine = "polars";
+  bool report_requested = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      report_requested = true;
     } else if (positional == 0) {
       dataset = argv[i];
       ++positional;
@@ -53,6 +59,7 @@ int main(int argc, char** argv) {
   config.engine_id = engine;
   config.mode = run::RunMode::kFunctionCore;
   config.trace_path = trace_path;
+  config.collect_resources = report_requested;
   auto report = runner.Run(config, pipeline.ValueOrDie(), dataset);
   if (!report.ok()) {
     std::fprintf(stderr, "run failed: %s\n",

@@ -9,6 +9,7 @@
 #include "datagen/datasets.h"
 #include "io/bcf.h"
 #include "io/csv.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace bento::run {
@@ -103,6 +104,15 @@ Result<RunReport> Runner::Run(const RunConfig& config, const Pipeline& pipeline,
   // Collect a trace when the config or BENTO_TRACE asks for one; inert when
   // an enclosing scope (a bench harness tracing many runs) already owns it.
   obs::TraceEnvScope trace_scope(config.trace_path);
+  // Per-run resource/energy report; also inert under an enclosing reporting
+  // scope, which then aggregates this run into its own table.
+  obs::ResourceReportScope report_scope(config.collect_resources);
+  // Label rollup rows with this run's identity so a reporting harness that
+  // spans many runs can split its table by dataset × engine.
+  std::optional<obs::ResourceContextScope> resource_context;
+  if (obs::ResourceSamplingEnabled()) {
+    resource_context.emplace(dataset + "/" + config.engine_id);
+  }
 
   // Function-core runs report a per-op peak, which requires resetting the
   // pool watermark; the run-wide peak is kept as a running maximum.

@@ -27,6 +27,10 @@ struct RunConfig {
   /// When non-empty, the run collects an obs trace and writes it here (the
   /// BENTO_TRACE environment variable provides a process-wide default).
   std::string trace_path;
+  /// Collect per-span resource/energy rollups and print the report table
+  /// after the run (BENTO_REPORT provides a process-wide default; inert when
+  /// an enclosing ResourceReportScope — a bench harness — already reports).
+  bool collect_resources = false;
 };
 
 struct OpTiming {

@@ -1,0 +1,105 @@
+#include "obs/energy.h"
+
+#include <dirent.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bento::obs {
+
+namespace {
+
+/// Reads a sysfs-style file containing one unsigned decimal number.
+bool ReadUint64File(const std::string& path, uint64_t* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  unsigned long long v = 0;
+  const bool ok = std::fscanf(f, "%llu", &v) == 1;
+  std::fclose(f);
+  if (ok) *out = static_cast<uint64_t>(v);
+  return ok;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const double v = std::atof(env);
+  return v > 0 ? v : fallback;
+}
+
+}  // namespace
+
+EnergyMeter::EnergyMeter(std::string rapl_root) {
+  model_watts_ = EnvDouble("BENTO_WATTS", model_watts_);
+  model_hz_ = EnvDouble("BENTO_MODEL_HZ", model_hz_);
+  if (rapl_root.empty()) {
+    const char* env = std::getenv("BENTO_RAPL_PATH");
+    rapl_root = env != nullptr && env[0] != '\0' ? env : "/sys/class/powercap";
+  }
+  Scan(rapl_root);
+}
+
+EnergyMeter& EnergyMeter::Global() {
+  // Leaked: reports may be formatted during static destruction.
+  static EnergyMeter* meter = new EnergyMeter();
+  return *meter;
+}
+
+void EnergyMeter::Scan(const std::string& root) {
+  DIR* dir = ::opendir(root.c_str());
+  if (dir == nullptr) return;
+  while (dirent* entry = ::readdir(dir)) {
+    const char* name = entry->d_name;
+    // Top-level package domains only ("intel-rapl:0"); subdomains
+    // ("intel-rapl:0:1", core/uncore/dram) would double-count the package.
+    if (std::strncmp(name, "intel-rapl:", 11) != 0) continue;
+    if (std::strchr(name + 11, ':') != nullptr) continue;
+    Package pkg;
+    pkg.energy_path = root + "/" + name + "/energy_uj";
+    uint64_t probe = 0;
+    if (!ReadUint64File(pkg.energy_path, &probe)) continue;
+    (void)ReadUint64File(root + "/" + name + "/max_energy_range_uj",
+                         &pkg.max_range_uj);
+    packages_.push_back(std::move(pkg));
+  }
+  ::closedir(dir);
+}
+
+Status EnergyMeter::Begin() {
+  std::lock_guard<std::mutex> lk(mu_);
+  begun_ = false;
+  for (Package& pkg : packages_) {
+    if (!ReadUint64File(pkg.energy_path, &pkg.last_uj)) {
+      return Status::IOError("cannot read RAPL counter ", pkg.energy_path);
+    }
+    pkg.accumulated_uj = 0;
+  }
+  begun_ = true;
+  return Status::OK();
+}
+
+double EnergyMeter::JoulesSince() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!begun_ || packages_.empty()) return 0.0;
+  uint64_t total_uj = 0;
+  for (Package& pkg : packages_) {
+    uint64_t now = 0;
+    if (ReadUint64File(pkg.energy_path, &now)) {
+      if (now >= pkg.last_uj) {
+        pkg.accumulated_uj += now - pkg.last_uj;
+      } else if (pkg.max_range_uj > pkg.last_uj) {
+        // Counter wrapped at max_energy_range_uj.
+        pkg.accumulated_uj += pkg.max_range_uj - pkg.last_uj + now;
+      } else {
+        // No usable range file: treat the wrap as a restart from zero.
+        pkg.accumulated_uj += now;
+      }
+      pkg.last_uj = now;
+    }
+    total_uj += pkg.accumulated_uj;
+  }
+  return static_cast<double>(total_uj) * 1e-6;
+}
+
+}  // namespace bento::obs

@@ -1,0 +1,78 @@
+#ifndef BENTO_OBS_ENERGY_H_
+#define BENTO_OBS_ENERGY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bento::obs {
+
+/// \brief Package-level energy meter: RAPL when the sysfs interface is
+/// readable, a calibrated cycles×watts model otherwise.
+///
+/// RAPL mode sums the `energy_uj` counters of every top-level
+/// `intel-rapl:<n>` package domain under the powercap root (default
+/// `/sys/class/powercap`, overridable with BENTO_RAPL_PATH — the test
+/// fixture points it at a temp directory). Counters wrap at
+/// `max_energy_range_uj`; deltas are wrap-corrected per package and summed
+/// across packages.
+///
+/// Model mode converts attributed CPU cycles into joules:
+/// `joules = cycles / model_hz * model_watts`. The constants are calibrated
+/// for a mainstream mobile/desktop part (3 GHz, 15 W package power under
+/// single-socket dataframe load — the regime of the two energy studies in
+/// PAPERS.md) and overridable with BENTO_WATTS and BENTO_MODEL_HZ.
+class EnergyMeter {
+ public:
+  /// Scans `rapl_root` for package domains; model mode when none usable.
+  /// An empty root resolves BENTO_RAPL_PATH, then /sys/class/powercap.
+  explicit EnergyMeter(std::string rapl_root = "");
+
+  /// Process-wide meter (leaked; scans once at first use).
+  static EnergyMeter& Global();
+
+  /// True when at least one RAPL package counter is readable.
+  bool has_rapl() const { return !packages_.empty(); }
+  /// "rapl" or "model" — the label carried into reports and bench JSON.
+  const char* source() const { return has_rapl() ? "rapl" : "model"; }
+  int package_count() const { return static_cast<int>(packages_.size()); }
+
+  double model_watts() const { return model_watts_; }
+  double model_hz() const { return model_hz_; }
+  /// The cycles×watts model: joules a cycle count corresponds to.
+  double ModelJoules(double cycles) const {
+    return cycles / model_hz_ * model_watts_;
+  }
+
+  /// Snapshots the package counters; JoulesSince() measures from here.
+  /// No-op in model mode. Returns the first read failure (meter then
+  /// behaves as model mode for this window).
+  Status Begin();
+
+  /// Wrap-corrected joules across all packages since Begin(). Returns 0 in
+  /// model mode or before Begin().
+  double JoulesSince();
+
+ private:
+  struct Package {
+    std::string energy_path;
+    uint64_t max_range_uj = 0;  ///< 0: wrap correction unavailable
+    uint64_t last_uj = 0;
+    uint64_t accumulated_uj = 0;
+  };
+
+  void Scan(const std::string& root);
+
+  mutable std::mutex mu_;  ///< guards the per-package wrap-tracking state
+  std::vector<Package> packages_;
+  bool begun_ = false;
+  double model_watts_ = 15.0;
+  double model_hz_ = 3.0e9;
+};
+
+}  // namespace bento::obs
+
+#endif  // BENTO_OBS_ENERGY_H_

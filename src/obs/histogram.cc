@@ -1,0 +1,155 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace bento::obs {
+
+namespace {
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// CAS-loop accumulate of a double stored as bits. `combine` must be
+/// monotone in its first argument for min/max; for sums it is plain +.
+template <typename Combine>
+void AtomicCombine(std::atomic<uint64_t>* cell, double v, Combine combine) {
+  uint64_t prev = cell->load(std::memory_order_relaxed);
+  for (;;) {
+    const double updated = combine(BitsToDouble(prev), v);
+    if (cell->compare_exchange_weak(prev, DoubleToBits(updated),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN land in underflow
+  const double log2v = std::log2(v);
+  const int idx = static_cast<int>(std::floor(
+                      (log2v - kMinOctave) * kSubBucketsPerOctave)) +
+                  1;
+  if (idx < 1) return 0;
+  if (idx > kBuckets - 1) return kBuckets - 1;
+  return idx;
+}
+
+double Histogram::BucketUpperEdge(int i) {
+  if (i <= 0) return std::exp2(static_cast<double>(kMinOctave));
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::exp2(kMinOctave +
+                   static_cast<double>(i) / kSubBucketsPerOctave);
+}
+
+void Histogram::Record(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicCombine(&sum_bits_, v, [](double a, double b) { return a + b; });
+  if (!has_extrema_.load(std::memory_order_relaxed)) {
+    // First writer seeds both extrema; a racing second Record may combine
+    // against the seed, which is harmless (min/max are idempotent).
+    uint64_t bits = DoubleToBits(v);
+    min_bits_.store(bits, std::memory_order_relaxed);
+    max_bits_.store(bits, std::memory_order_relaxed);
+    has_extrema_.store(true, std::memory_order_release);
+    return;
+  }
+  AtomicCombine(&min_bits_, v, [](double a, double b) { return std::min(a, b); });
+  AtomicCombine(&max_bits_, v, [](double a, double b) { return std::max(a, b); });
+}
+
+double Histogram::sum() const {
+  return BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::min() const {
+  return has_extrema_.load(std::memory_order_acquire)
+             ? BitsToDouble(min_bits_.load(std::memory_order_relaxed))
+             : 0.0;
+}
+
+double Histogram::max() const {
+  return has_extrema_.load(std::memory_order_acquire)
+             ? BitsToDouble(max_bits_.load(std::memory_order_relaxed))
+             : 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (target < 1) target = 1;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      return std::clamp(BucketUpperEdge(i), min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  const uint64_t n = other.count();
+  if (n == 0) return;
+  count_.fetch_add(n, std::memory_order_relaxed);
+  AtomicCombine(&sum_bits_, other.sum(),
+                [](double a, double b) { return a + b; });
+  const double other_min = other.min();
+  const double other_max = other.max();
+  if (!has_extrema_.load(std::memory_order_relaxed)) {
+    min_bits_.store(DoubleToBits(other_min), std::memory_order_relaxed);
+    max_bits_.store(DoubleToBits(other_max), std::memory_order_relaxed);
+    has_extrema_.store(true, std::memory_order_release);
+  } else {
+    AtomicCombine(&min_bits_, other_min,
+                  [](double a, double b) { return std::min(a, b); });
+    AtomicCombine(&max_bits_, other_max,
+                  [](double a, double b) { return std::max(a, b); });
+  }
+}
+
+void Histogram::Reset() {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  min_bits_.store(0, std::memory_order_relaxed);
+  max_bits_.store(0, std::memory_order_relaxed);
+  has_extrema_.store(false, std::memory_order_relaxed);
+}
+
+JsonValue Histogram::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("count", JsonValue::Number(static_cast<double>(count())));
+  doc.Set("sum", JsonValue::Number(sum()));
+  doc.Set("min", JsonValue::Number(min()));
+  doc.Set("max", JsonValue::Number(max()));
+  doc.Set("p50", JsonValue::Number(Quantile(0.50)));
+  doc.Set("p90", JsonValue::Number(Quantile(0.90)));
+  doc.Set("p95", JsonValue::Number(Quantile(0.95)));
+  doc.Set("p99", JsonValue::Number(Quantile(0.99)));
+  return doc;
+}
+
+}  // namespace bento::obs

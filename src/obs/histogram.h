@@ -1,0 +1,77 @@
+#ifndef BENTO_OBS_HISTOGRAM_H_
+#define BENTO_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/json.h"
+
+namespace bento::obs {
+
+/// \brief Log-bucketed histogram for span durations and other positive
+/// long-tailed quantities.
+///
+/// Buckets are geometric with 8 sub-buckets per octave (bucket edges grow by
+/// 2^(1/8) ≈ 1.09), covering [2^-10, 2^40) ≈ [1e-3, 1e12] with underflow and
+/// overflow buckets at the ends — wide enough for microsecond span
+/// durations from sub-microsecond kernels to hour-long pipelines at ≤9%
+/// relative quantile error. Record() is a relaxed atomic increment, so one
+/// instance is safely shared across threads and per-thread instances merge
+/// losslessly with MergeFrom (bucket layout is identical by construction).
+class Histogram {
+ public:
+  static constexpr int kSubBucketsPerOctave = 8;
+  static constexpr int kMinOctave = -10;
+  static constexpr int kMaxOctave = 40;
+  /// Index 0 is the underflow bucket (v < 2^kMinOctave, including v <= 0 and
+  /// NaN); the last index is the overflow bucket (v >= 2^kMaxOctave).
+  static constexpr int kBuckets =
+      (kMaxOctave - kMinOctave) * kSubBucketsPerOctave + 2;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one observation (relaxed atomics; safe from any thread).
+  void Record(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  /// Smallest / largest recorded value; 0 when empty.
+  double min() const;
+  double max() const;
+
+  /// \brief Quantile estimate: the smallest bucket upper edge whose
+  /// cumulative count reaches ceil(q * count), clamped into [min(), max()].
+  /// For positive observations the estimate `e` of the true quantile `t`
+  /// (defined as sorted[ceil(q*n)-1]) satisfies t <= e <= t * 2^(1/8).
+  /// Returns 0 when empty; `q` is clamped into [0, 1].
+  double Quantile(double q) const;
+
+  /// Adds every bucket/count/sum of `other` into this histogram.
+  void MergeFrom(const Histogram& other);
+
+  void Reset();
+
+  /// {"count": n, "sum": s, "min": ..., "max": ..., "p50": ..., "p90": ...,
+  ///  "p95": ..., "p99": ...} — the summary embedded in metrics snapshots.
+  JsonValue ToJson() const;
+
+  /// Maps a value to its bucket index (exposed for the property tests).
+  static int BucketIndex(double v);
+  /// Upper edge of bucket `i` (the overflow bucket reports +inf).
+  static double BucketUpperEdge(int i);
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  /// Sum/min/max are doubles stored as bit patterns and updated by CAS.
+  std::atomic<uint64_t> sum_bits_{0};
+  std::atomic<uint64_t> min_bits_{0};
+  std::atomic<uint64_t> max_bits_{0};
+  std::atomic<bool> has_extrema_{false};
+};
+
+}  // namespace bento::obs
+
+#endif  // BENTO_OBS_HISTOGRAM_H_

@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/histogram.h"
 #include "util/json.h"
 
 namespace bento::obs {
@@ -57,13 +58,26 @@ class MetricsRegistry {
   /// Find-or-create; the returned pointer never invalidates.
   Counter* counter(std::string_view name);
   Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
 
   /// Value of a counter/gauge, or 0 when it was never created.
   uint64_t CounterValue(std::string_view name) const;
   int64_t GaugeValue(std::string_view name) const;
+  /// The named histogram, or nullptr when it was never created.
+  const Histogram* FindHistogram(std::string_view name) const;
 
-  /// Flat snapshot: {"counters": {name: value}, "gauges": {name: value}}.
+  /// Flat snapshot: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {...}}. Sections and names are emitted in sorted order; counter values
+  /// go through an unsigned-safe number path (no int64 cast, so values past
+  /// 2^63 cannot flip negative — byte counters get there on long-lived
+  /// service processes).
   JsonValue ToJson() const;
+
+  /// \brief Plain-text dump in the Prometheus exposition format, the body a
+  /// service front-end serves at /metrics: `# TYPE` headers, sanitized
+  /// `bento_`-prefixed names, histograms as cumulative `_bucket{le=...}`
+  /// series plus `_sum`/`_count`.
+  std::string DumpPrometheusText() const;
 
   /// Zeroes every instrument (between benchmark repetitions / tests).
   void ResetAll();
@@ -72,6 +86,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 }  // namespace bento::obs

@@ -1,0 +1,495 @@
+#include "obs/resource.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/energy.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace bento::obs {
+
+namespace internal {
+std::atomic<bool> g_sampling_enabled{false};
+}  // namespace internal
+
+namespace {
+
+std::atomic<double (*)()> g_sim_hz_hook{nullptr};
+
+bool PerfDisabledByEnv() {
+  static const bool disabled = [] {
+    const char* env = std::getenv("BENTO_PERF");
+    return env != nullptr && std::strcmp(env, "off") == 0;
+  }();
+  return disabled;
+}
+
+/// Per-thread counter state. The perf backend opens one counter group
+/// (cycles leader + instructions + cache-misses + task-clock) read with a
+/// single syscall; the fallback backend reads the thread CPU clock.
+struct ThreadSampler {
+  SamplerBackend backend = SamplerBackend::kNone;
+#if defined(__linux__)
+  int group_fd = -1;
+#endif
+
+  ~ThreadSampler() {
+#if defined(__linux__)
+    if (group_fd >= 0) ::close(group_fd);
+#endif
+  }
+};
+
+thread_local ThreadSampler t_sampler;
+
+#if defined(__linux__)
+
+int OpenPerfCounter(uint32_t type, uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.exclude_kernel = 1;  // unprivileged-friendly (paranoid level 2)
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  return static_cast<int>(::syscall(SYS_perf_event_open, &attr, 0, -1,
+                                    group_fd, 0));
+}
+
+/// Tries to build the full hardware group; tears everything down on any
+/// failure so the thread falls back cleanly.
+bool TryOpenPerfGroup(ThreadSampler* sampler) {
+  const int leader =
+      OpenPerfCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (leader < 0) return false;
+  const int instructions =
+      OpenPerfCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, leader);
+  const int cache_misses =
+      OpenPerfCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, leader);
+  const int task_clock =
+      OpenPerfCounter(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, leader);
+  if (instructions < 0 || cache_misses < 0 || task_clock < 0 ||
+      ::ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+      ::ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+    if (instructions >= 0) ::close(instructions);
+    if (cache_misses >= 0) ::close(cache_misses);
+    if (task_clock >= 0) ::close(task_clock);
+    ::close(leader);
+    return false;
+  }
+  // The sibling fds are owned by the group; the leader fd suffices for
+  // group reads, but the siblings must stay open for their counters to
+  // keep counting — intentionally leaked to thread exit (the fds die with
+  // the thread; ThreadSampler closes the leader).
+  sampler->group_fd = leader;
+  return true;
+}
+
+#endif  // __linux__
+
+uint64_t ThreadCpuNs() {
+  timespec ts;
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+Status InstallLocked(ThreadSampler* sampler) {
+  if (sampler->backend != SamplerBackend::kNone) return Status::OK();
+#if defined(__linux__)
+  if (!PerfDisabledByEnv() && TryOpenPerfGroup(sampler)) {
+    sampler->backend = SamplerBackend::kPerf;
+    return Status::OK();
+  }
+#endif
+  timespec probe;
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &probe) != 0) {
+    return Status::IOError("thread CPU clock unavailable");
+  }
+  sampler->backend = SamplerBackend::kTaskClock;
+  return Status::OK();
+}
+
+// --- aggregation ---
+
+struct RollupEntry {
+  uint64_t spans = 0;
+  double wall_us = 0.0;
+  double vdur_us = 0.0;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
+  uint64_t task_clock_ns = 0;
+  bool perf = false;
+  std::unique_ptr<Histogram> dur_hist = std::make_unique<Histogram>();
+};
+
+struct Aggregator {
+  std::mutex mu;
+  // Key: context \x1f category \x1f name (unit separator never appears in
+  // span names).
+  std::map<std::string, RollupEntry> entries;
+  std::atomic<uint64_t> total_cycles{0};
+
+  static Aggregator& Get() {
+    // Leaked: span exits on pool workers may outlive static destruction.
+    static Aggregator* agg = new Aggregator();
+    return *agg;
+  }
+};
+
+thread_local std::string t_resource_context;
+
+const std::string& EmptyContext() {
+  static const std::string empty;
+  return empty;
+}
+
+}  // namespace
+
+Status InstallThreadSampler() { return InstallLocked(&t_sampler); }
+
+SamplerBackend ThreadSamplerBackend() { return t_sampler.backend; }
+
+ResourceUsage ReadThreadUsage() {
+  ThreadSampler* sampler = &t_sampler;
+  if (sampler->backend == SamplerBackend::kNone) {
+    if (!InstallLocked(sampler).ok()) return ResourceUsage{};
+  }
+  ResourceUsage usage;
+#if defined(__linux__)
+  if (sampler->backend == SamplerBackend::kPerf) {
+    // PERF_FORMAT_GROUP layout: { nr, values[nr] } in open order.
+    uint64_t buf[1 + 4] = {};
+    const ssize_t n = ::read(sampler->group_fd, buf, sizeof(buf));
+    if (n >= static_cast<ssize_t>(5 * sizeof(uint64_t)) && buf[0] == 4) {
+      usage.cycles = buf[1];
+      usage.instructions = buf[2];
+      usage.cache_misses = buf[3];
+      usage.task_clock_ns = buf[4];
+      usage.perf = true;
+      return usage;
+    }
+    // A failing group read degrades to the clock fallback below.
+  }
+#endif
+  usage.task_clock_ns = ThreadCpuNs();
+  // Synthesize cycles from CPU time so energy attribution always has a
+  // cycle denominator ("task-clock share" fallback).
+  usage.cycles = static_cast<uint64_t>(
+      static_cast<double>(usage.task_clock_ns) * 1e-9 *
+      EnergyMeter::Global().model_hz());
+  return usage;
+}
+
+void EnableResourceSampling() {
+  (void)InstallThreadSampler();
+  internal::g_sampling_enabled.store(true, std::memory_order_release);
+}
+
+void DisableResourceSampling() {
+  internal::g_sampling_enabled.store(false, std::memory_order_release);
+}
+
+void SetSimCycleHzHook(double (*hook)()) {
+  g_sim_hz_hook.store(hook, std::memory_order_relaxed);
+}
+
+double CurrentSimCycleHz() {
+  double (*hook)() = g_sim_hz_hook.load(std::memory_order_relaxed);
+  return hook != nullptr ? hook() : 0.0;
+}
+
+ResourceContextScope::ResourceContextScope(std::string context) {
+  previous_ = std::move(t_resource_context);
+  t_resource_context = std::move(context);
+}
+
+ResourceContextScope::~ResourceContextScope() {
+  t_resource_context = std::move(previous_);
+}
+
+const std::string& CurrentResourceContext() {
+  return t_resource_context.empty() ? EmptyContext() : t_resource_context;
+}
+
+void AttributeSpan(Category cat, std::string_view name, double dur_us,
+                   double vdur_us, const ResourceUsage& delta) {
+  // Per-category duration histogram (find-or-create is cached per call
+  // site would need the category; one registry lookup per span exit is
+  // fine at sampling granularity).
+  MetricsRegistry::Global()
+      .histogram(std::string("span.") + CategoryName(cat) + ".dur_us")
+      ->Record(dur_us);
+
+  Aggregator& agg = Aggregator::Get();
+  agg.total_cycles.fetch_add(delta.cycles, std::memory_order_relaxed);
+  std::string key;
+  const std::string& context = CurrentResourceContext();
+  key.reserve(context.size() + name.size() + 16);
+  key.append(context.empty() ? "-" : context);
+  key.push_back('\x1f');
+  key.append(CategoryName(cat));
+  key.push_back('\x1f');
+  key.append(name);
+  std::lock_guard<std::mutex> lk(agg.mu);
+  RollupEntry& entry = agg.entries[key];
+  entry.spans += 1;
+  entry.wall_us += dur_us;
+  entry.vdur_us += vdur_us;
+  entry.cycles += delta.cycles;
+  entry.instructions += delta.instructions;
+  entry.cache_misses += delta.cache_misses;
+  entry.task_clock_ns += delta.task_clock_ns;
+  entry.perf = entry.perf || delta.perf;
+  entry.dur_hist->Record(dur_us);
+}
+
+double CurrentJoulesEstimate() {
+  EnergyMeter& meter = EnergyMeter::Global();
+  if (meter.has_rapl()) return meter.JoulesSince();
+  return meter.ModelJoules(static_cast<double>(
+      Aggregator::Get().total_cycles.load(std::memory_order_relaxed)));
+}
+
+void ResetResourceAggregation() {
+  Aggregator& agg = Aggregator::Get();
+  {
+    std::lock_guard<std::mutex> lk(agg.mu);
+    agg.entries.clear();
+  }
+  agg.total_cycles.store(0, std::memory_order_relaxed);
+  (void)EnergyMeter::Global().Begin();
+}
+
+const ResourceReport::Row* ResourceReport::Find(std::string_view context,
+                                                std::string_view category,
+                                                std::string_view name) const {
+  for (const Row& row : rows) {
+    if (row.context == context && row.category == category &&
+        row.name == name) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+ResourceReport SnapshotResourceReport() {
+  ResourceReport report;
+  EnergyMeter& meter = EnergyMeter::Global();
+  report.energy_source = meter.source();
+  report.model_watts = meter.model_watts();
+  report.model_hz = meter.model_hz();
+
+  Aggregator& agg = Aggregator::Get();
+  std::lock_guard<std::mutex> lk(agg.mu);
+  uint64_t total_cycles = 0;
+  uint64_t total_task_clock = 0;
+  for (const auto& [key, entry] : agg.entries) {
+    total_cycles += entry.cycles;
+    total_task_clock += entry.task_clock_ns;
+  }
+
+  const bool rapl = meter.has_rapl();
+  const double measured = rapl ? meter.JoulesSince() : 0.0;
+  report.total_joules =
+      rapl ? measured : meter.ModelJoules(static_cast<double>(total_cycles));
+
+  for (const auto& [key, entry] : agg.entries) {
+    ResourceReport::Row row;
+    const size_t sep1 = key.find('\x1f');
+    const size_t sep2 = key.find('\x1f', sep1 + 1);
+    row.context = key.substr(0, sep1);
+    row.category = key.substr(sep1 + 1, sep2 - sep1 - 1);
+    row.name = key.substr(sep2 + 1);
+    row.spans = entry.spans;
+    row.wall_us = entry.wall_us;
+    row.vdur_us = entry.vdur_us;
+    row.cycles = entry.cycles;
+    row.instructions = entry.instructions;
+    row.cache_misses = entry.cache_misses;
+    row.task_clock_ns = entry.task_clock_ns;
+    row.perf = entry.perf;
+    if (rapl) {
+      // Distribute the measured total proportionally by cycles; when no
+      // cycles were recorded anywhere, fall back to task-clock share.
+      if (total_cycles > 0) {
+        row.joules = measured * static_cast<double>(entry.cycles) /
+                     static_cast<double>(total_cycles);
+      } else if (total_task_clock > 0) {
+        row.joules = measured * static_cast<double>(entry.task_clock_ns) /
+                     static_cast<double>(total_task_clock);
+      }
+    } else {
+      row.joules = meter.ModelJoules(static_cast<double>(entry.cycles));
+    }
+    row.p50_us = entry.dur_hist->Quantile(0.50);
+    row.p95_us = entry.dur_hist->Quantile(0.95);
+    row.p99_us = entry.dur_hist->Quantile(0.99);
+    report.rows.push_back(std::move(row));
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const ResourceReport::Row& a, const ResourceReport::Row& b) {
+              if (a.cycles != b.cycles) return a.cycles > b.cycles;
+              if (a.context != b.context) return a.context < b.context;
+              if (a.category != b.category) return a.category < b.category;
+              return a.name < b.name;
+            });
+  return report;
+}
+
+namespace {
+
+std::string FormatCount(uint64_t v) {
+  char buf[32];
+  if (v >= 10'000'000'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", static_cast<double>(v) * 1e-9);
+  } else if (v >= 10'000'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(v) * 1e-6);
+  } else if (v >= 10'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", static_cast<double>(v) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  }
+  return buf;
+}
+
+std::string FormatUs(double us) {
+  char buf[32];
+  if (us >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", us * 1e-6);
+  } else if (us >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", us * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fus", us);
+  }
+  return buf;
+}
+
+std::string FormatJoules(double j) {
+  char buf[32];
+  if (j >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fJ", j);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fmJ", j * 1e3);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string ResourceReport::FormatTable() const {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "resource report — energy source: %s (%.1f W model @ %.2f "
+                "GHz), total %.3f J\n",
+                energy_source.c_str(), model_watts, model_hz * 1e-9,
+                total_joules);
+  out += line;
+  std::snprintf(line, sizeof(line), "%-24s %-10s %-26s %7s %10s %10s %10s %10s %8s %8s %8s %9s\n",
+                "context", "category", "span", "count", "wall", "p50", "p95",
+                "p99", "cycles", "instr", "miss", "energy");
+  out += line;
+  for (const Row& row : rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-24s %-10s %-26s %7" PRIu64
+                  " %10s %10s %10s %10s %8s %8s %8s %9s\n",
+                  row.context.c_str(), row.category.c_str(),
+                  row.name.c_str(), row.spans, FormatUs(row.wall_us).c_str(),
+                  FormatUs(row.p50_us).c_str(), FormatUs(row.p95_us).c_str(),
+                  FormatUs(row.p99_us).c_str(), FormatCount(row.cycles).c_str(),
+                  FormatCount(row.instructions).c_str(),
+                  FormatCount(row.cache_misses).c_str(),
+                  FormatJoules(row.joules).c_str());
+    out += line;
+  }
+  if (rows.empty()) out += "(no sampled spans)\n";
+  return out;
+}
+
+JsonValue ResourceReport::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("energy_source", JsonValue::Str(energy_source));
+  doc.Set("total_joules", JsonValue::Number(total_joules));
+  doc.Set("model_watts", JsonValue::Number(model_watts));
+  doc.Set("model_hz", JsonValue::Number(model_hz));
+  JsonValue rows_json = JsonValue::Array();
+  for (const Row& row : rows) {
+    JsonValue r = JsonValue::Object();
+    r.Set("context", JsonValue::Str(row.context));
+    r.Set("category", JsonValue::Str(row.category));
+    r.Set("name", JsonValue::Str(row.name));
+    r.Set("spans", JsonValue::Number(static_cast<double>(row.spans)));
+    r.Set("wall_us", JsonValue::Number(row.wall_us));
+    r.Set("vdur_us", JsonValue::Number(row.vdur_us));
+    r.Set("cycles", JsonValue::Number(static_cast<double>(row.cycles)));
+    r.Set("instructions",
+          JsonValue::Number(static_cast<double>(row.instructions)));
+    r.Set("cache_misses",
+          JsonValue::Number(static_cast<double>(row.cache_misses)));
+    r.Set("task_clock_ns",
+          JsonValue::Number(static_cast<double>(row.task_clock_ns)));
+    r.Set("perf", JsonValue::Bool(row.perf));
+    r.Set("joules", JsonValue::Number(row.joules));
+    r.Set("p50_us", JsonValue::Number(row.p50_us));
+    r.Set("p95_us", JsonValue::Number(row.p95_us));
+    r.Set("p99_us", JsonValue::Number(row.p99_us));
+    rows_json.Append(std::move(r));
+  }
+  doc.Set("rows", std::move(rows_json));
+  return doc;
+}
+
+namespace {
+std::atomic<bool> g_report_scope_active{false};
+}  // namespace
+
+ResourceReportScope::ResourceReportScope(bool requested) {
+  if (!requested) {
+    const char* env = std::getenv("BENTO_REPORT");
+    requested = env != nullptr && env[0] != '\0' &&
+                std::strcmp(env, "0") != 0;
+  }
+  if (!requested) return;
+  bool expected = false;
+  if (!g_report_scope_active.compare_exchange_strong(expected, true)) {
+    return;  // an enclosing scope is already reporting
+  }
+  owns_ = true;
+  if (!TracingEnabled()) {
+    StartTracing();
+    owns_tracing_ = true;
+  }
+  ResetResourceAggregation();
+  EnableResourceSampling();
+}
+
+ResourceReportScope::~ResourceReportScope() {
+  if (!owns_) return;
+  DisableResourceSampling();
+  ResourceReport report = SnapshotResourceReport();
+  if (owns_tracing_) StopTracing();
+  g_report_scope_active.store(false, std::memory_order_release);
+  std::fputs(report.FormatTable().c_str(), stdout);
+}
+
+}  // namespace bento::obs

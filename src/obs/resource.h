@@ -1,0 +1,173 @@
+#ifndef BENTO_OBS_RESOURCE_H_
+#define BENTO_OBS_RESOURCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace bento::obs {
+
+enum class Category;  // obs/trace.h
+
+/// \brief Cumulative per-thread resource counters since sampler install.
+///
+/// `perf` is true when cycles/instructions/cache_misses come from live
+/// hardware counters (perf_event_open); in the fallback backend the thread
+/// CPU clock supplies task_clock_ns and cycles are synthesized as
+/// task_clock × model_hz so downstream energy attribution always has a
+/// cycle denominator.
+struct ResourceUsage {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
+  uint64_t task_clock_ns = 0;
+  bool perf = false;
+};
+
+/// Which counter source backs the calling thread's sampler.
+enum class SamplerBackend {
+  kNone,       ///< not installed yet
+  kPerf,       ///< perf_event_open hardware counter group
+  kTaskClock,  ///< CLOCK_THREAD_CPUTIME_ID fallback (containers, macOS,
+               ///< BENTO_PERF=off)
+};
+
+/// \brief Opens this thread's counters (idempotent). perf unavailability —
+/// no /proc/sys/kernel/perf_event_paranoid access, seccomp, macOS,
+/// BENTO_PERF=off — is a clean no-op: the thread falls back to the CPU-time
+/// backend and OK is returned. Only a broken fallback clock reports an
+/// error.
+Status InstallThreadSampler();
+
+SamplerBackend ThreadSamplerBackend();
+
+/// Current cumulative counters for this thread (auto-installs the sampler).
+ResourceUsage ReadThreadUsage();
+
+namespace internal {
+/// Gates the per-span counter reads, separately from tracing: a plain
+/// --trace run pays no perf/clock syscalls.
+extern std::atomic<bool> g_sampling_enabled;
+}  // namespace internal
+
+inline bool ResourceSamplingEnabled() {
+  return internal::g_sampling_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns span-exit resource attribution on/off. Sampling rides on tracing:
+/// spans only run while TracingEnabled(), so callers that want attribution
+/// without a trace file still call StartTracing (ResourceReportScope does).
+void EnableResourceSampling();
+void DisableResourceSampling();
+
+/// \brief Hook returning the simulated cycle frequency (Hz) when the
+/// calling thread executes under an ExecutionMode::kSimulated session, 0
+/// otherwise. Installed by sim::Session (like the virtual-credit hook) so
+/// simulated runs charge deterministic virtual cycles — vdur × hz — instead
+/// of host counters, keeping kSimulated bit-deterministic under fake clocks.
+void SetSimCycleHzHook(double (*hook)());
+double CurrentSimCycleHz();
+
+/// \brief Thread-local attribution label ("dataset/engine") captured into
+/// rollup keys, so one process aggregating many runs can split its report
+/// by run. Restores the previous label on destruction.
+class ResourceContextScope {
+ public:
+  explicit ResourceContextScope(std::string context);
+  ~ResourceContextScope();
+
+  ResourceContextScope(const ResourceContextScope&) = delete;
+  ResourceContextScope& operator=(const ResourceContextScope&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+const std::string& CurrentResourceContext();
+
+/// \brief Span-exit attribution sink (called by TraceSpan::End while
+/// sampling): adds the span's wall/virtual duration and counter deltas to
+/// the rollup keyed by (context, category, name) and to the per-category
+/// duration histogram `span.<category>.dur_us` in the MetricsRegistry.
+void AttributeSpan(Category cat, std::string_view name, double dur_us,
+                   double vdur_us, const ResourceUsage& delta);
+
+/// \brief Cumulative joules attributed so far in the current sampling
+/// window: the RAPL delta when available, else the cycles×watts model over
+/// all attributed cycles. Backs the "energy:joules" counter track.
+double CurrentJoulesEstimate();
+
+/// \brief Aggregated resource rollups with energy attribution.
+struct ResourceReport {
+  struct Row {
+    std::string context;   ///< ResourceContextScope label ("-" when none)
+    std::string category;  ///< span category name
+    std::string name;      ///< span name
+    uint64_t spans = 0;
+    double wall_us = 0.0;
+    double vdur_us = 0.0;
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t cache_misses = 0;
+    uint64_t task_clock_ns = 0;
+    bool perf = false;     ///< any contribution from live hardware counters
+    double joules = 0.0;   ///< energy share (see energy_source)
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+  };
+
+  std::vector<Row> rows;  ///< sorted by cycles, largest first
+  double total_joules = 0.0;
+  std::string energy_source;  ///< "rapl" | "model"
+  double model_watts = 0.0;
+  double model_hz = 0.0;
+
+  /// First row matching (context, category, name), or nullptr.
+  const Row* Find(std::string_view context, std::string_view category,
+                  std::string_view name) const;
+
+  /// Fixed-width text table (the --report output).
+  std::string FormatTable() const;
+
+  JsonValue ToJson() const;
+};
+
+/// Clears every rollup and (re)snapshots the energy meter, starting a new
+/// measurement window.
+void ResetResourceAggregation();
+
+/// \brief Snapshot of the rollups with energy distributed: RAPL joules are
+/// split across rows proportionally by cycles (task-clock share when no
+/// cycles were recorded at all); in model mode each row gets
+/// ModelJoules(row.cycles) directly.
+ResourceReport SnapshotResourceReport();
+
+/// \brief RAII activation for binaries (--report / BENTO_REPORT): starts
+/// tracing when no enclosing scope owns it, enables sampling, resets the
+/// aggregation window, and on destruction prints the report table to
+/// stdout. Inert when `requested` is false and BENTO_REPORT is unset, or
+/// when an enclosing scope is already reporting.
+class ResourceReportScope {
+ public:
+  explicit ResourceReportScope(bool requested);
+  ~ResourceReportScope();
+
+  ResourceReportScope(const ResourceReportScope&) = delete;
+  ResourceReportScope& operator=(const ResourceReportScope&) = delete;
+
+  bool owns() const { return owns_; }
+
+ private:
+  bool owns_ = false;
+  bool owns_tracing_ = false;
+};
+
+}  // namespace bento::obs
+
+#endif  // BENTO_OBS_RESOURCE_H_

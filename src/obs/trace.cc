@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/energy.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -43,6 +44,8 @@ struct TraceEvent {
   double dur_us = 0.0;   // X only
   double vdur_us = 0.0;  // X only: virtual (credit-adjusted) duration
   double value = 0.0;    // C only
+  bool sampled = false;  // X only: res holds counter deltas
+  ResourceUsage res;     // X only: per-span resource deltas
 
   std::string_view Name() const {
     return static_name != nullptr ? std::string_view(static_name)
@@ -186,6 +189,10 @@ void TraceSpan::Begin(Category cat, const char* static_name) {
   active_ = true;
   cat_ = cat;
   static_name_ = static_name;
+  if (ResourceSamplingEnabled()) {
+    sampled_ = true;
+    res_start_ = ReadThreadUsage();
+  }
   credit_start_ = CurrentCredit();
   wall_start_ = Now();
 }
@@ -195,14 +202,47 @@ void TraceSpan::End() {
   const double credit_delta = CurrentCredit() - credit_start_;
   TraceEvent event;
   event.static_name = static_name_;
-  if (static_name_ == nullptr) event.name = std::move(dyn_name_);
   event.cat = cat_;
   event.phase = 'X';
   event.ts_us = (wall_start_ - Collector::Get().start_wall()) * 1e6;
   event.dur_us = (wall_end - wall_start_) * 1e6;
   double vdur_us = event.dur_us - credit_delta * 1e6;
   event.vdur_us = vdur_us > 0.0 ? vdur_us : 0.0;
+  if (sampled_) {
+    const double sim_hz = CurrentSimCycleHz();
+    if (sim_hz > 0.0) {
+      // Simulated execution charges deterministic virtual cycles derived
+      // from the credit-adjusted duration, so kSimulated rollups are
+      // bit-stable under fake clocks and independent of host counters.
+      event.res.cycles =
+          static_cast<uint64_t>(event.vdur_us * sim_hz * 1e-6);
+      event.res.task_clock_ns = static_cast<uint64_t>(event.vdur_us * 1e3);
+      event.res.instructions = 0;
+      event.res.cache_misses = 0;
+      event.res.perf = false;
+    } else {
+      const ResourceUsage now = ReadThreadUsage();
+      event.res.cycles = now.cycles - res_start_.cycles;
+      event.res.instructions = now.instructions - res_start_.instructions;
+      event.res.cache_misses = now.cache_misses - res_start_.cache_misses;
+      event.res.task_clock_ns = now.task_clock_ns - res_start_.task_clock_ns;
+      event.res.perf = now.perf;
+    }
+    event.sampled = true;
+    // Attribute before dyn_name_ is moved into the event below.
+    AttributeSpan(cat_,
+                  static_name_ != nullptr ? std::string_view(static_name_)
+                                          : std::string_view(dyn_name_),
+                  event.dur_us, event.vdur_us, event.res);
+  }
+  if (static_name_ == nullptr) event.name = std::move(dyn_name_);
   Append(std::move(event));
+  if (sampled_ &&
+      (cat_ == Category::kStage || cat_ == Category::kPreparator)) {
+    // Energy counter track: a running joules estimate sampled at the end of
+    // coarse spans renders as a Perfetto counter lane next to memory.
+    EmitCounter("energy:joules", CurrentJoulesEstimate());
+  }
 }
 
 JsonValue TraceToJson() {
@@ -233,6 +273,18 @@ JsonValue TraceToJson() {
         j.Set("dur", JsonValue::Number(e.dur_us));
         JsonValue args = JsonValue::Object();
         args.Set("vdur_us", JsonValue::Number(e.vdur_us));
+        if (e.sampled) {
+          args.Set("cycles",
+                   JsonValue::Number(static_cast<double>(e.res.cycles)));
+          args.Set("instructions",
+                   JsonValue::Number(static_cast<double>(e.res.instructions)));
+          args.Set("cache_misses",
+                   JsonValue::Number(static_cast<double>(e.res.cache_misses)));
+          args.Set("task_clock_us",
+                   JsonValue::Number(
+                       static_cast<double>(e.res.task_clock_ns) * 1e-3));
+          args.Set("perf", JsonValue::Bool(e.res.perf));
+        }
         j.Set("args", std::move(args));
       } else {
         JsonValue args = JsonValue::Object();

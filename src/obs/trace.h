@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/resource.h"
 #include "util/json.h"
 #include "util/status.h"
 
@@ -74,7 +75,11 @@ void SetVirtualCreditHook(double (*hook)());
 /// \brief RAII span. When tracing is disabled, construction is a single
 /// branch and allocates nothing. Records wall duration and virtual duration
 /// (wall minus sim time credits accrued inside the span, so simulated
-/// parallel overlap shrinks it and modeled penalties grow it).
+/// parallel overlap shrinks it and modeled penalties grow it). While
+/// resource sampling is also enabled (see obs/resource.h), the span
+/// additionally charges the thread's hardware-counter deltas — cycles,
+/// instructions, cache misses, task clock — to itself on scope exit and
+/// feeds the per-category duration histograms and resource rollups.
 class TraceSpan {
  public:
   TraceSpan(Category cat, const char* name) {
@@ -100,11 +105,13 @@ class TraceSpan {
   void End();
 
   bool active_ = false;
+  bool sampled_ = false;
   Category cat_ = Category::kKernel;
   const char* static_name_ = nullptr;
   std::string dyn_name_;
   double wall_start_ = 0.0;
   double credit_start_ = 0.0;
+  ResourceUsage res_start_;
 };
 
 /// \brief RAII trace session bound to an output file. Resolves the path

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/energy.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "sim/parallel.h"
 
@@ -18,6 +20,18 @@ thread_local Session* t_session = nullptr;
 double CurrentSessionCredit() {
   Session* s = Session::Current();
   return s != nullptr ? s->credit_seconds() : 0.0;
+}
+
+/// obs sim-cycle hook: the model clock frequency while the calling thread
+/// executes under a simulated session, 0 under real execution. Spans then
+/// charge deterministic virtual cycles instead of host hardware counters,
+/// keeping kSimulated resource rollups bit-stable under fake clocks.
+double CurrentSessionSimCycleHz() {
+  Session* s = Session::Current();
+  if (s == nullptr || s->execution_mode() != ExecutionMode::kSimulated) {
+    return 0.0;
+  }
+  return obs::EnergyMeter::Global().model_hz();
 }
 
 /// BENTO_MEM_BUDGET=<bytes> clamps every session's host budget from the
@@ -88,6 +102,7 @@ Session::Session(MachineSpec spec)
       execution_mode_(DefaultExecutionMode()) {
   t_session = this;
   obs::SetVirtualCreditHook(&CurrentSessionCredit);
+  obs::SetSimCycleHzHook(&CurrentSessionSimCycleHz);
 }
 
 Session::~Session() { t_session = previous_; }

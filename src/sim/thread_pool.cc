@@ -109,6 +109,10 @@ bool ThreadPool::PopOrSteal(int self, std::function<void()>* out) {
 void ThreadPool::WorkerLoop(int self) {
   t_worker_index = self;
   obs::SetCurrentThreadName("pool-worker-" + std::to_string(self));
+  // Open this worker's hardware counters up front so the first sampled span
+  // does not pay the perf_event_open syscalls; unavailability is a clean
+  // fallback, never fatal for the pool.
+  (void)obs::InstallThreadSampler();
   std::function<void()> task;
   for (;;) {
     if (PopOrSteal(self, &task)) {

@@ -280,6 +280,9 @@ TEST_P(EngineDifferentialTest, RealExecutionMatchesSimulated) {
 // Invariant 3: obs tracing is an observer, never a participant — results
 // with a trace collecting are bit-identical to results without, in both
 // execution modes (spans and counters must not perturb engine logic).
+// The full-sampling arm additionally turns on per-span resource counters
+// and energy accounting: hardware-counter reads and joule attribution on
+// every span exit must be equally invisible to engine results.
 TEST_P(EngineDifferentialTest, TracingDoesNotChangeResults) {
   const std::string id = GetParam();
   for (const auto mode :
@@ -287,16 +290,27 @@ TEST_P(EngineDifferentialTest, TracingDoesNotChangeResults) {
     for (const OpCase& c : AllOpCases()) {
       SCOPED_TRACE(c.name);
       RunOutcome plain = RunOne(id, mode, c);
+
       obs::StartTracing();
       RunOutcome traced = RunOne(id, mode, c);
       obs::StopTracing();
-      ASSERT_EQ(plain.status.code(), traced.status.code())
-          << plain.status.ToString() << " vs " << traced.status.ToString();
-      if (!plain.status.ok()) continue;
-      if (plain.is_action) {
-        ExpectActionsEqual(plain.action, traced.action);
-      } else {
-        test::ExpectTablesEqual(plain.table, traced.table);
+
+      obs::StartTracing();
+      obs::ResetResourceAggregation();
+      obs::EnableResourceSampling();
+      RunOutcome sampled = RunOne(id, mode, c);
+      obs::DisableResourceSampling();
+      obs::StopTracing();
+
+      for (const RunOutcome* run : {&traced, &sampled}) {
+        ASSERT_EQ(plain.status.code(), run->status.code())
+            << plain.status.ToString() << " vs " << run->status.ToString();
+        if (!plain.status.ok()) continue;
+        if (plain.is_action) {
+          ExpectActionsEqual(plain.action, run->action);
+        } else {
+          test::ExpectTablesEqual(plain.table, run->table);
+        }
       }
     }
   }

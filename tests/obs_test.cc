@@ -1,14 +1,18 @@
 // bento::obs unit + integration suite: metrics aggregation under
 // contention, golden Chrome-trace export on a fake clock, virtual-time
 // spans, zero-allocation disabled paths, span collection across real pool
-// workers, the memory-timeline counter track, and a full function-core
-// runner trace validated against the schema in tests/trace_schema.h.
+// workers, the memory-timeline counter track, a full function-core runner
+// trace validated against the schema in tests/trace_schema.h, histogram
+// quantile properties, the fake-RAPL energy fixture, and the per-span
+// resource sampler with its perf-unavailable fallback.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
@@ -18,9 +22,13 @@
 
 #include "bento/pipeline.h"
 #include "bento/runner.h"
+#include "obs/energy.h"
+#include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "sim/machine.h"
+#include "sim/parallel.h"
 #include "sim/thread_pool.h"
 #include "tests/test_util.h"
 #include "tests/trace_schema.h"
@@ -365,6 +373,423 @@ TEST_F(TraceTest, FunctionCoreLoanRunEmitsValidPipelineTrace) {
     }
     EXPECT_TRUE(any_peak);
     EXPECT_GT(report.ValueOrDie().peak_host_bytes, 0u);
+  }
+  std::string cmd = "rm -rf " + dir;
+  (void)!system(cmd.c_str());
+}
+
+// --- histogram ---
+
+TEST(HistogramTest, QuantilePropertyAgainstSortedReference) {
+  // Deterministic long-tailed samples: an LCG driving an exponential-ish
+  // spread across six decades, the span-duration regime.
+  Histogram hist;
+  std::vector<double> values;
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double u = static_cast<double>(state >> 11) / 9007199254740992.0;
+    const double v = std::pow(10.0, u * 6.0 - 1.0);  // [0.1, 1e5)
+    values.push_back(v);
+    hist.Record(v);
+  }
+  ASSERT_EQ(hist.count(), values.size());
+  std::sort(values.begin(), values.end());
+
+  const double relative_bound = std::pow(2.0, 1.0 / 8.0);
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999}) {
+    const size_t target = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    const double truth = values[std::max<size_t>(target, 1) - 1];
+    const double estimate = hist.Quantile(q);
+    // The documented guarantee: t <= e <= t * 2^(1/8).
+    EXPECT_GE(estimate, truth) << "q=" << q;
+    EXPECT_LE(estimate, truth * relative_bound) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(hist.min(), values.front());
+  EXPECT_DOUBLE_EQ(hist.max(), values.back());
+}
+
+TEST(HistogramTest, EdgesUnderflowOverflowAndReset) {
+  Histogram hist;
+  hist.Record(0.0);     // underflow bucket (not positive)
+  hist.Record(-5.0);    // underflow
+  hist.Record(1e300);   // overflow bucket
+  hist.Record(42.0);
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kBuckets - 1);
+  // A mid-range value maps to a bucket whose edge bounds it from above
+  // within one sub-bucket ratio.
+  const int idx = Histogram::BucketIndex(42.0);
+  EXPECT_GE(Histogram::BucketUpperEdge(idx), 42.0);
+  EXPECT_LE(Histogram::BucketUpperEdge(idx), 42.0 * std::pow(2.0, 0.125));
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, MergeMatchesCombinedRecording) {
+  Histogram a, b, combined;
+  for (int i = 1; i <= 100; ++i) {
+    a.Record(i);
+    combined.Record(i);
+  }
+  for (int i = 101; i <= 200; ++i) {
+    b.Record(i);
+    combined.Record(i);
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), combined.Quantile(q));
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kRecords; ++i) {
+        hist.Record(static_cast<double>(t * kRecords + i + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hist.count(), static_cast<uint64_t>(kThreads) * kRecords);
+  const double n = static_cast<double>(kThreads) * kRecords;
+  EXPECT_DOUBLE_EQ(hist.sum(), n * (n + 1) / 2);
+}
+
+TEST(MetricsTest, PrometheusDumpShapes) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.counter("prom.test_counter")->Reset();
+  reg.counter("prom.test_counter")->Add(7);
+  reg.gauge("prom.test_gauge")->Set(-3);
+  Histogram* h = reg.histogram("prom.test_hist");
+  h->Reset();
+  for (int i = 1; i <= 100; ++i) h->Record(i);
+
+  const std::string text = reg.DumpPrometheusText();
+  EXPECT_NE(text.find("# TYPE bento_prom_test_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bento_prom_test_counter 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bento_prom_test_gauge gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bento_prom_test_gauge -3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bento_prom_test_hist histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bento_prom_test_hist_count 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"} 100\n"), std::string::npos);
+  // Dots sanitize to underscores; nothing leaks the raw name.
+  EXPECT_EQ(text.find("prom.test"), std::string::npos);
+}
+
+TEST(MetricsTest, SnapshotKeepsLargeCountersPositive) {
+  Counter* c = MetricsRegistry::Global().counter("obs_test.huge");
+  c->Reset();
+  c->Add(1ull << 63);  // past int64 range
+  JsonValue snapshot = MetricsRegistry::Global().ToJson();
+  EXPECT_GT(snapshot.Get("counters").GetNumber("obs_test.huge"), 0.0);
+  c->Reset();
+}
+
+// --- energy meter ---
+
+/// Writes a fake RAPL tree under a temp dir and points an EnergyMeter at
+/// it: package domains with controllable energy_uj counters, exercising
+/// wrap-around and multi-package summation without hardware access.
+class FakeRaplFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = "/tmp/bento_fake_rapl_" + std::to_string(::getpid());
+    std::string cmd = "rm -rf " + root_;
+    (void)!system(cmd.c_str());
+    ::mkdir(root_.c_str(), 0755);
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf " + root_;
+    (void)!system(cmd.c_str());
+  }
+
+  void AddPackage(int n, uint64_t energy_uj, uint64_t max_range_uj) {
+    const std::string dir = root_ + "/intel-rapl:" + std::to_string(n);
+    ::mkdir(dir.c_str(), 0755);
+    WriteValue(dir + "/energy_uj", energy_uj);
+    if (max_range_uj > 0) {
+      WriteValue(dir + "/max_energy_range_uj", max_range_uj);
+    }
+  }
+
+  /// Subdomains (core/uncore) must be skipped — counting them would
+  /// double-bill the package.
+  void AddSubdomain(int pkg, int sub, uint64_t energy_uj) {
+    const std::string dir = root_ + "/intel-rapl:" + std::to_string(pkg) +
+                            ":" + std::to_string(sub);
+    ::mkdir(dir.c_str(), 0755);
+    WriteValue(dir + "/energy_uj", energy_uj);
+  }
+
+  void SetEnergy(int n, uint64_t energy_uj) {
+    WriteValue(root_ + "/intel-rapl:" + std::to_string(n) + "/energy_uj",
+               energy_uj);
+  }
+
+  std::string root_;
+
+ private:
+  static void WriteValue(const std::string& path, uint64_t v) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr) << path;
+    std::fprintf(f, "%llu\n", static_cast<unsigned long long>(v));
+    std::fclose(f);
+  }
+};
+
+TEST_F(FakeRaplFixture, MultiPackageSumAndDeltas) {
+  AddPackage(0, 1'000'000, 262'143'328'850);
+  AddPackage(1, 5'000'000, 262'143'328'850);
+  AddSubdomain(0, 0, 999'999'999);  // must not be scanned
+  EnergyMeter meter(root_);
+  ASSERT_TRUE(meter.has_rapl());
+  EXPECT_EQ(meter.package_count(), 2);
+  EXPECT_STREQ(meter.source(), "rapl");
+
+  ASSERT_OK(meter.Begin());
+  EXPECT_DOUBLE_EQ(meter.JoulesSince(), 0.0);
+  SetEnergy(0, 1'500'000);  // +0.5 J
+  SetEnergy(1, 5'250'000);  // +0.25 J
+  EXPECT_NEAR(meter.JoulesSince(), 0.75, 1e-9);
+  // Deltas accumulate across reads, not reset by reading.
+  SetEnergy(0, 1'600'000);  // +0.1 J more
+  EXPECT_NEAR(meter.JoulesSince(), 0.85, 1e-9);
+}
+
+TEST_F(FakeRaplFixture, CounterWrapAroundIsCorrected) {
+  constexpr uint64_t kRange = 10'000'000;  // 10 J wrap range
+  AddPackage(0, 9'900'000, kRange);
+  EnergyMeter meter(root_);
+  ASSERT_TRUE(meter.has_rapl());
+  ASSERT_OK(meter.Begin());
+  // Counter wraps: 9.9 J -> 0.3 J. True consumption = (10 - 9.9) + 0.3.
+  SetEnergy(0, 300'000);
+  EXPECT_NEAR(meter.JoulesSince(), 0.4, 1e-9);
+}
+
+TEST_F(FakeRaplFixture, WrapWithoutRangeFileTreatsRestartFromZero) {
+  AddPackage(0, 7'000'000, 0);  // no max_energy_range_uj
+  EnergyMeter meter(root_);
+  ASSERT_OK(meter.Begin());
+  SetEnergy(0, 2'000'000);  // went backwards with no wrap info
+  EXPECT_NEAR(meter.JoulesSince(), 2.0, 1e-9);
+}
+
+TEST(EnergyMeterTest, EmptyRootFallsBackToModel) {
+  EnergyMeter meter("/nonexistent/powercap/path");
+  EXPECT_FALSE(meter.has_rapl());
+  EXPECT_STREQ(meter.source(), "model");
+  EXPECT_EQ(meter.package_count(), 0);
+  // Begin/JoulesSince are clean no-ops in model mode.
+  ASSERT_OK(meter.Begin());
+  EXPECT_DOUBLE_EQ(meter.JoulesSince(), 0.0);
+  // The cycles×watts model: joules = cycles / hz * watts.
+  EXPECT_NEAR(meter.ModelJoules(meter.model_hz()), meter.model_watts(),
+              1e-12);
+  EXPECT_GT(meter.model_watts(), 0.0);
+  EXPECT_GT(meter.model_hz(), 0.0);
+}
+
+// --- resource sampler ---
+
+TEST(ResourceSamplerTest, InstallIsCleanNoOpWhenPerfUnavailable) {
+  // BENTO_PERF=off forces the perf-unavailable path deterministically; the
+  // sampler must fall back to the thread CPU clock and report OK. Install
+  // state is thread-local, so a fresh thread sees the env.
+  ::setenv("BENTO_PERF", "off", 1);
+  Status install_status = Status::OK();
+  SamplerBackend backend = SamplerBackend::kNone;
+  ResourceUsage usage;
+  std::thread probe([&] {
+    install_status = InstallThreadSampler();
+    backend = ThreadSamplerBackend();
+    // Burn some CPU so the fallback clock registers nonzero time.
+    volatile double sink = 0;
+    for (int i = 0; i < 2'000'000; ++i) sink += i * 0.5;
+    usage = ReadThreadUsage();
+  });
+  probe.join();
+  ::unsetenv("BENTO_PERF");
+
+  EXPECT_OK(install_status);
+  EXPECT_EQ(backend, SamplerBackend::kTaskClock);
+  EXPECT_FALSE(usage.perf);
+  EXPECT_GT(usage.task_clock_ns, 0u);
+  // The fallback synthesizes cycles from CPU time so energy attribution
+  // always has a denominator.
+  EXPECT_GT(usage.cycles, 0u);
+}
+
+TEST(ResourceSamplerTest, InstallSucceedsWithSomeBackend) {
+  // Without the env override the sampler picks whatever the host offers —
+  // perf where permitted, the clock fallback otherwise — but never fails.
+  std::thread probe([] {
+    EXPECT_OK(InstallThreadSampler());
+    EXPECT_NE(ThreadSamplerBackend(), SamplerBackend::kNone);
+    ResourceUsage a = ReadThreadUsage();
+    volatile double sink = 0;
+    for (int i = 0; i < 2'000'000; ++i) sink += i * 0.5;
+    ResourceUsage b = ReadThreadUsage();
+    // Counters are cumulative: monotone within a thread.
+    EXPECT_GE(b.task_clock_ns, a.task_clock_ns);
+    EXPECT_GE(b.cycles, a.cycles);
+  });
+  probe.join();
+}
+
+/// Sampling rides on tracing; every test leaves both off.
+class ResourceReportTest : public ::testing::Test {
+ protected:
+  ~ResourceReportTest() override {
+    DisableResourceSampling();
+    StopTracing();
+    testing::SetClockForTest(nullptr);
+  }
+};
+
+TEST_F(ResourceReportTest, SpansFeedRollupsAndHistograms) {
+  StartTracing();
+  ResetResourceAggregation();
+  EnableResourceSampling();
+  {
+    ResourceContextScope context("test/ctx");
+    for (int i = 0; i < 10; ++i) {
+      TraceSpan span(Category::kKernel, "rollup_target");
+      volatile double sink = 0;
+      for (int j = 0; j < 100'000; ++j) sink += j;
+    }
+  }
+  DisableResourceSampling();
+  ResourceReport report = SnapshotResourceReport();
+  StopTracing();
+
+  const ResourceReport::Row* row =
+      report.Find("test/ctx", "kernel", "rollup_target");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->spans, 10u);
+  EXPECT_GT(row->wall_us, 0.0);
+  EXPECT_GT(row->cycles, 0u);
+  EXPECT_GE(row->p99_us, row->p50_us);
+  EXPECT_GE(row->joules, 0.0);
+  EXPECT_FALSE(report.energy_source.empty());
+  // Per-category duration histogram was fed as well.
+  const Histogram* hist =
+      MetricsRegistry::Global().FindHistogram("span.kernel.dur_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GE(hist->count(), 10u);
+  // Table and JSON render without issue.
+  EXPECT_NE(report.FormatTable().find("rollup_target"), std::string::npos);
+  EXPECT_TRUE(report.ToJson().Get("rows").is_array());
+}
+
+TEST_F(ResourceReportTest, SimulatedSessionChargesDeterministicCycles) {
+  // Under a kSimulated session with a fake clock the charged cycles are a
+  // pure function of virtual duration × model hz — identical across runs.
+  sim::Session session(sim::MachineSpec::Laptop());
+  session.set_execution_mode(sim::ExecutionMode::kSimulated);
+  auto run_once = [&]() -> uint64_t {
+    g_fake_now = 50.0;
+    testing::SetClockForTest(&FakeClock);
+    StartTracing();
+    ResetResourceAggregation();
+    EnableResourceSampling();
+    {
+      TraceSpan span(Category::kKernel, "sim_cycles");
+      g_fake_now = 50.002;  // 2000 us of virtual work
+    }
+    DisableResourceSampling();
+    ResourceReport report = SnapshotResourceReport();
+    StopTracing();
+    testing::SetClockForTest(nullptr);
+    const ResourceReport::Row* row = report.Find("-", "kernel", "sim_cycles");
+    return row != nullptr ? row->cycles : 0;
+  };
+  const uint64_t first = run_once();
+  const uint64_t second = run_once();
+  EXPECT_EQ(first, second);
+  const uint64_t expected = static_cast<uint64_t>(
+      2000.0 * EnergyMeter::Global().model_hz() * 1e-6);
+  EXPECT_EQ(first, expected);
+  // Model-mode energy is equally deterministic.
+  EXPECT_DOUBLE_EQ(EnergyMeter::Global().ModelJoules(
+                       static_cast<double>(first)),
+                   static_cast<double>(first) /
+                       EnergyMeter::Global().model_hz() *
+                       EnergyMeter::Global().model_watts());
+}
+
+TEST_F(ResourceReportTest, DisabledSamplingKeepsZeroAllocPath) {
+  // The PR 3 invariant extended: with tracing off AND sampling off, span
+  // sites still allocate nothing and read no counters.
+  StopTracing();
+  DisableResourceSampling();
+  const uint64_t allocs_before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    BENTO_TRACE_SPAN(kKernel, "never_sampled");
+  }
+  EXPECT_EQ(g_allocations.load(), allocs_before);
+}
+
+TEST_F(ResourceReportTest, ReportScopeHonorsEnvAndNesting) {
+  ::unsetenv("BENTO_REPORT");
+  {
+    ResourceReportScope inert(false);
+    EXPECT_FALSE(inert.owns());
+    EXPECT_FALSE(ResourceSamplingEnabled());
+  }
+  {
+    ResourceReportScope outer(true);
+    EXPECT_TRUE(outer.owns());
+    EXPECT_TRUE(ResourceSamplingEnabled());
+    EXPECT_TRUE(TracingEnabled());
+    {
+      ResourceReportScope inner(true);  // nested: inert
+      EXPECT_FALSE(inner.owns());
+    }
+    EXPECT_TRUE(ResourceSamplingEnabled());
+  }
+  EXPECT_FALSE(ResourceSamplingEnabled());
+  EXPECT_FALSE(TracingEnabled());
+}
+
+TEST_F(ResourceReportTest, SampledRunnerTraceValidatesEnergySchema) {
+  const std::string dir =
+      "/tmp/bento_obs_energy_" + std::to_string(::getpid());
+  const std::string trace_path = dir + "/loan_energy_trace.json";
+  {
+    run::Runner runner(dir, 0.001);
+    auto pipeline = run::PipelineFor("loan").ValueOrDie();
+    run::RunConfig config;
+    config.engine_id = "pandas";
+    config.mode = run::RunMode::kFunctionCore;
+    config.trace_path = trace_path;
+    config.collect_resources = true;
+    auto report = runner.Run(config, pipeline, "loan");
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ASSERT_TRUE(report.ValueOrDie().status.ok())
+        << report.ValueOrDie().status.ToString();
+
+    auto doc = ReadJsonFile(trace_path);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_OK(test::ValidateTraceDocument(doc.ValueOrDie(), nullptr));
+    EXPECT_OK(test::ValidateEnergyTrack(doc.ValueOrDie()));
   }
   std::string cmd = "rm -rf " + dir;
   (void)!system(cmd.c_str());

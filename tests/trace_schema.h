@@ -1,9 +1,11 @@
 #ifndef BENTO_TESTS_TRACE_SCHEMA_H_
 #define BENTO_TESTS_TRACE_SCHEMA_H_
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/json.h"
@@ -17,6 +19,7 @@ struct TraceStats {
   int span_count = 0;        ///< 'X' complete events
   int counter_samples = 0;   ///< 'C' counter samples
   int thread_metadata = 0;   ///< 'M' thread_name records
+  int sampled_spans = 0;     ///< 'X' events carrying resource-counter args
   std::map<std::string, int> spans_by_category;
   std::set<std::string> counter_tracks;
   std::set<std::string> span_names;
@@ -95,6 +98,23 @@ inline Status ValidateTraceDocument(const JsonValue& doc, TraceStats* stats) {
       if (!vdur.is_number() || vdur.number_value() < 0) {
         return Status::Invalid(where, " (", name,
                                "): vdur_us missing or negative");
+      }
+      // Resource-sampled spans carry the full counter-arg set; the fields
+      // are all-or-nothing, numeric, and non-negative.
+      if (!e.Get("args").Get("cycles").is_null()) {
+        for (const char* field :
+             {"cycles", "instructions", "cache_misses", "task_clock_us"}) {
+          const JsonValue& v = e.Get("args").Get(field);
+          if (!v.is_number() || v.number_value() < 0) {
+            return Status::Invalid(where, " (", name, "): resource arg '",
+                                   field, "' missing or negative");
+          }
+        }
+        if (!e.Get("args").Get("perf").is_bool()) {
+          return Status::Invalid(where, " (", name,
+                                 "): sampled span without perf flag");
+        }
+        ++local.sampled_spans;
       }
       ++local.span_count;
       ++local.spans_by_category[cat];
@@ -189,6 +209,44 @@ inline Status ValidatePipelineShape(const JsonValue& doc,
   }
   if (!has_memory_track) {
     return Status::Invalid("trace: no memory-timeline counter track (mem:*)");
+  }
+  return Status::OK();
+}
+
+/// Validates the shape a resource-sampled trace must have: at least one
+/// span carrying counter args and an "energy:joules" counter track whose
+/// samples are non-negative and non-decreasing (it reports a cumulative
+/// estimate for the sampling window).
+inline Status ValidateEnergyTrack(const JsonValue& doc) {
+  TraceStats stats;
+  Status st = ValidateTraceDocument(doc, &stats);
+  if (!st.ok()) return st;
+  if (stats.sampled_spans == 0) {
+    return Status::Invalid("trace: no resource-sampled spans");
+  }
+  if (stats.counter_tracks.count("energy:joules") == 0) {
+    return Status::Invalid("trace: no energy:joules counter track");
+  }
+  std::vector<std::pair<double, double>> samples;  // (ts, joules)
+  const JsonValue& events = doc.Get("traceEvents");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    if (e.GetString("ph") != "C" || e.GetString("name") != "energy:joules") {
+      continue;
+    }
+    samples.emplace_back(e.GetNumber("ts"), e.Get("args").GetNumber("value"));
+  }
+  // Buffers are exported per thread, so sort by timestamp before checking
+  // the cumulative estimate is monotone.
+  std::sort(samples.begin(), samples.end());
+  double last = 0.0;
+  for (const auto& [ts, v] : samples) {
+    if (v < 0) return Status::Invalid("trace: negative energy sample");
+    if (v + 1e-9 < last) {
+      return Status::Invalid("trace: energy:joules track decreased (", last,
+                             " -> ", v, ")");
+    }
+    last = v;
   }
   return Status::OK();
 }

@@ -3,10 +3,13 @@
 //   trace_schema_check trace.json                  # structural schema only
 //   trace_schema_check --expect-pipeline trace.json
 //   trace_schema_check --expect-pipeline --min-preparators 20 trace.json
+//   trace_schema_check --expect-energy trace.json
 //
 // --expect-pipeline additionally requires the runner's nesting shape
 // (stage ⊃ preparator ⊃ engine/kernel/io) and a memory-timeline counter
-// track. Exits 0 on a valid trace, 1 otherwise, printing a short summary.
+// track. --expect-energy requires resource-sampled spans (counter args)
+// and a monotone energy:joules counter track. Exits 0 on a valid trace, 1
+// otherwise, printing a short summary.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,11 +20,14 @@
 
 int main(int argc, char** argv) {
   bool expect_pipeline = false;
+  bool expect_energy = false;
   int min_preparators = 0;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--expect-pipeline") == 0) {
       expect_pipeline = true;
+    } else if (std::strcmp(argv[i], "--expect-energy") == 0) {
+      expect_energy = true;
     } else if (std::strcmp(argv[i], "--min-preparators") == 0 &&
                i + 1 < argc) {
       min_preparators = std::atoi(argv[++i]);
@@ -32,7 +38,7 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: trace_schema_check [--expect-pipeline] "
-                 "[--min-preparators N] trace.json\n");
+                 "[--expect-energy] [--min-preparators N] trace.json\n");
     return 1;
   }
 
@@ -50,15 +56,19 @@ int main(int argc, char** argv) {
     st = bento::test::ValidatePipelineShape(doc.ValueOrDie(),
                                             min_preparators);
   }
+  if (st.ok() && expect_energy) {
+    st = bento::test::ValidateEnergyTrack(doc.ValueOrDie());
+  }
   if (!st.ok()) {
     std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
                  st.ToString().c_str());
     return 1;
   }
 
-  std::printf("%s: OK — %d spans, %d counter samples, %d named threads\n",
-              path.c_str(), stats.span_count, stats.counter_samples,
-              stats.thread_metadata);
+  std::printf("%s: OK — %d spans (%d sampled), %d counter samples, "
+              "%d named threads\n",
+              path.c_str(), stats.span_count, stats.sampled_spans,
+              stats.counter_samples, stats.thread_metadata);
   for (const auto& [cat, n] : stats.spans_by_category) {
     std::printf("  %-11s %d\n", cat.c_str(), n);
   }
