@@ -7,6 +7,7 @@
 // otherwise). `--json <path>` records every arm (BENCH_pipeline.json);
 // `--report` prints the resource/energy rollup table; `--explain` dumps
 // each optimized plan before/after rewriting to stderr (BENTO_EXPLAIN=1).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,10 +20,10 @@
 
 namespace {
 
-/// Strips a bare `--explain` flag from argv; returns true when present.
-bool ParseExplainArg(int* argc, char** argv) {
+/// Strips a bare flag from argv; returns true when present.
+bool ParseFlagArg(int* argc, char** argv, const char* flag) {
   for (int i = 1; i < *argc; ++i) {
-    if (std::strcmp(argv[i], "--explain") != 0) continue;
+    if (std::strcmp(argv[i], flag) != 0) continue;
     for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
     --*argc;
     return true;
@@ -38,7 +39,8 @@ int main(int argc, char** argv) {
   bento::obs::ResourceReportScope report_scope(
       bento::bench::ParseReportArg(&argc, argv));
   const std::string json_path = bento::bench::ParseJsonPathArg(&argc, argv);
-  if (ParseExplainArg(&argc, argv)) setenv("BENTO_EXPLAIN", "1", 1);
+  const bool check_scaling = ParseFlagArg(&argc, argv, "--check-scaling");
+  if (ParseFlagArg(&argc, argv, "--explain")) setenv("BENTO_EXPLAIN", "1", 1);
   using namespace bento;
   bench::PrintHeader("Figure 7",
                      "entire pipeline runtime + lazy vs eager/no-opt deltas");
@@ -121,8 +123,16 @@ int main(int argc, char** argv) {
   // The two paper-scale datasets (Patrol 27Mx34, Taxi 77Mx18) again, but on
   // the laptop RAM model instead of the evaluation host: the streaming
   // engines must finish by spilling, with the pool peak under the budget.
+  // Each cell runs the morsel-driven pipeline A/B pinned to 1 and 4 modeled
+  // workers (`<dataset>/<id>_ooc_p{1,4}` in the JSON). Virtual time carries
+  // the pipeline's overlap credit, so the A/B is host-independent — it holds
+  // on a single-core runner. `--check-scaling` gates the 4-worker time at
+  // 1.10x the 1-worker time.
+  int scaling_violations = 0;
   {
-    run::TextTable table({"engine", "dataset", "pipeline", "peak", "budget"});
+    run::TextTable table({"engine", "dataset", "ooc p1", "ooc p4", "ratio",
+                          "peak", "budget"});
+    constexpr int kOocReps = 3;
     for (const char* dataset : {"patrol", "taxi"}) {
       auto pipeline = run::PipelineFor(dataset).ValueOrDie();
       for (const char* id : {"vaex", "spark_sql", "polars"}) {
@@ -131,24 +141,53 @@ int main(int argc, char** argv) {
         config.machine = sim::MachineSpec::Laptop();
         config.mode = run::RunMode::kPipelineStage;
         config.use_bcf_source = std::strcmp(id, "vaex") != 0;
-        auto report = runner.Run(config, pipeline, dataset);
-        Status status = report.ok() ? report.ValueOrDie().status
-                                    : report.status();
-        double seconds = -1.0;
+
+        double best[2] = {-1.0, -1.0};
         uint64_t peak = 0;
-        if (status.ok()) {
-          seconds = report.ValueOrDie().total_seconds;
-          peak = report.ValueOrDie().peak_host_bytes;
-          json.Add(std::string(dataset) + "/" + id + "_ooc", 1,
-                   seconds * 1e9, 0.0);
+        Status status;
+        for (int arm = 0; arm < 2 && status.ok(); ++arm) {
+          const int workers = arm == 0 ? 1 : 4;
+          setenv("BENTO_PIPELINE_WORKERS", workers == 1 ? "1" : "4", 1);
+          std::vector<double> samples_ns;
+          for (int rep = 0; rep < kOocReps; ++rep) {
+            auto report = runner.Run(config, pipeline, dataset);
+            status = report.ok() ? report.ValueOrDie().status
+                                 : report.status();
+            if (!status.ok()) break;
+            const double seconds = report.ValueOrDie().total_seconds;
+            samples_ns.push_back(seconds * 1e9);
+            if (best[arm] < 0 || seconds < best[arm]) best[arm] = seconds;
+            peak = std::max(peak, report.ValueOrDie().peak_host_bytes);
+          }
+          if (status.ok()) {
+            json.AddSamples(std::string(dataset) + "/" + id + "_ooc_p" +
+                                std::to_string(workers),
+                            kOocReps, samples_ns, 0.0);
+          }
+        }
+        unsetenv("BENTO_PIPELINE_WORKERS");
+
+        char ratio_cell[32] = "-";
+        if (status.ok() && best[0] > 0 && best[1] > 0) {
+          const double ratio = best[1] / best[0];
+          std::snprintf(ratio_cell, sizeof(ratio_cell), "%.2fx", ratio);
+          if (ratio > 1.10) {
+            ++scaling_violations;
+            std::fprintf(stderr,
+                         "scaling violation: %s/%s ooc p4 %.3fs vs p1 %.3fs "
+                         "(%.2fx > 1.10x)\n",
+                         dataset, id, best[1], best[0], ratio);
+          }
         }
         const uint64_t budget =
             runner.EffectiveMachine(config).ram_bytes;
-        table.AddRow({id, dataset, bench::OutcomeCell(status, seconds),
+        table.AddRow({id, dataset, bench::OutcomeCell(status, best[0]),
+                      bench::OutcomeCell(status, best[1]), ratio_cell,
                       HumanBytes(peak), HumanBytes(budget)});
       }
     }
-    std::printf("--- out-of-core (laptop budget, per-stage collect) ---\n%s\n",
+    std::printf("--- out-of-core (laptop budget, per-stage collect, "
+                "1 vs 4 pipeline workers, virtual time) ---\n%s\n",
                 table.ToString().c_str());
   }
 
@@ -225,6 +264,17 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (check_scaling && scaling_violations > 0) {
+    std::fprintf(stderr,
+                 "--check-scaling: %d out-of-core cell(s) regressed at 4 "
+                 "pipeline workers (> 1.10x the 1-worker time)\n",
+                 scaling_violations);
+    return 1;
+  }
+  if (check_scaling) {
+    std::printf("--check-scaling: all out-of-core cells within 1.10x of the "
+                "1-worker time at 4 workers\n");
   }
   return 0;
 }

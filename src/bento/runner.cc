@@ -100,6 +100,9 @@ Result<RunReport> Runner::Run(const RunConfig& config, const Pipeline& pipeline,
 
   sim::Session session(EffectiveMachine(config));
   session.set_isolated_measurement(config.mode == RunMode::kFunctionCore);
+  if (config.execution_mode.has_value()) {
+    session.set_execution_mode(*config.execution_mode);
+  }
 
   // Collect a trace when the config or BENTO_TRACE asks for one; inert when
   // an enclosing scope (a bench harness tracing many runs) already owns it.

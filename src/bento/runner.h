@@ -2,12 +2,14 @@
 #define BENTO_BENTO_RUNNER_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bento/pipeline.h"
 #include "frame/engine.h"
 #include "sim/machine.h"
+#include "sim/parallel.h"
 
 namespace bento::run {
 
@@ -31,6 +33,10 @@ struct RunConfig {
   /// after the run (BENTO_REPORT provides a process-wide default; inert when
   /// an enclosing ResourceReportScope — a bench harness — already reports).
   bool collect_resources = false;
+  /// Overrides the session's execution mode for this run (kReal engages the
+  /// thread pool and the morsel-driven pipeline; kSimulated keeps the
+  /// virtual cost model). Unset keeps the BENTO_EXECUTION default.
+  std::optional<sim::ExecutionMode> execution_mode;
 };
 
 struct OpTiming {

@@ -79,4 +79,28 @@ Result<col::TablePtr> BcfChunkStream::Next() {
   return col::TablePtr(nullptr);
 }
 
+uint64_t OwnedChunkBytes(const col::TablePtr& t) {
+  uint64_t total = 0;
+  for (int c = 0; c < t->num_columns(); ++c) {
+    const col::ArrayPtr& a = t->column(c);
+    const int64_t n = a->length();
+    total += static_cast<uint64_t>((n + 7) / 8);  // validity upper bound
+    switch (a->type()) {
+      case col::TypeId::kString: {
+        const int64_t* off = a->offsets_data();
+        total += static_cast<uint64_t>(n + 1) * 8 +
+                 static_cast<uint64_t>(off[n] - off[0]);
+        break;
+      }
+      case col::TypeId::kCategorical:
+        total += static_cast<uint64_t>(n) * 4;
+        break;
+      default:
+        total += static_cast<uint64_t>(n) *
+                 static_cast<uint64_t>(col::ByteWidth(a->type()));
+    }
+  }
+  return total;
+}
+
 }  // namespace bento::eng

@@ -23,7 +23,15 @@ class ChunkStream {
   virtual Result<col::TablePtr> Next() = 0;
 };
 
-/// \brief Slices an in-memory table into fixed-size batches (zero-copy).
+/// \brief Slices an in-memory table into fixed-size batches.
+///
+/// Chunks are zero-copy slice VIEWS over the parent table's buffers: fixed
+/// width data and string chars/offsets are shared outright, and validity
+/// bitmaps are shared whenever the slice offset is byte-aligned (the default
+/// chunk sizes are multiples of 64, so streaming a table allocates no new
+/// row data — only O(columns) view headers). A chunk size that lands
+/// mid-byte repacks just the validity bitmap (n/8 bytes). The pool-charge
+/// test in pipeline_driver_test locks this in.
 class TableChunkStream : public ChunkStream {
  public:
   TableChunkStream(col::TablePtr table, int64_t chunk_rows)
@@ -100,6 +108,12 @@ class MappedStream : public ChunkStream {
   std::unique_ptr<ChunkStream> inner_;
   MapFn fn_;
 };
+
+/// \brief Bytes a chunk would occupy if copied out. Slices of a larger
+/// table share whole buffers (a string slice keeps the full chars buffer),
+/// so Table::ByteSize() wildly overcounts string-heavy slices — bad when
+/// the count decides spill thresholds or prefetch backpressure.
+uint64_t OwnedChunkBytes(const col::TablePtr& t);
 
 /// \brief Streams a fixed list of pre-built batches (tests / partials).
 class VectorChunkStream : public ChunkStream {

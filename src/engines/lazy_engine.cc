@@ -295,6 +295,17 @@ Result<col::TablePtr> LazyEngineBase::Execute(
   std::vector<Op> ops = Optimize(plan);
   const ExecPolicy policy = ExecutionPolicy();
 
+  // Morsel-driven pipeline shape for this execution (serial unless the
+  // engine runs chunk-parallel kernels AND real execution is engaged). In
+  // parallel mode every pipeline worker owns a whole chunk, so the
+  // per-kernel morsel fan-out is switched off for work running ON workers —
+  // chunk-level parallelism replaces it; nesting both would oversubscribe
+  // the machine. Kernels invoked from the consumer thread (breaker merges,
+  // whole-table tail ops) keep the full policy.
+  const PipelineOptions pipe = ResolvePipelineOptions(policy);
+  ExecPolicy worker_policy = policy;
+  if (pipe.parallel()) worker_policy.parallel = false;
+
   // Bind the plan's leading ops into the physical scan: a leading drop
   // becomes a column-skipping read (the scan never materializes those
   // columns), and a leading filter over a BCF source contributes zone-map
@@ -333,6 +344,21 @@ Result<col::TablePtr> LazyEngineBase::Execute(
   }
 
   BENTO_ASSIGN_OR_RETURN(auto stream, OpenStream(source, scan));
+
+  // Background ingest: file-backed sources parse/decode ahead of compute on
+  // a dedicated producer thread (in-memory tables chunk into zero-copy
+  // slices; buffering views would add nothing).
+  auto wrap_prefetch = [&pipe](std::unique_ptr<ChunkStream> s) {
+    if (pipe.parallel() && pipe.prefetch_depth > 0) {
+      s = std::make_unique<PrefetchChunkStream>(std::move(s),
+                                                pipe.prefetch_depth);
+    }
+    return s;
+  };
+  if (source.kind != LazySource::Kind::kTable) {
+    stream = wrap_prefetch(std::move(stream));
+  }
+
   const bool stream_breakers = StreamsBreakers() && MemoryTight(source);
 
   // Under memory pressure a streaming engine materializes results
@@ -347,7 +373,14 @@ Result<col::TablePtr> LazyEngineBase::Execute(
           session != nullptr ? session->host_pool()->HeadroomBytes()
                              : UINT64_MAX;
       if (headroom != UINT64_MAX) {
-        return MaterializeStreamMapped(s, headroom / 4);
+        // The pipeline's worker budget also governs the materializer's
+        // compaction pass, so the 1-vs-N worker A/B covers the whole drain.
+        MaterializeOptions mat;
+        if (pipe.parallel()) {
+          mat.compact_workers = pipe.workers;
+          mat.parallel_options = policy.parallel_options;
+        }
+        return MaterializeStreamMapped(s, headroom / 4, mat);
       }
     }
     return DrainStream(s);
@@ -360,15 +393,92 @@ Result<col::TablePtr> LazyEngineBase::Execute(
   std::vector<std::shared_ptr<TempSpill>> spills;
   size_t i = start;
 
+  // A breaker's residual per-chunk map (two-pass encode, probe-side join):
+  // in parallel mode it is carried into the NEXT stage's worker map instead
+  // of wrapping the stream, so the encode/probe work runs on all pipeline
+  // workers rather than serially inside the next stage's chunk claim.
+  MappedStream::MapFn pending_map;
+
   while (current == nullptr) {
     // Maximal streamable run [i, j).
     size_t j = i;
     while (j < ops.size() && IsStreamable(ops[j])) ++j;
-    auto transformed = std::make_unique<TransformingStream>(
-        stream.get(), ops.data() + i, j - i, &policy,
-        PerChunkOverheadSeconds());
+
+    // The run as a pure per-chunk map (parallel mode). Counters mirror the
+    // serial TransformingStream; the per-chunk virtual-time overhead is
+    // charged by the consumer thread once the stage's chunk count is known
+    // (session clocks are consumer-thread state).
+    MappedStream::MapFn chunk_map;
+    if (pipe.parallel()) {
+      chunk_map = [run_ops = ops.data() + i, n_run = j - i, &worker_policy,
+                   carried = std::move(pending_map)](
+                      col::TablePtr chunk) -> Result<col::TablePtr> {
+        static obs::Counter* chunks =
+            obs::MetricsRegistry::Global().counter("lazy.stream_chunks");
+        chunks->Increment();
+        static obs::Counter* rows =
+            obs::MetricsRegistry::Global().counter("lazy.stream_rows");
+        rows->Add(static_cast<uint64_t>(chunk->num_rows()));
+        if (carried) {
+          BENTO_ASSIGN_OR_RETURN(chunk, carried(std::move(chunk)));
+        }
+        for (size_t k = 0; k < n_run; ++k) {
+          BENTO_ASSIGN_OR_RETURN(
+              chunk, frame::ExecTransform(chunk, run_ops[k], worker_policy));
+        }
+        return chunk;
+      };
+      pending_map = nullptr;  // consumed (moved-from) by this stage's map
+    }
+
+    // A breaker with its own pipelined fold takes the raw stream plus the
+    // run as a fused pre-map: transforms and partial aggregation ride ONE
+    // parallel stage instead of nesting two drivers (whose workers would
+    // otherwise steal chunks from each other).
+    const bool fuse_into_breaker =
+        pipe.parallel() && stream_breakers && j < ops.size() &&
+        (ops[j].kind == OpKind::kGroupByAgg || ops[j].kind == OpKind::kPivot ||
+         ops[j].kind == OpKind::kDropDuplicates);
+
+    std::unique_ptr<TransformingStream> transformed;
+    std::unique_ptr<ParallelPipelineDriver> par_stage;
+    ChunkStream* run_stream = stream.get();
+    if (!fuse_into_breaker) {
+      if (pipe.parallel()) {
+        par_stage = std::make_unique<ParallelPipelineDriver>(
+            stream.get(),
+            [chunk_map](col::TablePtr chunk, int64_t) {
+              return chunk_map(std::move(chunk));
+            },
+            pipe);
+        run_stream = par_stage.get();
+      } else {
+        transformed = std::make_unique<TransformingStream>(
+            stream.get(), ops.data() + i, j - i, &policy,
+            PerChunkOverheadSeconds());
+        run_stream = transformed.get();
+      }
+    }
+
+    // Per-chunk modeled overhead the pipeline workers could not charge.
+    auto charge_chunks = [this](int64_t chunks) {
+      const double penalty = PerChunkOverheadSeconds();
+      if (penalty > 0 && chunks > 0) {
+        sim::ChargePenalty(penalty * static_cast<double>(chunks));
+      }
+    };
+    // Joins the stage's workers — nothing may still hold the old stream
+    // when `stream` is replaced below — and settles its chunk accounting.
+    auto close_stage = [&]() {
+      if (par_stage == nullptr) return;
+      const int64_t chunks = par_stage->chunks_claimed();
+      par_stage.reset();
+      charge_chunks(chunks);
+    };
+
     if (j >= ops.size()) {
-      BENTO_ASSIGN_OR_RETURN(current, drain(transformed.get()));
+      BENTO_ASSIGN_OR_RETURN(current, drain(run_stream));
+      close_stage();
       i = j;
       break;
     }
@@ -376,23 +486,52 @@ Result<col::TablePtr> LazyEngineBase::Execute(
     if (stream_breakers) {
       switch (breaker.kind) {
         case OpKind::kGroupByAgg: {
+          StreamingGroupByOptions gb_options;
+          int64_t fused_chunks = 0;
+          if (fuse_into_breaker) {
+            gb_options.pipeline = pipe;
+            gb_options.pre_map = chunk_map;
+            gb_options.chunks_claimed = &fused_chunks;
+          }
           BENTO_ASSIGN_OR_RETURN(
-              stage_table, StreamingGroupBy(transformed.get(), breaker.columns,
-                                            breaker.aggs, policy));
+              stage_table, StreamingGroupBy(run_stream, breaker.columns,
+                                            breaker.aggs, policy, gb_options));
+          charge_chunks(fused_chunks);
+          close_stage();
           stream = std::make_unique<TableChunkStream>(stage_table, ChunkRows());
           i = j + 1;
           continue;
         }
         case OpKind::kPivot: {
+          StreamingGroupByOptions gb_options;
+          int64_t fused_chunks = 0;
+          if (fuse_into_breaker) {
+            gb_options.pipeline = pipe;
+            gb_options.pre_map = chunk_map;
+            gb_options.chunks_claimed = &fused_chunks;
+          }
           BENTO_ASSIGN_OR_RETURN(
-              stage_table, StreamingPivot(transformed.get(), breaker, policy));
+              stage_table,
+              StreamingPivot(run_stream, breaker, policy, gb_options));
+          charge_chunks(fused_chunks);
+          close_stage();
           stream = std::make_unique<TableChunkStream>(stage_table, ChunkRows());
           i = j + 1;
           continue;
         }
         case OpKind::kDropDuplicates: {
+          StreamingDedupOptions dd_options;
+          int64_t fused_chunks = 0;
+          if (fuse_into_breaker) {
+            dd_options.pipeline = pipe;
+            dd_options.pre_map = chunk_map;
+            dd_options.chunks_claimed = &fused_chunks;
+          }
           BENTO_ASSIGN_OR_RETURN(
-              stage_table, StreamingDedup(transformed.get(), breaker.columns));
+              stage_table,
+              StreamingDedup(run_stream, breaker.columns, dd_options));
+          charge_chunks(fused_chunks);
+          close_stage();
           stream = std::make_unique<TableChunkStream>(stage_table, ChunkRows());
           i = j + 1;
           continue;
@@ -402,14 +541,15 @@ Result<col::TablePtr> LazyEngineBase::Execute(
           // keeps streaming from disk: memory stays O(run + chunk).
           BENTO_ASSIGN_OR_RETURN(
               std::string path,
-              ExternalSortToFile(transformed.get(), breaker.sort_keys, policy,
+              ExternalSortToFile(run_stream, breaker.sort_keys, policy,
                                  std::max<int64_t>(ChunkRows() * 4, 64 * 1024)));
+          close_stage();
           auto spill = std::make_shared<TempSpill>();
           spill->path = path;
           spills.push_back(spill);
           stage_table.reset();
           BENTO_ASSIGN_OR_RETURN(auto bcf_stream, BcfChunkStream::Open(path));
-          stream = std::move(bcf_stream);
+          stream = wrap_prefetch(std::move(bcf_stream));
           i = j + 1;
           continue;
         }
@@ -423,7 +563,8 @@ Result<col::TablePtr> LazyEngineBase::Execute(
             break;  // plain fillna is already streamable
           }
           BENTO_ASSIGN_OR_RETURN(std::string path,
-                                 SpillStreamToFile(transformed.get()));
+                                 SpillStreamToFile(run_stream));
+          close_stage();
           auto spill = std::make_shared<TempSpill>();
           spill->path = path;
           spills.push_back(spill);
@@ -431,7 +572,8 @@ Result<col::TablePtr> LazyEngineBase::Execute(
 
           MappedStream::MapFn map_fn;
           if (breaker.kind == OpKind::kGetDummies) {
-            BENTO_ASSIGN_OR_RETURN(auto pass1, BcfChunkStream::Open(path));
+            BENTO_ASSIGN_OR_RETURN(auto pass1_raw, BcfChunkStream::Open(path));
+            auto pass1 = wrap_prefetch(std::move(pass1_raw));
             BENTO_ASSIGN_OR_RETURN(
                 auto categories,
                 StreamDistinctValues(pass1.get(), breaker.column));
@@ -440,7 +582,8 @@ Result<col::TablePtr> LazyEngineBase::Execute(
               return kern::GetDummiesWithCategories(chunk, column, categories);
             };
           } else if (breaker.kind == OpKind::kCatCodes) {
-            BENTO_ASSIGN_OR_RETURN(auto pass1, BcfChunkStream::Open(path));
+            BENTO_ASSIGN_OR_RETURN(auto pass1_raw, BcfChunkStream::Open(path));
+            auto pass1 = wrap_prefetch(std::move(pass1_raw));
             BENTO_ASSIGN_OR_RETURN(
                 auto dict, StreamDistinctValues(pass1.get(), breaker.column));
             map_fn = [column = breaker.column, dict = std::move(dict)](
@@ -451,7 +594,8 @@ Result<col::TablePtr> LazyEngineBase::Execute(
               return chunk->SetColumn(column, codes);
             };
           } else {  // fillna with mean
-            BENTO_ASSIGN_OR_RETURN(auto pass1, BcfChunkStream::Open(path));
+            BENTO_ASSIGN_OR_RETURN(auto pass1_raw, BcfChunkStream::Open(path));
+            auto pass1 = wrap_prefetch(std::move(pass1_raw));
             BENTO_ASSIGN_OR_RETURN(double mean,
                                    StreamColumnMean(pass1.get(), breaker.column));
             map_fn = [column = breaker.column,
@@ -465,8 +609,15 @@ Result<col::TablePtr> LazyEngineBase::Execute(
             };
           }
           BENTO_ASSIGN_OR_RETURN(auto pass2, BcfChunkStream::Open(path));
-          stream = std::make_unique<MappedStream>(std::move(pass2),
-                                                  std::move(map_fn));
+          if (pipe.parallel()) {
+            // Defer the encode map to the next stage's workers; the stream
+            // itself is just the background-prefetched spill scan.
+            pending_map = std::move(map_fn);
+            stream = wrap_prefetch(std::move(pass2));
+          } else {
+            stream = wrap_prefetch(std::make_unique<MappedStream>(
+                std::move(pass2), std::move(map_fn)));
+          }
           i = j + 1;
           continue;
         }
@@ -490,8 +641,9 @@ Result<col::TablePtr> LazyEngineBase::Execute(
             jopts.type = breaker.join_type;
             BENTO_ASSIGN_OR_RETURN(
                 stage_table,
-                GraceHashJoin(transformed.get(), right, breaker.left_key,
+                GraceHashJoin(run_stream, right, breaker.left_key,
                               breaker.right_key, jopts));
+            close_stage();
             stream =
                 std::make_unique<TableChunkStream>(stage_table, ChunkRows());
             i = j + 1;
@@ -499,7 +651,8 @@ Result<col::TablePtr> LazyEngineBase::Execute(
           }
           // Drain into a temp spill so the probe side never materializes.
           BENTO_ASSIGN_OR_RETURN(std::string path,
-                                 SpillStreamToFile(transformed.get()));
+                                 SpillStreamToFile(run_stream));
+          close_stage();
           auto spill = std::make_shared<TempSpill>();
           spill->path = path;
           spills.push_back(spill);
@@ -512,8 +665,13 @@ Result<col::TablePtr> LazyEngineBase::Execute(
                                   breaker.right_key, jopts);
           };
           BENTO_ASSIGN_OR_RETURN(auto pass, BcfChunkStream::Open(path));
-          stream = std::make_unique<MappedStream>(std::move(pass),
-                                                  std::move(map_fn));
+          if (pipe.parallel()) {
+            pending_map = std::move(map_fn);  // probe joins ride the workers
+            stream = wrap_prefetch(std::move(pass));
+          } else {
+            stream = wrap_prefetch(std::make_unique<MappedStream>(
+                std::move(pass), std::move(map_fn)));
+          }
           i = j + 1;
           continue;
         }
@@ -522,7 +680,8 @@ Result<col::TablePtr> LazyEngineBase::Execute(
       }
     }
     // Materialize-then-execute breaker; subsequent ops go whole-table.
-    BENTO_ASSIGN_OR_RETURN(current, drain(transformed.get()));
+    BENTO_ASSIGN_OR_RETURN(current, drain(run_stream));
+    close_stage();
     BENTO_ASSIGN_OR_RETURN(current,
                            frame::ExecTransform(current, breaker, policy));
     i = j + 1;
@@ -563,14 +722,45 @@ Result<ActionResult> LazyEngineBase::ExecuteAction(
 
   if (PlanOverheadSeconds() > 0) sim::ChargePenalty(PlanOverheadSeconds());
   std::vector<Op> ops = Optimize(plan);
+
+  // Same pipeline shape as Execute: transforms run on workers (chunk-level
+  // parallelism, so the per-kernel fan-out is off), the action fold stays
+  // on the calling thread in stream order.
+  const PipelineOptions pipe = ResolvePipelineOptions(policy);
+  ExecPolicy worker_policy = policy;
+  if (pipe.parallel()) worker_policy.parallel = false;
   BENTO_ASSIGN_OR_RETURN(auto stream, OpenStream(source, ScanSpec{}));
-  TransformingStream transformed(stream.get(), ops.data(), ops.size(), &policy,
-                                 PerChunkOverheadSeconds());
+  if (pipe.parallel() && pipe.prefetch_depth > 0 &&
+      source.kind != LazySource::Kind::kTable) {
+    stream = std::make_unique<PrefetchChunkStream>(std::move(stream),
+                                                   pipe.prefetch_depth);
+  }
+  std::unique_ptr<ChunkStream> transformed;
+  ParallelPipelineDriver* par_stage = nullptr;
+  if (pipe.parallel()) {
+    auto stage = std::make_unique<ParallelPipelineDriver>(
+        stream.get(),
+        [run_ops = ops.data(), n_run = ops.size(), &worker_policy](
+            col::TablePtr chunk, int64_t) -> Result<col::TablePtr> {
+          for (size_t k = 0; k < n_run; ++k) {
+            BENTO_ASSIGN_OR_RETURN(
+                chunk, frame::ExecTransform(chunk, run_ops[k], worker_policy));
+          }
+          return chunk;
+        },
+        pipe);
+    par_stage = stage.get();
+    transformed = std::move(stage);
+  } else {
+    transformed = std::make_unique<TransformingStream>(
+        stream.get(), ops.data(), ops.size(), &policy,
+        PerChunkOverheadSeconds());
+  }
 
   ActionResult result;
   bool first = true;
   while (true) {
-    BENTO_ASSIGN_OR_RETURN(auto chunk, transformed.Next());
+    BENTO_ASSIGN_OR_RETURN(auto chunk, transformed->Next());
     if (chunk == nullptr) break;
     const double penalty = ActionPenaltySeconds(action, chunk);
     if (penalty > 0) sim::ChargePenalty(penalty);
@@ -592,6 +782,13 @@ Result<ActionResult> LazyEngineBase::ExecuteAction(
       }
     } else if (action.kind == OpKind::kSearchPattern) {
       result.count += partial.count;
+    }
+  }
+  if (par_stage != nullptr) {
+    const double per_chunk = PerChunkOverheadSeconds();
+    if (per_chunk > 0 && par_stage->chunks_claimed() > 0) {
+      sim::ChargePenalty(per_chunk *
+                         static_cast<double>(par_stage->chunks_claimed()));
     }
   }
   if (first) return Status::Invalid("action over an empty stream");

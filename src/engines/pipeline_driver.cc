@@ -1,0 +1,327 @@
+#include "engines/pipeline_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/resource.h"
+#include "obs/trace.h"
+#include "sim/parallel.h"
+#include "sim/thread_pool.h"
+
+namespace bento::eng {
+
+PipelineOptions ResolvePipelineOptions(const frame::ExecPolicy& policy) {
+  PipelineOptions out;  // serial defaults
+  if (const char* env = std::getenv("BENTO_PIPELINE")) {
+    if (std::string(env) == "off" || std::string(env) == "0") return out;
+  }
+  if (!policy.parallel) return out;
+  if (sim::WouldUseRealExecution(policy.parallel_options)) {
+    int workers = std::min(sim::ResolveWorkers(policy.parallel_options),
+                           sim::ThreadPool::HardwareParallelism());
+    if (const char* env = std::getenv("BENTO_PIPELINE_WORKERS")) {
+      const long long v = std::atoll(env);
+      // The sweep override is exact (not clamped to physical cores): the
+      // bit-identity tests run 8 workers on any host.
+      if (v > 0) workers = static_cast<int>(std::min<long long>(v, 64));
+    }
+    out.workers = std::max(1, workers);
+    if (out.workers > 1) out.prefetch_depth = 2;
+    return out;
+  }
+  // Simulated session: model the same chunk-parallel schedule in virtual
+  // time. The driver runs serially, measures each chunk map, and credits
+  // the overlap the session machine's cores would achieve — ParallelFor's
+  // simulated-mode accounting lifted to pipeline stages, so the pipeline
+  // speedup shows on any host, including single-core runners. Never from a
+  // pool worker (nested stages would double-credit), and never without a
+  // session (no virtual clock to credit). No prefetch thread either: work
+  // done off the consumer thread is invisible to its VirtualTimer.
+  sim::Session* session = sim::Session::Current();
+  if (session == nullptr || sim::ThreadPool::OnWorkerThread()) return out;
+  int workers = std::min(sim::ResolveWorkers(policy.parallel_options),
+                         session->cores());
+  if (const char* env = std::getenv("BENTO_PIPELINE_WORKERS")) {
+    const long long v = std::atoll(env);
+    // Exact override: the A/B benches pin 1 vs 4 modeled workers.
+    if (v > 0) workers = static_cast<int>(std::min<long long>(v, 64));
+  }
+  out.workers = std::max(1, workers);
+  out.simulate = out.workers > 1;
+  out.schedule = policy.parallel_options.policy;
+  out.per_task_dispatch_s = policy.parallel_options.per_task_dispatch_s;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ParallelPipelineDriver
+// ---------------------------------------------------------------------------
+
+ParallelPipelineDriver::ParallelPipelineDriver(ChunkStream* inner, MapFn map,
+                                                 const PipelineOptions& options)
+    : inner_(inner),
+      map_(std::move(map)),
+      options_(options),
+      pool_(sim::MemoryPool::Current()) {
+  if (!options_.threaded()) return;
+  capacity_ = options_.workers + std::max(options_.readahead, 0);
+  active_workers_ = options_.workers;
+  threads_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ParallelPipelineDriver::~ParallelPipelineDriver() {
+  SettleModeledCredit();  // no-op unless simulate; safety for partial drains
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cancelled_ = true;
+  }
+  cv_room_.notify_all();
+  cv_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+Result<col::TablePtr> ParallelPipelineDriver::Claim(int64_t* seq) {
+  std::lock_guard<std::mutex> claim(claim_mu_);
+  if (claim_stopped_) return col::TablePtr(nullptr);
+  const double t0 = options_.simulate ? sim::NowSeconds() : 0.0;
+  auto pulled = inner_->Next();
+  if (options_.simulate) sim_io_seconds_.push_back(sim::NowSeconds() - t0);
+  if (!pulled.ok()) {
+    claim_stopped_ = true;
+    *seq = next_claim_seq_++;
+    claimed_count_.fetch_add(1, std::memory_order_relaxed);
+    return pulled;
+  }
+  if (pulled.ValueOrDie() == nullptr) {
+    claim_stopped_ = true;
+    return pulled;
+  }
+  *seq = next_claim_seq_++;
+  claimed_count_.fetch_add(1, std::memory_order_relaxed);
+  return pulled;
+}
+
+void ParallelPipelineDriver::WorkerLoop(int index) {
+  obs::SetCurrentThreadName("pipeline-worker-" + std::to_string(index));
+  (void)obs::InstallThreadSampler();
+  sim::MemoryScope scope(pool_);
+  static obs::Gauge* inflight_gauge =
+      obs::MetricsRegistry::Global().gauge("pipeline.chunks.inflight");
+  static obs::Counter* chunk_counter =
+      obs::MetricsRegistry::Global().counter("pipeline.chunks");
+
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_room_.wait(lk, [&] {
+        return cancelled_ || done_claiming_ || inflight_ < capacity_;
+      });
+      if (cancelled_ || done_claiming_) break;
+      ++inflight_;
+      inflight_gauge->UpdateMax(static_cast<int64_t>(inflight_));
+    }
+
+    int64_t seq = -1;
+    auto pulled = Claim(&seq);
+    const bool end = pulled.ok() && pulled.ValueOrDie() == nullptr;
+    if (end) {
+      std::lock_guard<std::mutex> lk(mu_);
+      --inflight_;  // reservation unused: nothing was claimed
+      done_claiming_ = true;
+      cv_ready_.notify_all();
+      cv_room_.notify_all();
+      break;
+    }
+
+    Result<col::TablePtr> out = std::move(pulled);
+    if (out.ok()) {
+      chunk_counter->Increment();
+      BENTO_TRACE_SPAN(kEngine, "pipeline.chunk");
+      out = map_(out.MoveValueUnsafe(), seq);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ready_.emplace(seq, std::move(out));
+      cv_ready_.notify_all();
+    }
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (--active_workers_ == 0) cv_ready_.notify_all();
+}
+
+void ParallelPipelineDriver::SettleModeledCredit() {
+  if (!options_.simulate || sim_credited_ || sim_map_seconds_.empty()) return;
+  sim_credited_ = true;
+  sim::Session* session = sim::Session::Current();
+  if (session == nullptr) return;
+  double sum_map = 0.0;
+  for (double d : sim_map_seconds_) sum_map += d;
+  double sum_io = 0.0;
+  for (double d : sim_io_seconds_) sum_io += d;
+  // Two-stage pipeline model matching the real executor's shape: a prefetch
+  // producer pulls chunks sequentially while `workers` map them. Completion
+  // is bounded below by either stage being saturated — all I/O plus the last
+  // map's tail, or the map makespan plus the first chunk's fill — and the
+  // credit is the overlap relative to the fully serial claim+map loop the
+  // driver actually ran.
+  const double map_makespan =
+      sim::SimulateMakespan(sim_map_seconds_, options_.workers,
+                            options_.schedule, options_.per_task_dispatch_s);
+  const double io_fill = sim_io_seconds_.empty() ? 0.0 : sim_io_seconds_.front();
+  const double map_tail = sim_map_seconds_.back();
+  const double modeled =
+      std::max(sum_io + map_tail, map_makespan + io_fill);
+  const double serial = sum_io + sum_map;
+  if (serial > modeled) session->AddTimeCredit(serial - modeled);
+}
+
+Result<col::TablePtr> ParallelPipelineDriver::Next() {
+  if (!options_.threaded()) {
+    // Inline serial mode: this IS the plain streaming loop — same claim,
+    // same map, same delivery order, zero threads. Errors latch the stream
+    // terminal, matching the parallel mode's contract. In modeled mode the
+    // only addition is a stopwatch around the map; the overlap credit for
+    // the whole stage settles once at end of stream.
+    if (terminal_) return terminal_error_;
+    int64_t seq = -1;
+    Result<col::TablePtr> out = Claim(&seq);
+    if (out.ok() && out.ValueOrDie() != nullptr) {
+      if (options_.simulate) {
+        static obs::Counter* chunk_counter =
+            obs::MetricsRegistry::Global().counter("pipeline.chunks");
+        chunk_counter->Increment();
+        BENTO_TRACE_SPAN(kEngine, "pipeline.chunk");
+        const double t0 = sim::NowSeconds();
+        out = map_(out.MoveValueUnsafe(), seq);
+        sim_map_seconds_.push_back(sim::NowSeconds() - t0);
+      } else {
+        out = map_(out.MoveValueUnsafe(), seq);
+      }
+    } else if (out.ok()) {
+      SettleModeledCredit();  // end of stream: grant the stage's overlap
+    }
+    if (!out.ok()) {
+      terminal_ = true;
+      terminal_error_ = out.status();
+    }
+    return out;
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (terminal_) return terminal_error_;
+    auto it = ready_.find(next_out_seq_);
+    if (it != ready_.end()) {
+      Result<col::TablePtr> r = std::move(it->second);
+      ready_.erase(it);
+      --inflight_;
+      ++next_out_seq_;
+      cv_room_.notify_all();
+      if (!r.ok()) {
+        // Deliver the failure at its stream position (exactly where the
+        // serial loop would have) and stop the stage.
+        terminal_ = true;
+        terminal_error_ = r.status();
+        cancelled_ = true;
+        cv_room_.notify_all();
+      }
+      return r;
+    }
+    if (done_claiming_ && active_workers_ == 0) return col::TablePtr(nullptr);
+    cv_ready_.wait(lk);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PrefetchChunkStream
+// ---------------------------------------------------------------------------
+
+PrefetchChunkStream::PrefetchChunkStream(std::unique_ptr<ChunkStream> inner,
+                                         int depth)
+    : inner_(std::move(inner)),
+      depth_(std::max(depth, 1)),
+      pool_(sim::MemoryPool::Current()) {
+  producer_ = std::thread([this] { ProducerLoop(); });
+}
+
+PrefetchChunkStream::~PrefetchChunkStream() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cancelled_ = true;
+  }
+  cv_consumed_.notify_all();
+  cv_produced_.notify_all();
+  producer_.join();
+}
+
+void PrefetchChunkStream::ProducerLoop() {
+  obs::SetCurrentThreadName("pipeline-prefetch");
+  (void)obs::InstallThreadSampler();
+  sim::MemoryScope scope(pool_);
+
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      // Sleep while the queue is full, or while budget headroom has shrunk
+      // below two chunks' worth — but never with an empty queue (the
+      // consumer is about to free memory by draining it, so stalling then
+      // would deadlock the pipeline against its own readahead). The wait
+      // re-checks on a short tick too: headroom can grow from releases on
+      // threads that never touch this queue.
+      auto has_room = [&] {
+        if (cancelled_) return true;
+        if (queue_.size() >= static_cast<size_t>(depth_)) return false;
+        if (queue_.empty()) return true;
+        const uint64_t headroom = pool_->HeadroomBytes();
+        return headroom == UINT64_MAX || headroom > 2 * last_chunk_bytes_;
+      };
+      while (!has_room()) {
+        cv_consumed_.wait_for(lk, std::chrono::milliseconds(1));
+      }
+      if (cancelled_) return;
+    }
+
+    Result<col::TablePtr> pulled = col::TablePtr(nullptr);
+    {
+      BENTO_TRACE_SPAN(kIo, "pipeline.prefetch");
+      pulled = inner_->Next();
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    const bool end =
+        !pulled.ok() || pulled.ValueOrDie() == nullptr;
+    if (pulled.ok() && pulled.ValueOrDie() != nullptr) {
+      last_chunk_bytes_ = OwnedChunkBytes(pulled.ValueOrDie());
+    }
+    queue_.push_back(std::move(pulled));
+    cv_produced_.notify_all();
+    if (end) {
+      finished_ = true;
+      return;
+    }
+  }
+}
+
+Result<col::TablePtr> PrefetchChunkStream::Next() {
+  static obs::Counter* stalls =
+      obs::MetricsRegistry::Global().counter("pipeline.prefetch.stalls");
+  std::unique_lock<std::mutex> lk(mu_);
+  if (queue_.empty() && !finished_) {
+    // The consumer outran the prefetcher: compute is waiting on I/O.
+    stalls->Increment();
+  }
+  cv_produced_.wait(lk, [&] { return !queue_.empty() || finished_; });
+  if (queue_.empty()) return col::TablePtr(nullptr);  // finished, drained
+  Result<col::TablePtr> r = std::move(queue_.front());
+  queue_.pop_front();
+  cv_consumed_.notify_all();
+  return r;
+}
+
+}  // namespace bento::eng

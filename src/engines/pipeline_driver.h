@@ -1,0 +1,199 @@
+#ifndef BENTO_ENGINES_PIPELINE_DRIVER_H_
+#define BENTO_ENGINES_PIPELINE_DRIVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engines/chunk_stream.h"
+#include "frame/exec.h"
+#include "sim/memory.h"
+#include "sim/parallel.h"
+
+namespace bento::eng {
+
+/// \brief Shape of the morsel-driven parallel streaming executor.
+///
+/// `workers <= 1` is the serial mode: every stage runs inline on the calling
+/// thread with no extra threads, no queues and no reordering — byte-for-byte
+/// the behaviour of the pre-pipeline streaming loop. `workers > 1` turns a
+/// transform stage into a ParallelPipelineDriver and wraps file-backed
+/// sources in a PrefetchChunkStream.
+struct PipelineOptions {
+  /// Compute workers concurrently claiming chunks. <= 1 means inline serial.
+  int workers = 1;
+  /// Extra in-flight chunks beyond `workers` the reorder buffer may hold
+  /// (absorbs completion skew so a slow chunk does not idle every worker).
+  int readahead = 2;
+  /// Decoded chunks the background prefetch stage may buffer ahead of the
+  /// consumer; 0 disables the prefetch thread.
+  int prefetch_depth = 0;
+  /// Model the schedule instead of running it: chunks execute serially
+  /// inline while each map's wall time is measured, and on completion the
+  /// active Session is credited the overlap `workers` would achieve
+  /// (ParallelFor's simulated-mode accounting, lifted to pipeline stages).
+  /// Virtual time then reflects the simulated machine's pipeline speedup on
+  /// any host — including single-core CI runners where real threads cannot
+  /// overlap at all.
+  bool simulate = false;
+  /// Schedule model used for the simulated makespan.
+  sim::SchedulePolicy schedule = sim::SchedulePolicy::kGreedy;
+  double per_task_dispatch_s = 0.0;
+
+  bool parallel() const { return workers > 1; }
+  /// Real worker threads (as opposed to serial or modeled execution).
+  bool threaded() const { return workers > 1 && !simulate; }
+};
+
+/// \brief Resolves the pipeline shape for one plan execution.
+///
+/// Engages only when the engine asked for chunk-parallel kernels
+/// (`policy.parallel`). With real execution (`sim::WouldUseRealExecution`)
+/// the stage runs on actual worker threads clamped to the physical core
+/// count, plus a background prefetch thread. Inside a *simulated* session
+/// the same pipeline runs in modeled form (`simulate`): serial execution,
+/// measured chunk maps, and a virtual-time credit for the overlap the
+/// session machine's cores would achieve — so pipeline scaling shows in
+/// virtual time host-independently. Without any session the pipeline stays
+/// off in simulated mode (there is no clock to credit). Environment
+/// overrides (read per call, so benches and tests can sweep without
+/// rebuilding engines):
+///   BENTO_PIPELINE=off         kill switch, forces serial streaming
+///   BENTO_PIPELINE_WORKERS=N   pins the worker count (N=1 forces the
+///                              serial baseline)
+PipelineOptions ResolvePipelineOptions(const frame::ExecPolicy& policy);
+
+/// \brief Order-preserving parallel transform stage: N dedicated workers
+/// concurrently claim sequence-numbered chunks from `inner` and run `map`
+/// on each; `Next()` reassembles results in claim order.
+///
+/// Claims are serialized (one worker at a time pulls `inner->Next()` and
+/// takes the next sequence number), maps run concurrently without locks,
+/// and finished chunks park in a bounded reorder buffer until the consumer
+/// reaches their sequence number. At most `workers + readahead` chunks are
+/// in flight; a worker that gets ahead blocks until the consumer drains —
+/// which is always possible, because the chunk the consumer waits for is
+/// itself held by some worker (deadlock-free by construction). Errors are
+/// delivered at their position in the sequence, exactly where the serial
+/// loop would have surfaced them.
+///
+/// Output is bit-identical to running `map` serially per chunk in stream
+/// order for ANY worker count: the map itself is pure per-chunk work, and
+/// delivery order is the claim order. Workers install the constructing
+/// thread's MemoryPool so every allocation still charges the session
+/// budget.
+///
+/// With `options.workers <= 1` no threads are created and `Next()` runs
+/// claim + map inline — the degenerate case IS the serial streaming loop.
+class ParallelPipelineDriver : public ChunkStream {
+ public:
+  /// Pure per-chunk transform; `seq` is the chunk's 0-based claim index
+  /// (breaker sinks fold it into their hidden first-seen-order column).
+  using MapFn =
+      std::function<Result<col::TablePtr>(col::TablePtr chunk, int64_t seq)>;
+
+  ParallelPipelineDriver(ChunkStream* inner, MapFn map,
+                          const PipelineOptions& options);
+  ~ParallelPipelineDriver() override;
+
+  /// Next mapped chunk in claim order, or nullptr at end of stream.
+  Result<col::TablePtr> Next() override;
+
+  /// Chunks claimed from the inner stream so far (stable once the stream is
+  /// drained; drives per-chunk virtual-time overheads charged by the
+  /// driver thread).
+  int64_t chunks_claimed() const {
+    return claimed_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop(int index);
+  /// Serial claim of the next chunk + sequence number. Returns nullptr at
+  /// end of stream.
+  Result<col::TablePtr> Claim(int64_t* seq);
+  /// Modeled mode: grants the session the overlap credit for the measured
+  /// chunk maps, once (end of stream or destruction, whichever is first).
+  void SettleModeledCredit();
+
+  ChunkStream* inner_;
+  MapFn map_;
+  PipelineOptions options_;
+  sim::MemoryPool* pool_;  // consumer-thread pool, installed on workers
+  int capacity_ = 0;       // max chunks in flight (claimed, not consumed)
+
+  // Claim serialization (kept apart from mu_ so a long inner->Next() —
+  // a CSV parse — never blocks the consumer from popping ready chunks).
+  std::mutex claim_mu_;
+  int64_t next_claim_seq_ = 0;  // guarded by claim_mu_
+  bool claim_stopped_ = false;  // end-of-stream or claim error; claim_mu_
+
+  // Reorder buffer + lifecycle.
+  std::mutex mu_;
+  std::condition_variable cv_ready_;  // consumer waits for next_out_seq_
+  std::condition_variable cv_room_;   // workers wait for in-flight room
+  std::map<int64_t, Result<col::TablePtr>> ready_;  // guarded by mu_
+  int64_t next_out_seq_ = 0;                        // guarded by mu_
+  int inflight_ = 0;                                // guarded by mu_
+  int active_workers_ = 0;                          // guarded by mu_
+  bool done_claiming_ = false;                      // guarded by mu_
+  bool cancelled_ = false;                          // guarded by mu_
+  Status terminal_error_;                           // guarded by mu_
+  bool terminal_ = false;                           // guarded by mu_
+
+  std::atomic<int64_t> claimed_count_{0};
+  std::vector<std::thread> threads_;
+
+  // Modeled (simulate) mode: measured wall seconds of each chunk map and of
+  // each claim (the source pull the real pipeline hides behind prefetch).
+  std::vector<double> sim_map_seconds_;
+  std::vector<double> sim_io_seconds_;
+  bool sim_credited_ = false;
+};
+
+/// \brief Background I/O prefetch stage: a dedicated producer thread pulls
+/// (parses, decompresses, maps) chunks from `inner` into a bounded queue so
+/// ingest overlaps with compute.
+///
+/// The producer installs the constructing thread's MemoryPool, so decoded
+/// buffers charge the session budget the moment they exist — readahead can
+/// never hold more memory than the budget admits. Backpressure is two-fold:
+/// the producer sleeps while the queue is full, and also while pool headroom
+/// has shrunk below twice the last chunk's footprint (unless the queue is
+/// empty, which keeps the pipeline live: the consumer is about to free
+/// memory by taking that chunk). Order is trivially preserved (one producer,
+/// FIFO queue). Emits `pipeline.prefetch` spans around each pull and counts
+/// consumer-side waits in `pipeline.prefetch.stalls`.
+class PrefetchChunkStream : public ChunkStream {
+ public:
+  PrefetchChunkStream(std::unique_ptr<ChunkStream> inner, int depth);
+  ~PrefetchChunkStream() override;
+
+  Result<col::TablePtr> Next() override;
+
+ private:
+  void ProducerLoop();
+
+  std::unique_ptr<ChunkStream> inner_;
+  int depth_;
+  sim::MemoryPool* pool_;
+
+  std::mutex mu_;
+  std::condition_variable cv_produced_;
+  std::condition_variable cv_consumed_;
+  std::deque<Result<col::TablePtr>> queue_;  // guarded by mu_
+  uint64_t last_chunk_bytes_ = 0;            // guarded by mu_
+  bool finished_ = false;                    // guarded by mu_
+  bool cancelled_ = false;                   // guarded by mu_
+  std::thread producer_;
+};
+
+}  // namespace bento::eng
+
+#endif  // BENTO_ENGINES_PIPELINE_DRIVER_H_

@@ -1,11 +1,13 @@
 #include "engines/streaming_ops.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <functional>
 #include <cstdio>
 #include <limits>
 #include <queue>
-#include <unistd.h>
 #include <unordered_set>
 
 #include "columnar/builder.h"
@@ -176,13 +178,27 @@ Result<TablePtr> FinalizeAggs(const TablePtr& merged,
   return out;
 }
 
-/// Hidden column carrying each row's global stream index. Aggregated with
-/// min it names a group's first-seen position, which is exactly the order
+/// Hidden column carrying each row's stream position. Aggregated with min
+/// it names a group's first-seen position, which is exactly the order
 /// kern::GroupBy emits groups in — so spilled partitions can be stitched
 /// back into the order the in-memory path would have produced.
 constexpr const char* kSeqColumn = "__seq";
 
-Result<TablePtr> AttachSeqColumn(const TablePtr& chunk, int64_t base) {
+/// Sequence values are (chunk_seq << 32) + row_in_chunk: strictly
+/// increasing in (chunk, row) stream order for any chunking, which is all
+/// the consumers need (min-per-group, stable ArgSort — only the ORDER of
+/// the values matters, never their magnitudes). Unlike a global row
+/// counter, a chunk can compute its values knowing nothing about earlier
+/// chunks' post-filter row counts — the property that lets pipeline workers
+/// attach the column concurrently yet bit-identically to the serial pass.
+constexpr int kSeqChunkShift = 32;
+
+Result<TablePtr> AttachSeqColumn(const TablePtr& chunk, int64_t chunk_seq) {
+  if (chunk->num_rows() >= (int64_t{1} << kSeqChunkShift)) {
+    return Status::Invalid("chunk too large for the sequence column (",
+                           chunk->num_rows(), " rows)");
+  }
+  const int64_t base = chunk_seq << kSeqChunkShift;
   col::Int64Builder b;
   b.Reserve(chunk->num_rows());
   for (int64_t i = 0; i < chunk->num_rows(); ++i) b.Append(base + i);
@@ -284,19 +300,33 @@ Result<TablePtr> StreamingGroupBy(ChunkStream* input,
     return Status::OK();
   };
 
-  std::vector<TablePtr> partials;
-  int64_t partial_bytes = 0;
-  int64_t seq_base = 0;
-  constexpr size_t kCompactEvery = 16;
-  while (true) {
-    BENTO_ASSIGN_OR_RETURN(auto chunk, input->Next());
-    if (chunk == nullptr) break;
-    if (chunk->num_rows() == 0) continue;
-    BENTO_ASSIGN_OR_RETURN(chunk, AttachSeqColumn(chunk, seq_base));
-    seq_base += chunk->num_rows();
+  // Per-chunk partial aggregation as a pure map: the fused upstream
+  // transforms (parallel mode), the hidden first-seen-order column, the
+  // local GroupBy and the count normalization. With pipeline workers the
+  // map runs concurrently across chunks; the fold below consumes partials
+  // strictly in stream order through the same serial merge code either
+  // way, so the result is bit-identical for any worker count.
+  auto partial_map = [&keys, &partial_specs, &normalize,
+                      pre_map = options.pre_map](
+                         TablePtr chunk, int64_t seq) -> Result<TablePtr> {
+    if (pre_map) {
+      BENTO_ASSIGN_OR_RETURN(chunk, pre_map(std::move(chunk)));
+    }
+    if (chunk->num_rows() == 0) return chunk;  // fold skips empty partials
+    BENTO_ASSIGN_OR_RETURN(chunk, AttachSeqColumn(chunk, seq));
     BENTO_ASSIGN_OR_RETURN(auto partial,
                            kern::GroupBy(chunk, keys, partial_specs));
-    BENTO_ASSIGN_OR_RETURN(partial, normalize(std::move(partial)));
+    return normalize(std::move(partial));
+  };
+  ParallelPipelineDriver partial_stream(input, partial_map, options.pipeline);
+
+  std::vector<TablePtr> partials;
+  int64_t partial_bytes = 0;
+  constexpr size_t kCompactEvery = 16;
+  while (true) {
+    BENTO_ASSIGN_OR_RETURN(auto partial, partial_stream.Next());
+    if (partial == nullptr) break;
+    if (partial->num_rows() == 0) continue;
     if (store != nullptr) {
       BENTO_RETURN_NOT_OK(spill_partial(partial));
       continue;
@@ -326,6 +356,9 @@ Result<TablePtr> StreamingGroupBy(ChunkStream* input,
       partial_bytes = static_cast<int64_t>(compacted->ByteSize());
       partials.push_back(std::move(compacted));
     }
+  }
+  if (options.chunks_claimed != nullptr) {
+    *options.chunks_claimed = partial_stream.chunks_claimed();
   }
 
   if (store != nullptr) {
@@ -399,34 +432,6 @@ struct RunCursor {
 }  // namespace
 
 namespace {
-
-/// Bytes a chunk would occupy if copied out. Slices of a larger table share
-/// whole buffers (a string slice keeps the full chars buffer), so
-/// Table::ByteSize() wildly overcounts string-heavy slices — bad when the
-/// count decides spill thresholds.
-uint64_t OwnedChunkBytes(const TablePtr& t) {
-  uint64_t total = 0;
-  for (int c = 0; c < t->num_columns(); ++c) {
-    const col::ArrayPtr& a = t->column(c);
-    const int64_t n = a->length();
-    total += static_cast<uint64_t>((n + 7) / 8);  // validity upper bound
-    switch (a->type()) {
-      case col::TypeId::kString: {
-        const int64_t* off = a->offsets_data();
-        total += static_cast<uint64_t>(n + 1) * 8 +
-                 static_cast<uint64_t>(off[n] - off[0]);
-        break;
-      }
-      case col::TypeId::kCategorical:
-        total += static_cast<uint64_t>(n) * 4;
-        break;
-      default:
-        total += static_cast<uint64_t>(n) *
-                 static_cast<uint64_t>(col::ByteWidth(a->type()));
-    }
-  }
-  return total;
-}
 
 /// Shared core of the external sort: sorted runs spill to temp BCF files;
 /// the k-way merge emits ordered output chunks to `sink`.
@@ -631,22 +636,50 @@ Result<std::string> ExternalSortToFile(ChunkStream* input,
 }
 
 Result<TablePtr> StreamingDedup(ChunkStream* input,
-                                const std::vector<std::string>& subset) {
+                                const std::vector<std::string>& subset,
+                                const StreamingDedupOptions& options) {
+  // Hidden per-row hash column attached by the (parallelizable) map stage;
+  // the serial fold below pops it and applies the first-seen filter in
+  // strict stream order, so the kept rows are identical for any worker
+  // count.
+  constexpr const char* kHashColumn = "__dedup_hash";
+  auto hash_map = [&subset, pre_map = options.pre_map](
+                      TablePtr chunk, int64_t) -> Result<TablePtr> {
+    if (pre_map) {
+      BENTO_ASSIGN_OR_RETURN(chunk, pre_map(std::move(chunk)));
+    }
+    if (chunk->num_rows() == 0) return chunk;
+    BENTO_ASSIGN_OR_RETURN(auto hashes, kern::HashRows(chunk, subset));
+    col::Int64Builder b;
+    b.Reserve(chunk->num_rows());
+    for (int64_t i = 0; i < chunk->num_rows(); ++i) {
+      b.Append(static_cast<int64_t>(hashes[static_cast<size_t>(i)]));
+    }
+    BENTO_ASSIGN_OR_RETURN(auto column, b.Finish());
+    return chunk->SetColumn(kHashColumn, std::move(column));
+  };
+  ParallelPipelineDriver hashed_stream(input, hash_map, options.pipeline);
+
   std::unordered_set<uint64_t> seen;
   std::vector<TablePtr> kept;
   while (true) {
-    BENTO_ASSIGN_OR_RETURN(auto chunk, input->Next());
+    BENTO_ASSIGN_OR_RETURN(auto chunk, hashed_stream.Next());
     if (chunk == nullptr) break;
     if (chunk->num_rows() == 0) continue;
-    BENTO_ASSIGN_OR_RETURN(auto hashes, kern::HashRows(chunk, subset));
+    BENTO_ASSIGN_OR_RETURN(auto hash_column, chunk->GetColumn(kHashColumn));
+    const int64_t* hashes = hash_column->int64_data();
+    BENTO_ASSIGN_OR_RETURN(chunk, chunk->DropColumns({kHashColumn}));
     col::BoolBuilder keep;
     keep.Reserve(chunk->num_rows());
     for (int64_t i = 0; i < chunk->num_rows(); ++i) {
-      keep.Append(seen.insert(hashes[static_cast<size_t>(i)]).second);
+      keep.Append(seen.insert(static_cast<uint64_t>(hashes[i])).second);
     }
     BENTO_ASSIGN_OR_RETURN(auto mask, keep.Finish());
     BENTO_ASSIGN_OR_RETURN(auto filtered, kern::FilterTable(chunk, mask));
     if (filtered->num_rows() > 0) kept.push_back(std::move(filtered));
+  }
+  if (options.chunks_claimed != nullptr) {
+    *options.chunks_claimed = hashed_stream.chunks_claimed();
   }
   if (kept.empty()) {
     return Status::Invalid("streaming dedup over an empty stream");
@@ -655,7 +688,8 @@ Result<TablePtr> StreamingDedup(ChunkStream* input,
 }
 
 Result<TablePtr> StreamingPivot(ChunkStream* input, const frame::Op& op,
-                                const ExecPolicy& policy) {
+                                const ExecPolicy& policy,
+                                const StreamingGroupByOptions& options) {
   // Aggregate down to one row per (index, columns) pair, then pivot the
   // small result in memory.
   std::vector<AggSpec> aggs = {
@@ -663,7 +697,7 @@ Result<TablePtr> StreamingPivot(ChunkStream* input, const frame::Op& op,
   BENTO_ASSIGN_OR_RETURN(
       auto grouped,
       StreamingGroupBy(input, {op.pivot_index, op.pivot_columns}, aggs,
-                       policy));
+                       policy, options));
   // Cell groups are unique, so any decomposable agg of the single value
   // reproduces it; the output column names match the kernel's convention.
   return kern::PivotTable(grouped, op.pivot_index, op.pivot_columns,
@@ -696,17 +730,16 @@ Result<TablePtr> GraceHashJoin(ChunkStream* probe, const TablePtr& build,
     }
   }
 
-  int64_t seq_base = 0;
+  int64_t chunk_seq = 0;
   TablePtr typed_empty_probe;  // zero-row probe chunk, for schema fallbacks
   while (true) {
     BENTO_ASSIGN_OR_RETURN(auto chunk, probe->Next());
     if (chunk == nullptr) break;
-    BENTO_ASSIGN_OR_RETURN(auto with_seq, AttachSeqColumn(chunk, seq_base));
+    BENTO_ASSIGN_OR_RETURN(auto with_seq, AttachSeqColumn(chunk, chunk_seq++));
     if (typed_empty_probe == nullptr) {
       BENTO_ASSIGN_OR_RETURN(typed_empty_probe, with_seq->Slice(0, 0));
     }
     if (chunk->num_rows() == 0) continue;
-    seq_base += chunk->num_rows();
     BENTO_ASSIGN_OR_RETURN(auto parts,
                            HashPartitionTable(with_seq, {left_key}, P));
     for (int p = 0; p < P; ++p) {
@@ -770,7 +803,9 @@ Result<TablePtr> DrainStream(ChunkStream* input) {
 }
 
 Result<TablePtr> MaterializeStreamMapped(ChunkStream* input,
-                                         uint64_t inline_limit_bytes) {
+                                         uint64_t inline_limit_bytes,
+                                         const MaterializeOptions& options) {
+  BENTO_TRACE_SPAN(kIo, "materialize.mapped");
   static obs::Counter* mapped_frames =
       obs::MetricsRegistry::Global().counter("lazy.mapped_materializations");
 
@@ -823,6 +858,7 @@ Result<TablePtr> MaterializeStreamMapped(ChunkStream* input,
   // peak is a single column (plus its chunk parts), never the frame.
   BENTO_ASSIGN_OR_RETURN(std::string mapped_path, TempBcfPath());
   auto compact = [&]() -> Status {
+    BENTO_TRACE_SPAN(kIo, "materialize.compact");
     BENTO_ASSIGN_OR_RETURN(auto src, io::BcfReader::Open(spill_path));
     io::BcfWriteOptions wopts;
     wopts.compression = false;
@@ -830,18 +866,89 @@ Result<TablePtr> MaterializeStreamMapped(ChunkStream* input,
     wopts.mappable = true;
     BENTO_ASSIGN_OR_RETURN(auto dst, io::BcfWriter::Open(mapped_path, wopts));
     const col::SchemaPtr schema = src->schema();
+    const int num_cols = schema->num_fields();
+
+    // One column's worth of reassembly (all row groups of one column,
+    // concatenated). Readers are per-call when parallel — a shared reader
+    // would race on its cursor.
+    auto produce_column = [&](io::BcfReader* reader,
+                              int c) -> Result<col::ArrayPtr> {
+      std::vector<col::TablePtr> parts;
+      parts.reserve(static_cast<size_t>(reader->num_row_groups()));
+      for (int g = 0; g < reader->num_row_groups(); ++g) {
+        BENTO_ASSIGN_OR_RETURN(
+            auto part, reader->ReadRowGroup(g, {schema->field(c).name}));
+        parts.push_back(std::move(part));
+      }
+      BENTO_ASSIGN_OR_RETURN(auto column, col::ConcatTablesReleasing(&parts));
+      return column->column(0);
+    };
+
+    // Parallel compaction: a bounded window of columns is reassembled
+    // concurrently ahead of the serial, schema-ordered writer. Peak memory
+    // is the window, never the frame; the window shrinks to whatever the
+    // pool's remaining headroom can hold (per-column estimate from the
+    // spill's own byte count, doubled for the concat's transient parts).
+    int window = options.compact_workers;
+    if (window > 1 && num_cols > 1) {
+      sim::Session* session = sim::Session::Current();
+      const uint64_t headroom =
+          session != nullptr ? session->host_pool()->HeadroomBytes()
+                             : UINT64_MAX;
+      if (headroom != UINT64_MAX) {
+        struct stat file_info;
+        const uint64_t spill_bytes =
+            ::stat(spill_path.c_str(), &file_info) == 0
+                ? static_cast<uint64_t>(file_info.st_size)
+                : pending_bytes;
+        const uint64_t per_column =
+            2 * (spill_bytes / static_cast<uint64_t>(num_cols) + 1);
+        const uint64_t fit = (headroom / 2) / per_column;
+        window = static_cast<int>(std::min<uint64_t>(
+            static_cast<uint64_t>(window), std::max<uint64_t>(1, fit)));
+      }
+      window = std::min(window, num_cols);
+    }
+    if (window <= 1) {
+      // Serial column-at-a-time pass (the bounded-memory baseline).
+      BENTO_RETURN_NOT_OK(dst->AppendColumnGroup(
+          schema, src->num_rows(), [&](int c) -> Result<col::ArrayPtr> {
+            return produce_column(src.get(), c);
+          }));
+      return dst->Finish();
+    }
+
+    // One long-lived reader per window slot: task k of every refill uses
+    // slot k exclusively, so no cursor is shared, and the (metadata-heavy)
+    // open cost is paid once per slot, not once per column.
+    std::vector<std::unique_ptr<io::BcfReader>> readers(
+        static_cast<size_t>(window));
+    for (auto& reader : readers) {
+      BENTO_ASSIGN_OR_RETURN(reader, io::BcfReader::Open(spill_path));
+    }
+    std::vector<col::ArrayPtr> produced;
+    int produced_base = 0;
+    sim::ParallelOptions popts = options.parallel_options;
+    popts.max_workers = window;
     BENTO_RETURN_NOT_OK(dst->AppendColumnGroup(
         schema, src->num_rows(), [&](int c) -> Result<col::ArrayPtr> {
-          std::vector<col::TablePtr> parts;
-          parts.reserve(static_cast<size_t>(src->num_row_groups()));
-          for (int g = 0; g < src->num_row_groups(); ++g) {
-            BENTO_ASSIGN_OR_RETURN(
-                auto part, src->ReadRowGroup(g, {schema->field(c).name}));
-            parts.push_back(std::move(part));
+          if (c >= produced_base + static_cast<int>(produced.size())) {
+            // The writer consumed the window; refill it in parallel.
+            produced_base = c;
+            const int count = std::min(window, num_cols - c);
+            produced.assign(static_cast<size_t>(count), nullptr);
+            BENTO_RETURN_NOT_OK(sim::ParallelFor(
+                count,
+                [&](int64_t k) -> Status {
+                  BENTO_ASSIGN_OR_RETURN(
+                      produced[static_cast<size_t>(k)],
+                      produce_column(readers[static_cast<size_t>(k)].get(),
+                                     c + static_cast<int>(k)));
+                  return Status::OK();
+                },
+                popts));
           }
-          BENTO_ASSIGN_OR_RETURN(auto column,
-                                 col::ConcatTablesReleasing(&parts));
-          return column->column(0);
+          return std::move(produced[static_cast<size_t>(c - produced_base)]);
         }));
     return dst->Finish();
   };
@@ -866,6 +973,7 @@ Result<TablePtr> MaterializeStreamMapped(ChunkStream* input,
 
 
 Result<std::string> SpillStreamToFile(ChunkStream* input) {
+  BENTO_TRACE_SPAN(kIo, "spill.stream");
   BENTO_ASSIGN_OR_RETURN(std::string path, TempBcfPath());
   io::BcfWriteOptions wopts;
   wopts.row_group_rows = 4096;  // pass-2 readers stream small batches
@@ -895,6 +1003,7 @@ Result<std::string> SpillStreamToFile(ChunkStream* input) {
 
 Result<std::vector<std::string>> StreamDistinctValues(
     ChunkStream* input, const std::string& column) {
+  BENTO_TRACE_SPAN(kEngine, "twopass.distinct");
   std::vector<std::string> values;
   std::unordered_set<std::string> seen;
   while (true) {

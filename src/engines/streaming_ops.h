@@ -5,9 +5,11 @@
 #include <vector>
 
 #include "engines/chunk_stream.h"
+#include "engines/pipeline_driver.h"
 #include "frame/exec.h"
 #include "kernels/common.h"
 #include "kernels/join.h"
+#include "sim/parallel.h"
 
 namespace bento::eng {
 
@@ -26,6 +28,27 @@ struct StreamingGroupByOptions {
   /// (budget/8); 0 forces spill from the first chunk (tests); a huge value
   /// keeps everything in memory.
   int64_t spill_threshold_bytes = -1;
+  /// Parallel-pipeline shape for the per-chunk partial aggregation (the
+  /// fused transforms + local GroupBy map). The serial fold that merges
+  /// partials, compacts and spills always runs on the calling thread in
+  /// stream order, so the result is bit-identical for any worker count.
+  PipelineOptions pipeline;
+  /// Fused upstream transform run applied to every chunk before the partial
+  /// aggregation (set by the executor in parallel mode so transforms and
+  /// aggregation ride one pipeline stage instead of nesting two).
+  MappedStream::MapFn pre_map;
+  /// When set, receives the number of chunks claimed from the input (for
+  /// per-chunk virtual-time overheads charged by the driver thread).
+  int64_t* chunks_claimed = nullptr;
+};
+
+/// \brief Pipeline controls for the streaming dedup (same contract as the
+/// group-by: hashing parallelizes per chunk, the first-seen filter stays
+/// serial in stream order).
+struct StreamingDedupOptions {
+  PipelineOptions pipeline;
+  MappedStream::MapFn pre_map;
+  int64_t* chunks_claimed = nullptr;
 };
 
 /// \brief Partial-aggregation group-by: per-chunk local aggregation into
@@ -61,13 +84,15 @@ Result<std::string> ExternalSortToFile(ChunkStream* input,
 /// non-duplicate row (probability ~ n^2 / 2^64, negligible at benchmarked
 /// scales; the trade Spark's partial dedup makes too).
 Result<col::TablePtr> StreamingDedup(ChunkStream* input,
-                                     const std::vector<std::string>& subset);
+                                     const std::vector<std::string>& subset,
+                                     const StreamingDedupOptions& options = {});
 
 /// \brief Streaming pivot: decomposed group-by on (index, columns) followed
 /// by a small in-memory pivot of the aggregated result.
 Result<col::TablePtr> StreamingPivot(ChunkStream* input,
                                      const frame::Op& op,
-                                     const frame::ExecPolicy& policy);
+                                     const frame::ExecPolicy& policy,
+                                     const StreamingGroupByOptions& options = {});
 
 /// \brief Grace hash join: both sides hash-partition on their key into a
 /// SpillFrameStore, then each partition joins independently — peak memory is
@@ -94,8 +119,22 @@ Result<col::TablePtr> DrainStream(ChunkStream* input);
 /// the laptop model. Results at or under the limit concat in memory and
 /// skip the round-trip. The temp files are unlinked before returning; the
 /// mapping keeps the bytes reachable until the last view dies.
-Result<col::TablePtr> MaterializeStreamMapped(ChunkStream* input,
-                                              uint64_t inline_limit_bytes);
+struct MaterializeOptions {
+  /// Columns compacted concurrently during the mapped materialization's
+  /// compaction pass. The pass produces a bounded window of this many
+  /// columns in parallel ahead of the (serial, schema-ordered) writer, so
+  /// peak memory is O(window columns), never the frame; <= 1 keeps the
+  /// fully serial column-at-a-time pass. The window shrinks automatically
+  /// when the pool's headroom cannot hold it.
+  int compact_workers = 1;
+  /// Backend for the window's column tasks (the pipeline's policy: kReal
+  /// engages the thread pool, kSimulated credits the modeled overlap).
+  sim::ParallelOptions parallel_options;
+};
+
+Result<col::TablePtr> MaterializeStreamMapped(
+    ChunkStream* input, uint64_t inline_limit_bytes,
+    const MaterializeOptions& options = {});
 
 /// \brief Spills a stream to a temporary BCF file (bounded memory); the
 /// first half of the two-pass streaming operators. Caller owns the file.

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,9 +15,11 @@
 #include "engines/streaming_ops.h"
 #include "engines/vaex.h"
 #include "frame/engine.h"
+#include "kernels/flat_index.h"
 #include "kernels/groupby.h"
 #include "kernels/join.h"
 #include "obs/metrics.h"
+#include "sim/parallel.h"
 #include "tests/test_util.h"
 #include "util/random.h"
 
@@ -307,6 +310,120 @@ TEST(StreamingDifferentialTest, EngineGroupBySpillsUnderTinyBudgetAndMatches) {
   EXPECT_GT(engaged->value(), engaged_before)
       << "budget/8 should be below the 4000-group partial state";
   test::ExpectTablesEqual(unbounded, streamed.ValueOrDie());
+}
+
+/// Scoped BENTO_PIPELINE_WORKERS override.
+class PipelineWorkersGuard {
+ public:
+  explicit PipelineWorkersGuard(int workers) {
+    setenv("BENTO_PIPELINE_WORKERS", std::to_string(workers).c_str(), 1);
+  }
+  ~PipelineWorkersGuard() { unsetenv("BENTO_PIPELINE_WORKERS"); }
+};
+
+/// The pipelined group-by fold must be bit-identical to the eager kernel for
+/// ANY worker count — including under forced hash collisions (every group in
+/// one bucket chain) and forced spill (partial state hash-partitioned to
+/// disk from the first chunk). Workers only parallelize the pure per-chunk
+/// partial aggregation; the merge stays serial in claim order.
+TEST(StreamingDifferentialTest, GroupByWorkerSweepBitIdentical) {
+  auto t = IntValuedTable(5000, /*seed=*/606, /*key_card=*/200);
+  auto aggs = TestAggs();
+  frame::ExecPolicy policy;
+
+  for (bool collisions : {false, true}) {
+    std::optional<kern::ScopedForcedHashCollisions> forced;
+    if (collisions) forced.emplace();
+    auto eager = kern::GroupBy(t, {"k"}, aggs).ValueOrDie();
+    for (bool spill : {false, true}) {
+      for (int workers : {1, 2, 4, 8}) {
+        SCOPED_TRACE("collisions=" + std::to_string(collisions) +
+                     " spill=" + std::to_string(spill) +
+                     " workers=" + std::to_string(workers));
+        StreamingGroupByOptions options;
+        options.pipeline.workers = workers;
+        if (spill) options.spill_threshold_bytes = 0;
+        int64_t claimed = 0;
+        options.chunks_claimed = &claimed;
+        TableChunkStream in(t, 311);
+        auto result =
+            StreamingGroupBy(&in, {"k"}, aggs, policy, options).ValueOrDie();
+        test::ExpectTablesEqual(eager, result);
+        EXPECT_EQ(claimed, (5000 + 310) / 311);
+      }
+    }
+  }
+}
+
+/// Same contract for the pipelined dedup: hashing fans out across workers,
+/// the first-seen filter stays serial, and the kept rows are identical for
+/// any worker count and chunking (one-shot whole-table included).
+TEST(StreamingDifferentialTest, DedupWorkerSweepBitIdentical) {
+  auto t = IntValuedTable(4000, /*seed=*/707, /*key_card=*/37);
+  TablePtr baseline;
+  {
+    TableChunkStream in(t, int64_t{1} << 30);  // whole-table one-shot
+    baseline = StreamingDedup(&in, {"k", "s"}).ValueOrDie();
+  }
+  for (int workers : {1, 2, 4, 8}) {
+    for (int64_t chunk : {int64_t{64}, int64_t{509}}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " chunk=" + std::to_string(chunk));
+      StreamingDedupOptions options;
+      options.pipeline.workers = workers;
+      int64_t claimed = 0;
+      options.chunks_claimed = &claimed;
+      TableChunkStream in(t, chunk);
+      auto result = StreamingDedup(&in, {"k", "s"}, options).ValueOrDie();
+      test::ExpectTablesEqual(baseline, result);
+      EXPECT_EQ(claimed, (4000 + chunk - 1) / chunk);
+    }
+  }
+}
+
+/// End-to-end through the engines in REAL execution mode: the full breaker
+/// plan (two-pass one-hot + fillna-mean, pipelined group-by, probe join,
+/// external sort) under a tight budget must produce the same frame for 1,
+/// 2, 4 and 8 pipeline workers as the unbounded in-memory run — and stay
+/// under the budget while doing it.
+TEST(StreamingDifferentialTest, EnginePipelineWorkerSweepMatchesInMemory) {
+  auto t = IntValuedTable(6000, /*seed=*/808);
+
+  struct NamedEngine {
+    const char* name;
+    std::unique_ptr<LazyEngineBase> engine;
+  };
+  std::vector<NamedEngine> engines;
+  engines.push_back({"spark_sql", std::make_unique<SparkSqlEngine>()});
+  engines.push_back({"polars", std::make_unique<PolarsEngine>()});
+  engines.push_back({"vaex", std::make_unique<VaexEngine>()});
+
+  for (auto& [name, engine] : engines) {
+    SCOPED_TRACE(name);
+    auto labels = engine->FromTable(LabelsTable()).ValueOrDie();
+    std::vector<Op> plan = BreakersPlan(labels);
+    LazySource source;
+    source.kind = LazySource::Kind::kTable;
+    source.table = t;
+
+    TablePtr unbounded = engine->Execute(source, plan).ValueOrDie();
+
+    for (int workers : {1, 2, 4, 8}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      PipelineWorkersGuard workers_guard(workers);
+      ChunkRowsGuard chunk_guard("257");
+      sim::MachineSpec tight{"tight", 4,
+                             static_cast<uint64_t>(t->ByteSize() * 4),
+                             std::nullopt};
+      sim::Session session(tight);
+      session.set_execution_mode(sim::ExecutionMode::kReal);
+      auto streamed = engine->Execute(source, plan);
+      ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+      test::ExpectTablesEqual(unbounded, streamed.ValueOrDie());
+      EXPECT_LE(session.host_pool()->peak_bytes(),
+                session.host_pool()->budget());
+    }
+  }
 }
 
 /// The paper-scale acceptance claim, shrunk by BENTO_SCALE: the patrol and
